@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the complete Figure 6 flow — one benchmark per
+//! Table 1/2 cell pair (design × architecture) at tiny scale, so the
+//! regeneration cost of the paper's tables is itself tracked.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpga_core::PlbArchitecture;
+use vpga_designs::{DesignParams, NamedDesign};
+use vpga_flow::{run_design, FlowConfig};
+
+fn bench_full_flow(c: &mut Criterion) {
+    let params = DesignParams::tiny();
+    let config = FlowConfig::default();
+    let mut group = c.benchmark_group("flow/run_design");
+    group.sample_size(10);
+    for design in NamedDesign::ALL {
+        let netlist = design.generate(&params);
+        for arch in [PlbArchitecture::granular(), PlbArchitecture::lut_based()] {
+            group.bench_with_input(
+                BenchmarkId::new(design.name(), arch.name()),
+                &netlist,
+                |b, n| b.iter(|| run_design(black_box(n), &arch, &config).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_full_flow
+}
+criterion_main!(benches);

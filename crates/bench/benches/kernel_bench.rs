@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the Boolean kernel: truth-table
+//! operations, NPN canonicalization, the S3 census (Figure 2), the Boolean
+//! matcher, and configuration realization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vpga_core::{matcher, PlbArchitecture};
+use vpga_logic::{npn, s3, Tt3, Var};
+
+fn bench_tt_ops(c: &mut Criterion) {
+    c.bench_function("tt3/cofactors_all_256", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for t in Tt3::all() {
+                for v in Var::ALL {
+                    let (g, h) = black_box(t).cofactors(v);
+                    acc += u32::from(g.bits()) + u32::from(h.bits());
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("tt3/permute_all_256", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for t in Tt3::all() {
+                acc += u32::from(black_box(t).permute([2, 0, 1]).bits());
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_npn(c: &mut Criterion) {
+    c.bench_function("npn/canonicalize_all_256_cached", |b| {
+        // First call builds the table; the benched loop is lookups.
+        let _ = npn::canonicalize3(Tt3::MAJ3);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for t in Tt3::all() {
+                acc += u32::from(npn::canonicalize3(black_box(t)).0.bits());
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_s3(c: &mut Criterion) {
+    c.bench_function("s3/feasibility_all_256", |b| {
+        b.iter(|| Tt3::all().filter(|&t| s3::s3_feasible(black_box(t))).count())
+    });
+    c.bench_function("s3/figure2_census", |b| {
+        b.iter(s3::InfeasibleCensus::compute)
+    });
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let arch = PlbArchitecture::granular();
+    let mux = arch.library().cell_by_name("MUX").unwrap().clone();
+    let nd3 = arch.library().cell_by_name("ND3").unwrap().clone();
+    c.bench_function("matcher/mux_all_256", |b| {
+        b.iter(|| {
+            Tt3::all()
+                .filter(|&t| matcher::match_cell(&mux, black_box(t), 3).is_some())
+                .count()
+        })
+    });
+    c.bench_function("matcher/nd3_all_256", |b| {
+        b.iter(|| {
+            Tt3::all()
+                .filter(|&t| matcher::match_cell(&nd3, black_box(t), 3).is_some())
+                .count()
+        })
+    });
+}
+
+fn bench_realize(c: &mut Criterion) {
+    let arch = PlbArchitecture::granular();
+    let cfgs = arch.configs().to_vec();
+    let ndmx = cfgs.iter().find(|k| k.name() == "NDMX").unwrap();
+    c.bench_function("config/realize_ndmx_maj3", |b| {
+        b.iter(|| ndmx.realize(black_box(Tt3::new(0xE8)), arch.library()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tt_ops,
+    bench_npn,
+    bench_s3,
+    bench_matcher,
+    bench_realize
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation A5: heterogeneity itself — the introduction's premise (from
+//! refs \[7\]/\[8\]) that heterogeneous PLBs beat a homogeneous LUT fabric
+//! because "LUT-mapped designs are dominated by simple logic functions ...
+//! which are not implemented efficiently by LUTs". Compare the homogeneous
+//! 3-LUT PLB against both heterogeneous PLBs.
+//!
+//! ```sh
+//! cargo run --release -p vpga-bench --bin ablate_homogeneous [tiny|small|medium|paper]
+//! ```
+
+use vpga_core::PlbArchitecture;
+use vpga_designs::NamedDesign;
+use vpga_flow::{run_design, FlowConfig};
+
+fn main() {
+    let params = vpga_bench::params_from_args();
+    vpga_bench::banner(
+        "A5 — heterogeneity ablation (homogeneous LUT fabric baseline)",
+        "§1: heterogeneous PLBs offer \"significant performance and density benefits\" over homogeneous LUTs",
+    );
+    let archs = [
+        PlbArchitecture::homogeneous_lut(),
+        PlbArchitecture::lut_based(),
+        PlbArchitecture::granular(),
+    ];
+    for design in [NamedDesign::Alu, NamedDesign::Fpu, NamedDesign::NetworkSwitch] {
+        println!("-- design: {} --", design.name());
+        let netlist = design.generate(&params);
+        for arch in &archs {
+            match run_design(&netlist, arch, &FlowConfig::default()) {
+                Ok(out) => println!(
+                    "  {:12} flow-b die {:>9.0} µm², top-10 slack {:>9.1} ps",
+                    arch.name(),
+                    out.flow_b.die_area,
+                    out.flow_b.avg_top10_slack
+                ),
+                Err(e) => println!("  {:12} FAILED: {e}", arch.name()),
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Experiment E3: regenerate **Figure 2** — the S3-gate feasibility
+//! analysis of §2.1: the "at least 196 of 256" coverage count and the five
+//! categories of infeasible functions, plus the modified-S3 completeness
+//! result of Figure 3.
+//!
+//! ```sh
+//! cargo run --release -p vpga-bench --bin fig2_s3
+//! ```
+
+use vpga_logic::{cells, npn, s3, Tt3};
+
+fn main() {
+    vpga_bench::banner(
+        "E3 / Figure 2 — S3 feasibility and the infeasible-function taxonomy",
+        "§2.1: 196-of-256 coverage; Figure 2 categories; Figure 3 modified S3 completeness",
+    );
+    let feasible = s3::s3_set().len();
+    println!("S3 gate (MUX + 2×ND2WI, designated select): {feasible} / 256 functions");
+    let any = Tt3::all().filter(|&t| s3::s3_feasible_any_select(t)).count();
+    println!("  with free select-pin assignment:          {any} / 256");
+    println!();
+    println!("{}", s3::InfeasibleCensus::compute());
+    println!(
+        "modified S3 cell (Figure 3): {} / 256 functions",
+        s3::modified_s3_set().len()
+    );
+    println!();
+    println!("Supporting data — primitive/configuration coverage (§2.3):");
+    for (name, n) in [
+        ("MX (single 2:1 MUX)", cells::mux_set().len()),
+        ("ND3 (single ND3WI)", cells::nd3wi_set().len()),
+        ("NDMX (ND2WI → MUX)", cells::ndmx_set().len()),
+        ("XOAMX (MUX → MUX)", cells::xoamx_set().len()),
+        ("XOANDMX (MUX + ND3WI → MUX)", cells::xoandmx_set().len()),
+    ] {
+        println!("  {name:32} {n:3} / 256");
+    }
+    println!();
+    println!(
+        "NPN classes of 3-input functions: {} (sanity: 14 expected)",
+        npn::classes3().len()
+    );
+    // Distribution of S3-infeasible functions across NPN classes.
+    let mut infeasible_classes: Vec<Tt3> = Tt3::all()
+        .filter(|&t| !s3::s3_feasible(t))
+        .map(|t| npn::canonicalize3(t).0)
+        .collect();
+    infeasible_classes.sort();
+    infeasible_classes.dedup();
+    println!(
+        "NPN classes containing S3-infeasible functions: {}",
+        infeasible_classes.len()
+    );
+}

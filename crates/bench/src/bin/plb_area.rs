@@ -1,0 +1,59 @@
+//! Experiment E6: the §2.3/§3.2 PLB-level area accounting — the granular
+//! PLB is 20 % larger in total and has 26.6 % more combinational logic area
+//! than the LUT-based PLB, and granularity raises the potential-via count.
+//!
+//! ```sh
+//! cargo run --release -p vpga-bench --bin plb_area
+//! ```
+
+use vpga_core::{params, PlbArchitecture};
+
+fn main() {
+    vpga_bench::banner(
+        "E6 / §2.3 — PLB area and via accounting",
+        "\"the area of the proposed granular PLB being 20% larger\"; \"26.6% more combinational logic area\"",
+    );
+    println!("component characterization (CellRater substitute):");
+    for (name, p) in [
+        ("ND3WI", params::ND3),
+        ("ND2WI (ND3 slot)", params::ND2),
+        ("MUX", params::MUX),
+        ("XOA", params::XOA),
+        ("LUT3", params::LUT3),
+        ("BUF", params::BUF),
+        ("INV", params::INV),
+        ("DFF", params::DFF),
+    ] {
+        println!(
+            "  {name:18} area {:6.0} µm²  d0 {:5.0} ps  R {:4.1} ps/fF  Cin {:3.1} fF",
+            p.area, p.intrinsic_delay, p.drive_resistance, p.input_cap
+        );
+    }
+    println!();
+    let g = PlbArchitecture::granular();
+    let l = PlbArchitecture::lut_based();
+    for arch in [&g, &l] {
+        println!("{arch}");
+        println!(
+            "  comb {:6.1} µm² + seq {:6.1} µm² = {:6.1} µm²",
+            arch.comb_area(),
+            arch.seq_area(),
+            arch.area()
+        );
+    }
+    println!();
+    println!(
+        "total-area ratio granular/LUT: {:.4}   (paper: 1.20)",
+        g.area() / l.area()
+    );
+    println!(
+        "comb-area  ratio granular/LUT: {:.4}   (paper: 1.266)",
+        g.comb_area() / l.comb_area()
+    );
+    println!(
+        "via sites granular vs LUT:     {} vs {}  (+{:.0} % — the granularity cost §2.3 accepts)",
+        g.via_sites(),
+        l.via_sites(),
+        100.0 * (f64::from(g.via_sites()) / f64::from(l.via_sites()) - 1.0)
+    );
+}

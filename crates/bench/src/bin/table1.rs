@@ -1,0 +1,35 @@
+//! Experiment E1: regenerate **Table 1** (die-area comparison) of the
+//! paper, plus the §3.2 area claims derived from it.
+//!
+//! ```sh
+//! cargo run --release -p vpga-bench --bin table1 [tiny|small|medium|paper]
+//! ```
+
+use vpga_flow::report::Matrix;
+use vpga_flow::FlowConfig;
+
+fn main() {
+    let params = vpga_bench::params_from_args();
+    vpga_bench::banner(
+        "E1 / Table 1 — die-area comparison (flows a and b, both PLBs)",
+        "Table 1; §3.2 area claims (32 % datapath, 40 % FPU, Firewire inversion, 48 %/88 % overhead gaps)",
+    );
+    let t0 = std::time::Instant::now();
+    let matrix = Matrix::run(&params, &FlowConfig::default()).expect("flow matrix runs");
+    println!("{}", matrix.table1());
+    // Per-design overhead detail (the §3.2 packing-efficiency argument).
+    println!("Flow a → flow b die-area overhead:");
+    for o in matrix.outcomes() {
+        println!(
+            "  {:16} {:9}  {:+7.1} %  ({:.0} → {:.0} µm²)",
+            o.design,
+            o.arch,
+            100.0 * o.area_overhead(),
+            o.flow_a.die_area,
+            o.flow_b.die_area
+        );
+    }
+    println!();
+    println!("{}", matrix.claims());
+    println!("elapsed: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,74 @@
+//! Shared helpers for the experiment binaries that regenerate every table
+//! and figure of the paper (see DESIGN.md §5 for the experiment index and
+//! EXPERIMENTS.md for recorded results).
+//!
+//! Every binary accepts an optional size argument (`tiny`, `small`,
+//! `medium`, or `paper`) controlling the generated design sizes; the
+//! default is `small`, which runs the full matrix in seconds. `paper`
+//! approximates the publication's 24 k/80 k gate counts and takes
+//! correspondingly longer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vpga_designs::DesignParams;
+
+/// Parses the size argument from the command line (first free argument),
+/// defaulting to `small`.
+pub fn params_from_args() -> DesignParams {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "small".into());
+    params_by_name(&arg).unwrap_or_else(|| {
+        eprintln!("unknown size {arg:?}; expected tiny|small|medium|paper");
+        std::process::exit(2);
+    })
+}
+
+/// Looks up a named size.
+pub fn params_by_name(name: &str) -> Option<DesignParams> {
+    match name {
+        "tiny" => Some(DesignParams::tiny()),
+        "small" => Some(DesignParams::small()),
+        "medium" => Some(DesignParams {
+            alu_width: 24,
+            fpu_mantissa: 16,
+            fpu_exponent: 6,
+            fpu_lanes: 3,
+            switch_ports: 8,
+            switch_width: 16,
+            firewire_scale: 3,
+        }),
+        "paper" => Some(DesignParams::paper()),
+        _ => None,
+    }
+}
+
+/// Prints a standard experiment header.
+pub fn banner(experiment: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{experiment}");
+    println!("paper reference: {paper_ref}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_resolve() {
+        assert!(params_by_name("tiny").is_some());
+        assert!(params_by_name("small").is_some());
+        assert!(params_by_name("medium").is_some());
+        assert!(params_by_name("paper").is_some());
+        assert!(params_by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn medium_sits_between_small_and_paper() {
+        let s = params_by_name("small").unwrap();
+        let m = params_by_name("medium").unwrap();
+        let p = params_by_name("paper").unwrap();
+        assert!(s.switch_ports <= m.switch_ports && m.switch_ports <= p.switch_ports);
+        assert!(s.fpu_mantissa <= m.fpu_mantissa && m.fpu_mantissa <= p.fpu_mantissa);
+    }
+}

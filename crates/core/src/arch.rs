@@ -1,0 +1,642 @@
+//! The two PLB architectures of the paper and their ablation family.
+
+use std::fmt;
+
+use vpga_logic::{FunctionSet256, Literal, Tt3, Var};
+use vpga_netlist::{CellClass, LibCell, Library};
+
+use crate::config::LogicConfig;
+use crate::params::{self, CellParams};
+
+/// A count of PLB slots per resource class.
+///
+/// Indexed by [`CellClass::PLB_CLASSES`] order (MUX, XOA, ND3, LUT3, BUF,
+/// INV, DFF).
+///
+/// # Example
+///
+/// ```
+/// use vpga_core::SlotSet;
+/// use vpga_netlist::CellClass;
+///
+/// let mut demand = SlotSet::new();
+/// demand.add(CellClass::Mux, 2);
+/// demand.add(CellClass::Nd3, 1);
+/// let capacity = vpga_core::PlbArchitecture::granular().capacity().clone();
+/// assert!(demand.fits(&capacity));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SlotSet {
+    counts: [u16; 7],
+}
+
+impl SlotSet {
+    /// An empty slot set.
+    pub fn new() -> SlotSet {
+        SlotSet::default()
+    }
+
+    fn index(class: CellClass) -> usize {
+        CellClass::PLB_CLASSES
+            .iter()
+            .position(|&c| c == class)
+            .expect("class occupies PLB slots")
+    }
+
+    /// The count for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is [`CellClass::Generic`] (generic cells never
+    /// occupy PLB slots).
+    pub fn count(&self, class: CellClass) -> u16 {
+        self.counts[Self::index(class)]
+    }
+
+    /// Adds `n` slots of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is [`CellClass::Generic`].
+    pub fn add(&mut self, class: CellClass, n: u16) {
+        self.counts[Self::index(class)] += n;
+    }
+
+    /// Removes `n` slots of `class`, saturating at zero.
+    pub fn remove(&mut self, class: CellClass, n: u16) {
+        let i = Self::index(class);
+        self.counts[i] = self.counts[i].saturating_sub(n);
+    }
+
+    /// True if every per-class count of `self` is within `capacity`.
+    pub fn fits(&self, capacity: &SlotSet) -> bool {
+        self.counts
+            .iter()
+            .zip(&capacity.counts)
+            .all(|(d, c)| d <= c)
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &SlotSet) -> SlotSet {
+        let mut out = self.clone();
+        for (o, v) in out.counts.iter_mut().zip(&other.counts) {
+            *o += v;
+        }
+        out
+    }
+
+    /// Total slot count across all classes.
+    pub fn total(&self) -> u16 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates non-zero `(class, count)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (CellClass, u16)> + '_ {
+        CellClass::PLB_CLASSES
+            .iter()
+            .copied()
+            .zip(self.counts.iter().copied())
+            .filter(|&(_, n)| n > 0)
+    }
+}
+
+impl fmt::Display for SlotSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (class, n) in self.iter() {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{n}×{class}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "∅")?;
+        }
+        Ok(())
+    }
+}
+
+/// One of the PLB architectures under study.
+///
+/// Construct with [`PlbArchitecture::granular`],
+/// [`PlbArchitecture::lut_based`], or the ablation constructors.
+#[derive(Clone, Debug)]
+pub struct PlbArchitecture {
+    name: String,
+    capacity: SlotSet,
+    library: Library,
+    configs: Vec<LogicConfig>,
+    comb_area: f64,
+    seq_area: f64,
+    via_sites: u32,
+}
+
+impl PlbArchitecture {
+    /// The new granular PLB of Figure 4: two 2:1 MUXes, one XOA element, one
+    /// ND3WI gate, a DFF, and dual-polarity programmable buffers.
+    pub fn granular() -> PlbArchitecture {
+        Self::granular_variant("granular", 2, 1, 1, 1)
+    }
+
+    /// The LUT-based PLB of Figure 1 (from the FPL 2003 paper): one 3-LUT,
+    /// two ND3WI gates, a DFF, and buffers.
+    pub fn lut_based() -> PlbArchitecture {
+        let mut capacity = SlotSet::new();
+        capacity.add(CellClass::Lut3, 1);
+        capacity.add(CellClass::Nd3, 2);
+        capacity.add(CellClass::Buf, 1);
+        capacity.add(CellClass::Inv, 1);
+        capacity.add(CellClass::Dff, 1);
+        let library = build_library("plb_lut", LibraryKind::LutBased);
+        let configs = LogicConfig::lut_based_configs();
+        let comb_components = params::LUT3.area
+            + 2.0 * params::ND3.area
+            + params::BUF.area
+            + params::INV.area;
+        let sites = params::VIA_SITES;
+        PlbArchitecture {
+            name: "lut".to_owned(),
+            capacity,
+            library,
+            configs,
+            comb_area: comb_components + params::LUT_PLB_OVERHEAD,
+            seq_area: params::DFF.area,
+            via_sites: sites.lut3 + 2 * sites.nd3 + 2 * sites.buf + sites.dff,
+        }
+    }
+
+    /// A *homogeneous* 3-LUT PLB — the conventional-FPGA baseline the
+    /// paper's introduction positions heterogeneous PLBs against (\[7\]
+    /// showed "LUT-mapped designs are dominated by simple logic functions
+    /// ... which are not implemented efficiently by LUTs"): one 3-LUT, a
+    /// DFF, and buffers, with no gate slots at all.
+    pub fn homogeneous_lut() -> PlbArchitecture {
+        let mut capacity = SlotSet::new();
+        capacity.add(CellClass::Lut3, 1);
+        capacity.add(CellClass::Buf, 1);
+        capacity.add(CellClass::Inv, 1);
+        capacity.add(CellClass::Dff, 1);
+        let library = build_library("plb_homogeneous", LibraryKind::HomogeneousLut);
+        let configs = vec![LogicConfig::lut_based_configs()
+            .into_iter()
+            .find(|c| c.name() == "LUT3")
+            .expect("LUT3 config exists")];
+        let comb_components = params::LUT3.area + params::BUF.area + params::INV.area;
+        let sites = params::VIA_SITES;
+        PlbArchitecture {
+            name: "homogeneous".to_owned(),
+            capacity,
+            library,
+            configs,
+            comb_area: comb_components + params::LUT_PLB_OVERHEAD,
+            seq_area: params::DFF.area,
+            via_sites: sites.lut3 + 2 * sites.buf + sites.dff,
+        }
+    }
+
+    /// An ablation variant of the granular architecture with the given slot
+    /// counts (A1/A4 experiments). `granular()` is
+    /// `granular_variant("granular", 2, 1, 1, 1)`.
+    ///
+    /// The local-interconnect overhead scales with the combinational
+    /// component area at the granular PLB's overhead fraction, reflecting
+    /// that more slots mean more potential via sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant has no MUX-capable slot or no DFF.
+    pub fn granular_variant(
+        name: &str,
+        muxes: u16,
+        xoas: u16,
+        nd3s: u16,
+        dffs: u16,
+    ) -> PlbArchitecture {
+        assert!(muxes + xoas > 0, "granular variants need a MUX-capable slot");
+        assert!(dffs > 0, "granular variants need at least one DFF");
+        let mut capacity = SlotSet::new();
+        capacity.add(CellClass::Mux, muxes);
+        capacity.add(CellClass::Xoa, xoas);
+        capacity.add(CellClass::Nd3, nd3s);
+        capacity.add(CellClass::Buf, 2);
+        capacity.add(CellClass::Inv, 2);
+        capacity.add(CellClass::Dff, dffs);
+        let library = build_library("plb_granular", LibraryKind::Granular);
+        let configs = LogicConfig::granular_configs();
+        let comb_components = f64::from(muxes) * params::MUX.area
+            + f64::from(xoas) * params::XOA.area
+            + f64::from(nd3s) * params::ND3.area
+            + 2.0 * params::BUF.area
+            + 2.0 * params::INV.area;
+        // Overhead fraction calibrated on the baseline granular PLB.
+        let baseline_comb = 2.0 * params::MUX.area
+            + params::XOA.area
+            + params::ND3.area
+            + 2.0 * params::BUF.area
+            + 2.0 * params::INV.area;
+        let overhead = comb_components * (params::GRANULAR_PLB_OVERHEAD / baseline_comb);
+        let sites = params::VIA_SITES;
+        PlbArchitecture {
+            name: name.to_owned(),
+            capacity,
+            library,
+            configs,
+            comb_area: comb_components + overhead,
+            seq_area: f64::from(dffs) * params::DFF.area,
+            via_sites: u32::from(muxes) * sites.mux
+                + u32::from(xoas) * sites.xoa
+                + u32::from(nd3s) * sites.nd3
+                + 4 * sites.buf
+                + u32::from(dffs) * sites.dff,
+        }
+    }
+
+    /// The architecture's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Slot capacity of one PLB.
+    pub fn capacity(&self) -> &SlotSet {
+        &self.capacity
+    }
+
+    /// The characterized component-cell library for this architecture.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// The logic configurations of §2.3 available for matching supernodes.
+    pub fn configs(&self) -> &[LogicConfig] {
+        &self.configs
+    }
+
+    /// Total PLB area (µm²), including local-interconnect overhead.
+    pub fn area(&self) -> f64 {
+        self.comb_area + self.seq_area
+    }
+
+    /// Combinational portion of the PLB area (µm²).
+    pub fn comb_area(&self) -> f64 {
+        self.comb_area
+    }
+
+    /// Sequential portion of the PLB area (µm²).
+    pub fn seq_area(&self) -> f64 {
+        self.seq_area
+    }
+
+    /// Potential configuration-via sites per PLB.
+    pub fn via_sites(&self) -> u32 {
+        self.via_sites
+    }
+
+    /// The representative library cell occupying slots of `class`, if this
+    /// architecture has such slots.
+    pub fn slot_cell(&self, class: CellClass) -> Option<&LibCell> {
+        if self.capacity.count(class) == 0 {
+            return None;
+        }
+        let name = match class {
+            CellClass::Mux => "MUX",
+            CellClass::Xoa => "XOA",
+            CellClass::Nd3 => "ND3",
+            CellClass::Lut3 => "LUT3",
+            CellClass::Buf => "BUF",
+            CellClass::Inv => "INV",
+            CellClass::Dff => "DFF",
+            CellClass::Generic => return None,
+        };
+        self.library.cell_by_name(name)
+    }
+
+    /// §2.2: can one PLB of this architecture implement a full adder (both
+    /// the sum and carry functions)?
+    ///
+    /// Tries the paper's shared-propagate structure (three MUX-capable slots
+    /// and the ND3WI gate for the generate term) and, failing that, two
+    /// independent single-cell implementations.
+    pub fn fits_full_adder(&self) -> bool {
+        let (sum, carry) = vpga_logic::adder::mux_decomposition();
+        debug_assert_eq!(sum, vpga_logic::adder::sum());
+        debug_assert_eq!(carry, vpga_logic::adder::carry());
+        // Structure from §2.2: P = a⊕b on a MUX-capable slot, sum = P⊕cin on
+        // a second, cout = mux(P, G, cin) on a third, G = a·b on the ND3WI.
+        let mux_capable = self.capacity.count(CellClass::Mux) + self.capacity.count(CellClass::Xoa);
+        if mux_capable >= 3 && self.capacity.count(CellClass::Nd3) >= 1 {
+            return true;
+        }
+        // Fallback: implement each output in its own single-cell config.
+        let mut demand = SlotSet::new();
+        for f in [vpga_logic::adder::sum(), vpga_logic::adder::carry()] {
+            let Some(cfg) = self
+                .configs
+                .iter()
+                .filter(|c| c.demand().total() == 1 && c.functions().contains(f))
+                .min_by(|a, b| a.area().total_cmp(&b.area()))
+            else {
+                return false;
+            };
+            demand = demand.plus(cfg.demand());
+        }
+        demand.fits(&self.capacity)
+    }
+}
+
+impl fmt::Display for PlbArchitecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PLB {:?}: {} | area {:.1} µm² (comb {:.1}) | {} via sites",
+            self.name,
+            self.capacity,
+            self.area(),
+            self.comb_area,
+            self.via_sites
+        )
+    }
+}
+
+// ----------------------------------------------------------------------
+// Component libraries with via-configuration sets
+// ----------------------------------------------------------------------
+
+/// Functions a ND2WI gate selects among: `±(±x · ±y)` over pins (A, B).
+pub fn nd2_config_set() -> FunctionSet256 {
+    let mut set = FunctionSet256::new();
+    for p in [Tt3::var(Var::A), !Tt3::var(Var::A)] {
+        for q in [Tt3::var(Var::B), !Tt3::var(Var::B)] {
+            set.insert(!(p & q));
+            set.insert(p & q);
+        }
+    }
+    set
+}
+
+/// Functions a ND3WI gate selects among: `±(±x · ±y · ±z)`.
+pub fn nd3_config_set() -> FunctionSet256 {
+    let mut set = FunctionSet256::new();
+    for p in [Tt3::var(Var::A), !Tt3::var(Var::A)] {
+        for q in [Tt3::var(Var::B), !Tt3::var(Var::B)] {
+            for r in [Tt3::var(Var::C), !Tt3::var(Var::C)] {
+                set.insert(!(p & q & r));
+                set.insert(p & q & r);
+            }
+        }
+    }
+    set
+}
+
+/// Functions a 2:1 MUX selects among through the PLB's dual-polarity input
+/// buffers: `mux(sel^s, d0^p, d1^q)` over pins (d0=A, d1=B, sel=C).
+pub fn mux_config_set() -> FunctionSet256 {
+    let mut set = FunctionSet256::new();
+    for s in [Tt3::var(Var::C), !Tt3::var(Var::C)] {
+        for p in [Tt3::var(Var::A), !Tt3::var(Var::A)] {
+            for q in [Tt3::var(Var::B), !Tt3::var(Var::B)] {
+                set.insert(Tt3::mux(s, p, q));
+            }
+        }
+    }
+    set
+}
+
+/// Functions the XOA element selects among: the MUX set plus its
+/// programmable output inverter.
+pub fn xoa_config_set() -> FunctionSet256 {
+    let base = mux_config_set();
+    let mut set = base;
+    for t in base.iter() {
+        set.insert(!t);
+    }
+    set
+}
+
+/// Which component mix a library carries.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LibraryKind {
+    Granular,
+    LutBased,
+    HomogeneousLut,
+}
+
+fn build_library(name: &str, kind: LibraryKind) -> Library {
+    let mut lib = Library::new(name);
+    let add = |lib: &mut Library,
+               name: &str,
+               class: CellClass,
+               arity: usize,
+               default: Tt3,
+               allowed: FunctionSet256,
+               p: CellParams| {
+        lib.add(LibCell::new_programmable(
+            name,
+            class,
+            arity,
+            default,
+            allowed,
+            p.area,
+            p.input_cap,
+            p.intrinsic_delay,
+            p.drive_resistance,
+        ))
+        .expect("library names are unique");
+    };
+    if kind != LibraryKind::Granular {
+        add(
+            &mut lib,
+            "LUT3",
+            CellClass::Lut3,
+            3,
+            Tt3::NAND3,
+            FunctionSet256::full(),
+            params::LUT3,
+        );
+    }
+    if kind == LibraryKind::Granular {
+        add(
+            &mut lib,
+            "MUX",
+            CellClass::Mux,
+            3,
+            Tt3::MUX,
+            mux_config_set(),
+            params::MUX,
+        );
+        add(
+            &mut lib,
+            "XOA",
+            CellClass::Xoa,
+            3,
+            Tt3::MUX,
+            xoa_config_set(),
+            params::XOA,
+        );
+    }
+    if kind != LibraryKind::HomogeneousLut {
+        add(
+            &mut lib,
+            "ND3",
+            CellClass::Nd3,
+            3,
+            Tt3::NAND3,
+            nd3_config_set(),
+            params::ND3,
+        );
+        add(
+            &mut lib,
+            "ND2",
+            CellClass::Nd3,
+            2,
+            !(Tt3::var(Var::A) & Tt3::var(Var::B)),
+            nd2_config_set(),
+            params::ND2,
+        );
+    }
+    {
+        let mut buf_set = FunctionSet256::new();
+        buf_set.insert(Literal::Pos(Var::A).tt());
+        add(&mut lib, "BUF", CellClass::Buf, 1, Literal::Pos(Var::A).tt(), buf_set, params::BUF);
+        let mut inv_set = FunctionSet256::new();
+        inv_set.insert(Literal::Neg(Var::A).tt());
+        add(&mut lib, "INV", CellClass::Inv, 1, Literal::Neg(Var::A).tt(), inv_set, params::INV);
+    }
+    lib.add(LibCell::new(
+        "DFF",
+        CellClass::Dff,
+        1,
+        Tt3::var(Var::A),
+        params::DFF.area,
+        params::DFF.input_cap,
+        params::DFF.intrinsic_delay,
+        params::DFF.drive_resistance,
+    ))
+    .expect("library names are unique");
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_ratios_match_the_paper() {
+        let g = PlbArchitecture::granular();
+        let l = PlbArchitecture::lut_based();
+        assert!(
+            (g.area() / l.area() - 1.20).abs() < 1e-3,
+            "total ratio {}",
+            g.area() / l.area()
+        );
+        assert!(
+            (g.comb_area() / l.comb_area() - 1.266).abs() < 1e-3,
+            "comb ratio {}",
+            g.comb_area() / l.comb_area()
+        );
+    }
+
+    #[test]
+    fn granular_capacity_matches_figure_4() {
+        let g = PlbArchitecture::granular();
+        assert_eq!(g.capacity().count(CellClass::Mux), 2);
+        assert_eq!(g.capacity().count(CellClass::Xoa), 1);
+        assert_eq!(g.capacity().count(CellClass::Nd3), 1);
+        assert_eq!(g.capacity().count(CellClass::Dff), 1);
+        assert_eq!(g.capacity().count(CellClass::Lut3), 0);
+    }
+
+    #[test]
+    fn lut_capacity_matches_figure_1() {
+        let l = PlbArchitecture::lut_based();
+        assert_eq!(l.capacity().count(CellClass::Lut3), 1);
+        assert_eq!(l.capacity().count(CellClass::Nd3), 2);
+        assert_eq!(l.capacity().count(CellClass::Dff), 1);
+        assert_eq!(l.capacity().count(CellClass::Mux), 0);
+    }
+
+    #[test]
+    fn full_adder_packs_only_in_granular() {
+        assert!(PlbArchitecture::granular().fits_full_adder());
+        assert!(!PlbArchitecture::lut_based().fits_full_adder());
+    }
+
+    #[test]
+    fn granularity_raises_via_sites() {
+        let g = PlbArchitecture::granular();
+        let l = PlbArchitecture::lut_based();
+        assert!(g.via_sites() > l.via_sites());
+    }
+
+    #[test]
+    fn config_sets_have_expected_sizes() {
+        assert_eq!(nd2_config_set().len(), 8);
+        assert_eq!(nd3_config_set().len(), 16);
+        assert_eq!(mux_config_set().len(), 8);
+        // The XOA output inverter is functionally redundant at the cell
+        // level: ¬mux(s, d0, d1) = mux(s, ¬d0, ¬d1), and pin polarities are
+        // already in the set. It still matters electrically (it is how an
+        // inverted copy of the XOA output reaches the other PLB pins).
+        assert_eq!(xoa_config_set(), mux_config_set());
+    }
+
+    #[test]
+    fn mux_config_set_contains_xor_via_polarity() {
+        // xor(sel, d) with d bound to both data pins: mux(c, a, a') with the
+        // d1-inverting configuration.
+        let xor_ca = Tt3::var(Var::C) ^ Tt3::var(Var::A);
+        let f = Tt3::mux(Tt3::var(Var::C), Tt3::var(Var::A), !Tt3::var(Var::B));
+        assert!(mux_config_set().contains(f));
+        // ...and after binding B:=A, the instance computes sel ⊕ d.
+        let bound = Tt3::mux(Tt3::var(Var::C), Tt3::var(Var::A), !Tt3::var(Var::A));
+        assert_eq!(bound, xor_ca);
+    }
+
+    #[test]
+    fn slot_set_arithmetic() {
+        let mut a = SlotSet::new();
+        a.add(CellClass::Mux, 2);
+        let mut b = SlotSet::new();
+        b.add(CellClass::Mux, 1);
+        b.add(CellClass::Nd3, 1);
+        let sum = a.plus(&b);
+        assert_eq!(sum.count(CellClass::Mux), 3);
+        assert_eq!(sum.total(), 4);
+        assert!(b.fits(&sum));
+        assert!(!sum.fits(&b));
+        a.remove(CellClass::Mux, 5);
+        assert_eq!(a.count(CellClass::Mux), 0);
+    }
+
+    #[test]
+    fn ablation_variants_scale_area() {
+        let base = PlbArchitecture::granular();
+        let wide = PlbArchitecture::granular_variant("g4", 3, 1, 1, 1);
+        assert!(wide.area() > base.area());
+        assert!(wide.capacity().count(CellClass::Mux) == 3);
+        let ff2 = PlbArchitecture::granular_variant("gff2", 2, 1, 1, 2);
+        assert!(ff2.seq_area() > base.seq_area());
+        assert!(ff2.fits_full_adder());
+    }
+
+    #[test]
+    fn libraries_resolve_expected_cells() {
+        let g = PlbArchitecture::granular();
+        for name in ["MUX", "XOA", "ND3", "ND2", "BUF", "INV", "DFF"] {
+            assert!(g.library().cell_by_name(name).is_some(), "granular missing {name}");
+        }
+        assert!(g.library().cell_by_name("LUT3").is_none());
+        let l = PlbArchitecture::lut_based();
+        for name in ["LUT3", "ND3", "ND2", "BUF", "INV", "DFF"] {
+            assert!(l.library().cell_by_name(name).is_some(), "lut missing {name}");
+        }
+        assert!(l.library().cell_by_name("MUX").is_none());
+    }
+
+    #[test]
+    fn slot_cell_respects_capacity() {
+        let g = PlbArchitecture::granular();
+        assert!(g.slot_cell(CellClass::Mux).is_some());
+        assert!(g.slot_cell(CellClass::Lut3).is_none());
+    }
+}

@@ -1,0 +1,648 @@
+//! The logic configurations of §2.3 and their structural realization.
+//!
+//! A [`LogicConfig`] is one of the ways a PLB implements a ≤3-input
+//! function: the granular PLB offers **MX**, **XOA**, **ND3**, **NDMX**,
+//! **XOAMX**, and **XOANDMX**; the LUT-based PLB offers **ND3** and
+//! **LUT3**. Each configuration knows the exact set of functions it covers,
+//! the PLB slots it consumes, its area, and an unloaded delay estimate —
+//! and can recover a concrete [`Realization`] (component cells, via
+//! configurations, internal wiring) for any covered function, which is what
+//! the logic-compaction pass instantiates.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use vpga_logic::{cells, FunctionSet256, Tt3};
+use vpga_netlist::{CellClass, Library};
+
+use crate::arch::SlotSet;
+use crate::matcher::{self, compose, PinSource};
+use crate::params;
+
+/// Where a realized cell's pin is strapped: a leaf variable of the target
+/// function, a rail, or the output of an earlier cell in the realization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeSource {
+    /// Leaf variable `i` of the target function.
+    Leaf(usize),
+    /// A constant rail.
+    Const(bool),
+    /// Output of `cells[i]` of the same realization.
+    Node(usize),
+}
+
+impl From<PinSource> for NodeSource {
+    fn from(p: PinSource) -> NodeSource {
+        match p {
+            PinSource::Leaf(i) => NodeSource::Leaf(i),
+            PinSource::Const(b) => NodeSource::Const(b),
+        }
+    }
+}
+
+/// One component cell of a realization: which library cell, its via
+/// configuration, and its pin strapping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RealizedCell {
+    /// Library cell name (e.g. `"MUX"`, `"ND3"`).
+    pub lib_name: String,
+    /// The via configuration of the instance.
+    pub config: Tt3,
+    /// Strapping of each pin, length = arity.
+    pub pins: Vec<NodeSource>,
+}
+
+/// A concrete implementation of a target function as one to three wired
+/// component cells. The last cell drives the output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Realization {
+    /// The cells in topological order; `cells.last()` produces the output.
+    pub cells: Vec<RealizedCell>,
+}
+
+impl Realization {
+    /// Evaluates the realized structure as a truth table over the leaf
+    /// variables — used to verify that a realization implements its target.
+    pub fn output_function(&self) -> Tt3 {
+        let mut node_tts: Vec<Tt3> = Vec::with_capacity(self.cells.len());
+        for cell in &self.cells {
+            let pin_tts: Vec<Tt3> = cell
+                .pins
+                .iter()
+                .map(|s| match *s {
+                    NodeSource::Leaf(i) => {
+                        Tt3::var(vpga_logic::Var::from_index(i).expect("leaf < 3"))
+                    }
+                    NodeSource::Const(false) => Tt3::FALSE,
+                    NodeSource::Const(true) => Tt3::TRUE,
+                    NodeSource::Node(n) => node_tts[n],
+                })
+                .collect();
+            node_tts.push(compose(cell.config, &pin_tts));
+        }
+        *node_tts.last().expect("realization is non-empty")
+    }
+}
+
+/// The internal structure of a configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Shape {
+    /// One component cell.
+    Single { cell: &'static str },
+    /// `inner` feeds one pin of `outer`.
+    Pair {
+        inner: &'static str,
+        outer: &'static str,
+    },
+    /// An inner MUX-capable cell and a gate both feed `outer`.
+    Triple {
+        mux: &'static str,
+        gate: &'static str,
+        outer: &'static str,
+    },
+}
+
+/// One of the PLB logic configurations of §2.3.
+#[derive(Clone, Debug)]
+pub struct LogicConfig {
+    name: &'static str,
+    shape: Shape,
+    demand: SlotSet,
+    functions: FunctionSet256,
+    area: f64,
+    delay_ps: f64,
+}
+
+impl LogicConfig {
+    /// The configuration's name as used in the paper (MX, ND3, NDMX, …).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// PLB slots this configuration consumes.
+    pub fn demand(&self) -> &SlotSet {
+        &self.demand
+    }
+
+    /// The exact set of 3-input functions the configuration implements.
+    pub fn functions(&self) -> &FunctionSet256 {
+        &self.functions
+    }
+
+    /// Component area of the configuration (µm²).
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Unloaded critical-path delay estimate (ps).
+    pub fn delay_ps(&self) -> f64 {
+        self.delay_ps
+    }
+
+    /// Number of component cells in the configuration.
+    pub fn num_cells(&self) -> usize {
+        match self.shape {
+            Shape::Single { .. } => 1,
+            Shape::Pair { .. } => 2,
+            Shape::Triple { .. } => 3,
+        }
+    }
+
+    /// The configurations of the granular PLB (Figure 4), cheapest first.
+    pub fn granular_configs() -> Vec<LogicConfig> {
+        let mux_area = params::MUX.area;
+        let xoa_area = params::XOA.area;
+        let nd_area = params::ND3.area;
+        let chain = |a: params::CellParams, b: params::CellParams| {
+            a.intrinsic_delay + a.drive_resistance * b.input_cap + b.intrinsic_delay
+        };
+        vec![
+            LogicConfig {
+                name: "MX",
+                shape: Shape::Single { cell: "MUX" },
+                demand: demand(&[(CellClass::Mux, 1)]),
+                functions: *cells::mux_set(),
+                area: mux_area,
+                delay_ps: params::MUX.intrinsic_delay,
+            },
+            LogicConfig {
+                name: "ND3",
+                shape: Shape::Single { cell: "ND3" },
+                demand: demand(&[(CellClass::Nd3, 1)]),
+                functions: *cells::nd3wi_set(),
+                area: nd_area,
+                delay_ps: params::ND3.intrinsic_delay,
+            },
+            LogicConfig {
+                name: "XOA",
+                shape: Shape::Single { cell: "XOA" },
+                demand: demand(&[(CellClass::Xoa, 1)]),
+                functions: *cells::mux_set(),
+                area: xoa_area,
+                delay_ps: params::XOA.intrinsic_delay,
+            },
+            LogicConfig {
+                name: "NDMX",
+                shape: Shape::Pair {
+                    inner: "ND2",
+                    outer: "MUX",
+                },
+                demand: demand(&[(CellClass::Nd3, 1), (CellClass::Mux, 1)]),
+                functions: *cells::ndmx_set(),
+                area: nd_area + mux_area,
+                delay_ps: chain(params::ND2, params::MUX),
+            },
+            LogicConfig {
+                name: "XOAMX",
+                shape: Shape::Pair {
+                    inner: "XOA",
+                    outer: "MUX",
+                },
+                demand: demand(&[(CellClass::Xoa, 1), (CellClass::Mux, 1)]),
+                functions: *cells::xoamx_set(),
+                area: xoa_area + mux_area,
+                delay_ps: chain(params::XOA, params::MUX),
+            },
+            LogicConfig {
+                name: "XOANDMX",
+                shape: Shape::Triple {
+                    mux: "XOA",
+                    gate: "ND3",
+                    outer: "MUX",
+                },
+                demand: demand(&[
+                    (CellClass::Xoa, 1),
+                    (CellClass::Nd3, 1),
+                    (CellClass::Mux, 1),
+                ]),
+                functions: *cells::xoandmx_set(),
+                area: xoa_area + nd_area + mux_area,
+                delay_ps: chain(params::XOA, params::MUX).max(chain(params::ND3, params::MUX)),
+            },
+        ]
+    }
+
+    /// The configurations of the LUT-based PLB (Figure 1).
+    pub fn lut_based_configs() -> Vec<LogicConfig> {
+        vec![
+            LogicConfig {
+                name: "ND3",
+                shape: Shape::Single { cell: "ND3" },
+                demand: demand(&[(CellClass::Nd3, 1)]),
+                functions: *cells::nd3wi_set(),
+                area: params::ND3.area,
+                delay_ps: params::ND3.intrinsic_delay,
+            },
+            LogicConfig {
+                name: "LUT3",
+                shape: Shape::Single { cell: "LUT3" },
+                demand: demand(&[(CellClass::Lut3, 1)]),
+                functions: cells::lut3_set(),
+                area: params::LUT3.area,
+                delay_ps: params::LUT3.intrinsic_delay,
+            },
+        ]
+    }
+
+    /// Recovers a concrete realization of `target` in this configuration,
+    /// or `None` if `target` is outside [`LogicConfig::functions`].
+    ///
+    /// The returned structure is verified to compute `target` (a
+    /// `debug_assert` re-evaluates it).
+    pub fn realize(&self, target: Tt3, lib: &Library) -> Option<Realization> {
+        if !self.functions.contains(target) {
+            return None;
+        }
+        let r = match self.shape {
+            Shape::Single { cell } => realize_single(cell, target, lib),
+            Shape::Pair { inner, outer } => realize_pair(inner, outer, target, lib),
+            Shape::Triple { mux, gate, outer } => realize_triple(mux, gate, outer, target, lib),
+        };
+        if let Some(ref r) = r {
+            debug_assert_eq!(r.output_function(), target, "config {}", self.name);
+        }
+        r
+    }
+}
+
+impl fmt::Display for LogicConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} functions, area {:.0} µm², ~{:.0} ps, uses {}",
+            self.name,
+            self.functions.len(),
+            self.area,
+            self.delay_ps,
+            self.demand
+        )
+    }
+}
+
+fn demand(entries: &[(CellClass, u16)]) -> SlotSet {
+    let mut s = SlotSet::new();
+    for &(class, n) in entries {
+        s.add(class, n);
+    }
+    s
+}
+
+fn realize_single(cell_name: &str, target: Tt3, lib: &Library) -> Option<Realization> {
+    let cell = lib.cell_by_name(cell_name)?;
+    let m = matcher::match_cell(cell, target, 3)?;
+    Some(Realization {
+        cells: vec![RealizedCell {
+            lib_name: cell_name.to_owned(),
+            config: m.config,
+            pins: m.pins.into_iter().map(NodeSource::from).collect(),
+        }],
+    })
+}
+
+/// All distinct functions an inner cell can produce over the three leaves,
+/// each with one producing instance.
+fn inner_candidates(cell_name: &str, lib: &Library) -> Vec<(Tt3, RealizedCell)> {
+    let cell = lib.cell_by_name(cell_name).expect("known component cell");
+    let sources: Vec<PinSource> = (0..3)
+        .map(PinSource::Leaf)
+        .chain([PinSource::Const(false), PinSource::Const(true)])
+        .collect();
+    let arity = cell.arity();
+    let mut seen: HashMap<Tt3, RealizedCell> = HashMap::new();
+    let mut binding = vec![PinSource::Const(false); arity];
+    enumerate_bindings(&sources, arity, &mut binding, 0, &mut |binding| {
+        let pin_tts: Vec<Tt3> = binding.iter().map(|p| p.tt()).collect();
+        for config in cell.allowed().iter() {
+            let tt = compose(config, &pin_tts);
+            seen.entry(tt).or_insert_with(|| RealizedCell {
+                lib_name: cell_name.to_owned(),
+                config,
+                pins: binding.iter().copied().map(NodeSource::from).collect(),
+            });
+        }
+    });
+    let mut out: Vec<(Tt3, RealizedCell)> = seen.into_iter().collect();
+    out.sort_by_key(|(t, _)| t.bits());
+    out
+}
+
+fn enumerate_bindings(
+    sources: &[PinSource],
+    arity: usize,
+    binding: &mut Vec<PinSource>,
+    pin: usize,
+    visit: &mut impl FnMut(&[PinSource]),
+) {
+    if pin == arity {
+        visit(binding);
+        return;
+    }
+    for &s in sources {
+        binding[pin] = s;
+        enumerate_bindings(sources, arity, binding, pin + 1, visit);
+    }
+}
+
+fn realize_pair(
+    inner_name: &str,
+    outer_name: &str,
+    target: Tt3,
+    lib: &Library,
+) -> Option<Realization> {
+    let outer = lib.cell_by_name(outer_name)?;
+    let leaf_tts: Vec<(NodeSource, Tt3)> = base_sources();
+    for (inner_tt, inner_cell) in inner_candidates(inner_name, lib) {
+        let mut sources = leaf_tts.clone();
+        sources.push((NodeSource::Node(0), inner_tt));
+        if let Some(outer_cell) =
+            solve_outer(outer, outer_name, target, &sources)
+        {
+            return Some(Realization {
+                cells: vec![inner_cell, outer_cell],
+            });
+        }
+    }
+    None
+}
+
+fn realize_triple(
+    mux_name: &str,
+    gate_name: &str,
+    outer_name: &str,
+    target: Tt3,
+    lib: &Library,
+) -> Option<Realization> {
+    let outer = lib.cell_by_name(outer_name)?;
+    let gates = inner_candidates(gate_name, lib);
+    for (mux_tt, mux_cell) in inner_candidates(mux_name, lib) {
+        // Known sources: leaves, rails, the inner MUX output (Node(0)).
+        let mut known = base_sources();
+        known.push((NodeSource::Node(0), mux_tt));
+        // One outer pin carries the unknown gate output (Node(1)). Solve for
+        // the gate function it would need, then look it up.
+        for unknown_pin in 0..outer.arity() {
+            if let Some((config, pins, gate_cell)) =
+                solve_unknown_full(outer, target, &known, unknown_pin, &gates)
+            {
+                return Some(Realization {
+                    cells: vec![mux_cell, gate_cell, RealizedCell {
+                        lib_name: outer_name.to_owned(),
+                        config,
+                        pins,
+                    }],
+                });
+            }
+        }
+    }
+    None
+}
+
+fn base_sources() -> Vec<(NodeSource, Tt3)> {
+    let mut v: Vec<(NodeSource, Tt3)> = (0..3)
+        .map(|i| (NodeSource::Leaf(i), PinSource::Leaf(i).tt()))
+        .collect();
+    v.push((NodeSource::Const(false), Tt3::FALSE));
+    v.push((NodeSource::Const(true), Tt3::TRUE));
+    v
+}
+
+/// Finds an outer-cell binding over `sources` computing `target`.
+fn solve_outer(
+    outer: &vpga_netlist::LibCell,
+    outer_name: &str,
+    target: Tt3,
+    sources: &[(NodeSource, Tt3)],
+) -> Option<RealizedCell> {
+    let arity = outer.arity();
+    let mut pins = vec![NodeSource::Const(false); arity];
+    let mut tts = vec![Tt3::FALSE; arity];
+    solve_outer_rec(outer, outer_name, target, sources, &mut pins, &mut tts, 0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_outer_rec(
+    outer: &vpga_netlist::LibCell,
+    outer_name: &str,
+    target: Tt3,
+    sources: &[(NodeSource, Tt3)],
+    pins: &mut Vec<NodeSource>,
+    tts: &mut Vec<Tt3>,
+    pin: usize,
+) -> Option<RealizedCell> {
+    if pin == outer.arity() {
+        for config in outer.allowed().iter() {
+            if compose(config, tts) == target {
+                return Some(RealizedCell {
+                    lib_name: outer_name.to_owned(),
+                    config,
+                    pins: pins.clone(),
+                });
+            }
+        }
+        return None;
+    }
+    for &(src, tt) in sources {
+        pins[pin] = src;
+        tts[pin] = tt;
+        if let Some(c) = solve_outer_rec(outer, outer_name, target, sources, pins, tts, pin + 1) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Solves for an outer binding where `unknown_pin` carries an
+/// as-yet-unknown signal: derives the required function (with don't-cares)
+/// for that pin and searches `gates` for a producer. Returns the outer
+/// configuration, pin strapping (with `Node(1)` at the unknown pin), and the
+/// chosen gate instance.
+fn solve_unknown_full(
+    outer: &vpga_netlist::LibCell,
+    target: Tt3,
+    known: &[(NodeSource, Tt3)],
+    unknown_pin: usize,
+    gates: &[(Tt3, RealizedCell)],
+) -> Option<(Tt3, Vec<NodeSource>, RealizedCell)> {
+    let arity = outer.arity();
+    let mut pins = vec![NodeSource::Const(false); arity];
+    let mut tts = vec![Tt3::FALSE; arity];
+    solve_unknown_rec(outer, target, known, unknown_pin, gates, &mut pins, &mut tts, 0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_unknown_rec(
+    outer: &vpga_netlist::LibCell,
+    target: Tt3,
+    known: &[(NodeSource, Tt3)],
+    unknown_pin: usize,
+    gates: &[(Tt3, RealizedCell)],
+    pins: &mut Vec<NodeSource>,
+    tts: &mut Vec<Tt3>,
+    pin: usize,
+) -> Option<(Tt3, Vec<NodeSource>, RealizedCell)> {
+    if pin == outer.arity() {
+        'config: for config in outer.allowed().iter() {
+            // Derive the required unknown-pin values with don't-cares.
+            let mut care = 0u8;
+            let mut req = 0u8;
+            for m in 0..8u8 {
+                let mut idx0 = 0u8;
+                for (p, tt) in tts.iter().enumerate() {
+                    if p != unknown_pin {
+                        idx0 |= ((tt.bits() >> m) & 1) << p;
+                    }
+                }
+                let idx1 = idx0 | (1 << unknown_pin);
+                let out0 = (config.bits() >> idx0) & 1;
+                let out1 = (config.bits() >> idx1) & 1;
+                let want = (target.bits() >> m) & 1;
+                if out0 == out1 {
+                    if out0 != want {
+                        continue 'config;
+                    }
+                } else {
+                    care |= 1 << m;
+                    if out1 == want {
+                        req |= 1 << m;
+                    }
+                }
+            }
+            for (g_tt, g_cell) in gates {
+                if g_tt.bits() & care == req & care {
+                    let mut out_pins = pins.clone();
+                    out_pins[unknown_pin] = NodeSource::Node(1);
+                    return Some((config, out_pins, g_cell.clone()));
+                }
+            }
+        }
+        return None;
+    }
+    if pin == unknown_pin {
+        pins[pin] = NodeSource::Node(1);
+        tts[pin] = Tt3::FALSE; // placeholder, ignored by the solver
+        return solve_unknown_rec(outer, target, known, unknown_pin, gates, pins, tts, pin + 1);
+    }
+    for &(src, tt) in known {
+        pins[pin] = src;
+        tts[pin] = tt;
+        if let Some(r) =
+            solve_unknown_rec(outer, target, known, unknown_pin, gates, pins, tts, pin + 1)
+        {
+            return Some(r);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::PlbArchitecture;
+
+    #[test]
+    fn granular_configs_cover_everything_via_xoandmx() {
+        let configs = LogicConfig::granular_configs();
+        let xoandmx = configs.iter().find(|c| c.name() == "XOANDMX").unwrap();
+        assert_eq!(xoandmx.functions().len(), 256);
+    }
+
+    #[test]
+    fn config_sets_are_nested_as_expected() {
+        let configs = LogicConfig::granular_configs();
+        let get = |n: &str| {
+            configs
+                .iter()
+                .find(|c| c.name() == n)
+                .unwrap()
+                .functions()
+                .len()
+        };
+        assert!(get("MX") < get("NDMX"));
+        assert!(get("NDMX") < get("XOANDMX"));
+        assert!(get("XOAMX") <= get("XOANDMX"));
+    }
+
+    #[test]
+    fn single_realizations_verify() {
+        let arch = PlbArchitecture::granular();
+        let configs = LogicConfig::granular_configs();
+        let mx = configs.iter().find(|c| c.name() == "MX").unwrap();
+        for t in mx.functions().iter() {
+            let r = mx.realize(t, arch.library()).expect("covered function");
+            assert_eq!(r.output_function(), t);
+            assert_eq!(r.cells.len(), 1);
+        }
+    }
+
+    #[test]
+    fn ndmx_realizations_verify_over_full_set() {
+        let arch = PlbArchitecture::granular();
+        let configs = LogicConfig::granular_configs();
+        let ndmx = configs.iter().find(|c| c.name() == "NDMX").unwrap();
+        let mut checked = 0;
+        for t in ndmx.functions().iter() {
+            let r = ndmx.realize(t, arch.library()).expect("covered function");
+            assert_eq!(r.output_function(), t, "target {t}");
+            assert!(r.cells.len() <= 2);
+            checked += 1;
+        }
+        // The NDMX set has 198 members (computed by `vpga-logic`).
+        assert_eq!(checked, 198);
+    }
+
+    #[test]
+    fn xoandmx_realizes_the_hard_functions() {
+        let arch = PlbArchitecture::granular();
+        let configs = LogicConfig::granular_configs();
+        let xoandmx = configs.iter().find(|c| c.name() == "XOANDMX").unwrap();
+        let ndmx = configs.iter().find(|c| c.name() == "NDMX").unwrap();
+        let xoamx = configs.iter().find(|c| c.name() == "XOAMX").unwrap();
+        // Check every function that *needs* the triple (and a sample of the rest).
+        for t in Tt3::all() {
+            let needs_triple =
+                !ndmx.functions().contains(t) && !xoamx.functions().contains(t);
+            if needs_triple || t.bits() % 37 == 0 {
+                let r = xoandmx.realize(t, arch.library()).expect("complete config");
+                assert_eq!(r.output_function(), t, "target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn realize_refuses_uncovered_functions() {
+        let arch = PlbArchitecture::granular();
+        let configs = LogicConfig::granular_configs();
+        let mx = configs.iter().find(|c| c.name() == "MX").unwrap();
+        assert!(mx.realize(Tt3::MAJ3, arch.library()).is_none());
+    }
+
+    #[test]
+    fn lut_configs_realize() {
+        let arch = PlbArchitecture::lut_based();
+        let configs = LogicConfig::lut_based_configs();
+        let lut = configs.iter().find(|c| c.name() == "LUT3").unwrap();
+        let r = lut.realize(Tt3::XOR3, arch.library()).unwrap();
+        assert_eq!(r.output_function(), Tt3::XOR3);
+        assert_eq!(r.cells[0].lib_name, "LUT3");
+    }
+
+    #[test]
+    fn cheaper_configs_come_first() {
+        let configs = LogicConfig::granular_configs();
+        // MX is the cheapest way to implement a covered function.
+        assert_eq!(configs[0].name(), "MX");
+        let areas: Vec<f64> = configs.iter().map(|c| c.area()).collect();
+        assert!(areas.windows(2).all(|w| w[0] <= w[1] + 100.0));
+    }
+
+    #[test]
+    fn delay_estimates_beat_the_lut_for_two_level_configs() {
+        let g = LogicConfig::granular_configs();
+        let l = LogicConfig::lut_based_configs();
+        let lut_delay = l.iter().find(|c| c.name() == "LUT3").unwrap().delay_ps();
+        for name in ["NDMX", "XOAMX"] {
+            let d = g.iter().find(|c| c.name() == name).unwrap().delay_ps();
+            assert!(d < lut_delay + 15.0, "{name} {d} vs LUT {lut_delay}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! VPGA patternable logic block (PLB) architectures — the primary
+//! contribution of *Exploring Logic Block Granularity for Regular Fabrics*
+//! (DATE 2004).
+//!
+//! The crate models the two PLB architectures the paper compares:
+//!
+//! * the **LUT-based PLB** of Figure 1 (one 3-LUT, two ND3WI gates, a DFF,
+//!   and buffers) from the earlier FPL 2003 work, and
+//! * the new **granular PLB** of Figure 4 (three 2:1 MUXes — one of them the
+//!   specially sized XOA element — one ND3WI gate, a DFF, and dual-polarity
+//!   programmable buffers),
+//!
+//! together with everything the CAD flow needs to target them:
+//!
+//! * [`params`] — the CellRater-substitute characterization: per-component
+//!   areas, input capacitances and linear delay models, wire RC constants,
+//!   and the 0.5 ns clock. Areas are calibrated so the paper's stated
+//!   ratios hold exactly (granular PLB = 1.20× the LUT PLB's total area and
+//!   1.266× its combinational area, §3.2).
+//! * [`arch`] — [`PlbArchitecture`]: slot capacities ([`SlotSet`]), the
+//!   characterized component [`vpga_netlist::Library`], PLB-level areas, and
+//!   the ablation family (MUX-count and FF-ratio variants).
+//! * [`config`] — the [`LogicConfig`]s of §2.3 (MX, XOA, ND3, NDMX, XOAMX,
+//!   XOANDMX for the granular PLB; ND3 and LUT3 for the LUT-based PLB),
+//!   each with its feasible-function set, resource demand, cost, and a
+//!   structural [`Realization`] recovery used by logic compaction.
+//! * [`matcher`] — Boolean matching of a ≤3-input function onto a single
+//!   via-programmable component cell (pin binding + via configuration).
+//! * [`plb`] — [`PlbInstance`] slot-occupancy accounting used by the packer,
+//!   including the §2.2 demonstration that a full adder packs into a single
+//!   granular PLB but not into a single LUT-based PLB.
+//!
+//! # Example
+//!
+//! ```
+//! use vpga_core::arch::PlbArchitecture;
+//!
+//! let granular = PlbArchitecture::granular();
+//! let lut = PlbArchitecture::lut_based();
+//! let ratio = granular.area() / lut.area();
+//! assert!((ratio - 1.20).abs() < 1e-6); // §3.2: "20% larger"
+//! assert!(granular.fits_full_adder());
+//! assert!(!lut.fits_full_adder());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod config;
+pub mod matcher;
+pub mod params;
+pub mod plb;
+
+pub use arch::{PlbArchitecture, SlotSet};
+pub use config::{LogicConfig, NodeSource, Realization, RealizedCell};
+pub use matcher::{CellMatch, PinSource};
+pub use plb::PlbInstance;

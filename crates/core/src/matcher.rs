@@ -1,0 +1,219 @@
+//! Boolean matching of a ≤3-input function onto one via-programmable
+//! component cell.
+//!
+//! A match is a *pin binding* (each physical pin strapped to one of the
+//! function's leaf variables or to a rail) plus a *via configuration* (one
+//! function from the cell's allowed set). Binding the same leaf to two pins
+//! is legal and frequently useful — e.g. `x ⊕ y` on a MUX binds `y` to both
+//! data pins and lets the configuration invert one of them.
+
+use vpga_logic::Tt3;
+use vpga_netlist::LibCell;
+
+/// Where a physical pin is strapped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PinSource {
+    /// Leaf variable `i` of the target function.
+    Leaf(usize),
+    /// A constant rail.
+    Const(bool),
+}
+
+impl PinSource {
+    /// The truth table (over the leaf variables) this source carries.
+    pub fn tt(self) -> Tt3 {
+        match self {
+            PinSource::Leaf(i) => {
+                Tt3::var(vpga_logic::Var::from_index(i).expect("leaf index < 3"))
+            }
+            PinSource::Const(false) => Tt3::FALSE,
+            PinSource::Const(true) => Tt3::TRUE,
+        }
+    }
+}
+
+/// A successful single-cell match: the pin binding and via configuration
+/// that make the cell compute the target function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellMatch {
+    /// Binding of each physical pin, `pins[i]` for pin `i` (length =
+    /// cell arity).
+    pub pins: Vec<PinSource>,
+    /// The via configuration (a member of the cell's allowed set).
+    pub config: Tt3,
+}
+
+/// Composes a cell configuration with per-pin truth tables: the result on
+/// leaf minterm `m` is `config` evaluated on the pin values at `m`.
+pub fn compose(config: Tt3, pins: &[Tt3]) -> Tt3 {
+    let mut out = 0u8;
+    for m in 0..8u8 {
+        let mut idx = 0u8;
+        for (p, tt) in pins.iter().enumerate() {
+            idx |= ((tt.bits() >> m) & 1) << p;
+        }
+        out |= ((config.bits() >> idx) & 1) << m;
+    }
+    Tt3::new(out)
+}
+
+/// Tries to match `target` (a function of the first `leaves` variables) onto
+/// `cell`. Returns the binding and configuration on success.
+///
+/// Sequential cells never match. Targets that depend on variables at or
+/// beyond `leaves` never match.
+///
+/// # Example
+///
+/// ```
+/// use vpga_core::matcher::match_cell;
+/// use vpga_core::PlbArchitecture;
+/// use vpga_logic::{Tt3, Var};
+///
+/// let arch = PlbArchitecture::granular();
+/// let mux = arch.library().cell_by_name("MUX").unwrap();
+/// let xor2 = Tt3::var(Var::A) ^ Tt3::var(Var::B);
+/// assert!(match_cell(mux, xor2, 2).is_some()); // "a MUX implements XOR"
+/// let nd3 = arch.library().cell_by_name("ND3").unwrap();
+/// assert!(match_cell(nd3, xor2, 2).is_none()); // ND2WI cannot (§2.1)
+/// ```
+pub fn match_cell(cell: &LibCell, target: Tt3, leaves: usize) -> Option<CellMatch> {
+    if cell.is_sequential() || leaves > 3 {
+        return None;
+    }
+    for v in vpga_logic::Var::ALL {
+        if v.index() >= leaves && target.depends_on(v) {
+            return None;
+        }
+    }
+    let arity = cell.arity();
+    // Fast path for fully programmable cells (the 3-LUT): identity binding.
+    if cell.allowed().len() == 256 && arity >= leaves {
+        let pins: Vec<PinSource> = (0..arity)
+            .map(|i| {
+                if i < leaves {
+                    PinSource::Leaf(i)
+                } else {
+                    PinSource::Const(false)
+                }
+            })
+            .collect();
+        return Some(CellMatch {
+            pins,
+            config: target,
+        });
+    }
+    let sources: Vec<PinSource> = (0..leaves)
+        .map(PinSource::Leaf)
+        .chain([PinSource::Const(false), PinSource::Const(true)])
+        .collect();
+    let mut binding = vec![PinSource::Const(false); arity];
+    let mut pin_tts = vec![Tt3::FALSE; arity];
+    match_rec(cell, target, &sources, &mut binding, &mut pin_tts, 0)
+}
+
+fn match_rec(
+    cell: &LibCell,
+    target: Tt3,
+    sources: &[PinSource],
+    binding: &mut Vec<PinSource>,
+    pin_tts: &mut Vec<Tt3>,
+    pin: usize,
+) -> Option<CellMatch> {
+    if pin == cell.arity() {
+        for config in cell.allowed().iter() {
+            if compose(config, pin_tts) == target {
+                return Some(CellMatch {
+                    pins: binding.clone(),
+                    config,
+                });
+            }
+        }
+        return None;
+    }
+    for &s in sources {
+        binding[pin] = s;
+        pin_tts[pin] = s.tt();
+        if let Some(m) = match_rec(cell, target, sources, binding, pin_tts, pin + 1) {
+            return Some(m);
+        }
+    }
+    None
+}
+
+/// The set of all functions of the first `leaves` variables that `cell` can
+/// implement under some binding and configuration.
+pub fn matchable_set(cell: &LibCell, leaves: usize) -> vpga_logic::FunctionSet256 {
+    Tt3::all()
+        .filter(|&t| match_cell(cell, t, leaves).is_some())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::PlbArchitecture;
+    use vpga_logic::{Tt3, Var};
+
+    #[test]
+    fn matches_verify_by_composition() {
+        let arch = PlbArchitecture::granular();
+        for cell_name in ["MUX", "XOA", "ND3", "ND2"] {
+            let cell = arch.library().cell_by_name(cell_name).unwrap();
+            for t in Tt3::all() {
+                if let Some(m) = match_cell(cell, t, 3) {
+                    let pin_tts: Vec<Tt3> = m.pins.iter().map(|p| p.tt()).collect();
+                    assert_eq!(compose(m.config, &pin_tts), t, "{cell_name} {t}");
+                    assert!(cell.allowed().contains(m.config));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mux_matchable_set_equals_paper_mux_set() {
+        let arch = PlbArchitecture::granular();
+        let mux = arch.library().cell_by_name("MUX").unwrap();
+        assert_eq!(matchable_set(mux, 3), *vpga_logic::cells::mux_set());
+    }
+
+    #[test]
+    fn nd3_matchable_set_equals_paper_nd3_set() {
+        let arch = PlbArchitecture::granular();
+        let nd3 = arch.library().cell_by_name("ND3").unwrap();
+        assert_eq!(matchable_set(nd3, 3), *vpga_logic::cells::nd3wi_set());
+    }
+
+    #[test]
+    fn lut_matches_everything() {
+        let arch = PlbArchitecture::lut_based();
+        let lut = arch.library().cell_by_name("LUT3").unwrap();
+        assert_eq!(matchable_set(lut, 3).len(), 256);
+        let m = match_cell(lut, Tt3::XOR3, 3).unwrap();
+        assert_eq!(m.config, Tt3::XOR3);
+    }
+
+    #[test]
+    fn leaf_bound_targets_only() {
+        let arch = PlbArchitecture::granular();
+        let mux = arch.library().cell_by_name("MUX").unwrap();
+        // A function depending on variable c cannot be a 2-leaf target.
+        assert!(match_cell(mux, Tt3::MUX, 2).is_none());
+        assert!(match_cell(mux, Tt3::MUX, 3).is_some());
+    }
+
+    #[test]
+    fn dff_never_matches() {
+        let arch = PlbArchitecture::granular();
+        let dff = arch.library().cell_by_name("DFF").unwrap();
+        assert!(match_cell(dff, Tt3::var(Var::A), 1).is_none());
+    }
+
+    #[test]
+    fn constants_match_via_strapping() {
+        let arch = PlbArchitecture::granular();
+        let nd2 = arch.library().cell_by_name("ND2").unwrap();
+        assert!(match_cell(nd2, Tt3::TRUE, 0).is_some());
+        assert!(match_cell(nd2, Tt3::FALSE, 0).is_some());
+    }
+}

@@ -1,0 +1,287 @@
+//! Additional arithmetic blocks: carry-lookahead addition and array
+//! multiplication.
+//!
+//! The four benchmark generators use the simplest faithful structures
+//! (ripple carry); these blocks let downstream users build deeper or faster
+//! datapaths with the same netlist machinery — the carry-lookahead adder in
+//! particular exercises exactly the propagate/generate functions (§2.2)
+//! that motivated the granular PLB's full-adder packing.
+
+use vpga_netlist::NetId;
+
+use crate::blocks::{full_adder, ripple_adder};
+use crate::designer::Designer;
+
+/// A carry-lookahead adder with 4-bit lookahead groups: computes
+/// `a + b + cin`, returning `(sum, carry_out)`.
+///
+/// Within a group, carries are produced two logic levels after the
+/// propagate/generate pairs instead of rippling — the classic depth
+/// reduction from O(n) to O(n/4 + 4).
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn cla_adder(
+    d: &mut Designer,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+) -> (Vec<NetId>, NetId) {
+    assert_eq!(a.len(), b.len(), "adder operands must have equal width");
+    assert!(!a.is_empty(), "adder width must be positive");
+    use crate::blocks::{and_reduce, or_reduce};
+    // Bitwise propagate and generate.
+    let p: Vec<NetId> = a.iter().zip(b).map(|(&x, &y)| d.xor2(x, y)).collect();
+    let g: Vec<NetId> = a.iter().zip(b).map(|(&x, &y)| d.and2(x, y)).collect();
+    // Per 4-bit group: group generate GG = Σ g_j·Πp_{j+1..}, group
+    // propagate GP = Πp, both as balanced trees.
+    let groups: Vec<(usize, usize)> = (0..p.len())
+        .step_by(4)
+        .map(|lo| (lo, (lo + 4).min(p.len())))
+        .collect();
+    let mut group_gg: Vec<NetId> = Vec::with_capacity(groups.len());
+    let mut group_gp: Vec<NetId> = Vec::with_capacity(groups.len());
+    for &(lo, hi) in &groups {
+        let mut terms: Vec<NetId> = Vec::new();
+        for j in lo..hi {
+            let mut factors = vec![g[j]];
+            factors.extend_from_slice(&p[j + 1..hi]);
+            terms.push(and_reduce(d, &factors));
+        }
+        group_gg.push(or_reduce(d, &terms));
+        group_gp.push(and_reduce(d, &p[lo..hi]));
+    }
+    // Second-level lookahead: group carries ripple two levels per group.
+    let mut group_cin: Vec<NetId> = Vec::with_capacity(groups.len() + 1);
+    group_cin.push(cin);
+    for i in 0..groups.len() {
+        let through = d.and2(group_gp[i], group_cin[i]);
+        let c = d.or2(group_gg[i], through);
+        group_cin.push(c);
+    }
+    // Local carries and sums within each group, from the group's carry-in.
+    let mut sum: Vec<NetId> = Vec::with_capacity(p.len());
+    for (gix, &(lo, hi)) in groups.iter().enumerate() {
+        let cin_g = group_cin[gix];
+        let mut local = cin_g;
+        for j in lo..hi {
+            sum.push(d.xor2(p[j], local));
+            if j + 1 < hi {
+                // c_{j+1} = Σ_{k<=j} g_k·Πp_{k+1..=j}  +  cin_g·Πp_{lo..=j},
+                // flattened as balanced trees.
+                let mut terms: Vec<NetId> = Vec::new();
+                for k in lo..=j {
+                    let mut factors = vec![g[k]];
+                    factors.extend_from_slice(&p[k + 1..=j]);
+                    terms.push(and_reduce(d, &factors));
+                }
+                let mut cin_factors = vec![cin_g];
+                cin_factors.extend_from_slice(&p[lo..=j]);
+                terms.push(and_reduce(d, &cin_factors));
+                local = or_reduce(d, &terms);
+            }
+        }
+    }
+    let cout = *group_cin.last().expect("at least one group");
+    (sum, cout)
+}
+
+/// An unsigned array multiplier: returns the `2n`-bit product of two
+/// `n`-bit operands, built from AND partial products and full-adder rows.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn array_multiplier(d: &mut Designer, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+    assert_eq!(a.len(), b.len(), "multiplier operands must have equal width");
+    assert!(!a.is_empty(), "multiplier width must be positive");
+    let n = a.len();
+    let zero = d.constant(false);
+    // Row 0: partial products of b[0].
+    let mut acc: Vec<NetId> = a.iter().map(|&ai| d.and2(ai, b[0])).collect();
+    acc.push(zero); // current carry-out column
+    let mut product: Vec<NetId> = vec![acc[0]];
+    let mut acc_hi: Vec<NetId> = acc[1..].to_vec(); // n bits: acc[1..=n]
+    for (row, &bj) in b.iter().enumerate().skip(1) {
+        // Partial products for this row.
+        let pp: Vec<NetId> = a.iter().map(|&ai| d.and2(ai, bj)).collect();
+        // Add pp to acc_hi with a ripple of full adders.
+        let mut carry = zero;
+        let mut next: Vec<NetId> = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            let addend = if i < acc_hi.len() { acc_hi[i] } else { zero };
+            let (s, c) = full_adder(d, pp[i], addend, carry);
+            next.push(s);
+            carry = c;
+        }
+        next.push(carry);
+        product.push(next[0]);
+        acc_hi = next[1..].to_vec();
+        let _ = row;
+    }
+    product.extend(acc_hi);
+    product.truncate(2 * n);
+    while product.len() < 2 * n {
+        product.push(zero);
+    }
+    product
+}
+
+/// A magnitude comparator: returns `(a_less, a_equal)` for unsigned buses,
+/// built as a subtract-and-test on the [`ripple_adder`].
+///
+/// # Panics
+///
+/// Panics if the widths differ or are zero.
+pub fn comparator(d: &mut Designer, a: &[NetId], b: &[NetId]) -> (NetId, NetId) {
+    assert_eq!(a.len(), b.len(), "comparator operands must have equal width");
+    assert!(!a.is_empty(), "comparator width must be positive");
+    // a - b: borrow (no carry out) means a < b.
+    let b_inv: Vec<NetId> = b.iter().map(|&x| d.not(x)).collect();
+    let one = d.constant(true);
+    let (diff, carry) = ripple_adder(d, a, &b_inv, one);
+    let less = d.not(carry);
+    let any: NetId = crate::blocks::or_reduce(d, &diff);
+    let equal = d.not(any);
+    (less, equal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpga_netlist::library::generic;
+    use vpga_netlist::sim::Simulator;
+
+    fn encode(v: u32, width: usize) -> Vec<bool> {
+        (0..width).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    fn decode(bits: &[bool]) -> u32 {
+        bits.iter()
+            .enumerate()
+            .fold(0u32, |acc, (i, &b)| acc | ((b as u32) << i))
+    }
+
+    #[test]
+    fn cla_matches_arithmetic_exhaustively_at_width_4() {
+        let mut d = Designer::new("cla");
+        let a = d.input_bus("a", 4);
+        let b = d.input_bus("b", 4);
+        let cin = d.input("cin");
+        let (sum, cout) = cla_adder(&mut d, &a, &b, cin);
+        d.output_bus("s", &sum);
+        d.output("cout", cout);
+        let n = d.finish();
+        let lib = generic::library();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                for c in 0..2u32 {
+                    let mut inputs = encode(a, 4);
+                    inputs.extend(encode(b, 4));
+                    inputs.push(c == 1);
+                    let out = sim.eval(&inputs);
+                    let got = decode(&out[..4]) | ((out[4] as u32) << 4);
+                    assert_eq!(got, a + b + c, "{a}+{b}+{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cla_is_shallower_than_ripple_at_width_32() {
+        // The ripple adder uses single-level MAJ3 carries, so the crossover
+        // needs some width; at 32 bits the two-level lookahead wins.
+        let lib = generic::library();
+        let depth_of = |use_cla: bool| -> usize {
+            let mut d = Designer::new(if use_cla { "cla" } else { "rip" });
+            let a = d.input_bus("a", 32);
+            let b = d.input_bus("b", 32);
+            let cin = d.input("cin");
+            let (sum, cout) = if use_cla {
+                cla_adder(&mut d, &a, &b, cin)
+            } else {
+                ripple_adder(&mut d, &a, &b, cin)
+            };
+            d.output_bus("s", &sum);
+            d.output("cout", cout);
+            let n = d.finish();
+            vpga_netlist::graph::logic_depth(&n, &lib).unwrap()
+        };
+        let cla = depth_of(true);
+        let ripple = depth_of(false);
+        assert!(cla < ripple, "CLA depth {cla} vs ripple {ripple}");
+    }
+
+    #[test]
+    fn multiplier_matches_arithmetic_exhaustively_at_width_3() {
+        let mut d = Designer::new("mul");
+        let a = d.input_bus("a", 3);
+        let b = d.input_bus("b", 3);
+        let p = array_multiplier(&mut d, &a, &b);
+        assert_eq!(p.len(), 6);
+        d.output_bus("p", &p);
+        let n = d.finish();
+        let lib = generic::library();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let mut inputs = encode(a, 3);
+                inputs.extend(encode(b, 3));
+                let out = sim.eval(&inputs);
+                assert_eq!(decode(&out), a * b, "{a}×{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_matches_semantics() {
+        let mut d = Designer::new("cmp");
+        let a = d.input_bus("a", 4);
+        let b = d.input_bus("b", 4);
+        let (less, equal) = comparator(&mut d, &a, &b);
+        d.output("lt", less);
+        d.output("eq", equal);
+        let n = d.finish();
+        let lib = generic::library();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let mut inputs = encode(a, 4);
+                inputs.extend(encode(b, 4));
+                let out = sim.eval(&inputs);
+                assert_eq!(out[0], a < b, "{a} < {b}");
+                assert_eq!(out[1], a == b, "{a} == {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_survive_the_mapping_flow() {
+        // A multiplier through mapping + compaction on the granular PLB
+        // stays functionally identical.
+        let mut d = Designer::new("mulflow");
+        let a = d.input_bus("a", 3);
+        let b = d.input_bus("b", 3);
+        let p = array_multiplier(&mut d, &a, &b);
+        d.output_bus("p", &p);
+        let golden = d.finish();
+        let src = generic::library();
+        let arch = vpga_core::PlbArchitecture::granular();
+        let mut mapped = vpga_synth::map_netlist_fast(&golden, &src, &arch).unwrap();
+        vpga_compact::compact(&mut mapped, &arch).unwrap();
+        let vectors: Vec<Vec<bool>> = (0..64u32)
+            .map(|m| (0..6).map(|i| (m >> i) & 1 == 1).collect())
+            .collect();
+        let div = vpga_netlist::sim::first_divergence(
+            &golden,
+            &src,
+            &mapped,
+            arch.library(),
+            &vectors,
+        )
+        .unwrap();
+        assert_eq!(div, None);
+    }
+}

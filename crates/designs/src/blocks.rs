@@ -1,0 +1,477 @@
+//! Reusable datapath and control building blocks.
+//!
+//! All blocks operate LSB-first on `&[NetId]` buses and instantiate generic
+//! gates through a [`Designer`].
+
+use vpga_netlist::NetId;
+
+use crate::designer::Designer;
+
+/// A full adder; returns `(sum, carry_out)`.
+pub fn full_adder(d: &mut Designer, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+    let sum = d.xor3(a, b, cin);
+    let carry = d.maj3(a, b, cin);
+    (sum, carry)
+}
+
+/// A ripple-carry adder; returns `(sum_bus, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn ripple_adder(
+    d: &mut Designer,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+) -> (Vec<NetId>, NetId) {
+    assert_eq!(a.len(), b.len(), "adder operands must have equal width");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&ai, &bi) in a.iter().zip(b) {
+        let (s, c) = full_adder(d, ai, bi, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// An adder/subtractor: computes `a + (b ⊕ sub) + sub`, i.e. `a - b` when
+/// `sub` is high. Returns `(result, carry_out)`.
+pub fn add_sub(
+    d: &mut Designer,
+    a: &[NetId],
+    b: &[NetId],
+    sub: NetId,
+) -> (Vec<NetId>, NetId) {
+    let b_adj: Vec<NetId> = b.iter().map(|&bi| d.xor2(bi, sub)).collect();
+    ripple_adder(d, a, &b_adj, sub)
+}
+
+/// An equality comparator over two buses.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn equals(d: &mut Designer, a: &[NetId], b: &[NetId]) -> NetId {
+    assert_eq!(a.len(), b.len(), "comparator operands must have equal width");
+    let bits: Vec<NetId> = a.iter().zip(b).map(|(&x, &y)| d.xnor2(x, y)).collect();
+    and_reduce(d, &bits)
+}
+
+/// AND-reduction tree over a bus.
+///
+/// # Panics
+///
+/// Panics on an empty bus.
+pub fn and_reduce(d: &mut Designer, bits: &[NetId]) -> NetId {
+    reduce(d, bits, Designer::and2)
+}
+
+/// OR-reduction tree over a bus.
+///
+/// # Panics
+///
+/// Panics on an empty bus.
+pub fn or_reduce(d: &mut Designer, bits: &[NetId]) -> NetId {
+    reduce(d, bits, Designer::or2)
+}
+
+/// XOR-reduction (parity) tree over a bus.
+///
+/// # Panics
+///
+/// Panics on an empty bus.
+pub fn xor_reduce(d: &mut Designer, bits: &[NetId]) -> NetId {
+    reduce(d, bits, Designer::xor2)
+}
+
+fn reduce(
+    d: &mut Designer,
+    bits: &[NetId],
+    op: fn(&mut Designer, NetId, NetId) -> NetId,
+) -> NetId {
+    assert!(!bits.is_empty(), "reduction over an empty bus");
+    let mut level: Vec<NetId> = bits.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(op(d, pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// A bus-wide 2:1 multiplexer: `sel ? b : a`.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn mux_bus(d: &mut Designer, sel: NetId, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+    assert_eq!(a.len(), b.len(), "mux operands must have equal width");
+    a.iter().zip(b).map(|(&x, &y)| d.mux2(sel, x, y)).collect()
+}
+
+/// An N-way mux tree over equal-width buses, selected by a one-per-level
+/// binary select bus (`sel.len() == ceil(log2(inputs.len()))`).
+///
+/// Missing inputs at the tail are treated as the last provided input.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or the select bus is too narrow.
+pub fn mux_tree(d: &mut Designer, sel: &[NetId], inputs: &[Vec<NetId>]) -> Vec<NetId> {
+    assert!(!inputs.is_empty(), "mux tree over no inputs");
+    let needed = usize::BITS as usize - (inputs.len() - 1).leading_zeros() as usize;
+    let needed = if inputs.len() == 1 { 0 } else { needed };
+    assert!(sel.len() >= needed, "select bus too narrow");
+    let mut level: Vec<Vec<NetId>> = inputs.to_vec();
+    for &s in sel.iter().take(needed) {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(mux_bus(d, s, &pair[0], &pair[1]));
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        level = next;
+    }
+    level.swap_remove(0)
+}
+
+/// A logarithmic right barrel shifter: shifts `value` right by the binary
+/// amount `shift`, filling with zeros.
+pub fn barrel_shift_right(d: &mut Designer, value: &[NetId], shift: &[NetId]) -> Vec<NetId> {
+    let zero = d.constant(false);
+    let mut cur: Vec<NetId> = value.to_vec();
+    for (stage, &s) in shift.iter().enumerate() {
+        let amount = 1usize << stage;
+        if amount >= cur.len() {
+            // Shifting by the full width or more zeroes everything when set.
+            let zeros = vec![zero; cur.len()];
+            cur = mux_bus(d, s, &cur, &zeros);
+            continue;
+        }
+        let shifted: Vec<NetId> = (0..cur.len())
+            .map(|i| {
+                if i + amount < cur.len() {
+                    cur[i + amount]
+                } else {
+                    zero
+                }
+            })
+            .collect();
+        cur = mux_bus(d, s, &cur, &shifted);
+    }
+    cur
+}
+
+/// A binary up-counter register of the given width; returns the Q bus.
+/// The counter increments every cycle while `enable` is high.
+pub fn counter(d: &mut Designer, width: usize, enable: NetId) -> Vec<NetId> {
+    // Build DFFs first (their D pins are connected after the increment
+    // logic exists) — instead, construct iteratively using the Q values:
+    // q' = q ⊕ carry_in, carry chains through AND.
+    // We need feedback, so create the DFFs with placeholder D and rewire.
+    let mut d_nets: Vec<NetId> = Vec::with_capacity(width);
+    let mut q_nets: Vec<NetId> = Vec::with_capacity(width);
+    // Placeholder D = enable (rewired below).
+    for _ in 0..width {
+        let q = d.dff(enable);
+        q_nets.push(q);
+    }
+    let mut carry = enable;
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..width {
+        let next = d.xor2(q_nets[i], carry);
+        if i + 1 < width {
+            carry = d.and2(q_nets[i], carry);
+        }
+        d_nets.push(next);
+    }
+    for i in 0..width {
+        rewire_dff(d, q_nets[i], d_nets[i]);
+    }
+    q_nets
+}
+
+/// A Galois LFSR register of the given width with taps at the given bit
+/// positions (used as the CRC generator in the Firewire controller).
+///
+/// # Panics
+///
+/// Panics if `width == 0` or a tap is out of range.
+pub fn lfsr(d: &mut Designer, width: usize, taps: &[usize], data_in: NetId) -> Vec<NetId> {
+    assert!(width > 0, "lfsr width must be positive");
+    for &t in taps {
+        assert!(t < width, "tap {t} out of range for width {width}");
+    }
+    let mut q_nets: Vec<NetId> = Vec::with_capacity(width);
+    for _ in 0..width {
+        let q = d.dff(data_in);
+        q_nets.push(q);
+    }
+    let feedback = d.xor2(q_nets[width - 1], data_in);
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..width {
+        let next = if i == 0 {
+            feedback
+        } else if taps.contains(&i) {
+            d.xor2(q_nets[i - 1], feedback)
+        } else {
+            q_nets[i - 1]
+        };
+        rewire_dff(d, q_nets[i], next);
+    }
+    q_nets
+}
+
+/// A one-hot priority encoder: output bit `i` is high iff input bit `i` is
+/// the lowest-index high input.
+pub fn priority_one_hot(d: &mut Designer, bits: &[NetId]) -> Vec<NetId> {
+    let mut out = Vec::with_capacity(bits.len());
+    let mut none_before: Option<NetId> = None;
+    for &b in bits {
+        match none_before {
+            None => {
+                out.push(d.buf(b));
+                none_before = Some(d.not(b));
+            }
+            Some(nb) => {
+                out.push(d.and2(b, nb));
+                let not_b = d.not(b);
+                none_before = Some(d.and2(nb, not_b));
+            }
+        }
+    }
+    out
+}
+
+/// Reconnects the D pin of the flip-flop driving `q` to `new_d`.
+///
+/// # Panics
+///
+/// Panics if `q` is not driven by a cell (generator bug).
+pub fn rewire_dff(d: &mut Designer, q: NetId, new_d: NetId) {
+    let ff = d
+        .netlist()
+        .driver(q)
+        .expect("q net is driven by its flip-flop");
+    // Designer has no direct mutable netlist accessor; do it through the
+    // crate-internal hook.
+    d.connect_pin(ff, 0, new_d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpga_netlist::library::generic;
+    use vpga_netlist::sim::Simulator;
+
+    fn sim_once(d: Designer, inputs: &[bool]) -> Vec<bool> {
+        let n = d.finish();
+        let lib = generic::library();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        sim.eval(inputs)
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        for (a, b, cin) in [(3u8, 5u8, 0u8), (15, 1, 0), (7, 7, 1), (0, 0, 1)] {
+            let mut d = Designer::new("add");
+            let ab = d.input_bus("a", 4);
+            let bb = d.input_bus("b", 4);
+            let ci = d.input("cin");
+            let (sum, cout) = ripple_adder(&mut d, &ab, &bb, ci);
+            d.output_bus("s", &sum);
+            d.output("cout", cout);
+            let mut inputs = Vec::new();
+            for i in 0..4 {
+                inputs.push((a >> i) & 1 == 1);
+            }
+            for i in 0..4 {
+                inputs.push((b >> i) & 1 == 1);
+            }
+            inputs.push(cin == 1);
+            let out = sim_once(d, &inputs);
+            let expect = a as u16 + b as u16 + cin as u16;
+            for (i, &bit) in out.iter().enumerate().take(4) {
+                assert_eq!(bit, (expect >> i) & 1 == 1, "bit {i} of {a}+{b}+{cin}");
+            }
+            assert_eq!(out[4], expect >= 16, "carry of {a}+{b}+{cin}");
+        }
+    }
+
+    #[test]
+    fn add_sub_subtracts() {
+        let mut d = Designer::new("sub");
+        let ab = d.input_bus("a", 4);
+        let bb = d.input_bus("b", 4);
+        let sub = d.input("sub");
+        let (res, _) = add_sub(&mut d, &ab, &bb, sub);
+        d.output_bus("r", &res);
+        // 9 - 3 = 6.
+        let mut inputs = vec![true, false, false, true]; // a = 9
+        inputs.extend([true, true, false, false]); // b = 3
+        inputs.push(true); // sub
+        let out = sim_once(d, &inputs);
+        let got = out
+            .iter()
+            .enumerate()
+            .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i));
+        assert_eq!(got, 6);
+    }
+
+    #[test]
+    fn barrel_shifter_shifts() {
+        for (v, s) in [(0b1011u8, 0u8), (0b1011, 1), (0b1011, 2), (0b1000, 3)] {
+            let mut d = Designer::new("shift");
+            let vb = d.input_bus("v", 4);
+            let sb = d.input_bus("s", 2);
+            let out_bus = barrel_shift_right(&mut d, &vb, &sb);
+            d.output_bus("o", &out_bus);
+            let mut inputs = Vec::new();
+            for i in 0..4 {
+                inputs.push((v >> i) & 1 == 1);
+            }
+            for i in 0..2 {
+                inputs.push((s >> i) & 1 == 1);
+            }
+            let out = sim_once(d, &inputs);
+            let got = out
+                .iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i));
+            assert_eq!(got, v >> s, "{v} >> {s}");
+        }
+    }
+
+    #[test]
+    fn mux_tree_selects() {
+        let mut d = Designer::new("mt");
+        let buses: Vec<Vec<_>> = (0..4).map(|i| d.input_bus(&format!("i{i}"), 2)).collect();
+        let sel = d.input_bus("sel", 2);
+        let out_bus = mux_tree(&mut d, &sel, &buses);
+        d.output_bus("o", &out_bus);
+        let n = d.finish();
+        let lib = generic::library();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        for choice in 0..4usize {
+            // Buses carry their own index: i_k = k (2 bits each).
+            let mut inputs = Vec::new();
+            for k in 0..4 {
+                inputs.push(k & 1 == 1);
+                inputs.push(k >> 1 & 1 == 1);
+            }
+            inputs.push(choice & 1 == 1);
+            inputs.push(choice >> 1 & 1 == 1);
+            let out = sim.eval(&inputs);
+            assert_eq!(out[0], choice & 1 == 1, "sel {choice}");
+            assert_eq!(out[1], choice >> 1 & 1 == 1, "sel {choice}");
+        }
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut d = Designer::new("cnt");
+        let en = d.input("en");
+        let q = counter(&mut d, 3, en);
+        d.output_bus("q", &q);
+        let n = d.finish();
+        let lib = generic::library();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            let out = sim.step(&[true]);
+            seen.push(
+                out.iter()
+                    .enumerate()
+                    .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i)),
+            );
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        // Disabled: holds.
+        let out = sim.step(&[false]);
+        let held = out
+            .iter()
+            .enumerate()
+            .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i));
+        assert_eq!(held, 5);
+        let out = sim.step(&[false]);
+        let held = out
+            .iter()
+            .enumerate()
+            .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i));
+        assert_eq!(held, 5);
+    }
+
+    #[test]
+    fn priority_encoder_picks_lowest() {
+        let mut d = Designer::new("pri");
+        let bits = d.input_bus("r", 4);
+        let grant = priority_one_hot(&mut d, &bits);
+        d.output_bus("g", &grant);
+        let n = d.finish();
+        let lib = generic::library();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        let out = sim.eval(&[false, true, true, false]);
+        assert_eq!(out, vec![false, true, false, false]);
+        let out = sim.eval(&[false, false, false, false]);
+        assert_eq!(out, vec![false; 4]);
+        let out = sim.eval(&[true, true, true, true]);
+        assert_eq!(out, vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn lfsr_cycles_without_repeating_early() {
+        let mut d = Designer::new("lfsr");
+        let din = d.input("din");
+        let q = lfsr(&mut d, 4, &[1], din);
+        d.output_bus("q", &q);
+        let n = d.finish();
+        let lib = generic::library();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        // Feed a 1 then zeros; state must become non-zero and evolve.
+        sim.step(&[true]);
+        let mut states = Vec::new();
+        for _ in 0..6 {
+            let out = sim.step(&[false]);
+            states.push(
+                out.iter()
+                    .enumerate()
+                    .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i)),
+            );
+        }
+        assert!(states.iter().any(|&s| s != 0), "lfsr must hold state");
+        assert!(
+            states.windows(2).any(|w| w[0] != w[1]),
+            "lfsr must evolve: {states:?}"
+        );
+    }
+
+    #[test]
+    fn reductions_reduce() {
+        let mut d = Designer::new("red");
+        let bits = d.input_bus("x", 5);
+        let a = and_reduce(&mut d, &bits);
+        let o = or_reduce(&mut d, &bits);
+        let x = xor_reduce(&mut d, &bits);
+        d.output("and", a);
+        d.output("or", o);
+        d.output("xor", x);
+        let n = d.finish();
+        let lib = generic::library();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        let v = [true, true, false, true, true];
+        let out = sim.eval(&v);
+        assert!(!out[0]);
+        assert!(out[1]);
+        assert_eq!(out[2], v.iter().filter(|&&b| b).count() % 2 == 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! A construction convenience layer over [`vpga_netlist::Netlist`] for the
+//! generic library.
+
+use vpga_netlist::library::generic;
+use vpga_netlist::{Library, NetId, Netlist};
+
+/// Builds gate-level netlists over the generic library with automatic
+/// instance naming.
+///
+/// # Example
+///
+/// ```
+/// use vpga_designs::Designer;
+///
+/// let mut d = Designer::new("half_adder");
+/// let a = d.input("a");
+/// let b = d.input("b");
+/// let s = d.xor2(a, b);
+/// let c = d.and2(a, b);
+/// d.output("sum", s);
+/// d.output("carry", c);
+/// let netlist = d.finish();
+/// assert_eq!(netlist.outputs().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Designer {
+    netlist: Netlist,
+    lib: Library,
+    counter: usize,
+}
+
+macro_rules! gate2 {
+    ($(#[$doc:meta])* $name:ident, $cell:literal) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, a: NetId, b: NetId) -> NetId {
+            self.gate($cell, &[a, b])
+        }
+    };
+}
+
+macro_rules! gate3 {
+    ($(#[$doc:meta])* $name:ident, $cell:literal) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+            self.gate($cell, &[a, b, c])
+        }
+    };
+}
+
+impl Designer {
+    /// Starts a new design.
+    pub fn new(name: impl Into<String>) -> Designer {
+        Designer {
+            netlist: Netlist::new(name),
+            lib: generic::library(),
+            counter: 0,
+        }
+    }
+
+    /// The generic library the designer instantiates from.
+    pub fn library(&self) -> &Library {
+        &self.lib
+    }
+
+    /// Read access to the netlist under construction.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Finishes construction, returning the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the produced netlist does not validate (a generator bug).
+    pub fn finish(self) -> Netlist {
+        self.netlist
+            .validate(&self.lib)
+            .expect("generated netlist must validate");
+        self.netlist
+    }
+
+    /// Adds a primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        self.netlist.add_input(name)
+    }
+
+    /// Adds a bus of primary inputs `stem[0..width]`, LSB first.
+    pub fn input_bus(&mut self, stem: &str, width: usize) -> Vec<NetId> {
+        (0..width)
+            .map(|i| self.netlist.add_input(format!("{stem}[{i}]")))
+            .collect()
+    }
+
+    /// Adds a primary output reading `net`.
+    pub fn output(&mut self, name: impl Into<String>, net: NetId) {
+        self.netlist.add_output(name, net);
+    }
+
+    /// Adds a bus of primary outputs, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names (generator bug).
+    pub fn output_bus(&mut self, stem: &str, nets: &[NetId]) {
+        for (i, &n) in nets.iter().enumerate() {
+            self.netlist.add_output(format!("{stem}[{i}]"), n);
+        }
+    }
+
+    /// The constant-`value` net.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        self.netlist.constant(value)
+    }
+
+    /// Instantiates `cell` from the generic library on `inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell name or pin count is wrong (generator bug).
+    pub fn gate(&mut self, cell: &str, inputs: &[NetId]) -> NetId {
+        let name = format!("u{}_{}", self.counter, cell.to_lowercase());
+        self.counter += 1;
+        self.netlist
+            .add_lib_cell(name, &self.lib, cell, inputs)
+            .expect("generic gate instantiation is well-formed")
+    }
+
+    /// A D flip-flop; returns the Q net.
+    pub fn dff(&mut self, d: NetId) -> NetId {
+        self.gate("DFF", &[d])
+    }
+
+    /// A register over a bus; returns the Q nets.
+    pub fn register(&mut self, d: &[NetId]) -> Vec<NetId> {
+        d.iter().map(|&n| self.dff(n)).collect()
+    }
+
+    /// An inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.gate("INV", &[a])
+    }
+
+    /// A buffer.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.gate("BUF", &[a])
+    }
+
+    gate2!(
+        /// 2-input AND.
+        and2,
+        "AND2"
+    );
+    gate2!(
+        /// 2-input OR.
+        or2,
+        "OR2"
+    );
+    gate2!(
+        /// 2-input NAND.
+        nand2,
+        "NAND2"
+    );
+    gate2!(
+        /// 2-input NOR.
+        nor2,
+        "NOR2"
+    );
+    gate2!(
+        /// 2-input XOR.
+        xor2,
+        "XOR2"
+    );
+    gate2!(
+        /// 2-input XNOR.
+        xnor2,
+        "XNOR2"
+    );
+    gate3!(
+        /// 3-input AND.
+        and3,
+        "AND3"
+    );
+    gate3!(
+        /// 3-input OR.
+        or3,
+        "OR3"
+    );
+    gate3!(
+        /// 3-input XOR (full-adder sum shape).
+        xor3,
+        "XOR3"
+    );
+    gate3!(
+        /// 3-input majority (full-adder carry shape).
+        maj3,
+        "MAJ3"
+    );
+
+    /// A 2:1 multiplexer: `sel ? d1 : d0`.
+    pub fn mux2(&mut self, sel: NetId, d0: NetId, d1: NetId) -> NetId {
+        // Generic MUX2 pin order is (d0, d1, sel), matching Tt3::MUX.
+        self.gate("MUX2", &[d0, d1, sel])
+    }
+
+    /// Reconnects an input pin of an existing cell — used by blocks with
+    /// feedback (counters, LFSRs) that create flip-flops before their D
+    /// logic exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell, pin, or net is invalid (generator bug).
+    pub fn connect_pin(&mut self, cell: vpga_netlist::CellId, pin: usize, net: NetId) {
+        self.netlist
+            .connect_pin(cell, pin, net)
+            .expect("rewiring within a generator is well-formed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpga_netlist::sim::Simulator;
+
+    #[test]
+    fn gates_compute_what_their_names_say() {
+        let mut d = Designer::new("t");
+        let a = d.input("a");
+        let b = d.input("b");
+        let s = d.input("s");
+        let y_and = d.and2(a, b);
+        let y_mux = d.mux2(s, a, b);
+        let y_xor3 = d.xor3(a, b, s);
+        d.output("and", y_and);
+        d.output("mux", y_mux);
+        d.output("xor3", y_xor3);
+        let n = d.finish();
+        let lib = generic::library();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        for i in 0..8u8 {
+            let (av, bv, sv) = (i & 1 == 1, i >> 1 & 1 == 1, i >> 2 & 1 == 1);
+            let out = sim.eval(&[av, bv, sv]);
+            assert_eq!(out[0], av && bv);
+            assert_eq!(out[1], if sv { bv } else { av });
+            assert_eq!(out[2], av ^ bv ^ sv);
+        }
+    }
+
+    #[test]
+    fn buses_are_lsb_first() {
+        let mut d = Designer::new("bus");
+        let xs = d.input_bus("x", 4);
+        d.output_bus("y", &xs);
+        let n = d.finish();
+        assert_eq!(n.inputs().len(), 4);
+        assert_eq!(n.cell(n.inputs()[0]).unwrap().name(), "x[0]");
+        assert_eq!(n.cell(n.outputs()[3]).unwrap().name(), "y[3]");
+    }
+
+    #[test]
+    fn register_holds_values() {
+        let mut d = Designer::new("reg");
+        let x = d.input("x");
+        let q = d.dff(x);
+        d.output("q", q);
+        let n = d.finish();
+        let lib = generic::library();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        assert_eq!(sim.step(&[true]), vec![false]);
+        assert_eq!(sim.step(&[false]), vec![true]);
+        assert_eq!(sim.step(&[false]), vec![false]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Parameterized gate-level generators for the paper's four benchmark
+//! designs (§3.2): **ALU**, **FPU**, **Network switch** (datapath-dominated)
+//! and **Firewire** (a small controller dominated by sequential/control
+//! logic).
+//!
+//! The paper characterizes its designs only by application domain and
+//! NAND2-equivalent gate count (FPU ≈ 24 k, Network switch ≈ 80 k). The
+//! generators here reproduce those *structural properties* — the ALU/FPU/
+//! switch are combinational-datapath heavy (adders, shifters, mux trees),
+//! while the Firewire controller is mostly flip-flops, counters, CRC
+//! registers and FSM logic — at any requested size, so the same experiments
+//! run at laptop scale for tests and at paper scale for benches.
+//!
+//! All generators emit netlists over the technology-independent
+//! [`vpga_netlist::library::generic`] library; the `vpga-synth` mapper then
+//! targets a PLB component library.
+//!
+//! # Example
+//!
+//! ```
+//! use vpga_designs::{alu, DesignParams};
+//!
+//! let netlist = alu(&DesignParams::tiny());
+//! assert!(netlist.num_cells() > 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod blocks;
+mod designer;
+mod designs;
+
+pub use designer::Designer;
+pub use designs::{alu, firewire, fpu, network_switch, DesignParams, NamedDesign};

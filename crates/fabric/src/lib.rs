@@ -1,0 +1,41 @@
+//! Via-pattern generation — the output stage of the paper's flow.
+//!
+//! "This design flow takes an RTL level description of the design as input
+//! and produces a GDSII description of the layout in the form of a regular
+//! array of PLBs with ASIC-style custom routing on the upper metal layers"
+//! (§3). In a via-patterned fabric the *only* thing that differs between
+//! designs on the lower layers is which potential via sites are populated;
+//! this crate computes that population for a packed design:
+//!
+//! * [`via`] — the via-bit encodings of each component cell's
+//!   configuration (inversion selects for ND2WI/ND3WI, polarity selects
+//!   for MUX/XOA, the 8 truth-table vias of the 3-LUT), with exact
+//!   round-trip decode,
+//! * [`FabricProgram`] — per-PLB slot assignment and via
+//!   configuration for a whole packed array, inter-PLB net records, via
+//!   census against the architecture's potential-site budget, and — the
+//!   acid test — [`FabricProgram::reconstruct`], which rebuilds a netlist
+//!   from nothing but the program and must be functionally identical to
+//!   the design that produced it.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use vpga_core::PlbArchitecture;
+//! use vpga_fabric::FabricProgram;
+//! # fn demo(netlist: &vpga_netlist::Netlist, arch: &PlbArchitecture,
+//! #         array: &vpga_pack::PlbArray) -> Result<(), vpga_fabric::FabricError> {
+//! let program = FabricProgram::generate(netlist, arch, array)?;
+//! println!("{} vias programmed of {} potential sites",
+//!          program.vias_used(), program.via_sites_available());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod program;
+pub mod via;
+
+pub use program::{FabricError, FabricProgram, PlbConfig, SlotAssignment};

@@ -1,0 +1,187 @@
+//! Via-bit encodings of component-cell configurations.
+//!
+//! Each via-programmable cell exposes a small set of configuration via
+//! sites; a cell's programmed function is a choice of which sites are
+//! populated. The encodings here are exact and reversible:
+//!
+//! | cell | via bits | meaning |
+//! |------|----------|---------|
+//! | ND2  | 3        | invert-a, invert-b, invert-out |
+//! | ND3  | 4        | invert-a/b/c, invert-out |
+//! | MUX  | 3        | polarity of d0, d1, sel |
+//! | XOA  | 4        | polarity of d0, d1, sel + output inverter |
+//! | LUT3 | 8        | the truth table itself |
+//! | BUF / INV / DFF | 0 | fixed function |
+
+use vpga_logic::{Tt3, Var};
+
+/// A cell's via configuration: `width` meaningful low bits of `bits`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ViaBits {
+    /// The populated-site bitmap (low `width` bits).
+    pub bits: u16,
+    /// Number of configuration via sites the cell exposes.
+    pub width: u8,
+}
+
+impl ViaBits {
+    /// Number of populated via sites.
+    pub fn count_ones(self) -> u32 {
+        u32::from(self.bits).count_ones()
+    }
+}
+
+impl std::fmt::Display for ViaBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", (self.bits >> i) & 1)?;
+        }
+        Ok(())
+    }
+}
+
+fn a() -> Tt3 {
+    Tt3::var(Var::A)
+}
+fn b() -> Tt3 {
+    Tt3::var(Var::B)
+}
+fn c() -> Tt3 {
+    Tt3::var(Var::C)
+}
+
+fn pol(t: Tt3, invert: bool) -> Tt3 {
+    if invert {
+        !t
+    } else {
+        t
+    }
+}
+
+/// The function selected by ND2 via bits `(ia, ib, io)` (bits 0..3).
+pub fn nd2_function(bits: u16) -> Tt3 {
+    let nand = !(pol(a(), bits & 1 != 0) & pol(b(), bits & 2 != 0));
+    pol(nand, bits & 4 != 0)
+}
+
+/// The function selected by ND3 via bits `(ia, ib, ic, io)`.
+pub fn nd3_function(bits: u16) -> Tt3 {
+    let nand = !(pol(a(), bits & 1 != 0) & pol(b(), bits & 2 != 0) & pol(c(), bits & 4 != 0));
+    pol(nand, bits & 8 != 0)
+}
+
+/// The function selected by MUX via bits `(pd0, pd1, psel)` — pin order
+/// (d0 = a, d1 = b, sel = c).
+pub fn mux_function(bits: u16) -> Tt3 {
+    Tt3::mux(
+        pol(c(), bits & 4 != 0),
+        pol(a(), bits & 1 != 0),
+        pol(b(), bits & 2 != 0),
+    )
+}
+
+/// The function selected by XOA via bits `(pd0, pd1, psel, io)`.
+pub fn xoa_function(bits: u16) -> Tt3 {
+    pol(mux_function(bits & 0x7), bits & 8 != 0)
+}
+
+/// Encodes a configuration function into via bits for the named cell, or
+/// `None` if the function is outside the cell's configuration space.
+///
+/// # Example
+///
+/// ```
+/// use vpga_fabric::via;
+/// use vpga_logic::Tt3;
+///
+/// let bits = via::encode("ND3", Tt3::NAND3).expect("NAND3 is the all-zero pattern");
+/// assert_eq!(bits.bits, 0);
+/// assert_eq!(via::decode("ND3", bits), Some(Tt3::NAND3));
+/// ```
+pub fn encode(cell: &str, function: Tt3) -> Option<ViaBits> {
+    let (width, f): (u8, fn(u16) -> Tt3) = match cell {
+        "ND2" => (3, nd2_function),
+        "ND3" => (4, nd3_function),
+        "MUX" => (3, mux_function),
+        "XOA" => (4, xoa_function),
+        "LUT3" => {
+            return Some(ViaBits {
+                bits: u16::from(function.bits()),
+                width: 8,
+            })
+        }
+        "BUF" => {
+            return (function == a()).then_some(ViaBits { bits: 0, width: 0 });
+        }
+        "INV" => {
+            return (function == !a()).then_some(ViaBits { bits: 0, width: 0 });
+        }
+        "DFF" => return Some(ViaBits { bits: 0, width: 0 }),
+        _ => return None,
+    };
+    (0..(1u16 << width))
+        .find(|&bits| f(bits) == function)
+        .map(|bits| ViaBits { bits, width })
+}
+
+/// Decodes via bits back into the configured function.
+pub fn decode(cell: &str, vias: ViaBits) -> Option<Tt3> {
+    match cell {
+        "ND2" => Some(nd2_function(vias.bits)),
+        "ND3" => Some(nd3_function(vias.bits)),
+        "MUX" => Some(mux_function(vias.bits)),
+        "XOA" => Some(xoa_function(vias.bits)),
+        "LUT3" => Some(Tt3::new(vias.bits as u8)),
+        "BUF" => Some(a()),
+        "INV" => Some(!a()),
+        "DFF" => Some(a()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpga_core::arch::{mux_config_set, nd2_config_set, nd3_config_set, xoa_config_set};
+
+    #[test]
+    fn encodings_roundtrip_over_each_cell_space() {
+        for (cell, set) in [
+            ("ND2", nd2_config_set()),
+            ("ND3", nd3_config_set()),
+            ("MUX", mux_config_set()),
+            ("XOA", xoa_config_set()),
+        ] {
+            for f in set.iter() {
+                let vias = encode(cell, f)
+                    .unwrap_or_else(|| panic!("{cell} cannot encode {f}"));
+                assert_eq!(decode(cell, vias), Some(f), "{cell} {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_encoding_is_the_truth_table() {
+        for t in Tt3::all() {
+            let vias = encode("LUT3", t).unwrap();
+            assert_eq!(vias.width, 8);
+            assert_eq!(vias.bits, u16::from(t.bits()));
+            assert_eq!(decode("LUT3", vias), Some(t));
+        }
+    }
+
+    #[test]
+    fn functions_outside_the_space_are_rejected() {
+        assert!(encode("ND2", Tt3::XOR3).is_none());
+        assert!(encode("MUX", Tt3::MAJ3).is_none());
+        assert!(encode("BUF", !a()).is_none());
+        assert!(encode("UNKNOWN", Tt3::TRUE).is_none());
+    }
+
+    #[test]
+    fn via_counts_track_population() {
+        let vias = encode("ND3", !(!a() & b() & c())).expect("one inversion");
+        assert_eq!(vias.count_ones(), 1);
+        assert_eq!(vias.to_string().len(), 4);
+    }
+}

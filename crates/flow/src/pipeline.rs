@@ -1,0 +1,395 @@
+//! Flow orchestration.
+
+use std::error::Error;
+use std::fmt;
+
+use vpga_compact::CompactionReport;
+use vpga_core::PlbArchitecture;
+use vpga_netlist::library::generic;
+use vpga_netlist::{Netlist, NetlistError};
+use vpga_pack::{PackConfig, PackError};
+use vpga_place::PlaceConfig;
+use vpga_route::RouteConfig;
+use vpga_synth::SynthError;
+use vpga_timing::TimingConfig;
+
+/// Which flow of §3.2 to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlowVariant {
+    /// ASIC-style flow with the component-cell library (no packing).
+    A,
+    /// Full VPGA flow with packing into the regular PLB array.
+    B,
+}
+
+impl fmt::Display for FlowVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FlowVariant::A => "flow a",
+            FlowVariant::B => "flow b",
+        })
+    }
+}
+
+/// Flow-wide settings.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Placement settings.
+    pub place: PlaceConfig,
+    /// Packing settings (flow b).
+    pub pack: PackConfig,
+    /// Routing settings.
+    pub route: RouteConfig,
+    /// Timing settings (0.5 ns clock by default).
+    pub timing: TimingConfig,
+    /// Run the regularity-driven logic compaction step.
+    pub compaction: bool,
+    /// Use the global cut-based mapper instead of the per-gate translator
+    /// (an ablation; the paper's flow corresponds to `false`).
+    pub cut_based_mapper: bool,
+    /// Feed STA cell criticalities into the packer's relocation cost
+    /// (§3.1); disable for the A2 ablation.
+    pub pack_criticality: bool,
+    /// Buffer-insertion fanout bound.
+    pub buffer_max_fanout: usize,
+    /// Buffer-insertion length bound as a fraction of the die side.
+    pub buffer_max_length_frac: f64,
+}
+
+impl Default for FlowConfig {
+    fn default() -> FlowConfig {
+        FlowConfig {
+            place: PlaceConfig::default(),
+            pack: PackConfig::default(),
+            route: RouteConfig::default(),
+            timing: TimingConfig::default(),
+            compaction: true,
+            cut_based_mapper: false,
+            pack_criticality: true,
+            buffer_max_fanout: 12,
+            buffer_max_length_frac: 0.5,
+        }
+    }
+}
+
+/// Errors from the end-to-end flow.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Synthesis / technology mapping failed.
+    Synth(SynthError),
+    /// A netlist invariant broke mid-flow.
+    Netlist(NetlistError),
+    /// Packing into the PLB array failed.
+    Pack(PackError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Synth(e) => write!(f, "synthesis failed: {e}"),
+            FlowError::Netlist(e) => write!(f, "netlist error: {e}"),
+            FlowError::Pack(e) => write!(f, "packing failed: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Synth(e) => Some(e),
+            FlowError::Netlist(e) => Some(e),
+            FlowError::Pack(e) => Some(e),
+        }
+    }
+}
+
+impl From<SynthError> for FlowError {
+    fn from(e: SynthError) -> FlowError {
+        FlowError::Synth(e)
+    }
+}
+
+impl From<NetlistError> for FlowError {
+    fn from(e: NetlistError) -> FlowError {
+        FlowError::Netlist(e)
+    }
+}
+
+impl From<PackError> for FlowError {
+    fn from(e: PackError) -> FlowError {
+        FlowError::Pack(e)
+    }
+}
+
+/// The metrics of one flow run — one cell of Table 1 plus one of Table 2.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// Which flow produced this.
+    pub variant: FlowVariant,
+    /// Die area, µm² (flow a: placement die; flow b: PLB array).
+    pub die_area: f64,
+    /// Average slack over the 10 most critical paths, ps (Table 2).
+    pub avg_top10_slack: f64,
+    /// Worst endpoint slack, ps.
+    pub worst_slack: f64,
+    /// Critical-path delay, ps.
+    pub critical_delay: f64,
+    /// Total routed wirelength, µm.
+    pub wirelength: f64,
+    /// Estimated dynamic power, mW (extension metric; the paper reports
+    /// only area and timing).
+    pub power_mw: f64,
+    /// Component-cell instances in the final netlist.
+    pub cells: usize,
+    /// PLB array dimensions and used count (flow b only).
+    pub array: Option<(usize, usize, usize)>,
+    /// Routing overflow edges (0 = fully legal).
+    pub route_overflow: usize,
+}
+
+/// The shared-front-end outcome for one (design, architecture) pair.
+#[derive(Clone, Debug)]
+pub struct DesignOutcome {
+    /// Design name.
+    pub design: String,
+    /// Architecture name.
+    pub arch: String,
+    /// NAND2-equivalent gate count of the source design.
+    pub gates_nand2: f64,
+    /// Compaction summary (if the step ran).
+    pub compaction: Option<CompactionReport>,
+    /// The ASIC-style result.
+    pub flow_a: FlowResult,
+    /// The packed-array result.
+    pub flow_b: FlowResult,
+}
+
+impl DesignOutcome {
+    /// Flow-b area overhead relative to flow a (the packing cost §3.2
+    /// compares between architectures).
+    pub fn area_overhead(&self) -> f64 {
+        if self.flow_a.die_area == 0.0 {
+            return 0.0;
+        }
+        self.flow_b.die_area / self.flow_a.die_area - 1.0
+    }
+
+    /// Slack degradation from flow a to flow b, ps.
+    pub fn slack_degradation(&self) -> f64 {
+        self.flow_a.avg_top10_slack - self.flow_b.avg_top10_slack
+    }
+}
+
+/// Runs the complete flow (both variants) for one generic design netlist on
+/// one architecture.
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] if mapping, netlist editing, or packing fails.
+pub fn run_design(
+    design: &Netlist,
+    arch: &PlbArchitecture,
+    config: &FlowConfig,
+) -> Result<DesignOutcome, FlowError> {
+    let src = generic::library();
+    let gates_nand2 = vpga_netlist::stats::NetlistStats::compute(design, &src)
+        .nand2_equivalent(generic::NAND2_AREA);
+
+    // 1. Synthesis / technology mapping onto the component library.
+    let mut netlist = if config.cut_based_mapper {
+        vpga_synth::map_netlist(design, &src, arch)?
+    } else {
+        vpga_synth::map_netlist_fast(design, &src, arch)?
+    };
+
+    // 2. Regularity-driven logic compaction.
+    let compaction = if config.compaction {
+        Some(vpga_compact::compact(&mut netlist, arch)?)
+    } else {
+        None
+    };
+
+    // 3. Timing-driven placement: wirelength-driven start, then one
+    //    criticality-weighted refinement.
+    let lib = arch.library();
+    let mut placement = vpga_place::place(&netlist, lib, &config.place);
+    let pre = vpga_timing::analyze(&netlist, lib, &placement, None, &config.timing);
+    let weights: Vec<f64> = pre
+        .net_criticalities()
+        .iter()
+        .map(|&c| 1.0 + 8.0 * c * c)
+        .collect();
+    let weighted = PlaceConfig {
+        net_weights: Some(weights),
+        ..config.place.clone()
+    };
+    vpga_place::refine(&netlist, lib, &mut placement, &weighted, 0.6);
+
+    // 4. Physical synthesis: buffer insertion, then legalizing refinement.
+    let max_len = placement.die().width() * config.buffer_max_length_frac;
+    vpga_place::insert_buffers(
+        &mut netlist,
+        lib,
+        &mut placement,
+        config.buffer_max_fanout,
+        max_len,
+    )?;
+    vpga_place::refine(&netlist, lib, &mut placement, &weighted, 0.2);
+
+    let cells = netlist.cells().filter(|(_, c)| c.lib_id().is_some()).count();
+
+    // 5. Flow a: route + post-layout STA on the ASIC-style placement.
+    let flow_a = {
+        let routing = vpga_route::route(&netlist, lib, &placement, &config.route);
+        let sta = vpga_timing::analyze(&netlist, lib, &placement, Some(&routing), &config.timing);
+        let power = vpga_timing::power::estimate(
+            &netlist,
+            lib,
+            &placement,
+            Some(&routing),
+            &vpga_timing::power::PowerConfig::default(),
+        );
+        FlowResult {
+            variant: FlowVariant::A,
+            die_area: placement.die().area(),
+            avg_top10_slack: sta.avg_top_slack(10),
+            worst_slack: sta.worst_slack(),
+            critical_delay: sta.critical_delay(),
+            wirelength: routing.total_length(),
+            power_mw: power.total() * 1e3,
+            cells,
+            array: None,
+            route_overflow: routing.overflow_edges(),
+        }
+    };
+
+    // 6. Flow b: pack into the PLB array (criticality-aware, iterated with
+    //    placement), then route + STA on the array.
+    let flow_b = {
+        let sta = vpga_timing::analyze(&netlist, lib, &placement, None, &config.timing);
+        let pack_cfg = PackConfig {
+            criticality: config
+                .pack_criticality
+                .then(|| sta.cell_criticalities(&netlist)),
+            ..config.pack.clone()
+        };
+        let mut b_placement = placement.clone();
+        let mut array = vpga_pack::pack_iterative(
+            &netlist,
+            arch,
+            &mut b_placement,
+            &config.place,
+            &pack_cfg,
+        )?;
+        // PLB-level detailed placement: anneal whole-PLB swaps to recover
+        // the wirelength the quantization cost, weighting critical nets.
+        let swap_cfg = vpga_pack::SwapConfig {
+            net_weights: Some(
+                sta.net_criticalities()
+                    .iter()
+                    .map(|&c| 1.0 + 8.0 * c * c)
+                    .collect(),
+            ),
+            ..vpga_pack::SwapConfig::default()
+        };
+        vpga_pack::swap_optimize(&mut array, &netlist, &mut b_placement, &swap_cfg);
+        // Route over the PLB grid: one tile per PLB.
+        let route_cfg = RouteConfig {
+            tile_size: Some(array.plb_pitch()),
+            ..config.route.clone()
+        };
+        let routing = vpga_route::route(&netlist, lib, &b_placement, &route_cfg);
+        let sta =
+            vpga_timing::analyze(&netlist, lib, &b_placement, Some(&routing), &config.timing);
+        let power = vpga_timing::power::estimate(
+            &netlist,
+            lib,
+            &b_placement,
+            Some(&routing),
+            &vpga_timing::power::PowerConfig::default(),
+        );
+        FlowResult {
+            variant: FlowVariant::B,
+            die_area: array.die_area(),
+            avg_top10_slack: sta.avg_top_slack(10),
+            worst_slack: sta.worst_slack(),
+            critical_delay: sta.critical_delay(),
+            wirelength: routing.total_length(),
+            power_mw: power.total() * 1e3,
+            cells,
+            array: Some((array.cols(), array.rows(), array.plbs_used())),
+            route_overflow: routing.overflow_edges(),
+        }
+    };
+
+    Ok(DesignOutcome {
+        design: design.name().to_owned(),
+        arch: arch.name().to_owned(),
+        gates_nand2,
+        compaction,
+        flow_a,
+        flow_b,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpga_designs::{DesignParams, NamedDesign};
+
+    #[test]
+    fn full_flow_runs_on_a_tiny_alu_for_both_archs() {
+        let design = NamedDesign::Alu.generate(&DesignParams::tiny());
+        for arch in [PlbArchitecture::granular(), PlbArchitecture::lut_based()] {
+            let out = run_design(&design, &arch, &FlowConfig::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", arch.name()));
+            assert!(out.flow_a.die_area > 0.0);
+            assert!(out.flow_b.die_area > 0.0);
+            assert!(out.gates_nand2 > 10.0);
+            // Flow b pays the regular-array quantization: never smaller
+            // than a fully packed ideal but typically larger than flow a.
+            assert!(out.flow_b.array.is_some());
+            assert!(out.flow_a.array.is_none());
+            assert!(out.compaction.is_some());
+        }
+    }
+
+    #[test]
+    fn flow_b_area_exceeds_flow_a() {
+        let design = NamedDesign::Alu.generate(&DesignParams::tiny());
+        let arch = PlbArchitecture::granular();
+        let out = run_design(&design, &arch, &FlowConfig::default()).unwrap();
+        assert!(
+            out.area_overhead() > -0.05,
+            "array quantization should cost area: {:.2}",
+            out.area_overhead()
+        );
+    }
+
+    #[test]
+    fn compaction_can_be_disabled() {
+        let design = NamedDesign::Alu.generate(&DesignParams::tiny());
+        let arch = PlbArchitecture::lut_based();
+        let cfg = FlowConfig {
+            compaction: false,
+            ..FlowConfig::default()
+        };
+        let out = run_design(&design, &arch, &cfg).unwrap();
+        assert!(out.compaction.is_none());
+        let with = run_design(&design, &arch, &FlowConfig::default()).unwrap();
+        assert!(with.flow_a.cells <= out.flow_a.cells);
+    }
+
+    #[test]
+    fn cut_based_mapper_is_usable() {
+        let design = NamedDesign::Alu.generate(&DesignParams::tiny());
+        let arch = PlbArchitecture::granular();
+        let cfg = FlowConfig {
+            cut_based_mapper: true,
+            ..FlowConfig::default()
+        };
+        let out = run_design(&design, &arch, &cfg).unwrap();
+        assert!(out.flow_b.die_area > 0.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Table 1 / Table 2 assembly and the derived §3.2 claims.
+
+use vpga_core::PlbArchitecture;
+use vpga_designs::{DesignParams, NamedDesign};
+
+use crate::pipeline::{run_design, DesignOutcome, FlowConfig, FlowError};
+
+/// All outcomes for the 4 designs × 2 architectures evaluation matrix.
+#[derive(Clone, Debug)]
+pub struct Matrix {
+    outcomes: Vec<DesignOutcome>,
+}
+
+impl Matrix {
+    /// Runs the full evaluation matrix at the given design sizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`FlowError`].
+    pub fn run(params: &DesignParams, config: &FlowConfig) -> Result<Matrix, FlowError> {
+        let archs = [PlbArchitecture::granular(), PlbArchitecture::lut_based()];
+        let mut outcomes = Vec::new();
+        for design in NamedDesign::ALL {
+            let netlist = design.generate(params);
+            for arch in &archs {
+                outcomes.push(run_design(&netlist, arch, config)?);
+            }
+        }
+        Ok(Matrix { outcomes })
+    }
+
+    /// Wraps externally computed outcomes (e.g. from custom architectures).
+    pub fn from_outcomes(outcomes: Vec<DesignOutcome>) -> Matrix {
+        Matrix { outcomes }
+    }
+
+    /// All outcomes.
+    pub fn outcomes(&self) -> &[DesignOutcome] {
+        &self.outcomes
+    }
+
+    /// The outcome for a design/architecture pair.
+    pub fn get(&self, design: NamedDesign, arch: &str) -> Option<&DesignOutcome> {
+        let name = match design {
+            NamedDesign::Alu => "alu",
+            NamedDesign::Firewire => "firewire",
+            NamedDesign::Fpu => "fpu",
+            NamedDesign::NetworkSwitch => "network_switch",
+        };
+        self.outcomes
+            .iter()
+            .find(|o| o.design == name && o.arch == arch)
+    }
+
+    /// Formats Table 1: die area (µm²) per design × {granular, LUT} ×
+    /// {flow a, flow b}.
+    pub fn table1(&self) -> String {
+        let mut s = String::new();
+        s.push_str("Table 1: Area comparison (die area, µm²)\n");
+        s.push_str(&format!(
+            "{:16} {:>12} {:>12} {:>12} {:>12}\n",
+            "Design", "gran flow a", "gran flow b", "lut flow a", "lut flow b"
+        ));
+        for design in NamedDesign::ALL {
+            let (Some(g), Some(l)) = (self.get(design, "granular"), self.get(design, "lut"))
+            else {
+                continue;
+            };
+            s.push_str(&format!(
+                "{:16} {:>12.0} {:>12.0} {:>12.0} {:>12.0}\n",
+                design.name(),
+                g.flow_a.die_area,
+                g.flow_b.die_area,
+                l.flow_a.die_area,
+                l.flow_b.die_area
+            ));
+        }
+        s
+    }
+
+    /// Formats Table 2: average slack over the top-10 critical paths (ps),
+    /// with the design gate counts, at the 500 ps cycle.
+    pub fn table2(&self) -> String {
+        let mut s = String::new();
+        s.push_str("Table 2: Timing comparison (avg slack of top-10 paths, ps; 500 ps cycle)\n");
+        s.push_str(&format!(
+            "{:16} {:>9} {:>12} {:>12} {:>12} {:>12}\n",
+            "Design", "gates", "gran flow a", "gran flow b", "lut flow a", "lut flow b"
+        ));
+        for design in NamedDesign::ALL {
+            let (Some(g), Some(l)) = (self.get(design, "granular"), self.get(design, "lut"))
+            else {
+                continue;
+            };
+            s.push_str(&format!(
+                "{:16} {:>9.0} {:>12.1} {:>12.1} {:>12.1} {:>12.1}\n",
+                design.name(),
+                g.gates_nand2,
+                g.flow_a.avg_top10_slack,
+                g.flow_b.avg_top10_slack,
+                l.flow_a.avg_top10_slack,
+                l.flow_b.avg_top10_slack
+            ));
+        }
+        s
+    }
+
+    /// The §3.2 derived claims.
+    pub fn claims(&self) -> Claims {
+        let pair = |d: NamedDesign| {
+            (
+                self.get(d, "granular").expect("granular outcome"),
+                self.get(d, "lut").expect("lut outcome"),
+            )
+        };
+        let datapath = [NamedDesign::Alu, NamedDesign::Fpu, NamedDesign::NetworkSwitch];
+        let area_reduction = |g: &DesignOutcome, l: &DesignOutcome| {
+            1.0 - g.flow_b.die_area / l.flow_b.die_area
+        };
+        let datapath_area_reduction = datapath
+            .iter()
+            .map(|&d| {
+                let (g, l) = pair(d);
+                area_reduction(g, l)
+            })
+            .sum::<f64>()
+            / datapath.len() as f64;
+        let (gf, lf) = pair(NamedDesign::Fpu);
+        let fpu_area_reduction = area_reduction(gf, lf);
+        let (gw, lw) = pair(NamedDesign::Firewire);
+        let firewire_area_change = area_reduction(gw, lw);
+        // Flow-a → flow-b overhead comparison (absolute µm² of die-area
+        // overhead added by the packing step, as Table 1 is read in §3.2).
+        let overhead_gap = |g: &DesignOutcome, l: &DesignOutcome| -> f64 {
+            let og = (g.flow_b.die_area - g.flow_a.die_area).max(0.0);
+            let ol = (l.flow_b.die_area - l.flow_a.die_area).max(0.0);
+            if ol <= 1e-9 {
+                0.0
+            } else {
+                1.0 - og / ol
+            }
+        };
+        let mean_overhead_gap = datapath
+            .iter()
+            .map(|&d| {
+                let (g, l) = pair(d);
+                overhead_gap(g, l)
+            })
+            .sum::<f64>()
+            / datapath.len() as f64;
+        let (gs, ls) = pair(NamedDesign::NetworkSwitch);
+        let switch_overhead_gap = overhead_gap(gs, ls);
+        // Slack improvements (relative to the 500 ps cycle for stability).
+        let clock = vpga_core::params::CLOCK_PERIOD_PS;
+        let slack_gain = |g: &DesignOutcome, l: &DesignOutcome| {
+            (g.flow_b.avg_top10_slack - l.flow_b.avg_top10_slack) / clock
+        };
+        let mean_slack_gain = NamedDesign::ALL
+            .iter()
+            .map(|&d| {
+                let (g, l) = pair(d);
+                slack_gain(g, l)
+            })
+            .sum::<f64>()
+            / NamedDesign::ALL.len() as f64;
+        let fpu_slack_gain = slack_gain(gf, lf);
+        // Performance degradation a→b.
+        let mean_degradation_gap = {
+            let mut vals = Vec::new();
+            for d in NamedDesign::ALL {
+                let (g, l) = pair(d);
+                let dg = g.slack_degradation().max(0.0);
+                let dl = l.slack_degradation().max(0.0);
+                if dl > 1e-9 {
+                    vals.push(1.0 - dg / dl);
+                }
+            }
+            if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        };
+        Claims {
+            datapath_area_reduction,
+            fpu_area_reduction,
+            firewire_area_change,
+            mean_overhead_gap,
+            switch_overhead_gap,
+            mean_slack_gain,
+            fpu_slack_gain,
+            mean_degradation_gap,
+        }
+    }
+}
+
+/// The derived §3.2 comparison numbers, each with the paper's reference
+/// value in its documentation.
+#[derive(Clone, Copy, Debug)]
+pub struct Claims {
+    /// Mean flow-b die-area reduction of the granular PLB over the LUT PLB
+    /// on the three datapath designs (paper: ~32 %).
+    pub datapath_area_reduction: f64,
+    /// Same, for the FPU alone (paper: up to ~40 %).
+    pub fpu_area_reduction: f64,
+    /// Area change on Firewire (paper: *negative* — the granular PLB loses
+    /// on sequential-dominated designs).
+    pub firewire_area_change: f64,
+    /// Mean reduction of the flow-a→flow-b area overhead with the granular
+    /// PLB (paper: ~48 %).
+    pub mean_overhead_gap: f64,
+    /// Same, for the Network switch (paper: up to ~88 %).
+    pub switch_overhead_gap: f64,
+    /// Mean top-10 slack improvement of granular over LUT, as a fraction of
+    /// the 500 ps cycle (paper: ~18 %).
+    pub mean_slack_gain: f64,
+    /// Same, for the FPU (paper: up to ~40 %).
+    pub fpu_slack_gain: f64,
+    /// Mean reduction in a→b slack degradation with the granular PLB
+    /// (paper: ~68 %).
+    pub mean_degradation_gap: f64,
+}
+
+impl std::fmt::Display for Claims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Derived §3.2 claims (measured vs paper):")?;
+        writeln!(
+            f,
+            "  datapath die-area reduction     {:6.1} %   (paper ≈ 32 %)",
+            100.0 * self.datapath_area_reduction
+        )?;
+        writeln!(
+            f,
+            "  FPU die-area reduction          {:6.1} %   (paper ≈ 40 %)",
+            100.0 * self.fpu_area_reduction
+        )?;
+        writeln!(
+            f,
+            "  Firewire area change            {:6.1} %   (paper: negative)",
+            100.0 * self.firewire_area_change
+        )?;
+        writeln!(
+            f,
+            "  mean a→b overhead reduction     {:6.1} %   (paper ≈ 48 %)",
+            100.0 * self.mean_overhead_gap
+        )?;
+        writeln!(
+            f,
+            "  switch a→b overhead reduction   {:6.1} %   (paper ≈ 88 %)",
+            100.0 * self.switch_overhead_gap
+        )?;
+        writeln!(
+            f,
+            "  mean top-10 slack gain          {:6.1} %   (paper ≈ 18 %)",
+            100.0 * self.mean_slack_gain
+        )?;
+        writeln!(
+            f,
+            "  FPU top-10 slack gain           {:6.1} %   (paper ≈ 40 %)",
+            100.0 * self.fpu_slack_gain
+        )?;
+        writeln!(
+            f,
+            "  mean a→b degradation reduction  {:6.1} %   (paper ≈ 68 %)",
+            100.0 * self.mean_degradation_gap
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_runs_and_formats_at_tiny_scale() {
+        let matrix = Matrix::run(&DesignParams::tiny(), &FlowConfig::default()).unwrap();
+        assert_eq!(matrix.outcomes().len(), 8);
+        let t1 = matrix.table1();
+        let t2 = matrix.table2();
+        for design in NamedDesign::ALL {
+            assert!(t1.contains(design.name()), "{t1}");
+            assert!(t2.contains(design.name()), "{t2}");
+        }
+        let claims = matrix.claims();
+        let _ = claims.to_string();
+        // Direction checks that should hold even at tiny scale: the
+        // granular PLB wins area on the mux-rich FPU...
+        assert!(
+            claims.fpu_area_reduction > -0.15,
+            "FPU area reduction collapsed: {:.2}",
+            claims.fpu_area_reduction
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! The combinational dependency graph FlowMap runs on.
+
+use vpga_netlist::{CellKind, Library, NetId, Netlist};
+
+/// Index of a node in a [`Dag`].
+pub type NodeIx = usize;
+
+/// A directed acyclic dependency graph: sources (primary inputs, constants,
+/// flip-flop outputs) and internal nodes with explicit fanins.
+///
+/// Nodes must be added in topological order (fanins before fanouts), which
+/// [`Dag::from_netlist`] guarantees.
+#[derive(Clone, Debug, Default)]
+pub struct Dag {
+    fanins: Vec<Vec<NodeIx>>,
+    fanouts: Vec<Vec<NodeIx>>,
+    is_source: Vec<bool>,
+    const_value: Vec<Option<bool>>,
+}
+
+impl Dag {
+    /// Creates an empty graph.
+    pub fn new() -> Dag {
+        Dag::default()
+    }
+
+    /// Adds a source node (no fanins).
+    pub fn add_source(&mut self) -> NodeIx {
+        let ix = self.fanins.len();
+        self.fanins.push(Vec::new());
+        self.fanouts.push(Vec::new());
+        self.is_source.push(true);
+        self.const_value.push(None);
+        ix
+    }
+
+    /// Adds a constant source. Constants are *free* for cut purposes: every
+    /// via-patterned pin can strap to a rail, so a constant never counts as
+    /// a cut leaf and never blocks a cut.
+    pub fn add_const_source(&mut self, value: bool) -> NodeIx {
+        let ix = self.add_source();
+        self.const_value[ix] = Some(value);
+        ix
+    }
+
+    /// The value of a constant source, or `None` for ordinary nodes.
+    pub fn const_value(&self, node: NodeIx) -> Option<bool> {
+        self.const_value[node]
+    }
+
+    /// Adds an internal node with the given fanins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fanin index is out of range (nodes must be added in
+    /// topological order).
+    pub fn add_node(&mut self, fanins: &[NodeIx]) -> NodeIx {
+        let ix = self.fanins.len();
+        for &f in fanins {
+            assert!(f < ix, "fanins must precede the node");
+        }
+        self.fanins.push(fanins.to_vec());
+        self.fanouts.push(Vec::new());
+        self.is_source.push(false);
+        self.const_value.push(None);
+        for &f in fanins {
+            self.fanouts[f].push(ix);
+        }
+        ix
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.fanins.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.fanins.is_empty()
+    }
+
+    /// True if `node` is a source.
+    pub fn is_source(&self, node: NodeIx) -> bool {
+        self.is_source[node]
+    }
+
+    /// Fanins of `node`.
+    pub fn fanins(&self, node: NodeIx) -> &[NodeIx] {
+        &self.fanins[node]
+    }
+
+    /// Fanouts of `node`.
+    pub fn fanouts(&self, node: NodeIx) -> &[NodeIx] {
+        &self.fanouts[node]
+    }
+
+    /// Builds the graph from a netlist's combinational structure: one node
+    /// per live net; sources are nets driven by primary inputs, constants,
+    /// and sequential cells. Returns the graph and the net corresponding to
+    /// each node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle (validate first).
+    pub fn from_netlist(netlist: &Netlist, lib: &Library) -> (Dag, Vec<NetId>) {
+        let order = vpga_netlist::graph::combinational_topo_order(netlist, lib)
+            .expect("netlist is acyclic");
+        let mut dag = Dag::new();
+        let mut node_of_net: Vec<Option<NodeIx>> = vec![None; netlist.net_capacity()];
+        let mut nets: Vec<NetId> = Vec::new();
+        // Sources first.
+        for (_, cell) in netlist.cells() {
+            let (source, constant) = match cell.kind() {
+                CellKind::Input => (true, None),
+                CellKind::Constant(v) => (true, Some(v)),
+                CellKind::Lib(id) => (
+                    lib.cell(id).is_some_and(|c| c.is_sequential()),
+                    None,
+                ),
+                CellKind::Output => (false, None),
+            };
+            if source {
+                if let Some(net) = cell.output() {
+                    let ix = match constant {
+                        Some(v) => dag.add_const_source(v),
+                        None => dag.add_source(),
+                    };
+                    node_of_net[net.index()] = Some(ix);
+                    nets.push(net);
+                }
+            }
+        }
+        // Combinational cells in topological order.
+        for id in order {
+            let cell = netlist.cell(id).expect("live cell");
+            let fanins: Vec<NodeIx> = cell
+                .inputs()
+                .iter()
+                .map(|n| node_of_net[n.index()].expect("fanin net already added"))
+                .collect();
+            let net = cell.output().expect("combinational output");
+            let ix = dag.add_node(&fanins);
+            node_of_net[net.index()] = Some(ix);
+            nets.push(net);
+        }
+        (dag, nets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpga_netlist::library::generic;
+
+    #[test]
+    fn topological_construction_is_enforced() {
+        let mut dag = Dag::new();
+        let a = dag.add_source();
+        let n = dag.add_node(&[a]);
+        assert_eq!(dag.fanouts(a), &[n]);
+        assert!(!dag.is_source(n));
+        assert_eq!(dag.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "precede")]
+    fn forward_references_panic() {
+        let mut dag = Dag::new();
+        let a = dag.add_source();
+        dag.add_node(&[a + 5]);
+    }
+
+    #[test]
+    fn from_netlist_marks_sources() {
+        let lib = generic::library();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let q = n.add_lib_cell("ff", &lib, "DFF", &[a]).unwrap();
+        let g = n.add_lib_cell("g", &lib, "AND2", &[a, q]).unwrap();
+        n.add_output("y", g);
+        let (dag, nets) = Dag::from_netlist(&n, &lib);
+        assert_eq!(dag.len(), 3); // a, ff.Q, g
+        let sources = (0..dag.len()).filter(|&i| dag.is_source(i)).count();
+        assert_eq!(sources, 2);
+        assert_eq!(nets.len(), 3);
+        // The AND node's fanins are the two sources.
+        let and_ix = (0..dag.len()).find(|&i| !dag.is_source(i)).unwrap();
+        assert_eq!(dag.fanins(and_ix).len(), 2);
+    }
+}

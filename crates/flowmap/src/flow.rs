@@ -1,0 +1,226 @@
+//! Unit-node-capacity max-flow with early exit, for K-feasible cut checks.
+
+/// A cone flow problem in local indices.
+///
+/// Every node is a leaf candidate (unit capacity) unless it is merged into
+/// the sink group. Cone inputs have no fanins and are fed by the
+/// super-source.
+#[derive(Clone, Debug, Default)]
+pub struct FlowProblem {
+    /// Per-node fanins, local indices (empty for cone inputs).
+    pub fanins: Vec<Vec<usize>>,
+    /// True for cone inputs (sources of the cone).
+    pub is_input: Vec<bool>,
+    /// True for nodes merged into the sink (the target and, in FlowMap's
+    /// label-p test, every cone node whose label equals p).
+    pub in_sink_group: Vec<bool>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    to: usize,
+    cap: i64,
+    flow: i64,
+}
+
+struct Network {
+    edges: Vec<Edge>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl Network {
+    fn new(n: usize) -> Network {
+        Network {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    fn add(&mut self, from: usize, to: usize, cap: i64) {
+        let e = self.edges.len();
+        self.edges.push(Edge { to, cap, flow: 0 });
+        self.edges.push(Edge {
+            to: from,
+            cap: 0,
+            flow: 0,
+        });
+        self.adj[from].push(e);
+        self.adj[to].push(e + 1);
+    }
+
+    /// One BFS augmentation; returns whether a path was found.
+    fn augment(&mut self, s: usize, t: usize) -> bool {
+        let mut prev: Vec<Option<usize>> = vec![None; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        prev[s] = Some(usize::MAX);
+        while let Some(u) = queue.pop_front() {
+            if u == t {
+                break;
+            }
+            for &ei in &self.adj[u] {
+                let e = self.edges[ei];
+                if e.flow < e.cap && prev[e.to].is_none() {
+                    prev[e.to] = Some(ei);
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        if prev[t].is_none() {
+            return false;
+        }
+        // Unit augmentation (all path capacities are at least 1).
+        let mut v = t;
+        while v != s {
+            let ei = prev[v].expect("path edge");
+            self.edges[ei].flow += 1;
+            self.edges[ei ^ 1].flow -= 1;
+            v = self.edges[ei ^ 1].to;
+        }
+        true
+    }
+
+    /// Nodes reachable from `s` in the residual graph.
+    fn residual_reachable(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(u) = stack.pop() {
+            for &ei in &self.adj[u] {
+                let e = self.edges[ei];
+                if e.flow < e.cap && !seen[e.to] {
+                    seen[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Decides whether the cone admits a cut of at most `k` leaf nodes
+/// separating the inputs from the sink group, and returns the cut (local
+/// node indices) if so.
+///
+/// Runs Edmonds–Karp with unit augmentations and aborts as soon as the flow
+/// exceeds `k`, so the cost is at most `k + 1` BFS passes.
+pub fn max_flow_cut(problem: &FlowProblem, k: usize) -> Option<Vec<usize>> {
+    let n = problem.fanins.len();
+    // Network nodes: v_in = 2v, v_out = 2v+1, source = 2n, sink = 2n+1.
+    let s = 2 * n;
+    let t = 2 * n + 1;
+    let inf = (k + 2) as i64;
+    let mut net = Network::new(2 * n + 2);
+    for v in 0..n {
+        if problem.in_sink_group[v] {
+            // Merged into the sink: anything entering v enters T.
+            continue;
+        }
+        net.add(2 * v, 2 * v + 1, 1);
+        if problem.is_input[v] {
+            net.add(s, 2 * v, inf);
+        }
+    }
+    for v in 0..n {
+        let dst = if problem.in_sink_group[v] { t } else { 2 * v };
+        for &u in &problem.fanins[v] {
+            if problem.in_sink_group[u] {
+                // Edges inside the sink group vanish.
+                if dst == t {
+                    continue;
+                }
+                // A sink-group node feeding a non-sink node would mean the
+                // "above the cut" region is not closed — FlowMap cones are
+                // constructed so this cannot happen for label-p nodes, but
+                // be permissive: treat as an input from the sink side,
+                // which makes the cut infeasible.
+                return None;
+            }
+            net.add(2 * u + 1, dst, inf);
+        }
+    }
+    let mut flow = 0usize;
+    while net.augment(s, t) {
+        flow += 1;
+        if flow > k {
+            return None;
+        }
+    }
+    let reach = net.residual_reachable(s);
+    let mut cut = Vec::new();
+    for v in 0..n {
+        if problem.in_sink_group[v] {
+            continue;
+        }
+        if reach[2 * v] && !reach[2 * v + 1] {
+            cut.push(v);
+        }
+    }
+    debug_assert!(cut.len() <= k, "min cut exceeds flow bound");
+    Some(cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// target (node 4) reads two ANDs over three shared inputs: a 3-cut
+    /// exists at the inputs, a 2-cut exists at the ANDs.
+    fn diamond() -> FlowProblem {
+        FlowProblem {
+            fanins: vec![
+                vec![],        // 0: input a
+                vec![],        // 1: input b
+                vec![],        // 2: input c
+                vec![0, 1],    // 3: a·b
+                vec![1, 2],    // 4: b·c
+                vec![3, 4],    // 5: target
+            ],
+            is_input: vec![true, true, true, false, false, false],
+            in_sink_group: vec![false, false, false, false, false, true],
+        }
+    }
+
+    #[test]
+    fn finds_minimum_cut() {
+        let cut = max_flow_cut(&diamond(), 3).expect("feasible");
+        assert_eq!(cut.len(), 2, "min cut is the two AND nodes: {cut:?}");
+        assert!(cut.contains(&3) && cut.contains(&4));
+    }
+
+    #[test]
+    fn respects_k_bound() {
+        // Force the ANDs into the sink group: only the 3 inputs remain as
+        // leaf candidates → min cut 3.
+        let mut p = diamond();
+        p.in_sink_group[3] = true;
+        p.in_sink_group[4] = true;
+        let cut = max_flow_cut(&p, 3).expect("3-feasible");
+        assert_eq!(cut.len(), 3);
+        assert!(max_flow_cut(&p, 2).is_none(), "no 2-cut exists");
+    }
+
+    #[test]
+    fn wide_cone_is_infeasible_for_small_k() {
+        // Four independent inputs into one sink-group node.
+        let p = FlowProblem {
+            fanins: vec![vec![], vec![], vec![], vec![], vec![0, 1, 2, 3]],
+            is_input: vec![true, true, true, true, false],
+            in_sink_group: vec![false, false, false, false, true],
+        };
+        assert!(max_flow_cut(&p, 3).is_none());
+        assert_eq!(max_flow_cut(&p, 4).map(|c| c.len()), Some(4));
+    }
+
+    #[test]
+    fn reconvergence_counts_once() {
+        // One input fans out to two paths that reconverge: cut = {input}.
+        let p = FlowProblem {
+            fanins: vec![vec![], vec![0], vec![0], vec![1, 2]],
+            is_input: vec![true, false, false, false],
+            in_sink_group: vec![false, false, false, true],
+        };
+        let cut = max_flow_cut(&p, 1).expect("1-feasible");
+        assert_eq!(cut, vec![0]);
+    }
+}

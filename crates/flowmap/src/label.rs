@@ -1,0 +1,303 @@
+//! The FlowMap labeling phase: depth-optimal K-feasible cuts per node.
+
+use crate::dag::{Dag, NodeIx};
+use crate::flow::{max_flow_cut, FlowProblem};
+
+/// Depth-optimal labels and cuts for every node of a [`Dag`].
+///
+/// `label(t)` is the depth of the best K-bounded cover of `t`'s cone
+/// (sources are 0). `cut(t)` is a K-feasible cut achieving it; the nodes
+/// strictly between the cut and `t` form the *supernode* the compaction
+/// pass collapses.
+#[derive(Clone, Debug)]
+pub struct Labeling {
+    k: usize,
+    label: Vec<u32>,
+    cut: Vec<Vec<NodeIx>>,
+}
+
+impl Labeling {
+    /// Computes labels for the whole graph with cut bound `k`.
+    ///
+    /// `max_cone` bounds the cone size explored per node; larger cones fall
+    /// back to the (always K-feasible) fanin cut, trading label optimality
+    /// for run time on deep circuits. 64 is a generous bound for K = 3.
+    pub fn compute(dag: &Dag, k: usize, max_cone: usize) -> Labeling {
+        let n = dag.len();
+        let mut label = vec![0u32; n];
+        let mut cut: Vec<Vec<NodeIx>> = vec![Vec::new(); n];
+        for t in 0..n {
+            if dag.is_source(t) {
+                continue;
+            }
+            let p = dag.fanins(t).iter().map(|&f| label[f]).max().unwrap_or(0);
+            // Constants are free: they never appear in cuts.
+            let fallback = || {
+                let mut f: Vec<NodeIx> = dag
+                    .fanins(t)
+                    .iter()
+                    .copied()
+                    .filter(|&f| dag.const_value(f).is_none())
+                    .collect();
+                f.sort_unstable();
+                f.dedup();
+                f
+            };
+            if p == 0 {
+                // All fanins are sources; the fanin cut is optimal.
+                label[t] = 1;
+                cut[t] = fallback();
+                continue;
+            }
+            // Collect the cone of t (transitive fanins).
+            let mut cone: Vec<NodeIx> = Vec::new();
+            let mut in_cone = std::collections::HashMap::new();
+            let mut stack = vec![t];
+            let mut overflow = false;
+            while let Some(v) = stack.pop() {
+                if in_cone.contains_key(&v) || dag.const_value(v).is_some() {
+                    continue;
+                }
+                in_cone.insert(v, cone.len());
+                cone.push(v);
+                if cone.len() > max_cone {
+                    overflow = true;
+                    break;
+                }
+                if !dag.is_source(v) {
+                    stack.extend(dag.fanins(v).iter().copied());
+                }
+            }
+            if overflow {
+                label[t] = p + 1;
+                cut[t] = fallback();
+                continue;
+            }
+            // Build the flow problem: sink group = t plus internal nodes
+            // labeled p.
+            let m = cone.len();
+            let mut problem = FlowProblem {
+                fanins: vec![Vec::new(); m],
+                is_input: vec![false; m],
+                in_sink_group: vec![false; m],
+            };
+            for (local, &v) in cone.iter().enumerate() {
+                if dag.is_source(v) {
+                    problem.is_input[local] = true;
+                    continue;
+                }
+                problem.fanins[local] = dag
+                    .fanins(v)
+                    .iter()
+                    .filter(|f| dag.const_value(**f).is_none())
+                    .map(|f| *in_cone.get(f).expect("cone is closed"))
+                    .collect();
+                if v == t || label[v] == p {
+                    problem.in_sink_group[local] = true;
+                }
+            }
+            match max_flow_cut(&problem, k) {
+                Some(local_cut) => {
+                    label[t] = p;
+                    cut[t] = local_cut.into_iter().map(|l| cone[l]).collect();
+                }
+                None => {
+                    label[t] = p + 1;
+                    cut[t] = fallback();
+                }
+            }
+        }
+        Labeling { k, label, cut }
+    }
+
+    /// The cut bound this labeling was computed with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The label of `node` (0 for sources).
+    pub fn label(&self, node: NodeIx) -> u32 {
+        self.label[node]
+    }
+
+    /// The K-feasible cut of `node` (empty for sources).
+    pub fn cut(&self, node: NodeIx) -> &[NodeIx] {
+        &self.cut[node]
+    }
+
+    /// The maximum label over the given nodes (e.g. the outputs), i.e. the
+    /// depth of the K-bounded cover.
+    pub fn depth(&self, nodes: impl IntoIterator<Item = NodeIx>) -> u32 {
+        nodes.into_iter().map(|n| self.label(n)).max().unwrap_or(0)
+    }
+
+    /// The supernode of `node`: the internal nodes strictly above its cut
+    /// (including `node` itself), in reverse-topological discovery order.
+    pub fn cluster(&self, dag: &Dag, node: NodeIx) -> Vec<NodeIx> {
+        if dag.is_source(node) {
+            return Vec::new();
+        }
+        let cut: std::collections::HashSet<NodeIx> = self.cut(node).iter().copied().collect();
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![node];
+        while let Some(v) = stack.pop() {
+            if cut.contains(&v) || dag.const_value(v).is_some() || !seen.insert(v) {
+                continue;
+            }
+            debug_assert!(!dag.is_source(v), "cluster escaped past a source");
+            out.push(v);
+            stack.extend(dag.fanins(v).iter().copied());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive minimum-depth K-cover by dynamic programming over all
+    /// cuts, for cross-checking on small graphs.
+    fn brute_force_labels(dag: &Dag, k: usize) -> Vec<u32> {
+        // Enumerate all feasible cuts per node (exponential; tiny graphs
+        // only).
+        let n = dag.len();
+        let mut cuts: Vec<Vec<Vec<NodeIx>>> = vec![Vec::new(); n];
+        let mut label = vec![0u32; n];
+        for t in 0..n {
+            if dag.is_source(t) {
+                cuts[t] = vec![vec![t]];
+                continue;
+            }
+            // Merge fanin cuts, like cut enumeration.
+            let mut all: Vec<Vec<NodeIx>> = vec![Vec::new()];
+            for &f in dag.fanins(t) {
+                let mut next = Vec::new();
+                for base in &all {
+                    for fc in &cuts[f] {
+                        let mut u = base.clone();
+                        for &l in fc {
+                            if !u.contains(&l) {
+                                u.push(l);
+                            }
+                        }
+                        u.sort_unstable();
+                        if u.len() <= k && !next.contains(&u) {
+                            next.push(u);
+                        }
+                    }
+                }
+                all = next;
+            }
+            label[t] = all
+                .iter()
+                .map(|cutset| cutset.iter().map(|&l| label[l]).max().unwrap_or(0) + 1)
+                .min()
+                .expect("fanin cut always exists");
+            all.push(vec![t]);
+            cuts[t] = all;
+        }
+        label
+    }
+
+    fn chain_of_ands(width: usize) -> (Dag, NodeIx) {
+        // A ripple chain: t_i = and(t_{i-1}, x_i).
+        let mut dag = Dag::new();
+        let mut prev = dag.add_source();
+        let mut last = prev;
+        for _ in 0..width {
+            let x = dag.add_source();
+            last = dag.add_node(&[prev, x]);
+            prev = last;
+        }
+        (dag, last)
+    }
+
+    #[test]
+    fn chain_labels_match_ceiling_division() {
+        // With K = 3 a chain of 2-input gates packs two levels per cut.
+        let (dag, last) = chain_of_ands(6);
+        let labels = Labeling::compute(&dag, 3, 64);
+        let brute = brute_force_labels(&dag, 3);
+        assert_eq!(labels.label(last), brute[last]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_small_dags() {
+        // Deterministic pseudo-random DAGs.
+        let mut seed = 0x12345u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as usize
+        };
+        for _ in 0..20 {
+            let mut dag = Dag::new();
+            let mut nodes: Vec<NodeIx> = (0..4).map(|_| dag.add_source()).collect();
+            for _ in 0..8 {
+                let a = nodes[next() % nodes.len()];
+                let b = nodes[next() % nodes.len()];
+                let fanins = if a == b { vec![a] } else { vec![a, b] };
+                nodes.push(dag.add_node(&fanins));
+            }
+            let labels = Labeling::compute(&dag, 3, 64);
+            let brute = brute_force_labels(&dag, 3);
+            #[allow(clippy::needless_range_loop)]
+            for t in 0..dag.len() {
+                assert_eq!(labels.label(t), brute[t], "node {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_is_closed_and_cut_bounded() {
+        let (dag, last) = chain_of_ands(5);
+        let labels = Labeling::compute(&dag, 3, 64);
+        for t in 0..dag.len() {
+            if dag.is_source(t) {
+                continue;
+            }
+            let cut = labels.cut(t);
+            assert!(cut.len() <= 3, "cut of {t} too wide");
+            let cluster = labels.cluster(&dag, t);
+            assert!(cluster.contains(&t));
+            // Every cluster member's fanins are in the cluster or the cut.
+            for &m in &cluster {
+                for &f in dag.fanins(m) {
+                    assert!(
+                        cluster.contains(&f) || cut.contains(&f),
+                        "cluster of {t} not closed at {m}->{f}"
+                    );
+                }
+            }
+        }
+        let _ = last;
+    }
+
+    #[test]
+    fn sources_have_label_zero() {
+        let (dag, _) = chain_of_ands(3);
+        let labels = Labeling::compute(&dag, 3, 64);
+        for t in 0..dag.len() {
+            if dag.is_source(t) {
+                assert_eq!(labels.label(t), 0);
+                assert!(labels.cut(t).is_empty());
+            } else {
+                assert!(labels.label(t) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cone_overflow_falls_back_gracefully() {
+        let (dag, last) = chain_of_ands(30);
+        let tight = Labeling::compute(&dag, 3, 4);
+        let loose = Labeling::compute(&dag, 3, 256);
+        // The fallback is conservative: labels can only grow.
+        assert!(tight.label(last) >= loose.label(last));
+        // And cuts remain feasible.
+        for t in 0..dag.len() {
+            assert!(tight.cut(t).len() <= 3);
+        }
+    }
+}

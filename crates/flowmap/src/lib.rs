@@ -1,0 +1,46 @@
+//! FlowMap-style depth-optimal K-feasible clustering.
+//!
+//! §3.1 of the paper: "Our algorithm first finds clusters of logic or
+//! supernodes corresponding to functions with 3 or less than 3 inputs. This
+//! is done using a maxflow-mincut algorithm similar to Flowmap." This crate
+//! is that algorithm — the labeling phase of Cong & Ding's FlowMap
+//! \[TCAD'94\], reimplemented for K = 3 over component-cell netlists:
+//!
+//! * [`Dag`] — the combinational dependency graph (one node per net,
+//!   sources at PIs/constants/flip-flop outputs),
+//! * [`max_flow_cut`] — unit-node-capacity max-flow with early exit,
+//!   returning a ≤K min cut when one exists,
+//! * [`Labeling`] — depth-optimal labels and, per node, the K-feasible cut
+//!   achieving them,
+//! * [`Labeling::cluster`] — the supernode enclosed between a node and its
+//!   cut, which the compaction pass matches against PLB configurations.
+//!
+//! # Example
+//!
+//! ```
+//! use vpga_flowmap::{Dag, Labeling};
+//!
+//! // A 2-level AND tree: ((a·b)·(c·d)) has a 4-input cone but no 3-feasible
+//! // single-level cut, so its label is 2.
+//! let mut dag = Dag::new();
+//! let a = dag.add_source();
+//! let b = dag.add_source();
+//! let c = dag.add_source();
+//! let d = dag.add_source();
+//! let ab = dag.add_node(&[a, b]);
+//! let cd = dag.add_node(&[c, d]);
+//! let top = dag.add_node(&[ab, cd]);
+//! let labels = Labeling::compute(&dag, 3, 64);
+//! assert_eq!(labels.label(top), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dag;
+mod flow;
+mod label;
+
+pub use dag::{Dag, NodeIx};
+pub use flow::max_flow_cut;
+pub use label::Labeling;

@@ -1,0 +1,109 @@
+//! The full-adder decomposition of §2.2.
+//!
+//! A key motivation for the granular PLB is that "a full adder cannot be
+//! implemented by a single \[LUT-based\] PLB". §2.2 shows how the granular
+//! PLB packs one:
+//!
+//! * `sum = a ⊕ b ⊕ cin` uses two of the three MUXes — the first implements
+//!   the *propagate* function `p = a ⊕ b`, the second `p ⊕ cin`;
+//! * `cout = p·cin + p'·g` (with *generate* `g = a·b`) is one more MUX whose
+//!   select is the already-computed `p` — so the ND3WI gate remains free for
+//!   the generate term and the whole adder fits a single PLB.
+//!
+//! This module provides the functions and the structural decomposition; the
+//! `vpga-core` crate proves the resource claim against both PLB models.
+
+use crate::tt3::{Tt3, Var};
+
+/// The full-adder *sum* function `a ⊕ b ⊕ cin` (with `cin` = variable `c`).
+pub fn sum() -> Tt3 {
+    Tt3::XOR3
+}
+
+/// The full-adder *carry-out* function `maj(a, b, cin)`.
+pub fn carry() -> Tt3 {
+    Tt3::MAJ3
+}
+
+/// The *propagate* function `p = a ⊕ b`.
+pub fn propagate() -> Tt3 {
+    Tt3::var(Var::A) ^ Tt3::var(Var::B)
+}
+
+/// The *generate* function `g = a · b`.
+pub fn generate() -> Tt3 {
+    Tt3::var(Var::A) & Tt3::var(Var::B)
+}
+
+/// The structural decomposition of §2.2, evaluated as truth tables:
+/// `(sum, cout)` built only from MUX compositions and the generate term.
+///
+/// # Example
+///
+/// ```
+/// use vpga_logic::adder;
+/// let (sum, cout) = adder::mux_decomposition();
+/// assert_eq!(sum, adder::sum());
+/// assert_eq!(cout, adder::carry());
+/// ```
+pub fn mux_decomposition() -> (Tt3, Tt3) {
+    let p = propagate();
+    let g = generate();
+    let cin = Tt3::var(Var::C);
+    // MUX 1: p = a ⊕ b = mux(a, b, b').
+    let mux1 = Tt3::mux(Tt3::var(Var::A), Tt3::var(Var::B), !Tt3::var(Var::B));
+    debug_assert_eq!(mux1, p);
+    // MUX 2: sum = p ⊕ cin = mux(p, cin, cin').
+    let sum = Tt3::mux(mux1, cin, !cin);
+    // MUX 3: cout = mux(p, g, cin) = p'·g + p·cin.
+    let cout = Tt3::mux(mux1, g, cin);
+    (sum, cout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_carry_are_correct_arithmetic() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for cin in [false, true] {
+                    let total = a as u8 + b as u8 + cin as u8;
+                    assert_eq!(sum().eval(a, b, cin), total & 1 == 1);
+                    assert_eq!(carry().eval(a, b, cin), total >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn carry_equals_propagate_generate_form() {
+        // cout = p·cin + p'·g (§2.2).
+        let p = propagate();
+        let g = generate();
+        let cin = Tt3::var(Var::C);
+        assert_eq!((p & cin) | (!p & g), carry());
+    }
+
+    #[test]
+    fn mux_decomposition_reproduces_both_outputs() {
+        let (s, c) = mux_decomposition();
+        assert_eq!(s, sum());
+        assert_eq!(c, carry());
+    }
+
+    #[test]
+    fn sum_is_s3_infeasible_but_xoamx_feasible() {
+        // Why the LUT-based PLB needs its LUT for the sum bit, while the
+        // granular PLB uses two fast MUXes.
+        assert!(!crate::s3::s3_feasible(sum()));
+        assert!(crate::cells::xoamx_set().contains(sum()));
+    }
+
+    #[test]
+    fn carry_needs_more_than_one_mux() {
+        assert!(!crate::cells::mux_set().contains(carry()));
+        assert!(crate::cells::xoandmx_set().contains(carry()));
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for the Boolean kernel.
+
+use std::error::Error;
+use std::fmt;
+
+/// An input index or arity was out of range for the function it was applied
+/// to.
+///
+/// # Example
+///
+/// ```
+/// use vpga_logic::{Tt2, ArityError};
+/// let err: ArityError = Tt2::AND.depends_on(5).unwrap_err();
+/// assert_eq!(err.index(), 5);
+/// assert_eq!(err.arity(), 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ArityError {
+    index: usize,
+    arity: usize,
+}
+
+impl ArityError {
+    /// Creates an arity error for input `index` against a function of
+    /// `arity` inputs.
+    pub fn new(index: usize, arity: usize) -> ArityError {
+        ArityError { index, arity }
+    }
+
+    /// The offending input index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The arity of the function the index was applied to.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+}
+
+impl fmt::Display for ArityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "input index {} out of range for a {}-input function",
+            self.index, self.arity
+        )
+    }
+}
+
+impl Error for ArityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let msg = ArityError::new(4, 3).to_string();
+        assert!(msg.starts_with("input index 4"));
+        assert!(!msg.ends_with('.'));
+    }
+}

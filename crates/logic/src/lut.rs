@@ -1,0 +1,182 @@
+//! Figure 5: the 3-LUT as a tree of three 2:1 MUXes.
+//!
+//! "Splitting the 3-LUT into three MUXes as shown in Figure 5 increases
+//! granularity and flexibility" (§2.3) — the granular PLB is, structurally,
+//! a re-arranged 3-LUT whose internal MUX outputs became accessible. This
+//! module implements the decomposition: any 3-input function is a Shannon
+//! tree `f = mux(c, mux(b-level cofactors...))` whose two first-level MUXes
+//! select among the four configuration constants, and whose *intermediate
+//! outputs* are exactly the single-variable cofactors the granular PLB can
+//! tap.
+
+use crate::tt3::{Tt2, Tt3, Var};
+
+/// The Figure 5 decomposition of a 3-input function: two first-level MUXes
+/// selected by `select0`, feeding one second-level MUX selected by
+/// `select1`.
+///
+/// The four `constants` are the function values that a 3-LUT stores in its
+/// SRAM cells / via sites — here grouped as the data inputs of the two
+/// first-level MUXes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LutMuxTree {
+    /// The variable driving both first-level MUX selects.
+    pub select0: Var,
+    /// The variable driving the second-level MUX select.
+    pub select1: Var,
+    /// `constants[i][j]` = f with `select1 = i`, `select0 = j`, as a
+    /// function of the remaining variable's two values: a [`Tt2`] over
+    /// (remaining, irrelevant) — i.e. each first-level data input is itself
+    /// a 1-variable function realized by the LUT's leaf column.
+    pub leaf_functions: [[Tt2; 2]; 2],
+}
+
+impl LutMuxTree {
+    /// Decomposes `f` with the conventional variable assignment
+    /// (`select0 = b`, `select1 = c`; leaves are functions of `a`).
+    pub fn decompose(f: Tt3) -> LutMuxTree {
+        LutMuxTree::decompose_with(f, Var::B, Var::C)
+    }
+
+    /// Decomposes `f` around the given select variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `select0 == select1`.
+    pub fn decompose_with(f: Tt3, select0: Var, select1: Var) -> LutMuxTree {
+        assert_ne!(select0, select1, "selects must be distinct variables");
+        let (g, h) = f.cofactors(select1); // g = f|s1=0, h = f|s1=1
+        // Each cofactor is a 2-input function of (remaining, select0) in
+        // index order; re-split it by select0.
+        let [x, y] = select1.others();
+        let remaining = Var::ALL
+            .into_iter()
+            .find(|&v| v != select0 && v != select1)
+            .expect("three variables, two selects");
+        // After cofactoring by select0, the 2-variable basis is
+        // select0.others() in index order; normalize so `remaining` is the
+        // first variable (the convention `recompose` lifts with).
+        let remaining_is_second = select0.others()[1] == remaining;
+        let swap2 = |t: Tt2| -> Tt2 {
+            let mut bits = 0u8;
+            for m in 0..4u8 {
+                let sw = ((m & 1) << 1) | ((m >> 1) & 1);
+                bits |= ((t.bits() >> sw) & 1) << m;
+            }
+            Tt2::new(bits)
+        };
+        let split = |t: Tt2| -> [Tt2; 2] {
+            let lifted = t.lift(x, y);
+            let (lo, hi) = lifted.cofactors(select0);
+            if remaining_is_second {
+                [swap2(lo), swap2(hi)]
+            } else {
+                [lo, hi]
+            }
+        };
+        LutMuxTree {
+            select0,
+            select1,
+            leaf_functions: [split(g), split(h)],
+        }
+    }
+
+    /// The intermediate signals of Figure 5: the two first-level MUX
+    /// outputs (the `select1` cofactors of `f`), as 3-input truth tables.
+    /// These are the signals the granular PLB's rearrangement exposes.
+    pub fn intermediates(&self, f: Tt3) -> (Tt3, Tt3) {
+        let (g, h) = f.cofactors(self.select1);
+        let [x, y] = self.select1.others();
+        (g.lift(x, y), h.lift(x, y))
+    }
+
+    /// Recomposes the tree back into a truth table — the inverse of
+    /// [`LutMuxTree::decompose_with`].
+    pub fn recompose(&self) -> Tt3 {
+        // Remaining variable (the one feeding the leaf columns).
+        let remaining = Var::ALL
+            .into_iter()
+            .find(|&v| v != self.select0 && v != self.select1)
+            .expect("three variables, two selects");
+        let leaf = |t: Tt2| -> Tt3 {
+            // Leaf function of the remaining variable only.
+            t.lift(remaining, self.select0_other(remaining))
+        };
+        let level1_0 = Tt3::mux(
+            Tt3::var(self.select0),
+            leaf(self.leaf_functions[0][0]),
+            leaf(self.leaf_functions[0][1]),
+        );
+        let level1_1 = Tt3::mux(
+            Tt3::var(self.select0),
+            leaf(self.leaf_functions[1][0]),
+            leaf(self.leaf_functions[1][1]),
+        );
+        Tt3::mux(Tt3::var(self.select1), level1_0, level1_1)
+    }
+
+    /// An arbitrary second variable for lifting 1-variable leaf functions
+    /// (the leaf truly depends only on `remaining`).
+    fn select0_other(&self, remaining: Var) -> Var {
+        Var::ALL
+            .into_iter()
+            .find(|&v| v != remaining)
+            .expect("three variables")
+    }
+
+    /// The eight stored LUT bits in minterm order, reconstructed from the
+    /// leaf functions — these are the values the 3-LUT's via sites hold.
+    pub fn lut_bits(&self) -> u8 {
+        self.recompose().bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompose_recompose_roundtrips_all_256() {
+        for f in Tt3::all() {
+            let tree = LutMuxTree::decompose(f);
+            assert_eq!(tree.recompose(), f, "f={f}");
+            assert_eq!(tree.lut_bits(), f.bits());
+        }
+    }
+
+    #[test]
+    fn roundtrips_for_every_select_assignment() {
+        for f in Tt3::all().step_by(7) {
+            for s0 in Var::ALL {
+                for s1 in Var::ALL {
+                    if s0 == s1 {
+                        continue;
+                    }
+                    let tree = LutMuxTree::decompose_with(f, s0, s1);
+                    assert_eq!(tree.recompose(), f, "f={f} s0={s0} s1={s1}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intermediates_are_the_cofactor_functions() {
+        // For the full-adder sum, the exposed intermediate of the c-level
+        // split is a ⊕ b (on the c=0 side) — exactly the propagate signal
+        // the granular PLB reuses for the carry MUX (§2.2).
+        let f = Tt3::XOR3;
+        let tree = LutMuxTree::decompose(f);
+        let (lo, hi) = tree.intermediates(f);
+        assert_eq!(lo, Tt3::var(Var::A) ^ Tt3::var(Var::B));
+        assert_eq!(hi, !(Tt3::var(Var::A) ^ Tt3::var(Var::B)));
+    }
+
+    #[test]
+    fn mux_function_decomposes_trivially() {
+        // f = mux itself: the c-cofactors are the two data variables.
+        let tree = LutMuxTree::decompose(Tt3::MUX);
+        let (lo, hi) = tree.intermediates(Tt3::MUX);
+        assert_eq!(lo, Tt3::var(Var::A));
+        assert_eq!(hi, Tt3::var(Var::B));
+    }
+}

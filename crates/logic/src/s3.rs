@@ -1,0 +1,363 @@
+//! The S3-gate analysis of §2.1 and Figure 2 of the paper.
+//!
+//! From the Shannon co-factoring property, any 3-input function can be
+//! written `f(a, b, s) = s'·g(a, b) + s·h(a, b)`. The **S3 gate** realizes
+//! this with a 2:1 MUX whose select pin is wired to the designated select
+//! input `s` and whose data pins are driven by two ND2WI gates. It fails
+//! exactly when a cofactor is XOR or XNOR — the two 2-input functions ND2WI
+//! cannot produce. Counting over the function space:
+//!
+//! * 32 functions have `g ∈ {XOR, XNOR}`, 32 have `h ∈ {XOR, XNOR}`, and 4
+//!   have both, so **60** functions are infeasible and **196** feasible —
+//!   the paper's "at least 196 of the 256" (§2.1);
+//! * the 60 infeasible functions split into the five categories of Figure 2
+//!   ([`InfeasibleCategory`]): 28 + 28 + 1 + 1 + 2.
+//!
+//! Replacing one ND2WI by a 2:1 MUX and adding a programmable inverter on
+//! its output — the **modified S3 cell** of Figure 3 — recovers all 256
+//! functions ([`modified_s3_set`]).
+//!
+//! The "at least" in the paper's phrasing is apt: if the fabric is
+//! additionally allowed to *choose* which input serves as the select (an
+//! input permutation), coverage rises to 238 — see
+//! [`s3_feasible_any_select`].
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::cells::{mux_subfunctions, nd2wi_implements};
+use crate::sets::FunctionSet256;
+use crate::tt3::{Literal, Tt2, Tt3, Var};
+
+/// The variable conventionally wired to the S3 select pin.
+pub const SELECT: Var = Var::C;
+
+/// True if the S3 gate (2:1 MUX driven by two ND2WI gates, select wired to
+/// variable [`SELECT`]) implements `t`.
+///
+/// Feasible iff both Shannon cofactors with respect to the select are
+/// ND2WI-implementable, i.e. neither is XOR nor XNOR.
+///
+/// # Example
+///
+/// ```
+/// use vpga_logic::{s3, Tt3};
+/// assert!(s3::s3_feasible(Tt3::MAJ3));  // majority: cofactors are AND/OR
+/// assert!(!s3::s3_feasible(Tt3::XOR3)); // parity: cofactors are XOR/XNOR
+/// ```
+pub fn s3_feasible(t: Tt3) -> bool {
+    let (g, h) = t.cofactors(SELECT);
+    nd2wi_implements(g) && nd2wi_implements(h)
+}
+
+/// True if the S3 gate implements `t` under *some* assignment of inputs to
+/// pins (any variable may serve as the select).
+///
+/// This relaxation covers 238 of the 256 functions; the paper's 196 count
+/// ([`s3_feasible`]) keeps the select designated, which is why it reads "at
+/// least 196".
+pub fn s3_feasible_any_select(t: Tt3) -> bool {
+    Var::ALL.into_iter().any(|v| {
+        let (g, h) = t.cofactors(v);
+        nd2wi_implements(g) && nd2wi_implements(h)
+    })
+}
+
+/// The set of S3-feasible functions (designated select); size 196.
+pub fn s3_set() -> &'static FunctionSet256 {
+    static SET: OnceLock<FunctionSet256> = OnceLock::new();
+    SET.get_or_init(|| Tt3::all().filter(|&t| s3_feasible(t)).collect())
+}
+
+/// The set of functions the *modified S3 cell* (Figure 3) implements.
+///
+/// The cell is a 2:1 MUX whose data pins are fed by one ND2WI gate and one
+/// 2:1 MUX with a programmable inverter on its output. Because the fabric is
+/// via-patterned, the inner MUX output is also routable to the ND2WI inputs
+/// and to the outer select pin — that is how "two 2:1 MUXes and an inverter"
+/// realize 3-input XOR/XNOR (§2.1). The paper constructs this cell precisely
+/// so the set is all 256 functions; a unit test asserts that.
+pub fn modified_s3_set() -> &'static FunctionSet256 {
+    static SET: OnceLock<FunctionSet256> = OnceLock::new();
+    SET.get_or_init(|| {
+        let mut set = FunctionSet256::new();
+        let inner_muxes = mux_subfunctions();
+        for &m in &inner_muxes {
+            // Sources available to downstream pins: literals, ±m.
+            let mut sources: Vec<Tt3> = Literal::ALL.iter().map(|l| l.tt()).collect();
+            sources.push(m);
+            sources.push(!m);
+            // The ND2WI gate draws its two inputs from those sources.
+            let mut gates: Vec<Tt3> = Vec::new();
+            for &x in &sources {
+                for &y in &sources {
+                    let nand = !(x & y);
+                    gates.push(nand);
+                    gates.push(!nand);
+                }
+            }
+            gates.sort();
+            gates.dedup();
+            // Outer MUX: select from sources, one data pin from the gate,
+            // the other from ±m or a literal.
+            let mut data: Vec<Tt3> = sources.clone();
+            for sel in &sources {
+                for g in &gates {
+                    for d in &data {
+                        set.insert(Tt3::mux(*sel, *g, *d));
+                        set.insert(Tt3::mux(*sel, *d, *g));
+                    }
+                }
+            }
+            data.clear();
+        }
+        set
+    })
+}
+
+/// The five categories of S3-infeasible functions from Figure 2 of the
+/// paper, determined by the cofactor pair `(g, h)` with respect to the
+/// select input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InfeasibleCategory {
+    /// One cofactor is ND2WI-implementable, the other is XOR (28 functions).
+    GateAndXor,
+    /// One cofactor is ND2WI-implementable, the other is XNOR (28 functions).
+    GateAndXnor,
+    /// Both cofactors are XOR: the function simplifies to a 2-input XOR,
+    /// implementable by a single 2:1 MUX (1 function).
+    TwoInputXor,
+    /// Both cofactors are XNOR: simplifies to a 2-input XNOR (1 function).
+    TwoInputXnor,
+    /// One cofactor is the complement of the other: 3-input XOR/XNOR,
+    /// implementable by two 2:1 MUXes and an inverter (2 functions).
+    ComplementaryCofactors,
+}
+
+impl InfeasibleCategory {
+    /// All five categories, in Figure 2 order.
+    pub const ALL: [InfeasibleCategory; 5] = [
+        InfeasibleCategory::GateAndXor,
+        InfeasibleCategory::GateAndXnor,
+        InfeasibleCategory::TwoInputXor,
+        InfeasibleCategory::TwoInputXnor,
+        InfeasibleCategory::ComplementaryCofactors,
+    ];
+}
+
+impl fmt::Display for InfeasibleCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InfeasibleCategory::GateAndXor => "gate cofactor + XOR cofactor",
+            InfeasibleCategory::GateAndXnor => "gate cofactor + XNOR cofactor",
+            InfeasibleCategory::TwoInputXor => "simplifies to 2-input XOR",
+            InfeasibleCategory::TwoInputXnor => "simplifies to 2-input XNOR",
+            InfeasibleCategory::ComplementaryCofactors => {
+                "complementary cofactors (3-input XOR/XNOR)"
+            }
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies an S3-infeasible function into its Figure 2 category.
+///
+/// Returns `None` if `t` is S3-feasible.
+pub fn classify_infeasible(t: Tt3) -> Option<InfeasibleCategory> {
+    let (g, h) = t.cofactors(SELECT);
+    let gx = g.is_xor_like();
+    let hx = h.is_xor_like();
+    match (gx, hx) {
+        (false, false) => None,
+        (true, true) => {
+            if g == Tt2::XOR && h == Tt2::XOR {
+                Some(InfeasibleCategory::TwoInputXor)
+            } else if g == Tt2::XNOR && h == Tt2::XNOR {
+                Some(InfeasibleCategory::TwoInputXnor)
+            } else {
+                Some(InfeasibleCategory::ComplementaryCofactors)
+            }
+        }
+        (true, false) | (false, true) => {
+            let xorish = if gx { g } else { h };
+            if xorish == Tt2::XOR {
+                Some(InfeasibleCategory::GateAndXor)
+            } else {
+                Some(InfeasibleCategory::GateAndXnor)
+            }
+        }
+    }
+}
+
+/// Per-category census of the S3-infeasible functions — the data behind
+/// Figure 2.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InfeasibleCensus {
+    counts: [usize; 5],
+    unclassified: usize,
+}
+
+impl InfeasibleCensus {
+    /// Computes the census over all 256 functions.
+    pub fn compute() -> InfeasibleCensus {
+        let mut census = InfeasibleCensus::default();
+        for t in Tt3::all() {
+            if s3_feasible(t) {
+                continue;
+            }
+            match classify_infeasible(t) {
+                Some(cat) => {
+                    let idx = InfeasibleCategory::ALL
+                        .iter()
+                        .position(|&c| c == cat)
+                        .expect("category is one of ALL");
+                    census.counts[idx] += 1;
+                }
+                None => census.unclassified += 1,
+            }
+        }
+        census
+    }
+
+    /// Number of infeasible functions in `cat`.
+    pub fn count(&self, cat: InfeasibleCategory) -> usize {
+        let idx = InfeasibleCategory::ALL
+            .iter()
+            .position(|&c| c == cat)
+            .expect("category is one of ALL");
+        self.counts[idx]
+    }
+
+    /// Total number of S3-infeasible functions.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum::<usize>() + self.unclassified
+    }
+
+    /// Functions the five-category taxonomy failed to cover (expected 0).
+    pub fn unclassified(&self) -> usize {
+        self.unclassified
+    }
+}
+
+impl fmt::Display for InfeasibleCensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "S3-infeasible functions: {}", self.total())?;
+        for cat in InfeasibleCategory::ALL {
+            writeln!(f, "  {:45} {:3}", cat.to_string(), self.count(cat))?;
+        }
+        if self.unclassified > 0 {
+            writeln!(f, "  {:45} {:3}", "UNCLASSIFIED", self.unclassified)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s3_covers_exactly_196_functions() {
+        // The paper's headline §2.1 number: "at least 196 of the 256".
+        assert_eq!(s3_set().len(), 196);
+    }
+
+    #[test]
+    fn any_select_relaxation_covers_238() {
+        let n = Tt3::all().filter(|&t| s3_feasible_any_select(t)).count();
+        assert_eq!(n, 238);
+    }
+
+    #[test]
+    fn modified_s3_covers_all_256() {
+        assert_eq!(modified_s3_set().len(), 256);
+    }
+
+    #[test]
+    fn infeasible_census_matches_figure_2() {
+        let census = InfeasibleCensus::compute();
+        assert_eq!(census.total(), 60);
+        assert_eq!(census.unclassified(), 0, "taxonomy must cover Figure 2");
+        assert_eq!(census.count(InfeasibleCategory::GateAndXor), 28);
+        assert_eq!(census.count(InfeasibleCategory::GateAndXnor), 28);
+        assert_eq!(census.count(InfeasibleCategory::TwoInputXor), 1);
+        assert_eq!(census.count(InfeasibleCategory::TwoInputXnor), 1);
+        assert_eq!(census.count(InfeasibleCategory::ComplementaryCofactors), 2);
+    }
+
+    #[test]
+    fn category_examples() {
+        assert_eq!(
+            classify_infeasible(Tt3::XOR3),
+            Some(InfeasibleCategory::ComplementaryCofactors)
+        );
+        assert_eq!(
+            classify_infeasible(Tt3::XNOR3),
+            Some(InfeasibleCategory::ComplementaryCofactors)
+        );
+        let xor_ab = Tt2::XOR.lift(Var::A, Var::B);
+        assert_eq!(
+            classify_infeasible(xor_ab),
+            Some(InfeasibleCategory::TwoInputXor)
+        );
+        let xnor_ab = Tt2::XNOR.lift(Var::A, Var::B);
+        assert_eq!(
+            classify_infeasible(xnor_ab),
+            Some(InfeasibleCategory::TwoInputXnor)
+        );
+        assert_eq!(classify_infeasible(Tt3::MAJ3), None);
+    }
+
+    #[test]
+    fn mixed_categories_by_construction() {
+        // f = s ? (a · b) : (a ⊕ b): cofactor pair (XOR, AND) — category 1.
+        let f = Tt3::mux(
+            Tt3::var(SELECT),
+            Tt3::var(Var::A) ^ Tt3::var(Var::B),
+            Tt3::var(Var::A) & Tt3::var(Var::B),
+        );
+        assert_eq!(classify_infeasible(f), Some(InfeasibleCategory::GateAndXor));
+        // g = s ? (a + b) : (a ⊙ b): cofactor pair (XNOR, OR) — category 2.
+        let g = Tt3::mux(
+            Tt3::var(SELECT),
+            !(Tt3::var(Var::A) ^ Tt3::var(Var::B)),
+            Tt3::var(Var::A) | Tt3::var(Var::B),
+        );
+        assert_eq!(
+            classify_infeasible(g),
+            Some(InfeasibleCategory::GateAndXnor)
+        );
+    }
+
+    #[test]
+    fn feasible_functions_are_not_classified() {
+        for t in s3_set().iter() {
+            assert_eq!(classify_infeasible(t), None);
+        }
+    }
+
+    #[test]
+    fn infeasible_functions_all_have_xor_like_cofactor() {
+        for t in Tt3::all() {
+            if !s3_feasible(t) {
+                let (g, h) = t.cofactors(SELECT);
+                assert!(g.is_xor_like() || h.is_xor_like(), "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn any_select_set_is_closed_under_npn() {
+        // Any-select feasibility only cares about cofactor shapes, which NPN
+        // transforms preserve, so that set is a union of NPN classes.
+        use crate::npn;
+        for t in Tt3::all() {
+            let (canon, _) = npn::canonicalize3(t);
+            assert_eq!(
+                s3_feasible_any_select(t),
+                s3_feasible_any_select(canon),
+                "t={t} canon={canon}"
+            );
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Dense sets over the 256 three-input Boolean functions.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not, Sub};
+
+use crate::tt3::Tt3;
+
+/// A set of 3-input Boolean functions, stored as a 256-bit bitmap.
+///
+/// Feasibility analysis in the paper is an enumeration over the function
+/// space: "a 2-input MUX driven by two ND2WI gates can implement at least 196
+/// of the 256 3-input functions" (§2.1). [`FunctionSet256`] is how such
+/// answers are represented and compared.
+///
+/// # Example
+///
+/// ```
+/// use vpga_logic::{FunctionSet256, Tt3};
+/// let mut set = FunctionSet256::new();
+/// set.insert(Tt3::MAJ3);
+/// assert!(set.contains(Tt3::MAJ3));
+/// assert_eq!(set.len(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FunctionSet256 {
+    words: [u64; 4],
+}
+
+impl FunctionSet256 {
+    /// Creates an empty set.
+    pub fn new() -> FunctionSet256 {
+        FunctionSet256::default()
+    }
+
+    /// The set of all 256 functions.
+    pub fn full() -> FunctionSet256 {
+        FunctionSet256 { words: [u64::MAX; 4] }
+    }
+
+    /// Inserts a function; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, t: Tt3) -> bool {
+        let (w, b) = Self::slot(t);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes a function; returns `true` if it was present.
+    pub fn remove(&mut self, t: Tt3) -> bool {
+        let (w, b) = Self::slot(t);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// True if the set contains `t`.
+    pub fn contains(&self, t: Tt3) -> bool {
+        let (w, b) = Self::slot(t);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of functions in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the member functions in ascending truth-table order.
+    pub fn iter(&self) -> Iter {
+        Iter { set: *self, next: 0 }
+    }
+
+    #[inline]
+    fn slot(t: Tt3) -> (usize, u32) {
+        let bits = t.bits() as usize;
+        (bits / 64, (bits % 64) as u32)
+    }
+}
+
+impl FromIterator<Tt3> for FunctionSet256 {
+    fn from_iter<I: IntoIterator<Item = Tt3>>(iter: I) -> FunctionSet256 {
+        let mut set = FunctionSet256::new();
+        for t in iter {
+            set.insert(t);
+        }
+        set
+    }
+}
+
+impl Extend<Tt3> for FunctionSet256 {
+    fn extend<I: IntoIterator<Item = Tt3>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+impl BitOr for FunctionSet256 {
+    type Output = FunctionSet256;
+    fn bitor(self, rhs: FunctionSet256) -> FunctionSet256 {
+        let mut words = self.words;
+        for (w, r) in words.iter_mut().zip(rhs.words) {
+            *w |= r;
+        }
+        FunctionSet256 { words }
+    }
+}
+
+impl BitAnd for FunctionSet256 {
+    type Output = FunctionSet256;
+    fn bitand(self, rhs: FunctionSet256) -> FunctionSet256 {
+        let mut words = self.words;
+        for (w, r) in words.iter_mut().zip(rhs.words) {
+            *w &= r;
+        }
+        FunctionSet256 { words }
+    }
+}
+
+impl Sub for FunctionSet256 {
+    type Output = FunctionSet256;
+    fn sub(self, rhs: FunctionSet256) -> FunctionSet256 {
+        let mut words = self.words;
+        for (w, r) in words.iter_mut().zip(rhs.words) {
+            *w &= !r;
+        }
+        FunctionSet256 { words }
+    }
+}
+
+impl Not for FunctionSet256 {
+    type Output = FunctionSet256;
+    fn not(self) -> FunctionSet256 {
+        let mut words = self.words;
+        for w in words.iter_mut() {
+            *w = !*w;
+        }
+        FunctionSet256 { words }
+    }
+}
+
+impl fmt::Debug for FunctionSet256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FunctionSet256({} functions)", self.len())
+    }
+}
+
+impl fmt::Display for FunctionSet256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{} of 256 functions}}", self.len())
+    }
+}
+
+impl IntoIterator for FunctionSet256 {
+    type Item = Tt3;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for &FunctionSet256 {
+    type Item = Tt3;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`FunctionSet256`].
+#[derive(Clone, Debug)]
+pub struct Iter {
+    set: FunctionSet256,
+    next: u16,
+}
+
+impl Iterator for Iter {
+    type Item = Tt3;
+
+    fn next(&mut self) -> Option<Tt3> {
+        while self.next < 256 {
+            let t = Tt3::new(self.next as u8);
+            self.next += 1;
+            if self.set.contains(t) {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        assert!(FunctionSet256::new().is_empty());
+        assert_eq!(FunctionSet256::full().len(), 256);
+        assert_eq!(!FunctionSet256::new(), FunctionSet256::full());
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = FunctionSet256::new();
+        assert!(s.insert(Tt3::XOR3));
+        assert!(!s.insert(Tt3::XOR3));
+        assert!(s.contains(Tt3::XOR3));
+        assert!(!s.contains(Tt3::MAJ3));
+        assert!(s.remove(Tt3::XOR3));
+        assert!(!s.remove(Tt3::XOR3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let evens: FunctionSet256 = Tt3::all().filter(|t| t.bits() % 2 == 0).collect();
+        let odds = FunctionSet256::full() - evens;
+        assert_eq!(evens.len(), 128);
+        assert_eq!(odds.len(), 128);
+        assert!((evens & odds).is_empty());
+        assert_eq!(evens | odds, FunctionSet256::full());
+    }
+
+    #[test]
+    fn iter_in_ascending_order() {
+        let s: FunctionSet256 = [Tt3::new(3), Tt3::new(200), Tt3::new(7)].into_iter().collect();
+        let got: Vec<u8> = s.iter().map(Tt3::bits).collect();
+        assert_eq!(got, vec![3, 7, 200]);
+    }
+
+    #[test]
+    fn extend_collects() {
+        let mut s = FunctionSet256::new();
+        s.extend(Tt3::all().take(10));
+        assert_eq!(s.len(), 10);
+    }
+}

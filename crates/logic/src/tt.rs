@@ -1,0 +1,414 @@
+//! General truth tables for functions of up to six inputs.
+//!
+//! The technology mapper enumerates K-feasible cuts whose local functions can
+//! temporarily exceed three inputs before they are decomposed; this type
+//! carries those intermediate functions. [`TruthTable`] deliberately trades
+//! the raw speed of [`crate::Tt3`] for generality.
+
+use std::fmt;
+
+use crate::error::ArityError;
+use crate::tt3::Tt3;
+
+/// Maximum number of inputs a [`TruthTable`] supports.
+pub const MAX_VARS: usize = 6;
+
+/// A truth table over `vars` inputs (`vars <= 6`), stored in a `u64`.
+///
+/// Bit `m` of [`bits`](TruthTable::bits) is the function value on minterm
+/// `m`, where input `v` has value `(m >> v) & 1`. Bits above `2^vars` are
+/// kept zero as a canonical-form invariant so that `==` is semantic equality.
+///
+/// # Example
+///
+/// ```
+/// use vpga_logic::TruthTable;
+/// let a = TruthTable::var(3, 0)?;
+/// let b = TruthTable::var(3, 1)?;
+/// let c = TruthTable::var(3, 2)?;
+/// let maj = (a & b) | (b & c) | (a & c);
+/// assert_eq!(maj.count_ones(), 4);
+/// # Ok::<(), vpga_logic::ArityError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TruthTable {
+    vars: u8,
+    bits: u64,
+}
+
+impl TruthTable {
+    /// Creates a table over `vars` inputs from raw minterm bits.
+    ///
+    /// Bits at positions `>= 2^vars` are masked off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityError`] if `vars > 6`.
+    pub fn new(vars: usize, bits: u64) -> Result<TruthTable, ArityError> {
+        if vars > MAX_VARS {
+            return Err(ArityError::new(vars, MAX_VARS + 1));
+        }
+        Ok(TruthTable {
+            vars: vars as u8,
+            bits: bits & Self::mask(vars),
+        })
+    }
+
+    /// Constant false over `vars` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars > 6`.
+    pub fn zero(vars: usize) -> TruthTable {
+        TruthTable::new(vars, 0).expect("vars must be <= 6")
+    }
+
+    /// Constant true over `vars` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars > 6`.
+    pub fn one(vars: usize) -> TruthTable {
+        TruthTable::new(vars, u64::MAX).expect("vars must be <= 6")
+    }
+
+    /// Projection of input `v` over `vars` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityError`] if `v >= vars` or `vars > 6`.
+    pub fn var(vars: usize, v: usize) -> Result<TruthTable, ArityError> {
+        if vars > MAX_VARS {
+            return Err(ArityError::new(vars, MAX_VARS + 1));
+        }
+        if v >= vars {
+            return Err(ArityError::new(v, vars));
+        }
+        let mut bits = 0u64;
+        for m in 0..(1u64 << vars) {
+            if (m >> v) & 1 == 1 {
+                bits |= 1 << m;
+            }
+        }
+        Ok(TruthTable { vars: vars as u8, bits })
+    }
+
+    fn mask(vars: usize) -> u64 {
+        if vars >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1usize << vars)) - 1
+        }
+    }
+
+    /// Number of declared inputs.
+    #[inline]
+    pub fn vars(&self) -> usize {
+        self.vars as usize
+    }
+
+    /// Raw minterm bits (positions `>= 2^vars` are zero).
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Evaluates the function; input `v`'s value is bit `v` of `assignment`.
+    #[inline]
+    pub fn eval(&self, assignment: u64) -> bool {
+        let m = assignment & ((1u64 << self.vars) - 1).max(1);
+        (self.bits >> m) & 1 == 1
+    }
+
+    /// Number of true minterms.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// True if the function depends on input `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityError`] if `v >= vars`.
+    pub fn depends_on(&self, v: usize) -> Result<bool, ArityError> {
+        if v >= self.vars() {
+            return Err(ArityError::new(v, self.vars()));
+        }
+        let (lo, hi) = self.cofactor_halves(v);
+        Ok(lo != hi)
+    }
+
+    /// Actual support: the inputs the function depends on.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.vars())
+            .filter(|&v| self.depends_on(v).expect("v < vars"))
+            .collect()
+    }
+
+    /// Negative and positive cofactor bits of `v`, still expressed over the
+    /// full variable set (both halves occupy the low `2^(vars-1)` slots after
+    /// compaction).
+    fn cofactor_halves(&self, v: usize) -> (u64, u64) {
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        let mut lo_i = 0;
+        let mut hi_i = 0;
+        for m in 0..(1u64 << self.vars) {
+            let bit = (self.bits >> m) & 1;
+            if (m >> v) & 1 == 0 {
+                lo |= bit << lo_i;
+                lo_i += 1;
+            } else {
+                hi |= bit << hi_i;
+                hi_i += 1;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Shannon cofactor of `v` set to `value`, expressed as a function of the
+    /// remaining `vars - 1` inputs (in ascending original order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityError`] if `v >= vars`.
+    pub fn cofactor(&self, v: usize, value: bool) -> Result<TruthTable, ArityError> {
+        if v >= self.vars() {
+            return Err(ArityError::new(v, self.vars()));
+        }
+        let (lo, hi) = self.cofactor_halves(v);
+        TruthTable::new(self.vars() - 1, if value { hi } else { lo })
+    }
+
+    /// Shrinks the table to its actual support, returning the compacted table
+    /// and the original indices of the surviving inputs in order.
+    ///
+    /// Cut functions frequently have dead inputs; mapping wants the minimal
+    /// function.
+    pub fn shrink_to_support(&self) -> (TruthTable, Vec<usize>) {
+        let support = self.support();
+        let mut t = *self;
+        // Remove dead variables from highest index down so indices stay valid.
+        for v in (0..self.vars()).rev() {
+            if !support.contains(&v) {
+                t = t.cofactor(v, false).expect("v < vars");
+            }
+        }
+        (t, support)
+    }
+
+    /// Converts to a [`Tt3`] if the table has at most three declared inputs.
+    ///
+    /// Tables with fewer than three inputs are padded with irrelevant
+    /// variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityError`] if the table declares more than three inputs.
+    pub fn to_tt3(&self) -> Result<Tt3, ArityError> {
+        if self.vars() > 3 {
+            return Err(ArityError::new(self.vars(), 4));
+        }
+        let mut bits = 0u8;
+        for m in 0..8u64 {
+            let src = m & ((1 << self.vars) - 1);
+            if self.vars == 0 {
+                if self.bits & 1 == 1 {
+                    bits |= 1 << m;
+                }
+            } else if (self.bits >> src) & 1 == 1 {
+                bits |= 1 << m;
+            }
+        }
+        Ok(Tt3::new(bits))
+    }
+
+    /// Builds a 3-input [`TruthTable`] from a [`Tt3`].
+    pub fn from_tt3(t: Tt3) -> TruthTable {
+        TruthTable {
+            vars: 3,
+            bits: t.bits() as u64,
+        }
+    }
+
+    /// Composes: substitutes `inputs[v]` for each input `v` of `self`.
+    ///
+    /// All the substituted tables must share the same arity, which becomes
+    /// the arity of the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityError`] if `inputs.len() != self.vars()` or the
+    /// substituted tables disagree on arity.
+    pub fn compose(&self, inputs: &[TruthTable]) -> Result<TruthTable, ArityError> {
+        if inputs.len() != self.vars() {
+            return Err(ArityError::new(inputs.len(), self.vars()));
+        }
+        let out_vars = inputs.first().map_or(0, |t| t.vars());
+        for t in inputs {
+            if t.vars() != out_vars {
+                return Err(ArityError::new(t.vars(), out_vars));
+            }
+        }
+        let mut bits = 0u64;
+        for m in 0..(1u64 << out_vars) {
+            let mut inner = 0u64;
+            for (v, t) in inputs.iter().enumerate() {
+                if t.eval(m) {
+                    inner |= 1 << v;
+                }
+            }
+            if self.eval(inner) {
+                bits |= 1 << m;
+            }
+        }
+        TruthTable::new(out_vars, bits)
+    }
+}
+
+impl std::ops::Not for TruthTable {
+    type Output = TruthTable;
+    fn not(self) -> TruthTable {
+        TruthTable {
+            vars: self.vars,
+            bits: !self.bits & Self::mask(self.vars()),
+        }
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl std::ops::$trait for TruthTable {
+            type Output = TruthTable;
+            /// # Panics
+            ///
+            /// Panics if the operands declare different numbers of inputs.
+            fn $method(self, rhs: TruthTable) -> TruthTable {
+                assert_eq!(
+                    self.vars, rhs.vars,
+                    "truth-table operands must have equal arity"
+                );
+                TruthTable { vars: self.vars, bits: self.bits $op rhs.bits }
+            }
+        }
+    };
+}
+
+impl_binop!(BitAnd, bitand, &);
+impl_binop!(BitOr, bitor, |);
+impl_binop!(BitXor, bitxor, ^);
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tt{}:0x{:X}", self.vars, self.bits)
+    }
+}
+
+impl From<Tt3> for TruthTable {
+    fn from(t: Tt3) -> TruthTable {
+        TruthTable::from_tt3(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_more_than_six_vars() {
+        assert!(TruthTable::new(7, 0).is_err());
+        assert!(TruthTable::var(7, 0).is_err());
+        assert!(TruthTable::var(4, 4).is_err());
+    }
+
+    #[test]
+    fn masks_excess_bits() {
+        let t = TruthTable::new(2, u64::MAX).unwrap();
+        assert_eq!(t.bits(), 0xF);
+        assert_eq!(t, TruthTable::one(2));
+    }
+
+    #[test]
+    fn var_projection_evaluates() {
+        for vars in 1..=6usize {
+            for v in 0..vars {
+                let t = TruthTable::var(vars, v).unwrap();
+                for m in 0..(1u64 << vars) {
+                    assert_eq!(t.eval(m), (m >> v) & 1 == 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cofactor_and_dependence() {
+        let a = TruthTable::var(4, 0).unwrap();
+        let d = TruthTable::var(4, 3).unwrap();
+        let f = a & d;
+        assert!(f.depends_on(0).unwrap());
+        assert!(!f.depends_on(1).unwrap());
+        assert_eq!(f.support(), vec![0, 3]);
+        let f_d1 = f.cofactor(3, true).unwrap();
+        assert_eq!(f_d1, TruthTable::var(3, 0).unwrap());
+        let f_d0 = f.cofactor(3, false).unwrap();
+        assert_eq!(f_d0, TruthTable::zero(3));
+    }
+
+    #[test]
+    fn shrink_to_support_removes_dead_vars() {
+        let b = TruthTable::var(5, 1).unwrap();
+        let e = TruthTable::var(5, 4).unwrap();
+        let f = b ^ e;
+        let (small, support) = f.shrink_to_support();
+        assert_eq!(support, vec![1, 4]);
+        assert_eq!(small.vars(), 2);
+        let x = TruthTable::var(2, 0).unwrap();
+        let y = TruthTable::var(2, 1).unwrap();
+        assert_eq!(small, x ^ y);
+    }
+
+    #[test]
+    fn tt3_roundtrip() {
+        for t in Tt3::all() {
+            let big = TruthTable::from_tt3(t);
+            assert_eq!(big.to_tt3().unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn small_table_pads_to_tt3() {
+        let x = TruthTable::var(2, 0).unwrap();
+        let t3 = x.to_tt3().unwrap();
+        assert_eq!(t3, Tt3::var(crate::Var::A));
+    }
+
+    #[test]
+    fn compose_builds_two_level_logic() {
+        // f(x, y) = x NAND y; substitute x = a & b, y = c (over 3 vars).
+        let nand = TruthTable::new(2, 0x7).unwrap();
+        let a = TruthTable::var(3, 0).unwrap();
+        let b = TruthTable::var(3, 1).unwrap();
+        let c = TruthTable::var(3, 2).unwrap();
+        let f = nand.compose(&[a & b, c]).unwrap();
+        for m in 0..8u64 {
+            let (av, bv, cv) = (m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1);
+            assert_eq!(f.eval(m), !((av && bv) && cv));
+        }
+    }
+
+    #[test]
+    fn compose_arity_mismatch_errors() {
+        let nand = TruthTable::new(2, 0x7).unwrap();
+        let a = TruthTable::var(3, 0).unwrap();
+        assert!(nand.compose(&[a]).is_err());
+        let two = TruthTable::var(2, 0).unwrap();
+        assert!(nand.compose(&[a, two]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal arity")]
+    fn binop_arity_mismatch_panics() {
+        let _ = TruthTable::one(2) & TruthTable::one(3);
+    }
+}

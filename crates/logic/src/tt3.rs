@@ -1,0 +1,685 @@
+//! Compact truth tables for 2- and 3-input Boolean functions.
+//!
+//! The whole architecture study of the paper happens inside the space of
+//! 3-input functions (the PLB component cells have at most three logic
+//! inputs), so [`Tt3`] — a `u8` where bit *m* is the function value on
+//! minterm *m* — is the workhorse type of this workspace.
+//!
+//! Minterm convention: for minterm index `m`, variable `v` (0, 1 or 2) has
+//! value `(m >> v) & 1`. Variable 0 is conventionally called `a`, variable 1
+//! `b` and variable 2 `c`.
+
+use std::fmt;
+
+use crate::error::ArityError;
+
+/// One of the three input variables of a [`Tt3`], by index.
+///
+/// `Var(0)` is `a`, `Var(1)` is `b`, `Var(2)` is `c` in the paper's notation.
+///
+/// # Example
+///
+/// ```
+/// use vpga_logic::{Tt3, Var};
+/// assert_eq!(Tt3::var(Var::A), Tt3::new(0xAA));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Var {
+    /// Variable `a` (index 0).
+    A,
+    /// Variable `b` (index 1).
+    B,
+    /// Variable `c` (index 2).
+    C,
+}
+
+impl Var {
+    /// All three variables in index order.
+    pub const ALL: [Var; 3] = [Var::A, Var::B, Var::C];
+
+    /// The numeric index of this variable (0, 1 or 2).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Var::A => 0,
+            Var::B => 1,
+            Var::C => 2,
+        }
+    }
+
+    /// Builds a variable from its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityError`] if `index >= 3`.
+    pub fn from_index(index: usize) -> Result<Var, ArityError> {
+        match index {
+            0 => Ok(Var::A),
+            1 => Ok(Var::B),
+            2 => Ok(Var::C),
+            _ => Err(ArityError::new(index, 3)),
+        }
+    }
+
+    /// The two variables other than `self`, in index order.
+    #[inline]
+    pub fn others(self) -> [Var; 2] {
+        match self {
+            Var::A => [Var::B, Var::C],
+            Var::B => [Var::A, Var::C],
+            Var::C => [Var::A, Var::B],
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Var::A => "a",
+            Var::B => "b",
+            Var::C => "c",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A literal over the three [`Tt3`] variables: a constant, a variable, or a
+/// complemented variable.
+///
+/// Literals model what a via-patterned input pin can be strapped to: a rail
+/// (`Const0`/`Const1`) or either polarity of a PLB input (the paper's PLBs
+/// provide "buffers that ensure that all primary inputs are available in both
+/// polarities", §2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Literal {
+    /// Logic 0.
+    Const0,
+    /// Logic 1.
+    Const1,
+    /// A variable in positive polarity.
+    Pos(Var),
+    /// A variable in negative polarity.
+    Neg(Var),
+}
+
+impl Literal {
+    /// All eight literals (two constants and both polarities of each var).
+    pub const ALL: [Literal; 8] = [
+        Literal::Const0,
+        Literal::Const1,
+        Literal::Pos(Var::A),
+        Literal::Neg(Var::A),
+        Literal::Pos(Var::B),
+        Literal::Neg(Var::B),
+        Literal::Pos(Var::C),
+        Literal::Neg(Var::C),
+    ];
+
+    /// The literal as a 3-input truth table.
+    #[inline]
+    pub fn tt(self) -> Tt3 {
+        match self {
+            Literal::Const0 => Tt3::FALSE,
+            Literal::Const1 => Tt3::TRUE,
+            Literal::Pos(v) => Tt3::var(v),
+            Literal::Neg(v) => !Tt3::var(v),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Const0 => f.write_str("0"),
+            Literal::Const1 => f.write_str("1"),
+            Literal::Pos(v) => write!(f, "{v}"),
+            Literal::Neg(v) => write!(f, "{v}'"),
+        }
+    }
+}
+
+/// Truth table of a 2-input Boolean function, stored in the low 4 bits.
+///
+/// Bit `m` (`m` in `0..4`) is the value on `x = m & 1`, `y = (m >> 1) & 1`.
+///
+/// # Example
+///
+/// ```
+/// use vpga_logic::Tt2;
+/// let and = Tt2::AND;
+/// assert!(and.eval(true, true));
+/// assert!(!and.eval(true, false));
+/// assert_eq!(and.count_ones(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tt2(u8);
+
+impl Tt2 {
+    /// Constant false.
+    pub const FALSE: Tt2 = Tt2(0x0);
+    /// Constant true.
+    pub const TRUE: Tt2 = Tt2(0xF);
+    /// `x` (first input).
+    pub const X: Tt2 = Tt2(0xA);
+    /// `y` (second input).
+    pub const Y: Tt2 = Tt2(0xC);
+    /// `x · y`.
+    pub const AND: Tt2 = Tt2(0x8);
+    /// `x + y`.
+    pub const OR: Tt2 = Tt2(0xE);
+    /// `(x · y)'`.
+    pub const NAND: Tt2 = Tt2(0x7);
+    /// `(x + y)'`.
+    pub const NOR: Tt2 = Tt2(0x1);
+    /// `x ⊕ y`.
+    pub const XOR: Tt2 = Tt2(0x6);
+    /// `(x ⊕ y)'`.
+    pub const XNOR: Tt2 = Tt2(0x9);
+
+    /// Builds a 2-input truth table from its 4 value bits.
+    ///
+    /// Bits above the low nibble are masked off.
+    #[inline]
+    pub fn new(bits: u8) -> Tt2 {
+        Tt2(bits & 0xF)
+    }
+
+    /// The raw 4 value bits.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Evaluates the function on concrete inputs.
+    #[inline]
+    pub fn eval(self, x: bool, y: bool) -> bool {
+        let m = (x as u8) | ((y as u8) << 1);
+        (self.0 >> m) & 1 == 1
+    }
+
+    /// Number of minterms on which the function is true.
+    #[inline]
+    pub fn count_ones(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True if the function is XOR or XNOR — exactly the two 2-input
+    /// functions the ND2WI gate cannot implement (§2.1 of the paper).
+    #[inline]
+    pub fn is_xor_like(self) -> bool {
+        self == Tt2::XOR || self == Tt2::XNOR
+    }
+
+    /// True if the function depends on neither input.
+    #[inline]
+    pub fn is_constant(self) -> bool {
+        self == Tt2::FALSE || self == Tt2::TRUE
+    }
+
+    /// True if the function actually depends on input `x` (index 0) /
+    /// `y` (index 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityError`] if `input >= 2`.
+    pub fn depends_on(self, input: usize) -> Result<bool, ArityError> {
+        match input {
+            0 => Ok((self.0 >> 1) & 0x5 != self.0 & 0x5),
+            1 => Ok((self.0 >> 2) & 0x3 != self.0 & 0x3),
+            _ => Err(ArityError::new(input, 2)),
+        }
+    }
+
+    /// All 16 functions of two inputs.
+    pub fn all() -> impl Iterator<Item = Tt2> {
+        (0u8..16).map(Tt2)
+    }
+
+    /// Extends this function of `(x, y)` to a [`Tt3`] of `(vx, vy)`, ignoring
+    /// the remaining variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vx == vy`.
+    pub fn lift(self, vx: Var, vy: Var) -> Tt3 {
+        assert_ne!(vx, vy, "lift requires two distinct variables");
+        let mut bits = 0u8;
+        for m in 0..8u8 {
+            let x = (m >> vx.index()) & 1 == 1;
+            let y = (m >> vy.index()) & 1 == 1;
+            if self.eval(x, y) {
+                bits |= 1 << m;
+            }
+        }
+        Tt3(bits)
+    }
+}
+
+impl std::ops::Not for Tt2 {
+    type Output = Tt2;
+    #[inline]
+    fn not(self) -> Tt2 {
+        Tt2(!self.0 & 0xF)
+    }
+}
+
+impl std::ops::BitAnd for Tt2 {
+    type Output = Tt2;
+    #[inline]
+    fn bitand(self, rhs: Tt2) -> Tt2 {
+        Tt2(self.0 & rhs.0)
+    }
+}
+
+impl std::ops::BitOr for Tt2 {
+    type Output = Tt2;
+    #[inline]
+    fn bitor(self, rhs: Tt2) -> Tt2 {
+        Tt2(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitXor for Tt2 {
+    type Output = Tt2;
+    #[inline]
+    fn bitxor(self, rhs: Tt2) -> Tt2 {
+        Tt2(self.0 ^ rhs.0)
+    }
+}
+
+impl fmt::Display for Tt2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:X}", self.0)
+    }
+}
+
+/// Truth table of a 3-input Boolean function, one bit per minterm.
+///
+/// Bit `m` is the value on `a = m & 1`, `b = (m >> 1) & 1`, `c = (m >> 2) & 1`.
+/// All 256 functions of three inputs are representable; the paper's whole
+/// §2.1 analysis is an enumeration of this space.
+///
+/// # Example
+///
+/// ```
+/// use vpga_logic::{Tt3, Var};
+/// // Build a ⊕ b ⊕ c structurally and compare against the constant.
+/// let f = Tt3::var(Var::A) ^ Tt3::var(Var::B) ^ Tt3::var(Var::C);
+/// assert_eq!(f, Tt3::XOR3);
+/// // Shannon cofactors w.r.t. c are complementary for parity.
+/// let (g, h) = f.cofactors(Var::C);
+/// assert_eq!(g, !h);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tt3(u8);
+
+impl Tt3 {
+    /// Constant false.
+    pub const FALSE: Tt3 = Tt3(0x00);
+    /// Constant true.
+    pub const TRUE: Tt3 = Tt3(0xFF);
+    /// Three-input parity `a ⊕ b ⊕ c` — the full-adder *sum* function.
+    pub const XOR3: Tt3 = Tt3(0x96);
+    /// Complement of three-input parity.
+    pub const XNOR3: Tt3 = Tt3(0x69);
+    /// Majority `ab + bc + ca` — the full-adder *carry* function.
+    pub const MAJ3: Tt3 = Tt3(0xE8);
+    /// Three-input AND.
+    pub const AND3: Tt3 = Tt3(0x80);
+    /// Three-input NAND.
+    pub const NAND3: Tt3 = Tt3(0x7F);
+    /// Three-input OR.
+    pub const OR3: Tt3 = Tt3(0xFE);
+    /// Three-input NOR.
+    pub const NOR3: Tt3 = Tt3(0x01);
+    /// 2:1 multiplexer `c ? b : a` (select = `c`, data = `a`, `b`).
+    pub const MUX: Tt3 = Tt3(0xCA);
+
+    /// Builds a truth table from its 8 value bits.
+    #[inline]
+    pub fn new(bits: u8) -> Tt3 {
+        Tt3(bits)
+    }
+
+    /// The raw 8 value bits.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// The projection truth table of a single variable.
+    #[inline]
+    pub fn var(v: Var) -> Tt3 {
+        match v {
+            Var::A => Tt3(0xAA),
+            Var::B => Tt3(0xCC),
+            Var::C => Tt3(0xF0),
+        }
+    }
+
+    /// Evaluates the function on concrete inputs.
+    #[inline]
+    pub fn eval(self, a: bool, b: bool, c: bool) -> bool {
+        let m = (a as u8) | ((b as u8) << 1) | ((c as u8) << 2);
+        (self.0 >> m) & 1 == 1
+    }
+
+    /// Number of minterms on which the function is true.
+    #[inline]
+    pub fn count_ones(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// All 256 functions of three inputs.
+    pub fn all() -> impl Iterator<Item = Tt3> {
+        (0u16..256).map(|b| Tt3(b as u8))
+    }
+
+    /// True if the function actually depends on variable `v`.
+    #[inline]
+    pub fn depends_on(self, v: Var) -> bool {
+        let (g, h) = self.cofactors(v);
+        g != h
+    }
+
+    /// The set of variables the function depends on.
+    pub fn support(self) -> Vec<Var> {
+        Var::ALL.into_iter().filter(|&v| self.depends_on(v)).collect()
+    }
+
+    /// Number of variables in the support.
+    pub fn support_size(self) -> usize {
+        Var::ALL.into_iter().filter(|&v| self.depends_on(v)).count()
+    }
+
+    /// Shannon cofactors with respect to `v`: returns `(g, h)` where
+    /// `g = f|_{v=0}` and `h = f|_{v=1}`, each expressed as a function of the
+    /// two remaining variables (in index order).
+    ///
+    /// This is the decomposition `f = v'·g + v·h` the paper's S3 analysis is
+    /// built on (§2.1).
+    pub fn cofactors(self, v: Var) -> (Tt2, Tt2) {
+        let [x, y] = v.others();
+        let mut g = 0u8;
+        let mut h = 0u8;
+        for m in 0..8u8 {
+            let bit = (self.0 >> m) & 1;
+            let idx = ((m >> x.index()) & 1) | (((m >> y.index()) & 1) << 1);
+            if (m >> v.index()) & 1 == 0 {
+                g |= bit << idx;
+            } else {
+                h |= bit << idx;
+            }
+        }
+        (Tt2::new(g), Tt2::new(h))
+    }
+
+    /// Rebuilds a function from its cofactors: `f = v'·g + v·h` where `g` and
+    /// `h` are functions of the two non-`v` variables in index order.
+    pub fn from_cofactors(v: Var, g: Tt2, h: Tt2) -> Tt3 {
+        let [x, y] = v.others();
+        let sel = Tt3::var(v);
+        (!sel & g.lift(x, y)) | (sel & h.lift(x, y))
+    }
+
+    /// The 2:1 MUX composition `sel ? on1 : on0` of three truth tables.
+    ///
+    /// Composing truth tables (rather than variables) lets callers build
+    /// arbitrary two-level structures such as the paper's S3 gate.
+    #[inline]
+    pub fn mux(sel: Tt3, on0: Tt3, on1: Tt3) -> Tt3 {
+        (sel & on1) | (!sel & on0)
+    }
+
+    /// Applies a permutation to the inputs: output minterm variable `i` takes
+    /// the role of input variable `perm[i]`.
+    ///
+    /// That is, the result `r` satisfies
+    /// `r(x0, x1, x2) = f(x_{perm[0]}, x_{perm[1]}, x_{perm[2]})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `{0, 1, 2}`.
+    pub fn permute(self, perm: [usize; 3]) -> Tt3 {
+        let mut seen = [false; 3];
+        for &p in &perm {
+            assert!(p < 3 && !seen[p], "perm must be a permutation of 0..3");
+            seen[p] = true;
+        }
+        let mut bits = 0u8;
+        for m in 0..8u8 {
+            let args = [
+                (m >> perm[0]) & 1,
+                (m >> perm[1]) & 1,
+                (m >> perm[2]) & 1,
+            ];
+            let src = args[0] | (args[1] << 1) | (args[2] << 2);
+            bits |= ((self.0 >> src) & 1) << m;
+        }
+        Tt3(bits)
+    }
+
+    /// Complements variable `v` in the function (`f(.., v', ..)`).
+    pub fn negate_var(self, v: Var) -> Tt3 {
+        let shift = 1u8 << v.index();
+        let mut bits = 0u8;
+        for m in 0..8u8 {
+            bits |= ((self.0 >> (m ^ shift)) & 1) << m;
+        }
+        Tt3(bits)
+    }
+
+    /// True if the function equals the XOR of exactly two of its variables
+    /// (the third being irrelevant) — the paper's Figure 2 category 3.
+    pub fn is_two_input_xor(self) -> bool {
+        for v in Var::ALL {
+            let [x, y] = v.others();
+            if self == Tt2::XOR.lift(x, y) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True if the function equals the XNOR of exactly two of its variables —
+    /// Figure 2 category 4.
+    pub fn is_two_input_xnor(self) -> bool {
+        for v in Var::ALL {
+            let [x, y] = v.others();
+            if self == Tt2::XNOR.lift(x, y) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl std::ops::Not for Tt3 {
+    type Output = Tt3;
+    #[inline]
+    fn not(self) -> Tt3 {
+        Tt3(!self.0)
+    }
+}
+
+impl std::ops::BitAnd for Tt3 {
+    type Output = Tt3;
+    #[inline]
+    fn bitand(self, rhs: Tt3) -> Tt3 {
+        Tt3(self.0 & rhs.0)
+    }
+}
+
+impl std::ops::BitOr for Tt3 {
+    type Output = Tt3;
+    #[inline]
+    fn bitor(self, rhs: Tt3) -> Tt3 {
+        Tt3(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitXor for Tt3 {
+    type Output = Tt3;
+    #[inline]
+    fn bitxor(self, rhs: Tt3) -> Tt3 {
+        Tt3(self.0 ^ rhs.0)
+    }
+}
+
+impl fmt::Display for Tt3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:02X}", self.0)
+    }
+}
+
+impl fmt::Binary for Tt3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Tt3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Tt3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<Tt3> for u8 {
+    fn from(t: Tt3) -> u8 {
+        t.0
+    }
+}
+
+impl From<u8> for Tt3 {
+    fn from(bits: u8) -> Tt3 {
+        Tt3(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_masks_match_minterm_convention() {
+        for m in 0..8u8 {
+            assert_eq!(Tt3::var(Var::A).0 >> m & 1, m & 1);
+            assert_eq!(Tt3::var(Var::B).0 >> m & 1, (m >> 1) & 1);
+            assert_eq!(Tt3::var(Var::C).0 >> m & 1, (m >> 2) & 1);
+        }
+    }
+
+    #[test]
+    fn named_constants_evaluate_correctly() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    assert_eq!(Tt3::XOR3.eval(a, b, c), a ^ b ^ c);
+                    assert_eq!(Tt3::MAJ3.eval(a, b, c), (a & b) | (b & c) | (a & c));
+                    assert_eq!(Tt3::AND3.eval(a, b, c), a & b & c);
+                    assert_eq!(Tt3::OR3.eval(a, b, c), a | b | c);
+                    assert_eq!(Tt3::MUX.eval(a, b, c), if c { b } else { a });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cofactor_roundtrip_all_functions() {
+        for f in Tt3::all() {
+            for v in Var::ALL {
+                let (g, h) = f.cofactors(v);
+                assert_eq!(Tt3::from_cofactors(v, g, h), f, "f={f} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_cofactors_are_complements() {
+        for v in Var::ALL {
+            let (g, h) = Tt3::XOR3.cofactors(v);
+            assert_eq!(g, !h);
+            assert_eq!(g, Tt2::XOR);
+        }
+    }
+
+    #[test]
+    fn support_of_degenerate_functions() {
+        assert_eq!(Tt3::FALSE.support_size(), 0);
+        assert_eq!(Tt3::var(Var::B).support(), vec![Var::B]);
+        assert_eq!(Tt2::XOR.lift(Var::A, Var::C).support(), vec![Var::A, Var::C]);
+        assert_eq!(Tt3::XOR3.support_size(), 3);
+    }
+
+    #[test]
+    fn permute_identity_and_swap() {
+        let f = Tt3::MUX;
+        assert_eq!(f.permute([0, 1, 2]), f);
+        let g = f.permute([1, 0, 2]);
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    assert_eq!(g.eval(a, b, c), f.eval(b, a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negate_var_is_involution() {
+        for f in Tt3::all() {
+            for v in Var::ALL {
+                assert_eq!(f.negate_var(v).negate_var(v), f);
+            }
+        }
+    }
+
+    #[test]
+    fn two_input_xor_detection() {
+        assert!(Tt2::XOR.lift(Var::A, Var::B).is_two_input_xor());
+        assert!(Tt2::XNOR.lift(Var::B, Var::C).is_two_input_xnor());
+        assert!(!Tt3::XOR3.is_two_input_xor());
+        assert!(!Tt3::MAJ3.is_two_input_xor());
+    }
+
+    #[test]
+    fn literal_truth_tables() {
+        assert_eq!(Literal::Const1.tt(), Tt3::TRUE);
+        assert_eq!(Literal::Neg(Var::C).tt(), !Tt3::var(Var::C));
+        assert_eq!(Literal::ALL.len(), 8);
+    }
+
+    #[test]
+    fn tt2_depends_on() {
+        assert!(Tt2::XOR.depends_on(0).unwrap());
+        assert!(Tt2::XOR.depends_on(1).unwrap());
+        assert!(!Tt2::X.depends_on(1).unwrap());
+        assert!(Tt2::X.depends_on(0).unwrap());
+        assert!(Tt2::FALSE.is_constant());
+        assert!(Tt2::AND.depends_on(2).is_err());
+    }
+
+    #[test]
+    fn mux_composition_matches_constant() {
+        let f = Tt3::mux(Tt3::var(Var::C), Tt3::var(Var::A), Tt3::var(Var::B));
+        assert_eq!(f, Tt3::MUX);
+    }
+
+    #[test]
+    fn lift_keeps_function_shape() {
+        let f = Tt2::NAND.lift(Var::C, Var::A);
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    assert_eq!(f.eval(a, b, c), !(c & a), "b={b} should be ignored");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Cell instances within a netlist.
+
+use std::fmt;
+
+use vpga_logic::Tt3;
+
+use crate::ids::{GroupId, LibCellId, NetId};
+
+/// What a netlist cell instance is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// A primary input: no input pins, drives one net.
+    Input,
+    /// A primary output: one input pin, drives nothing.
+    Output,
+    /// A constant driver (tie cell).
+    Constant(bool),
+    /// An instance of a library cell.
+    Lib(LibCellId),
+}
+
+impl CellKind {
+    /// True for primary inputs/outputs and constants.
+    pub fn is_port_or_tie(self) -> bool {
+        !matches!(self, CellKind::Lib(_))
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellKind::Input => f.write_str("input"),
+            CellKind::Output => f.write_str("output"),
+            CellKind::Constant(v) => write!(f, "const{}", *v as u8),
+            CellKind::Lib(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+/// A cell instance: a named [`CellKind`] with ordered input pins and at most
+/// one output net.
+///
+/// Single-output cells keep the whole flow simple; multi-output structures
+/// (e.g. a full adder occupying one PLB) are modelled as several cells tied
+/// together by a [`GroupId`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    name: String,
+    kind: CellKind,
+    inputs: Vec<NetId>,
+    output: Option<NetId>,
+    group: Option<GroupId>,
+    config: Option<Tt3>,
+}
+
+impl Cell {
+    pub(crate) fn new(name: String, kind: CellKind, inputs: Vec<NetId>, output: Option<NetId>) -> Cell {
+        Cell {
+            name,
+            kind,
+            inputs,
+            output,
+            group: None,
+            config: None,
+        }
+    }
+
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What kind of cell this is.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The library cell id, if this is a library instance.
+    pub fn lib_id(&self) -> Option<LibCellId> {
+        match self.kind {
+            CellKind::Lib(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Ordered input nets (pin `i` reads `inputs()[i]`).
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The net this cell drives, if any.
+    pub fn output(&self) -> Option<NetId> {
+        self.output
+    }
+
+    /// The compaction group this cell belongs to, if any. Cells sharing a
+    /// group must land in the same PLB.
+    pub fn group(&self) -> Option<GroupId> {
+        self.group
+    }
+
+    /// The via-programmed function of this instance, if it overrides the
+    /// library cell's default.
+    pub fn config(&self) -> Option<Tt3> {
+        self.config
+    }
+
+    pub(crate) fn set_config(&mut self, config: Option<Tt3>) {
+        self.config = config;
+    }
+
+    pub(crate) fn set_group(&mut self, group: Option<GroupId>) {
+        self.group = group;
+    }
+
+    pub(crate) fn inputs_mut(&mut self) -> &mut Vec<NetId> {
+        &mut self.inputs
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn set_output(&mut self, output: Option<NetId>) {
+        self.output = output;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(CellKind::Input.to_string(), "input");
+        assert_eq!(CellKind::Constant(true).to_string(), "const1");
+        assert_eq!(
+            CellKind::Lib(LibCellId::from_index(3)).to_string(),
+            "lib3"
+        );
+    }
+
+    #[test]
+    fn port_or_tie_classification() {
+        assert!(CellKind::Input.is_port_or_tie());
+        assert!(CellKind::Constant(false).is_port_or_tie());
+        assert!(!CellKind::Lib(LibCellId::from_index(0)).is_port_or_tie());
+    }
+}

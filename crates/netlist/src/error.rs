@@ -1,0 +1,94 @@
+//! Error types for netlist construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{CellId, NetId};
+
+/// Errors raised while building, editing, or validating a [`crate::Netlist`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A cell name collided with an existing one (library or netlist scope).
+    DuplicateCellName(String),
+    /// A referenced cell id does not exist (or was removed).
+    UnknownCell(CellId),
+    /// A referenced net id does not exist (or was removed).
+    UnknownNet(NetId),
+    /// A referenced library cell name does not exist in the library.
+    UnknownLibCell(String),
+    /// A cell was instantiated with the wrong number of input pins.
+    PinCountMismatch {
+        /// The offending cell's name.
+        cell: String,
+        /// Pins supplied.
+        got: usize,
+        /// Pins required by the library cell.
+        expected: usize,
+    },
+    /// A net has no driver (floating input somewhere).
+    UndrivenNet(NetId),
+    /// A net has more than one driver.
+    MultipleDrivers(NetId),
+    /// The combinational part of the netlist contains a cycle through the
+    /// given cell.
+    CombinationalCycle(CellId),
+    /// Attempted to remove a cell whose output net still has sinks.
+    OutputInUse(CellId),
+    /// A via configuration outside the library cell's allowed function set.
+    InvalidConfig {
+        /// The offending cell's name.
+        cell: String,
+        /// The rejected function.
+        function: vpga_logic::Tt3,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateCellName(n) => write!(f, "duplicate cell name {n:?}"),
+            NetlistError::UnknownCell(id) => write!(f, "unknown cell {id}"),
+            NetlistError::UnknownNet(id) => write!(f, "unknown net {id}"),
+            NetlistError::UnknownLibCell(n) => write!(f, "unknown library cell {n:?}"),
+            NetlistError::PinCountMismatch { cell, got, expected } => write!(
+                f,
+                "cell {cell:?} instantiated with {got} input pins, expected {expected}"
+            ),
+            NetlistError::UndrivenNet(id) => write!(f, "net {id} has no driver"),
+            NetlistError::MultipleDrivers(id) => write!(f, "net {id} has multiple drivers"),
+            NetlistError::CombinationalCycle(id) => {
+                write!(f, "combinational cycle through cell {id}")
+            }
+            NetlistError::OutputInUse(id) => {
+                write!(f, "cell {id} still drives sinks and cannot be removed")
+            }
+            NetlistError::InvalidConfig { cell, function } => write!(
+                f,
+                "cell {cell:?} cannot be via-programmed to function {function}"
+            ),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_without_trailing_period() {
+        let errs: Vec<NetlistError> = vec![
+            NetlistError::DuplicateCellName("x".into()),
+            NetlistError::UnknownCell(CellId::from_index(1)),
+            NetlistError::UndrivenNet(NetId::from_index(2)),
+            NetlistError::CombinationalCycle(CellId::from_index(3)),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.ends_with('.'), "{msg}");
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("cell"));
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Graph algorithms over netlists: topological order, logic levels, fanin
+//! cones.
+//!
+//! Sequential cells (DFFs) cut the graph: their outputs are treated as
+//! combinational sources and their inputs as combinational sinks, exactly as
+//! static timing analysis sees the design.
+
+use std::collections::VecDeque;
+
+use crate::cell::CellKind;
+use crate::error::NetlistError;
+use crate::ids::{CellId, NetId};
+use crate::library::Library;
+use crate::netlist::Netlist;
+
+/// True if `cell` is a combinational source: a primary input, constant, or
+/// sequential output.
+pub fn is_source(netlist: &Netlist, lib: &Library, cell: CellId) -> bool {
+    match netlist.cell(cell).map(|c| c.kind()) {
+        Some(CellKind::Input) | Some(CellKind::Constant(_)) => true,
+        Some(CellKind::Lib(id)) => lib.cell(id).is_some_and(|c| c.is_sequential()),
+        _ => false,
+    }
+}
+
+/// Topological order of the *combinational* library cells (sequential cells,
+/// ports and ties excluded), such that every cell appears after the drivers
+/// of all its input nets.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the combinational logic
+/// contains a cycle.
+pub fn combinational_topo_order(
+    netlist: &Netlist,
+    lib: &Library,
+) -> Result<Vec<CellId>, NetlistError> {
+    let cap = netlist.cell_capacity();
+    let mut indegree = vec![0usize; cap];
+    let mut comb = vec![false; cap];
+    for (id, cell) in netlist.cells() {
+        let CellKind::Lib(lib_id) = cell.kind() else { continue };
+        let lc = lib.cell(lib_id).ok_or(NetlistError::UnknownCell(id))?;
+        if lc.is_sequential() {
+            continue;
+        }
+        comb[id.index()] = true;
+        let mut deg = 0;
+        for &n in cell.inputs() {
+            let driver = netlist.driver(n).ok_or(NetlistError::UndrivenNet(n))?;
+            if !is_source(netlist, lib, driver) {
+                deg += 1;
+            }
+        }
+        indegree[id.index()] = deg;
+    }
+    let mut queue: VecDeque<CellId> = netlist
+        .cells()
+        .filter(|(id, _)| comb[id.index()] && indegree[id.index()] == 0)
+        .map(|(id, _)| id)
+        .collect();
+    let mut order = Vec::new();
+    while let Some(id) = queue.pop_front() {
+        order.push(id);
+        let Some(out) = netlist.cell(id).and_then(|c| c.output()) else {
+            continue;
+        };
+        for &(sink, _) in netlist.sinks(out) {
+            if comb[sink.index()] {
+                indegree[sink.index()] -= 1;
+                if indegree[sink.index()] == 0 {
+                    queue.push_back(sink);
+                }
+            }
+        }
+    }
+    let total = comb.iter().filter(|&&c| c).count();
+    if order.len() != total {
+        let stuck = netlist
+            .cells()
+            .find(|(id, _)| comb[id.index()] && indegree[id.index()] > 0)
+            .map(|(id, _)| id)
+            .expect("some cell is stuck on a cycle");
+        return Err(NetlistError::CombinationalCycle(stuck));
+    }
+    Ok(order)
+}
+
+/// Logic level of every net: sources are level 0; a combinational cell's
+/// output is one more than the maximum level of its inputs.
+///
+/// Returned as a dense table indexed by [`NetId::index`]; dead slots are 0.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`] from the topological sort.
+pub fn net_levels(netlist: &Netlist, lib: &Library) -> Result<Vec<usize>, NetlistError> {
+    let order = combinational_topo_order(netlist, lib)?;
+    let mut level = vec![0usize; netlist.net_capacity()];
+    for id in order {
+        let cell = netlist.cell(id).expect("cell from topo order");
+        let lvl = cell
+            .inputs()
+            .iter()
+            .map(|n| level[n.index()])
+            .max()
+            .unwrap_or(0)
+            + 1;
+        if let Some(out) = cell.output() {
+            level[out.index()] = lvl;
+        }
+    }
+    Ok(level)
+}
+
+/// Maximum combinational depth (in cells) of the netlist.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError::CombinationalCycle`].
+pub fn logic_depth(netlist: &Netlist, lib: &Library) -> Result<usize, NetlistError> {
+    Ok(net_levels(netlist, lib)?.into_iter().max().unwrap_or(0))
+}
+
+/// The transitive fanin cone of `net`, stopping at combinational sources.
+/// Returns the combinational cells in the cone (topologically unordered) and
+/// the source nets feeding it.
+pub fn fanin_cone(
+    netlist: &Netlist,
+    lib: &Library,
+    net: NetId,
+) -> (Vec<CellId>, Vec<NetId>) {
+    let mut cone = Vec::new();
+    let mut leaves = Vec::new();
+    let mut seen_cells = vec![false; netlist.cell_capacity()];
+    let mut seen_nets = vec![false; netlist.net_capacity()];
+    let mut stack = vec![net];
+    while let Some(n) = stack.pop() {
+        if seen_nets[n.index()] {
+            continue;
+        }
+        seen_nets[n.index()] = true;
+        let Some(driver) = netlist.driver(n) else { continue };
+        if is_source(netlist, lib, driver) {
+            leaves.push(n);
+            continue;
+        }
+        if !seen_cells[driver.index()] {
+            seen_cells[driver.index()] = true;
+            cone.push(driver);
+            if let Some(cell) = netlist.cell(driver) {
+                stack.extend(cell.inputs().iter().copied());
+            }
+        }
+    }
+    (cone, leaves)
+}
+
+/// Fanout count of every net (dense table indexed by [`NetId::index`]).
+pub fn fanout_counts(netlist: &Netlist) -> Vec<usize> {
+    let mut counts = vec![0usize; netlist.net_capacity()];
+    for n in netlist.nets() {
+        counts[n.index()] = netlist.sinks(n).len();
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::generic;
+
+    fn chain() -> (Netlist, Library) {
+        // a -> inv1 -> inv2 -> dff -> inv3 -> y
+        let lib = generic::library();
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a");
+        let i1 = n.add_lib_cell("i1", &lib, "INV", &[a]).unwrap();
+        let i2 = n.add_lib_cell("i2", &lib, "INV", &[i1]).unwrap();
+        let q = n.add_lib_cell("ff", &lib, "DFF", &[i2]).unwrap();
+        let i3 = n.add_lib_cell("i3", &lib, "INV", &[q]).unwrap();
+        n.add_output("y", i3);
+        (n, lib)
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let (n, lib) = chain();
+        let order = combinational_topo_order(&n, &lib).unwrap();
+        assert_eq!(order.len(), 3); // DFF excluded
+        let pos = |name: &str| {
+            let id = n.cell_by_name(name).unwrap();
+            order.iter().position(|&c| c == id).unwrap()
+        };
+        assert!(pos("i1") < pos("i2"));
+    }
+
+    #[test]
+    fn dff_breaks_combinational_paths() {
+        let (n, lib) = chain();
+        // Depth is max over register-bounded segments: i1->i2 (2) vs i3 (1).
+        assert_eq!(logic_depth(&n, &lib).unwrap(), 2);
+    }
+
+    #[test]
+    fn levels_grow_along_chain() {
+        let (n, lib) = chain();
+        let levels = net_levels(&n, &lib).unwrap();
+        let net_of = |name: &str| n.cell(n.cell_by_name(name).unwrap()).unwrap().output().unwrap();
+        assert_eq!(levels[net_of("i1").index()], 1);
+        assert_eq!(levels[net_of("i2").index()], 2);
+        assert_eq!(levels[net_of("i3").index()], 1); // restarts after DFF
+    }
+
+    #[test]
+    fn sequential_loop_is_legal() {
+        // q feeds an inverter feeding the DFF's own D: fine, DFF cuts it.
+        let lib = generic::library();
+        let mut n = Netlist::new("toggle");
+        let seed = n.add_input("seed");
+        let q = n.add_lib_cell("ff", &lib, "DFF", &[seed]).unwrap();
+        let d = n.add_lib_cell("inv", &lib, "INV", &[q]).unwrap();
+        let ff = n.cell_by_name("ff").unwrap();
+        n.connect_pin(ff, 0, d).unwrap();
+        n.add_output("y", q);
+        assert!(combinational_topo_order(&n, &lib).is_ok());
+        n.validate(&lib).unwrap();
+    }
+
+    #[test]
+    fn combinational_cycle_is_detected() {
+        let lib = generic::library();
+        let mut n = Netlist::new("loop");
+        let a = n.add_input("a");
+        let g1 = n.add_lib_cell("g1", &lib, "AND2", &[a, a]).unwrap();
+        let g2 = n.add_lib_cell("g2", &lib, "INV", &[g1]).unwrap();
+        let g1_cell = n.cell_by_name("g1").unwrap();
+        n.connect_pin(g1_cell, 1, g2).unwrap();
+        n.add_output("y", g1);
+        assert!(matches!(
+            combinational_topo_order(&n, &lib),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn fanin_cone_stops_at_sources() {
+        let (n, lib) = chain();
+        let i3_net = n.cell(n.cell_by_name("i3").unwrap()).unwrap().output().unwrap();
+        let (cone, leaves) = fanin_cone(&n, &lib, i3_net);
+        assert_eq!(cone.len(), 1); // just i3
+        assert_eq!(leaves.len(), 1); // the DFF output
+        let q = n.cell(n.cell_by_name("ff").unwrap()).unwrap().output().unwrap();
+        assert_eq!(leaves[0], q);
+    }
+
+    #[test]
+    fn fanout_counts_match_sinks() {
+        let (n, _) = chain();
+        let counts = fanout_counts(&n);
+        let a_net = n.cell(n.inputs()[0]).unwrap().output().unwrap();
+        assert_eq!(counts[a_net.index()], 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Typed identifiers for netlist entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Builds an id from its raw index.
+            #[inline]
+            pub fn from_index(index: usize) -> $name {
+                $name(index as u32)
+            }
+
+            /// The raw index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a cell instance within a [`crate::Netlist`].
+    CellId,
+    "cell"
+);
+id_type!(
+    /// Identifier of a net within a [`crate::Netlist`].
+    NetId,
+    "net"
+);
+id_type!(
+    /// Identifier of a library cell within a [`crate::Library`].
+    LibCellId,
+    "lib"
+);
+id_type!(
+    /// Identifier of a compaction group: cells sharing a [`GroupId`] must be
+    /// packed into the same PLB.
+    GroupId,
+    "grp"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let c = CellId::from_index(42);
+        assert_eq!(c.index(), 42);
+        assert_eq!(c.to_string(), "cell42");
+        assert_eq!(NetId::from_index(7).to_string(), "net7");
+        assert_eq!(LibCellId::from_index(1).to_string(), "lib1");
+        assert_eq!(GroupId::from_index(0).to_string(), "grp0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CellId::from_index(1) < CellId::from_index(2));
+    }
+}

@@ -1,0 +1,54 @@
+//! Gate-level netlist substrate for the VPGA CAD flow.
+//!
+//! Every stage of the paper's design flow (Figure 6) consumes and produces
+//! netlists of *component cells* — the restricted standard-cell library made
+//! of the cells inside a PLB (MUX, XOA, ND3WI, 3-LUT, buffers, inverters,
+//! DFF). This crate provides:
+//!
+//! * the [`Netlist`] container — single-output cells, multi-fanout nets,
+//!   stable ids, and the edit operations the logic-compaction pass needs,
+//! * the [`Library`]/[`LibCell`] model carrying the electrical data the
+//!   CellRater-substitute characterization produces (area, input
+//!   capacitance, intrinsic delay, drive resistance),
+//! * graph algorithms ([`graph`]): combinational topological order, logic
+//!   levels, cone exploration, cycle detection,
+//! * a two-valued simulator ([`sim`]) used to prove that mapping and
+//!   compaction preserve design function,
+//! * netlist statistics ([`stats`]) including the NAND2-equivalent gate
+//!   count the paper reports designs in,
+//! * structural-Verilog interchange ([`io`]) for hand-off to external
+//!   tools.
+//!
+//! # Example
+//!
+//! ```
+//! use vpga_netlist::Netlist;
+//! use vpga_netlist::library::generic;
+//!
+//! let lib = generic::library();
+//! let mut n = Netlist::new("demo");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let and = n.add_lib_cell("g1", &lib, "AND2", &[a, b]).unwrap();
+//! n.add_output("y", and);
+//! assert!(n.validate(&lib).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod error;
+pub mod graph;
+mod ids;
+pub mod io;
+pub mod library;
+mod netlist;
+pub mod sim;
+pub mod stats;
+
+pub use cell::{Cell, CellKind};
+pub use error::NetlistError;
+pub use ids::{CellId, GroupId, LibCellId, NetId};
+pub use library::{CellClass, LibCell, Library};
+pub use netlist::Netlist;

@@ -1,0 +1,173 @@
+//! Netlist statistics, including the NAND2-equivalent gate count the paper
+//! reports its designs in ("the gate count for each design is given in units
+//! of equivalent 2-input Nand gates", §3.2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cell::CellKind;
+use crate::graph;
+use crate::library::{CellClass, Library};
+use crate::netlist::Netlist;
+
+/// Aggregate figures for a netlist against its library.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetlistStats {
+    /// Live library-cell instances per resource class.
+    pub cells_by_class: BTreeMap<CellClass, usize>,
+    /// Total cell area (µm²).
+    pub total_area: f64,
+    /// Area of combinational cells only (µm²).
+    pub comb_area: f64,
+    /// Area of sequential cells only (µm²).
+    pub seq_area: f64,
+    /// Number of live nets.
+    pub num_nets: usize,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Total sink pins across all nets.
+    pub num_pins: usize,
+    /// Maximum combinational depth in cells.
+    pub depth: usize,
+    /// Fraction of library instances that are sequential.
+    pub seq_fraction: f64,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist` against `lib`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle (run
+    /// [`Netlist::validate`] first).
+    pub fn compute(netlist: &Netlist, lib: &Library) -> NetlistStats {
+        let mut cells_by_class = BTreeMap::new();
+        let mut total_area = 0.0;
+        let mut comb_area = 0.0;
+        let mut seq_area = 0.0;
+        let mut seq_cells = 0usize;
+        let mut lib_cells = 0usize;
+        for (_, cell) in netlist.cells() {
+            let CellKind::Lib(id) = cell.kind() else { continue };
+            let lc = lib.cell(id).expect("netlist validated against lib");
+            *cells_by_class.entry(lc.class()).or_insert(0) += 1;
+            total_area += lc.area();
+            lib_cells += 1;
+            if lc.is_sequential() {
+                seq_area += lc.area();
+                seq_cells += 1;
+            } else {
+                comb_area += lc.area();
+            }
+        }
+        let num_pins = netlist.nets().map(|n| netlist.sinks(n).len()).sum();
+        let depth = graph::logic_depth(netlist, lib).expect("netlist is acyclic");
+        NetlistStats {
+            cells_by_class,
+            total_area,
+            comb_area,
+            seq_area,
+            num_nets: netlist.num_nets(),
+            num_inputs: netlist.inputs().len(),
+            num_outputs: netlist.outputs().len(),
+            num_pins,
+            depth,
+            seq_fraction: if lib_cells == 0 {
+                0.0
+            } else {
+                seq_cells as f64 / lib_cells as f64
+            },
+        }
+    }
+
+    /// Number of library instances across all classes.
+    pub fn num_lib_cells(&self) -> usize {
+        self.cells_by_class.values().sum()
+    }
+
+    /// NAND2-equivalent gate count: total area divided by the area of one
+    /// reference NAND2 gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nand2_area` is not strictly positive.
+    pub fn nand2_equivalent(&self, nand2_area: f64) -> f64 {
+        assert!(nand2_area > 0.0, "nand2_area must be positive");
+        self.total_area / nand2_area
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} lib cells, {} nets, {} PI, {} PO, depth {}",
+            self.num_lib_cells(),
+            self.num_nets,
+            self.num_inputs,
+            self.num_outputs,
+            self.depth
+        )?;
+        writeln!(
+            f,
+            "area {:.1} µm² (comb {:.1}, seq {:.1}), seq fraction {:.2}",
+            self.total_area, self.comb_area, self.seq_area, self.seq_fraction
+        )?;
+        for (class, count) in &self.cells_by_class {
+            writeln!(f, "  {class:8} {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::generic;
+
+    #[test]
+    fn stats_of_small_design() {
+        let lib = generic::library();
+        let mut n = Netlist::new("s");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_lib_cell("x", &lib, "XOR2", &[a, b]).unwrap();
+        let q = n.add_lib_cell("ff", &lib, "DFF", &[x]).unwrap();
+        n.add_output("y", q);
+        let stats = NetlistStats::compute(&n, &lib);
+        assert_eq!(stats.num_lib_cells(), 2);
+        assert_eq!(stats.num_inputs, 2);
+        assert_eq!(stats.num_outputs, 1);
+        assert_eq!(stats.cells_by_class[&CellClass::Generic], 1);
+        assert_eq!(stats.cells_by_class[&CellClass::Dff], 1);
+        assert!((stats.seq_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(stats.depth, 1);
+        let xor_area = lib.cell_by_name("XOR2").unwrap().area();
+        let dff_area = lib.cell_by_name("DFF").unwrap().area();
+        assert!((stats.total_area - xor_area - dff_area).abs() < 1e-9);
+        assert!((stats.comb_area - xor_area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nand2_equivalent_uses_reference_area() {
+        let lib = generic::library();
+        let mut n = Netlist::new("s");
+        let a = n.add_input("a");
+        let g = n.add_lib_cell("g", &lib, "NAND2", &[a, a]).unwrap();
+        n.add_output("y", g);
+        let stats = NetlistStats::compute(&n, &lib);
+        let eq = stats.nand2_equivalent(generic::NAND2_AREA);
+        assert!((eq - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_reference_area_panics() {
+        let lib = generic::library();
+        let n = Netlist::new("empty");
+        let stats = NetlistStats::compute(&n, &lib);
+        let _ = stats.nand2_equivalent(0.0);
+    }
+}

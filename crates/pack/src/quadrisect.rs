@@ -1,0 +1,865 @@
+//! The recursive-quadrisection packing algorithm and the pack↔place loop.
+
+use std::collections::HashMap;
+
+use vpga_core::{PlbArchitecture, SlotSet};
+use vpga_logic::Tt3;
+use vpga_netlist::{CellClass, CellId, CellKind, GroupId, Netlist};
+use vpga_place::{PlaceConfig, Placement};
+
+use crate::array::{PackError, PlbArray};
+
+/// Tunables for [`pack`] and [`pack_iterative`].
+#[derive(Clone, Debug)]
+pub struct PackConfig {
+    /// Array-sizing headroom: the array is sized so the binding resource
+    /// class is at most this full. Lower values give easier packing and a
+    /// larger die.
+    pub target_fill: f64,
+    /// Enable the §3.2 flexibility rule: a cell may take a slot of another
+    /// class when its via-programmed function allows it.
+    pub flexible: bool,
+    /// Iterations of the §3.1 pack ↔ physical-synthesis loop (1 = a single
+    /// pack with no replacement).
+    pub iterations: usize,
+    /// Per-cell timing criticality in `[0, 1]`, indexed by
+    /// [`CellId::index`]; weights the relocation cost.
+    pub criticality: Option<Vec<f64>>,
+    /// Retries with a grown array if packing fails.
+    pub growth_retries: usize,
+}
+
+impl Default for PackConfig {
+    fn default() -> PackConfig {
+        PackConfig {
+            target_fill: 0.85,
+            flexible: true,
+            iterations: 2,
+            criticality: None,
+            growth_retries: 8,
+        }
+    }
+}
+
+/// One movable unit: a single component cell or a whole compaction group.
+#[derive(Clone, Debug)]
+struct Item {
+    cells: Vec<(CellId, CellClass, Option<Tt3>)>,
+    demand: SlotSet,
+    /// Position in normalized grid coordinates (0..cols, 0..rows).
+    gx: f64,
+    gy: f64,
+    criticality: f64,
+}
+
+/// Packs the placed netlist into a PLB array of `arch`. The placement is
+/// read-only; apply the result with [`apply_to_placement`].
+///
+/// # Errors
+///
+/// * [`PackError::GroupTooLarge`] if a compaction group exceeds one PLB,
+/// * [`PackError::Unpackable`] if the design cannot be seated even after
+///   growing the array `config.growth_retries` times.
+///
+/// # Panics
+///
+/// Panics if `config.target_fill` is not in `(0, 1]`.
+pub fn pack(
+    netlist: &Netlist,
+    arch: &PlbArchitecture,
+    placement: &Placement,
+    config: &PackConfig,
+) -> Result<PlbArray, PackError> {
+    assert!(
+        config.target_fill > 0.0 && config.target_fill <= 1.0,
+        "target_fill must be in (0, 1]"
+    );
+    let lib = arch.library();
+    // Collect items: groups first, then singleton cells.
+    let mut group_items: HashMap<GroupId, Item> = HashMap::new();
+    let mut items: Vec<Item> = Vec::new();
+    let crit = |cell: CellId| -> f64 {
+        config
+            .criticality
+            .as_ref()
+            .and_then(|v| v.get(cell.index()).copied())
+            .unwrap_or(0.0)
+    };
+    for (id, cell) in netlist.cells() {
+        let CellKind::Lib(lib_id) = cell.kind() else { continue };
+        let lc = lib.cell(lib_id).expect("lib cell");
+        let class = lc.class();
+        let function = netlist.instance_function(id, lib);
+        let (x, y) = placement.position(id).unwrap_or((0.0, 0.0));
+        match cell.group() {
+            Some(g) => {
+                let item = group_items.entry(g).or_insert_with(|| Item {
+                    cells: Vec::new(),
+                    demand: SlotSet::new(),
+                    gx: 0.0,
+                    gy: 0.0,
+                    criticality: 0.0,
+                });
+                item.cells.push((id, class, function));
+                item.demand.add(class, 1);
+                item.gx += x;
+                item.gy += y;
+                item.criticality = item.criticality.max(crit(id));
+            }
+            None => {
+                let mut demand = SlotSet::new();
+                demand.add(class, 1);
+                items.push(Item {
+                    cells: vec![(id, class, function)],
+                    demand,
+                    gx: x,
+                    gy: y,
+                    criticality: crit(id),
+                });
+            }
+        }
+    }
+    for (_, mut item) in group_items {
+        let n = item.cells.len() as f64;
+        item.gx /= n;
+        item.gy /= n;
+        if !item.demand.fits(arch.capacity()) {
+            return Err(PackError::GroupTooLarge {
+                demand: item.demand,
+            });
+        }
+        items.push(item);
+    }
+    // Total demand per class.
+    let mut totals = SlotSet::new();
+    for item in &items {
+        totals = totals.plus(&item.demand);
+    }
+    // Minimum PLB count. When flexible placement is on, each cell's
+    // function may be hosted by several slot classes (the §3.2 flexibility
+    // that gives the granular PLB its packing efficiency). The exact
+    // counting bound is: for every subset S of slot classes, the cells
+    // whose compatible-class sets lie entirely inside S must fit within
+    // S's pooled capacity. With seven classes that is 128 subsets —
+    // enumerated exactly.
+    let mut n_plbs = items.len().max(1).div_ceil(arch.capacity().total() as usize);
+    let class_bit = |class: CellClass| -> u32 {
+        CellClass::PLB_CLASSES
+            .iter()
+            .position(|&c| c == class)
+            .expect("PLB class") as u32
+    };
+    let mut fit_cache: HashMap<(CellClass, Option<Tt3>), u8> = HashMap::new();
+    let mut demand_by_mask: HashMap<u8, usize> = HashMap::new();
+    for item in &items {
+        for &(_, class, function) in &item.cells {
+            let mask = if class.is_sequential() || !config.flexible {
+                1u8 << class_bit(class)
+            } else {
+                *fit_cache.entry((class, function)).or_insert_with(|| {
+                    compatible_classes(arch, class, function)
+                        .into_iter()
+                        .fold(0u8, |m, c| m | (1 << class_bit(c)))
+                })
+            };
+            *demand_by_mask.entry(mask).or_insert(0) += 1;
+        }
+    }
+    // Per-class hard infeasibility check (class with demand but no slots
+    // anywhere and no alternative host).
+    for class in CellClass::PLB_CLASSES {
+        let total = totals.count(class) as usize;
+        if total > 0 && arch.capacity().count(class) == 0 {
+            let bit = 1u8 << class_bit(class);
+            let stuck = demand_by_mask
+                .iter()
+                .filter(|&(&m, _)| m == bit)
+                .map(|(_, &n)| n)
+                .sum::<usize>();
+            if stuck > 0 {
+                return Err(PackError::CapacityExceeded {
+                    class,
+                    demand: total,
+                    available: 0,
+                });
+            }
+        }
+    }
+    for subset in 1u16..128 {
+        let subset = subset as u8;
+        let cap: usize = CellClass::PLB_CLASSES
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| subset & (1 << i) != 0)
+            .map(|(_, &c)| arch.capacity().count(c) as usize)
+            .sum();
+        let demand: usize = demand_by_mask
+            .iter()
+            .filter(|&(&m, _)| m & !subset == 0)
+            .map(|(_, &n)| n)
+            .sum();
+        if demand == 0 {
+            continue;
+        }
+        if cap == 0 {
+            // Some cell fits only classes this architecture lacks.
+            let class = CellClass::PLB_CLASSES
+                .iter()
+                .enumerate()
+                .find(|&(i, _)| subset & (1 << i) != 0)
+                .map(|(_, &c)| c)
+                .expect("non-empty subset");
+            return Err(PackError::CapacityExceeded {
+                class,
+                demand,
+                available: 0,
+            });
+        }
+        let need = (demand as f64 / (cap as f64 * config.target_fill)).ceil() as usize;
+        n_plbs = n_plbs.max(need);
+    }
+    // Grow-and-retry loop.
+    let mut attempt_plbs = n_plbs;
+    for retry in 0..=config.growth_retries {
+        let cols = (attempt_plbs as f64).sqrt().ceil() as usize;
+        let rows = attempt_plbs.div_ceil(cols);
+        let mut array = PlbArray::new(arch, cols, rows);
+        // Normalize item positions into grid coordinates.
+        let die = placement.die();
+        let mut grid_items = items.clone();
+        for item in grid_items.iter_mut() {
+            item.gx = ((item.gx - die.x0) / die.width().max(1e-9) * cols as f64)
+                .clamp(0.0, cols as f64 - 1e-6);
+            item.gy = ((item.gy - die.y0) / die.height().max(1e-9) * rows as f64)
+                .clamp(0.0, rows as f64 - 1e-6);
+        }
+        let mut spill: Vec<Item> = Vec::new();
+        quadrisect(
+            arch,
+            &mut array,
+            Region {
+                c0: 0,
+                c1: cols,
+                r0: 0,
+                r1: rows,
+            },
+            grid_items,
+            config,
+            &mut spill,
+        );
+        // Spill pass: hardest items first (groups, then the least flexible
+        // single cells), each into the nearest PLB with room.
+        spill.sort_by(|a, b| {
+            b.cells
+                .len()
+                .cmp(&a.cells.len())
+                .then_with(|| a.criticality.total_cmp(&b.criticality).reverse())
+        });
+        let mut leftover = 0usize;
+        for item in spill {
+            if !seat_nearest(arch, &mut array, &item, config) {
+                leftover += 1;
+                if std::env::var_os("VPGA_PACK_DEBUG").is_some() {
+                    eprintln!(
+                        "unseated item: {} cells, demand {}",
+                        item.cells.len(),
+                        item.demand
+                    );
+                }
+            }
+        }
+        if leftover == 0 {
+            return Ok(array);
+        }
+        if retry == config.growth_retries {
+            return Err(PackError::Unpackable { leftover });
+        }
+        // Escalating growth: gentle first (stay near the sizing bound),
+        // aggressive later (fragmentation by groups can need real slack).
+        let factor = match retry {
+            0..=2 => 1.06,
+            3..=4 => 1.12,
+            5..=6 => 1.25,
+            _ => 1.5,
+        };
+        attempt_plbs = (attempt_plbs as f64 * factor).ceil() as usize + 1;
+    }
+    unreachable!("loop returns or errors")
+}
+
+/// Writes the packed locations back into the placement: every cell moves to
+/// its PLB centre, the die becomes the array extent, and the I/O pads are
+/// rescaled onto the new periphery.
+pub fn apply_to_placement(array: &PlbArray, netlist: &Netlist, placement: &mut Placement) {
+    let old = placement.die();
+    let pitch = array.plb_pitch();
+    let new = vpga_place::Rect {
+        x0: 0.0,
+        y0: 0.0,
+        x1: array.cols() as f64 * pitch,
+        y1: array.rows() as f64 * pitch,
+    };
+    placement.set_die(new);
+    for &port in netlist.inputs().iter().chain(netlist.outputs()) {
+        if let Some((x, y)) = placement.position(port) {
+            let fx = (x - old.x0) / old.width().max(1e-9);
+            let fy = (y - old.y0) / old.height().max(1e-9);
+            placement.set_position(port, new.x0 + fx * new.width(), new.y0 + fy * new.height());
+        }
+    }
+    for (id, cell) in netlist.cells() {
+        if !matches!(cell.kind(), CellKind::Lib(_)) {
+            continue;
+        }
+        if let Some(ix) = array.plb_of(id) {
+            let (x, y) = array.plb_center(ix);
+            placement.set_position(id, x, y);
+        }
+    }
+}
+
+/// Slot classes that can host a cell of `class` computing `function`.
+fn compatible_classes(
+    arch: &PlbArchitecture,
+    class: CellClass,
+    function: Option<Tt3>,
+) -> Vec<CellClass> {
+    let mut out = vec![class];
+    let Some(f) = function else { return out };
+    for alt in CellClass::PLB_CLASSES {
+        if alt == class || alt.is_sequential() || arch.capacity().count(alt) == 0 {
+            continue;
+        }
+        let Some(cell) = arch.slot_cell(alt) else { continue };
+        if vpga_core::matcher::match_cell(cell, f, 3).is_some() {
+            out.push(alt);
+        }
+    }
+    out
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Region {
+    c0: usize,
+    c1: usize,
+    r0: usize,
+    r1: usize,
+}
+
+impl Region {
+    fn plbs(&self) -> usize {
+        (self.c1 - self.c0) * (self.r1 - self.r0)
+    }
+
+    fn center(&self) -> (f64, f64) {
+        (
+            (self.c0 + self.c1) as f64 / 2.0,
+            (self.r0 + self.r1) as f64 / 2.0,
+        )
+    }
+
+    fn capacity(&self, arch: &PlbArchitecture, class: CellClass) -> usize {
+        self.plbs() * arch.capacity().count(class) as usize
+    }
+}
+
+fn quadrisect(
+    arch: &PlbArchitecture,
+    array: &mut PlbArray,
+    region: Region,
+    items: Vec<Item>,
+    config: &PackConfig,
+    spill: &mut Vec<Item>,
+) {
+    if items.is_empty() {
+        return;
+    }
+    if region.plbs() == 1 {
+        let index = array.index_of(region.c0, region.r0);
+        // Groups first: they need several free slots at once.
+        let mut items = items;
+        items.sort_by_key(|i| std::cmp::Reverse(i.cells.len()));
+        for item in items {
+            if !seat(arch, array, index, &item, config) {
+                spill.push(item);
+            }
+        }
+        return;
+    }
+    // Split into quadrants (degenerate strips split in the long direction).
+    let cm = if region.c1 - region.c0 > 1 {
+        (region.c0 + region.c1) / 2
+    } else {
+        region.c1
+    };
+    let rm = if region.r1 - region.r0 > 1 {
+        (region.r0 + region.r1) / 2
+    } else {
+        region.r1
+    };
+    let mut quads: Vec<Region> = Vec::new();
+    for (c0, c1) in [(region.c0, cm), (cm, region.c1)] {
+        if c0 >= c1 {
+            continue;
+        }
+        for (r0, r1) in [(region.r0, rm), (rm, region.r1)] {
+            if r0 >= r1 {
+                continue;
+            }
+            quads.push(Region { c0, c1, r0, r1 });
+        }
+    }
+    // Geometric assignment.
+    let mut buckets: Vec<Vec<Item>> = vec![Vec::new(); quads.len()];
+    for item in items {
+        let q = quads
+            .iter()
+            .position(|q| {
+                item.gx >= q.c0 as f64
+                    && item.gx < q.c1 as f64
+                    && item.gy >= q.r0 as f64
+                    && item.gy < q.r1 as f64
+            })
+            .unwrap_or(0);
+        buckets[q].push(item);
+    }
+    // Resource balancing: relocate overflow items to quadrants with room,
+    // cheapest (criticality-weighted displacement) first.
+    balance(arch, &quads, &mut buckets, config);
+    for (q, bucket) in quads.iter().zip(buckets) {
+        quadrisect(arch, array, *q, bucket, config, spill);
+    }
+}
+
+fn demand_of(bucket: &[Item]) -> SlotSet {
+    let mut d = SlotSet::new();
+    for item in bucket {
+        d = d.plus(&item.demand);
+    }
+    d
+}
+
+fn overflows(arch: &PlbArchitecture, region: &Region, demand: &SlotSet) -> Option<CellClass> {
+    CellClass::PLB_CLASSES
+        .into_iter()
+        .find(|&class| (demand.count(class) as usize) > region.capacity(arch, class))
+}
+
+fn balance(
+    arch: &PlbArchitecture,
+    quads: &[Region],
+    buckets: &mut [Vec<Item>],
+    config: &PackConfig,
+) {
+    let mut demands: Vec<SlotSet> = buckets.iter().map(|b| demand_of(b)).collect();
+    // Bounded relocation loop.
+    for _ in 0..10_000 {
+        let Some((qi, class)) = quads
+            .iter()
+            .enumerate()
+            .find_map(|(i, q)| overflows(arch, q, &demands[i]).map(|c| (i, c)))
+        else {
+            return; // feasible everywhere
+        };
+        // Candidate items in the overfull quadrant that use the class.
+        let mut best: Option<(usize, usize, f64)> = None; // (item ix, target quad, cost)
+        for (ix, item) in buckets[qi].iter().enumerate() {
+            if item.demand.count(class) == 0 {
+                continue;
+            }
+            for (ti, tq) in quads.iter().enumerate() {
+                if ti == qi {
+                    continue;
+                }
+                // The move must not overflow the target.
+                let after = demands[ti].plus(&item.demand);
+                if overflows(arch, tq, &after).is_some() {
+                    continue;
+                }
+                let (cx, cy) = tq.center();
+                let dist = (item.gx - cx).abs() + (item.gy - cy).abs();
+                let cost = dist * (1.0 + 4.0 * item.criticality);
+                if best.is_none_or(|(_, _, c)| cost < c) {
+                    best = Some((ix, ti, cost));
+                }
+            }
+        }
+        let Some((ix, ti, _)) = best else {
+            // Nothing movable: leave the overflow for the spill pass.
+            return;
+        };
+        let mut item = buckets[qi].swap_remove(ix);
+        // Re-center the item inside the target quadrant so recursion
+        // buckets it correctly.
+        let (cx, cy) = quads[ti].center();
+        item.gx = cx - 0.25; // nudge off the midline
+        item.gy = cy - 0.25;
+        demands[qi] = demand_of(&buckets[qi]);
+        demands[ti] = demands[ti].plus(&item.demand);
+        buckets[ti].push(item);
+    }
+    let _ = config;
+}
+
+/// Seats an item into the given PLB; returns success.
+fn seat(
+    arch: &PlbArchitecture,
+    array: &mut PlbArray,
+    index: usize,
+    item: &Item,
+    config: &PackConfig,
+) -> bool {
+    if item.cells.len() > 1 {
+        // Groups are atomic; members retarget flexibly like singles.
+        let members: Vec<(CellClass, Option<Tt3>)> =
+            item.cells.iter().map(|&(_, c, f)| (c, f)).collect();
+        let landed: Option<Vec<CellClass>> = if config.flexible {
+            array.plb_mut(index).place_group_flexible(arch, &members)
+        } else if array.plb_mut(index).place_group(&item.demand) {
+            Some(members.iter().map(|&(c, _)| c).collect())
+        } else {
+            None
+        };
+        let Some(landed) = landed else { return false };
+        for (&(cell, _, _), slot) in item.cells.iter().zip(landed) {
+            array.assign(cell, index);
+            array.set_slot_class(cell, slot);
+        }
+        return true;
+    }
+    let (cell, class, function) = item.cells[0];
+    let landed = if config.flexible {
+        array.plb_mut(index).place_flexible(arch, class, function)
+    } else if array.plb_mut(index).place(class) {
+        Some(class)
+    } else {
+        None
+    };
+    match landed {
+        Some(slot) => {
+            array.assign(cell, index);
+            array.set_slot_class(cell, slot);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Seats an item into the nearest PLB with room.
+fn seat_nearest(
+    arch: &PlbArchitecture,
+    array: &mut PlbArray,
+    item: &Item,
+    config: &PackConfig,
+) -> bool {
+    let mut order: Vec<usize> = (0..array.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ac, ar) = array.position_of(a);
+        let (bc, br) = array.position_of(b);
+        let da = (ac as f64 + 0.5 - item.gx).abs() + (ar as f64 + 0.5 - item.gy).abs();
+        let db = (bc as f64 + 0.5 - item.gx).abs() + (br as f64 + 0.5 - item.gy).abs();
+        da.total_cmp(&db)
+    });
+    for index in order {
+        if seat(arch, array, index, item, config) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The §3.1 iterative loop: pack, pin well-seated cells, re-run physical
+/// synthesis for the rest, and pack again. Returns the final array and
+/// updates `placement` to the legalized positions.
+///
+/// # Errors
+///
+/// Propagates [`pack`] errors.
+pub fn pack_iterative(
+    netlist: &Netlist,
+    arch: &PlbArchitecture,
+    placement: &mut Placement,
+    place_config: &PlaceConfig,
+    config: &PackConfig,
+) -> Result<PlbArray, PackError> {
+    let mut array = pack(netlist, arch, placement, config)?;
+    for _ in 1..config.iterations.max(1) {
+        // Measure displacement of each cell from its assigned PLB centre.
+        let mut moved: Vec<(CellId, f64, (f64, f64))> = Vec::new();
+        for (id, cell) in netlist.cells() {
+            if !matches!(cell.kind(), CellKind::Lib(_)) {
+                continue;
+            }
+            let Some(ix) = array.plb_of(id) else { continue };
+            let target = array.plb_center(ix);
+            let Some((x, y)) = placement.position(id) else { continue };
+            // Normalize: the placement die and the array extent differ in
+            // scale; compare in fractional coordinates.
+            let die = placement.die();
+            let fx = (x - die.x0) / die.width().max(1e-9);
+            let fy = (y - die.y0) / die.height().max(1e-9);
+            let extent = (
+                array.cols() as f64 * array.plb_pitch(),
+                array.rows() as f64 * array.plb_pitch(),
+            );
+            let tx = target.0 / extent.0.max(1e-9);
+            let ty = target.1 / extent.1.max(1e-9);
+            let d = (fx - tx).abs() + (fy - ty).abs();
+            moved.push((id, d, target));
+        }
+        // Pin the best-seated 60 % at their PLB positions (scaled into the
+        // current die), re-anneal the rest.
+        moved.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let pin_count = moved.len() * 6 / 10;
+        let die = placement.die();
+        let extent = (
+            array.cols() as f64 * array.plb_pitch(),
+            array.rows() as f64 * array.plb_pitch(),
+        );
+        let mut pinned: Vec<CellId> = Vec::new();
+        for &(id, _, (tx, ty)) in moved.iter().take(pin_count) {
+            let x = die.x0 + die.width() * tx / extent.0.max(1e-9);
+            let y = die.y0 + die.height() * ty / extent.1.max(1e-9);
+            placement.set_position(id, x, y);
+            placement.set_fixed(id, true);
+            pinned.push(id);
+        }
+        vpga_place::refine(netlist, arch.library(), placement, place_config, 0.3);
+        for id in pinned {
+            placement.set_fixed(id, false);
+        }
+        array = pack(netlist, arch, placement, config)?;
+    }
+    apply_to_placement(&array, netlist, placement);
+    Ok(array)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpga_netlist::library::generic;
+    use vpga_netlist::Netlist;
+    use vpga_synth::map_netlist_fast;
+
+    fn mapped_design(
+        design: vpga_designs::NamedDesign,
+        arch: &PlbArchitecture,
+    ) -> Netlist {
+        let params = vpga_designs::DesignParams::tiny();
+        let src = generic::library();
+        map_netlist_fast(&design.generate(&params), &src, arch).expect("mappable")
+    }
+
+    #[test]
+    fn packs_all_tiny_designs_on_both_archs() {
+        for arch in [PlbArchitecture::granular(), PlbArchitecture::lut_based()] {
+            for design in vpga_designs::NamedDesign::ALL {
+                let netlist = mapped_design(design, &arch);
+                let placement = vpga_place::place(
+                    &netlist,
+                    arch.library(),
+                    &PlaceConfig::default(),
+                );
+                let array = pack(&netlist, &arch, &placement, &PackConfig::default())
+                    .unwrap_or_else(|e| panic!("{design} on {}: {e}", arch.name()));
+                // Every library cell is assigned.
+                let lib_cells = netlist
+                    .cells()
+                    .filter(|(_, c)| c.lib_id().is_some())
+                    .count();
+                assert_eq!(array.num_assigned(), lib_cells, "{design}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_plb_capacity_is_respected() {
+        let arch = PlbArchitecture::granular();
+        let netlist = mapped_design(vpga_designs::NamedDesign::Alu, &arch);
+        let placement = vpga_place::place(&netlist, arch.library(), &PlaceConfig::default());
+        let array = pack(&netlist, &arch, &placement, &PackConfig::default()).unwrap();
+        for (_, plb) in array.iter() {
+            for class in CellClass::PLB_CLASSES {
+                assert!(plb.used(class) <= arch.capacity().count(class));
+            }
+        }
+    }
+
+    #[test]
+    fn groups_land_in_one_plb() {
+        let arch = PlbArchitecture::granular();
+        let src = generic::library();
+        // Build a majority gate, which compacts into a grouped multi-cell
+        // configuration.
+        let mut n = Netlist::new("grp");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let m = n.add_lib_cell("m", &src, "MAJ3", &[a, b, c]).unwrap();
+        n.add_output("y", m);
+        let mut mapped = map_netlist_fast(&n, &src, &arch).unwrap();
+        // Give the realization cells a group explicitly if the mapper
+        // produced several cells.
+        let cells: Vec<CellId> = mapped
+            .cells()
+            .filter(|(_, c)| c.lib_id().is_some())
+            .map(|(id, _)| id)
+            .collect();
+        if cells.len() > 1 {
+            let g = mapped.new_group();
+            for &cell in &cells {
+                mapped.set_group(cell, Some(g)).unwrap();
+            }
+        }
+        let placement = vpga_place::place(&mapped, arch.library(), &PlaceConfig::default());
+        let array = pack(&mapped, &arch, &placement, &PackConfig::default()).unwrap();
+        let homes: std::collections::HashSet<usize> = cells
+            .iter()
+            .map(|&c| array.plb_of(c).expect("assigned"))
+            .collect();
+        assert_eq!(homes.len(), 1, "group split across PLBs");
+    }
+
+    #[test]
+    fn oversized_group_is_rejected() {
+        let arch = PlbArchitecture::granular();
+        let src = generic::library();
+        let mut n = Netlist::new("big");
+        let a = n.add_input("a");
+        // Five inverter-ish cells in one group exceed any slot mix.
+        let mut cur = a;
+        let mut cells = Vec::new();
+        for i in 0..5 {
+            cur = n.add_lib_cell(format!("g{i}"), &src, "INV", &[cur]).unwrap();
+            cells.push(n.driver(cur).unwrap());
+        }
+        n.add_output("y", cur);
+        let mapped = {
+            let mut m = map_netlist_fast(&n, &src, &arch).unwrap();
+            let cells: Vec<CellId> = m
+                .cells()
+                .filter(|(_, c)| c.lib_id().is_some())
+                .map(|(id, _)| id)
+                .collect();
+            let g = m.new_group();
+            for &c in &cells {
+                m.set_group(c, Some(g)).unwrap();
+            }
+            m
+        };
+        let placement = vpga_place::place(&mapped, arch.library(), &PlaceConfig::default());
+        let r = pack(&mapped, &arch, &placement, &PackConfig::default());
+        assert!(matches!(r, Err(PackError::GroupTooLarge { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn missing_class_is_reported() {
+        // A granular variant without ND3 slots cannot host an AND3 cell,
+        // whose function no MUX-capable slot can express.
+        let arch = PlbArchitecture::granular_variant("g-no-nd3", 2, 1, 0, 1);
+        let src = generic::library();
+        let mut n = Netlist::new("and3");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g = n.add_lib_cell("g", &src, "AND3", &[a, b, c]).unwrap();
+        n.add_output("y", g);
+        // Map against the *full* granular library, which still contains the
+        // ND3 cell; only the variant's capacity lacks slots for it.
+        let mapped = map_netlist_fast(&n, &src, &PlbArchitecture::granular()).unwrap();
+        let uses_nd3 = mapped.cells().any(|(id, _)| {
+            mapped
+                .instance_function(id, PlbArchitecture::granular().library())
+                .is_some_and(|f| !vpga_logic::cells::mux_set().contains(f))
+        });
+        assert!(uses_nd3, "AND3 must land on the gate slot");
+        let placement = vpga_place::place(
+            &mapped,
+            PlbArchitecture::granular().library(),
+            &PlaceConfig::default(),
+        );
+        let r = pack(&mapped, &arch, &placement, &PackConfig::default());
+        assert!(
+            matches!(r, Err(PackError::CapacityExceeded { .. })),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn flexible_packing_uses_fewer_or_equal_plbs() {
+        let arch = PlbArchitecture::granular();
+        let netlist = mapped_design(vpga_designs::NamedDesign::Fpu, &arch);
+        let placement = vpga_place::place(&netlist, arch.library(), &PlaceConfig::default());
+        let rigid = pack(
+            &netlist,
+            &arch,
+            &placement,
+            &PackConfig {
+                flexible: false,
+                ..PackConfig::default()
+            },
+        );
+        let flexible = pack(&netlist, &arch, &placement, &PackConfig::default());
+        // Rigid packing may fail outright where flexible succeeds; when
+        // both succeed, flexible never uses more PLBs.
+        if let (Ok(r), Ok(f)) = (&rigid, &flexible) {
+            assert!(f.len() <= r.len() || f.plbs_used() <= r.plbs_used());
+        } else {
+            assert!(flexible.is_ok());
+        }
+    }
+
+    #[test]
+    fn iterative_packing_reduces_wirelength_versus_single_shot() {
+        let arch = PlbArchitecture::granular();
+        let netlist = mapped_design(vpga_designs::NamedDesign::Alu, &arch);
+        let pc = PlaceConfig::default();
+        let mut p1 = vpga_place::place(&netlist, arch.library(), &pc);
+        let mut p2 = p1.clone();
+        let one = pack_iterative(
+            &netlist,
+            &arch,
+            &mut p1,
+            &pc,
+            &PackConfig {
+                iterations: 1,
+                ..PackConfig::default()
+            },
+        )
+        .unwrap();
+        let looped = pack_iterative(
+            &netlist,
+            &arch,
+            &mut p2,
+            &pc,
+            &PackConfig {
+                iterations: 3,
+                ..PackConfig::default()
+            },
+        )
+        .unwrap();
+        let w1 = p1.total_hpwl(&netlist);
+        let w2 = p2.total_hpwl(&netlist);
+        // The loop should not make things dramatically worse; typically it
+        // helps. Allow 10 % tolerance for annealing noise.
+        assert!(w2 <= w1 * 1.10, "loop {w2} vs single {w1}");
+        assert_eq!(one.arch_name(), looped.arch_name());
+    }
+
+    #[test]
+    fn applied_placement_sits_on_plb_centers() {
+        let arch = PlbArchitecture::lut_based();
+        let netlist = mapped_design(vpga_designs::NamedDesign::Alu, &arch);
+        let mut placement =
+            vpga_place::place(&netlist, arch.library(), &PlaceConfig::default());
+        let array = pack(&netlist, &arch, &placement, &PackConfig::default()).unwrap();
+        apply_to_placement(&array, &netlist, &mut placement);
+        for (id, cell) in netlist.cells() {
+            if cell.lib_id().is_none() {
+                continue;
+            }
+            let ix = array.plb_of(id).expect("assigned");
+            assert_eq!(placement.position(id), Some(array.plb_center(ix)));
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! VPR-style simulated-annealing placement.
+//!
+//! Cost is criticality-weighted half-perimeter wirelength. The annealer
+//! follows the classic adaptive schedule: the initial temperature is set
+//! from the cost spread of random perturbations, the window (range limit)
+//! tracks a target acceptance rate, and the temperature decay factor
+//! depends on the current acceptance rate.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vpga_netlist::{CellId, CellKind, Library, NetId, Netlist};
+
+use crate::grid::Placement;
+#[cfg(test)]
+use crate::grid::Rect;
+
+/// Tunables for [`place`] and [`refine`].
+#[derive(Clone, Debug)]
+pub struct PlaceConfig {
+    /// Fraction of die area occupied by cells (flow-a die sizing).
+    pub utilization: f64,
+    /// RNG seed (runs are deterministic for a given seed).
+    pub seed: u64,
+    /// Annealing effort: moves per cell per temperature step.
+    pub moves_per_cell: usize,
+    /// Per-net weights (timing criticality); `None` = uniform.
+    pub net_weights: Option<Vec<f64>>,
+}
+
+impl Default for PlaceConfig {
+    fn default() -> PlaceConfig {
+        PlaceConfig {
+            utilization: 0.7,
+            seed: 1,
+            moves_per_cell: 8,
+            net_weights: None,
+        }
+    }
+}
+
+/// Places all library cells of `netlist` by simulated annealing from a
+/// fresh random start; returns the placement.
+///
+/// # Panics
+///
+/// Panics if `config.utilization` is outside `(0, 1]`.
+pub fn place(netlist: &Netlist, lib: &Library, config: &PlaceConfig) -> Placement {
+    let mut placement = Placement::initial(netlist, lib, config.utilization);
+    let mut engine = Engine::new(netlist, lib, &mut placement, config);
+    engine.scatter();
+    engine.anneal(1.0);
+    engine.commit();
+    placement
+}
+
+/// Refines an existing placement at reduced temperature, honouring fixed
+/// cells and region constraints — the physical-synthesis re-run inside the
+/// §3.1 packing loop. `heat` in `(0, 1]` scales the starting temperature
+/// (1.0 = full anneal, 0.1 = gentle cleanup).
+///
+/// Unplaced movable cells are scattered first, so this also legalizes
+/// netlists that gained cells (e.g. after buffer insertion).
+///
+/// # Panics
+///
+/// Panics if `heat` is not in `(0, 1]`.
+pub fn refine(
+    netlist: &Netlist,
+    lib: &Library,
+    placement: &mut Placement,
+    config: &PlaceConfig,
+    heat: f64,
+) {
+    assert!(heat > 0.0 && heat <= 1.0, "heat must be in (0, 1]");
+    let mut engine = Engine::new(netlist, lib, placement, config);
+    engine.scatter_unplaced_only();
+    engine.anneal(heat);
+    engine.commit();
+}
+
+/// Internal annealing engine over a discrete site grid.
+struct Engine<'a> {
+    netlist: &'a Netlist,
+    placement: &'a mut Placement,
+    config: &'a PlaceConfig,
+    movable: Vec<CellId>,
+    /// Site grid: cols × rows, each holding at most one cell.
+    cols: usize,
+    rows: usize,
+    site_of: Vec<Option<usize>>, // by cell index
+    cell_at: Vec<Option<CellId>>,
+    /// Nets touched by each cell.
+    cell_nets: Vec<Vec<NetId>>,
+    /// Per-net cached bounding-box cost contribution.
+    net_cost: Vec<f64>,
+    weights: Vec<f64>,
+    rng: SmallRng,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        netlist: &'a Netlist,
+        lib: &'a Library,
+        placement: &'a mut Placement,
+        config: &'a PlaceConfig,
+    ) -> Engine<'a> {
+        let movable: Vec<CellId> = netlist
+            .cells()
+            .filter(|(id, cell)| {
+                matches!(cell.kind(), CellKind::Lib(_)) && !placement.is_fixed(*id)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let _ = lib;
+        let n_sites = ((movable.len() as f64) / config.utilization).ceil().max(1.0) as usize;
+        let cols = (n_sites as f64).sqrt().ceil() as usize;
+        let rows = n_sites.div_ceil(cols);
+        let mut weights = vec![1.0; netlist.net_capacity()];
+        if let Some(w) = &config.net_weights {
+            for (i, &v) in w.iter().enumerate().take(weights.len()) {
+                weights[i] = v;
+            }
+        }
+        // Zero-weight constant nets.
+        for net in netlist.nets() {
+            if let Some(driver) = netlist.driver(net) {
+                if matches!(
+                    netlist.cell(driver).map(|c| c.kind()),
+                    Some(CellKind::Constant(_))
+                ) {
+                    weights[net.index()] = 0.0;
+                }
+            }
+        }
+        let mut cell_nets: Vec<Vec<NetId>> = vec![Vec::new(); netlist.cell_capacity()];
+        for net in netlist.nets() {
+            if weights[net.index()] == 0.0 {
+                continue;
+            }
+            if let Some(d) = netlist.driver(net) {
+                cell_nets[d.index()].push(net);
+            }
+            for &(sink, _) in netlist.sinks(net) {
+                cell_nets[sink.index()].push(net);
+            }
+        }
+        for nets in cell_nets.iter_mut() {
+            nets.sort_unstable();
+            nets.dedup();
+        }
+        Engine {
+            netlist,
+            placement,
+            config,
+            movable,
+            cols,
+            rows,
+            site_of: vec![None; netlist.cell_capacity()],
+            cell_at: vec![None; cols * rows],
+            cell_nets,
+            net_cost: vec![0.0; netlist.net_capacity()],
+            weights,
+            rng: SmallRng::seed_from_u64(config.seed),
+        }
+    }
+
+    fn site_xy(&self, site: usize) -> (f64, f64) {
+        let die = self.placement.die();
+        let col = site % self.cols;
+        let row = site / self.cols;
+        (
+            die.x0 + die.width() * (col as f64 + 0.5) / self.cols as f64,
+            die.y0 + die.height() * (row as f64 + 0.5) / self.rows as f64,
+        )
+    }
+
+    fn nearest_site(&self, x: f64, y: f64) -> usize {
+        let die = self.placement.die();
+        let col = (((x - die.x0) / die.width()) * self.cols as f64)
+            .floor()
+            .clamp(0.0, (self.cols - 1) as f64) as usize;
+        let row = (((y - die.y0) / die.height()) * self.rows as f64)
+            .floor()
+            .clamp(0.0, (self.rows - 1) as f64) as usize;
+        row * self.cols + col
+    }
+
+    /// Random initial scatter of every movable cell.
+    fn scatter(&mut self) {
+        let mut sites: Vec<usize> = (0..self.cols * self.rows).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..sites.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            sites.swap(i, j);
+        }
+        let movable = self.movable.clone();
+        for (cell, site) in movable.into_iter().zip(sites) {
+            self.put(cell, site);
+        }
+        self.rebuild_costs();
+    }
+
+    /// Seeds only cells that lack positions, snapping the rest to their
+    /// nearest free site.
+    fn scatter_unplaced_only(&mut self) {
+        let mut free: Vec<usize> = (0..self.cols * self.rows).collect();
+        // Snap pre-placed cells first.
+        let movable = self.movable.clone();
+        let mut pending: Vec<CellId> = Vec::new();
+        for cell in movable {
+            match self.placement.position(cell) {
+                Some((x, y)) => {
+                    let mut site = self.nearest_site(x, y);
+                    if self.cell_at[site].is_some() {
+                        // Linear probe for a free site.
+                        site = (0..self.cell_at.len())
+                            .map(|d| (site + d) % self.cell_at.len())
+                            .find(|&s| self.cell_at[s].is_none())
+                            .expect("grid has at least as many sites as cells");
+                    }
+                    self.put(cell, site);
+                }
+                None => pending.push(cell),
+            }
+        }
+        free.retain(|&s| self.cell_at[s].is_none());
+        for i in (1..free.len().max(1) - 1).rev() {
+            let j = self.rng.gen_range(0..=i);
+            free.swap(i, j);
+        }
+        for (cell, site) in pending.into_iter().zip(free) {
+            self.put(cell, site);
+        }
+        self.rebuild_costs();
+    }
+
+    fn put(&mut self, cell: CellId, site: usize) {
+        debug_assert!(self.cell_at[site].is_none());
+        self.cell_at[site] = Some(cell);
+        self.site_of[cell.index()] = Some(site);
+        let (x, y) = self.site_xy(site);
+        self.placement.set_position(cell, x, y);
+    }
+
+    fn rebuild_costs(&mut self) {
+        for net in self.netlist.nets() {
+            self.net_cost[net.index()] = self.weighted_hpwl(net);
+        }
+    }
+
+    fn weighted_hpwl(&self, net: NetId) -> f64 {
+        let w = self.weights[net.index()];
+        if w == 0.0 {
+            return 0.0;
+        }
+        w * self.placement.net_hpwl(self.netlist, net)
+    }
+
+    fn total_cost(&self) -> f64 {
+        self.net_cost.iter().sum()
+    }
+
+    /// Attempts one move; returns the accepted cost delta, if accepted.
+    fn try_move(&mut self, temperature: f64, window: usize) -> Option<f64> {
+        if self.movable.is_empty() {
+            return None;
+        }
+        let cell = self.movable[self.rng.gen_range(0..self.movable.len())];
+        let from = self.site_of[cell.index()].expect("movable cell is seated");
+        // Target site within the window (and region constraint, if any).
+        let (fc, fr) = (from % self.cols, from / self.cols);
+        let w = window.max(1) as i64;
+        let tc = (fc as i64 + self.rng.gen_range(-w..=w)).clamp(0, self.cols as i64 - 1);
+        let tr = (fr as i64 + self.rng.gen_range(-w..=w)).clamp(0, self.rows as i64 - 1);
+        let to = tr as usize * self.cols + tc as usize;
+        if to == from {
+            return None;
+        }
+        let (tx, ty) = self.site_xy(to);
+        if let Some(r) = self.placement.region(cell) {
+            if !r.contains(tx, ty) {
+                return None;
+            }
+        }
+        let other = self.cell_at[to];
+        if let Some(o) = other {
+            if self.placement.is_fixed(o) {
+                return None;
+            }
+            let (fx, fy) = self.site_xy(from);
+            if let Some(r) = self.placement.region(o) {
+                if !r.contains(fx, fy) {
+                    return None;
+                }
+            }
+        }
+        // Affected nets.
+        let mut nets: Vec<NetId> = self.cell_nets[cell.index()].clone();
+        if let Some(o) = other {
+            nets.extend(self.cell_nets[o.index()].iter().copied());
+            nets.sort_unstable();
+            nets.dedup();
+        }
+        let before: f64 = nets.iter().map(|n| self.net_cost[n.index()]).sum();
+        // Apply tentatively.
+        self.swap_sites(cell, from, other, to);
+        let after: f64 = nets.iter().map(|&n| self.weighted_hpwl(n)).sum();
+        let delta = after - before;
+        let accept = delta <= 0.0
+            || self.rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
+        if accept {
+            for &n in &nets {
+                self.net_cost[n.index()] = self.weighted_hpwl(n);
+            }
+            Some(delta)
+        } else {
+            self.swap_sites(cell, to, other, from);
+            None
+        }
+    }
+
+    fn swap_sites(&mut self, cell: CellId, from: usize, other: Option<CellId>, to: usize) {
+        self.cell_at[from] = other;
+        self.cell_at[to] = Some(cell);
+        self.site_of[cell.index()] = Some(to);
+        let (x, y) = self.site_xy(to);
+        self.placement.set_position(cell, x, y);
+        if let Some(o) = other {
+            self.site_of[o.index()] = Some(from);
+            let (ox, oy) = self.site_xy(from);
+            self.placement.set_position(o, ox, oy);
+        }
+    }
+
+    fn anneal(&mut self, heat: f64) {
+        if self.movable.len() < 2 {
+            return;
+        }
+        // Initial temperature from the spread of random perturbations.
+        let probes = (self.movable.len() * 2).clamp(16, 512);
+        let mut deltas: Vec<f64> = Vec::with_capacity(probes);
+        for _ in 0..probes {
+            if let Some(d) = self.try_move(f64::INFINITY, self.cols.max(self.rows)) {
+                deltas.push(d);
+            }
+        }
+        let mean = deltas.iter().copied().sum::<f64>() / deltas.len().max(1) as f64;
+        let var = deltas
+            .iter()
+            .map(|d| (d - mean) * (d - mean))
+            .sum::<f64>()
+            / deltas.len().max(1) as f64;
+        let mut t = (20.0 * var.sqrt()).max(1.0) * heat;
+        let mut window = self.cols.max(self.rows);
+        let moves = self.config.moves_per_cell * self.movable.len();
+        let stop = 0.002 * self.total_cost().max(1.0) / self.netlist.num_nets().max(1) as f64;
+        for _ in 0..200 {
+            let mut accepted = 0usize;
+            for _ in 0..moves {
+                if self.try_move(t, window).is_some() {
+                    accepted += 1;
+                }
+            }
+            let rate = accepted as f64 / moves.max(1) as f64;
+            // VPR schedule.
+            let alpha = if rate > 0.96 {
+                0.5
+            } else if rate > 0.8 {
+                0.9
+            } else if rate > 0.15 {
+                0.95
+            } else {
+                0.8
+            };
+            t *= alpha;
+            // Track 44 % target acceptance with the window size.
+            let scale = 1.0 - 0.44 + rate;
+            window = ((window as f64 * scale).round() as usize)
+                .clamp(1, self.cols.max(self.rows));
+            if t < stop {
+                break;
+            }
+        }
+    }
+
+    fn commit(&mut self) {
+        // Positions were updated move-by-move; nothing further to do.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpga_netlist::library::generic;
+
+    /// A chain of inverters: optimal placement is a monotone path, so the
+    /// annealed wirelength should be far below the random-scatter baseline.
+    fn inverter_chain(n: usize) -> (Netlist, Library) {
+        let lib = generic::library();
+        let mut nl = Netlist::new("chain");
+        let mut cur = nl.add_input("a");
+        for i in 0..n {
+            cur = nl.add_lib_cell(format!("i{i}"), &lib, "INV", &[cur]).unwrap();
+        }
+        nl.add_output("y", cur);
+        (nl, lib)
+    }
+
+    #[test]
+    fn annealing_beats_random_scatter() {
+        let (nl, lib) = inverter_chain(60);
+        let config = PlaceConfig::default();
+        // Random baseline.
+        let mut baseline = Placement::initial(&nl, &lib, config.utilization);
+        {
+            let mut engine = Engine::new(&nl, &lib, &mut baseline, &config);
+            engine.scatter();
+        }
+        let random_cost = baseline.total_hpwl(&nl);
+        let placed = place(&nl, &lib, &config);
+        let annealed_cost = placed.total_hpwl(&nl);
+        assert!(
+            annealed_cost < 0.6 * random_cost,
+            "annealed {annealed_cost} vs random {random_cost}"
+        );
+        assert!(placed.is_complete(&nl));
+    }
+
+    #[test]
+    fn annealed_placement_has_no_overlaps() {
+        let (nl, lib) = inverter_chain(40);
+        let p = place(&nl, &lib, &PlaceConfig::default());
+        // Tolerance well below the site pitch: every cell has its own site.
+        assert_eq!(p.overlap_count(&nl, p.site_pitch() * 0.5), 0);
+    }
+
+    #[test]
+    fn placement_is_deterministic_for_a_seed() {
+        let (nl, lib) = inverter_chain(20);
+        let config = PlaceConfig::default();
+        let p1 = place(&nl, &lib, &config);
+        let p2 = place(&nl, &lib, &config);
+        for (id, _) in nl.cells() {
+            assert_eq!(p1.position(id), p2.position(id));
+        }
+    }
+
+    #[test]
+    fn fixed_cells_do_not_move_during_refine() {
+        let (nl, lib) = inverter_chain(12);
+        let config = PlaceConfig::default();
+        let mut p = place(&nl, &lib, &config);
+        let anchor = nl.cell_by_name("i5").unwrap();
+        let pos = p.position(anchor).unwrap();
+        p.set_fixed(anchor, true);
+        refine(&nl, &lib, &mut p, &config, 0.3);
+        assert_eq!(p.position(anchor), Some(pos));
+        assert!(p.is_complete(&nl));
+    }
+
+    #[test]
+    fn region_constraints_are_respected() {
+        let (nl, lib) = inverter_chain(12);
+        let config = PlaceConfig::default();
+        let mut p = place(&nl, &lib, &config);
+        let die = p.die();
+        let half = Rect {
+            x0: die.x0,
+            y0: die.y0,
+            x1: die.x0 + die.width() / 2.0,
+            y1: die.y1,
+        };
+        let constrained = nl.cell_by_name("i3").unwrap();
+        // Move it inside the region first, then constrain.
+        p.set_position(constrained, half.x0 + 1.0, half.y0 + 1.0);
+        p.set_region(constrained, Some(half));
+        refine(&nl, &lib, &mut p, &config, 0.5);
+        let (x, y) = p.position(constrained).unwrap();
+        assert!(half.contains(x, y), "cell escaped its region: {x},{y}");
+    }
+
+    #[test]
+    fn net_weights_pull_critical_nets_tighter() {
+        // Two independent 2-cell nets; weight one heavily and compare the
+        // resulting lengths.
+        let lib = generic::library();
+        let mut nl = Netlist::new("w");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_lib_cell("g1", &lib, "INV", &[a]).unwrap();
+        let g2 = nl.add_lib_cell("g2", &lib, "INV", &[g1]).unwrap();
+        let h1 = nl.add_lib_cell("h1", &lib, "INV", &[b]).unwrap();
+        let h2 = nl.add_lib_cell("h2", &lib, "INV", &[h1]).unwrap();
+        nl.add_output("y1", g2);
+        nl.add_output("y2", h2);
+        let mut weights = vec![1.0; nl.net_capacity()];
+        weights[g1.index()] = 10.0; // the g1→g2 net is critical
+        let config = PlaceConfig {
+            net_weights: Some(weights),
+            seed: 7,
+            ..PlaceConfig::default()
+        };
+        let p = place(&nl, &lib, &config);
+        let critical = p.net_hpwl(&nl, g1);
+        // The heavily weighted net must be among the shortest movable nets.
+        let other = p.net_hpwl(&nl, h1);
+        assert!(
+            critical <= other + 1e-9,
+            "critical {critical} vs other {other}"
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! Placement state: die, site grid, and cell coordinates.
+
+use vpga_netlist::{CellId, CellKind, Library, NetId, Netlist};
+
+/// An axis-aligned rectangle in µm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f64,
+    /// Bottom edge.
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Top edge.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Width of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// True if the point lies inside (inclusive).
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+}
+
+/// Cell coordinates over a die, produced by [`crate::place`] and consumed by
+/// routing, timing, and packing.
+///
+/// Library cells sit on a uniform site grid inside the die; primary inputs
+/// and outputs are pinned to the periphery; constant tie cells have no
+/// position (via strapping is local, so constant nets carry no wire).
+#[derive(Clone, Debug)]
+pub struct Placement {
+    positions: Vec<Option<(f64, f64)>>,
+    fixed: Vec<bool>,
+    region: Vec<Option<Rect>>,
+    die: Rect,
+    site_pitch: f64,
+}
+
+impl Placement {
+    /// Creates an unplaced state for `netlist`: the die is sized so that
+    /// `utilization` of its area is cell area, I/O pads are pinned around
+    /// the periphery, and all library cells are unplaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not in `(0, 1]`.
+    pub fn initial(netlist: &Netlist, lib: &Library, utilization: f64) -> Placement {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+        let mut total_area = 0.0;
+        let mut n_cells = 0usize;
+        for (_, cell) in netlist.cells() {
+            if let CellKind::Lib(id) = cell.kind() {
+                total_area += lib.cell(id).expect("lib cell").area();
+                n_cells += 1;
+            }
+        }
+        let die_area = (total_area / utilization).max(1.0);
+        let side = die_area.sqrt();
+        let die = Rect {
+            x0: 0.0,
+            y0: 0.0,
+            x1: side,
+            y1: side,
+        };
+        let site_pitch = if n_cells == 0 {
+            side.max(1.0)
+        } else {
+            (die_area / n_cells as f64).sqrt()
+        };
+        let mut p = Placement {
+            positions: vec![None; netlist.cell_capacity()],
+            fixed: vec![false; netlist.cell_capacity()],
+            region: vec![None; netlist.cell_capacity()],
+            die,
+            site_pitch,
+        };
+        p.pin_io_pads(netlist);
+        p
+    }
+
+    /// Pins primary inputs and outputs evenly around the die periphery
+    /// (inputs on the left and top edges, outputs on the right and bottom).
+    fn pin_io_pads(&mut self, netlist: &Netlist) {
+        let die = self.die;
+        let place_edge = |i: usize, n: usize, left_top: bool| -> (f64, f64) {
+            let frac = (i as f64 + 0.5) / n as f64;
+            if left_top {
+                if frac < 0.5 {
+                    (die.x0, die.y0 + die.height() * frac * 2.0)
+                } else {
+                    (die.x0 + die.width() * (frac - 0.5) * 2.0, die.y1)
+                }
+            } else if frac < 0.5 {
+                (die.x1, die.y0 + die.height() * frac * 2.0)
+            } else {
+                (die.x0 + die.width() * (frac - 0.5) * 2.0, die.y0)
+            }
+        };
+        let n_in = netlist.inputs().len().max(1);
+        for (i, &pi) in netlist.inputs().iter().enumerate() {
+            let (x, y) = place_edge(i, n_in, true);
+            self.positions[pi.index()] = Some((x, y));
+            self.fixed[pi.index()] = true;
+        }
+        let n_out = netlist.outputs().len().max(1);
+        for (i, &po) in netlist.outputs().iter().enumerate() {
+            let (x, y) = place_edge(i, n_out, false);
+            self.positions[po.index()] = Some((x, y));
+            self.fixed[po.index()] = true;
+        }
+    }
+
+    /// The die rectangle.
+    pub fn die(&self) -> Rect {
+        self.die
+    }
+
+    /// Replaces the die rectangle (used when the packer re-targets the
+    /// placement onto a PLB array of different dimensions).
+    pub fn set_die(&mut self, die: Rect) {
+        self.die = die;
+    }
+
+    /// The uniform site pitch, µm.
+    pub fn site_pitch(&self) -> f64 {
+        self.site_pitch
+    }
+
+    /// The position of a cell, if placed.
+    pub fn position(&self, cell: CellId) -> Option<(f64, f64)> {
+        self.positions.get(cell.index()).copied().flatten()
+    }
+
+    /// Places (or moves) a cell. Grows the internal tables if the netlist
+    /// gained cells since construction (buffer insertion does this).
+    pub fn set_position(&mut self, cell: CellId, x: f64, y: f64) {
+        if cell.index() >= self.positions.len() {
+            self.positions.resize(cell.index() + 1, None);
+            self.fixed.resize(cell.index() + 1, false);
+            self.region.resize(cell.index() + 1, None);
+        }
+        self.positions[cell.index()] = Some((x, y));
+    }
+
+    /// True if the cell may not be moved by annealing.
+    pub fn is_fixed(&self, cell: CellId) -> bool {
+        self.fixed.get(cell.index()).copied().unwrap_or(false)
+    }
+
+    /// Fixes or releases a cell.
+    pub fn set_fixed(&mut self, cell: CellId, fixed: bool) {
+        if cell.index() >= self.fixed.len() {
+            self.set_position(cell, 0.0, 0.0);
+            self.positions[cell.index()] = None;
+        }
+        self.fixed[cell.index()] = fixed;
+    }
+
+    /// The region constraint of a cell, if any.
+    pub fn region(&self, cell: CellId) -> Option<Rect> {
+        self.region.get(cell.index()).copied().flatten()
+    }
+
+    /// Constrains a cell to a region (annealing keeps it inside).
+    pub fn set_region(&mut self, cell: CellId, region: Option<Rect>) {
+        if cell.index() >= self.region.len() {
+            self.set_position(cell, 0.0, 0.0);
+            self.positions[cell.index()] = None;
+        }
+        self.region[cell.index()] = region;
+    }
+
+    /// Half-perimeter wirelength of one net, µm (0 for nets with fewer than
+    /// two placed pins or driven by constants).
+    pub fn net_hpwl(&self, netlist: &Netlist, net: NetId) -> f64 {
+        let Some(driver) = netlist.driver(net) else { return 0.0 };
+        if matches!(
+            netlist.cell(driver).map(|c| c.kind()),
+            Some(CellKind::Constant(_))
+        ) {
+            return 0.0;
+        }
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        let mut pins = 0;
+        let mut visit = |cell: CellId| {
+            if let Some((x, y)) = self.position(cell) {
+                min_x = min_x.min(x);
+                max_x = max_x.max(x);
+                min_y = min_y.min(y);
+                max_y = max_y.max(y);
+                pins += 1;
+            }
+        };
+        visit(driver);
+        for &(sink, _) in netlist.sinks(net) {
+            visit(sink);
+        }
+        if pins < 2 {
+            return 0.0;
+        }
+        (max_x - min_x) + (max_y - min_y)
+    }
+
+    /// Total half-perimeter wirelength over all nets, µm.
+    pub fn total_hpwl(&self, netlist: &Netlist) -> f64 {
+        netlist.nets().map(|n| self.net_hpwl(netlist, n)).sum()
+    }
+
+    /// Number of site-coincident library-cell pairs (cells placed at the
+    /// same coordinates). Zero after annealing; intra-PLB co-location after
+    /// packing is expected and excluded by passing the PLB pitch as
+    /// `tolerance` there.
+    pub fn overlap_count(&self, netlist: &Netlist, tolerance: f64) -> usize {
+        let mut positions: Vec<(i64, i64)> = Vec::new();
+        let quantum = tolerance.max(1e-9);
+        for (id, cell) in netlist.cells() {
+            if !matches!(cell.kind(), CellKind::Lib(_)) {
+                continue;
+            }
+            if let Some((x, y)) = self.position(id) {
+                positions.push(((x / quantum) as i64, (y / quantum) as i64));
+            }
+        }
+        positions.sort_unstable();
+        positions.windows(2).filter(|w| w[0] == w[1]).count()
+    }
+
+    /// True if every library cell has a position inside the die.
+    pub fn is_complete(&self, netlist: &Netlist) -> bool {
+        netlist.cells().all(|(id, cell)| match cell.kind() {
+            CellKind::Lib(_) => self
+                .position(id)
+                .is_some_and(|(x, y)| self.die.contains(x, y)),
+            _ => true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpga_netlist::library::generic;
+
+    fn sample() -> (Netlist, Library) {
+        let lib = generic::library();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_lib_cell("g", &lib, "AND2", &[a, b]).unwrap();
+        n.add_output("y", g);
+        (n, lib)
+    }
+
+    #[test]
+    fn die_is_sized_from_utilization() {
+        let (n, lib) = sample();
+        let p = Placement::initial(&n, &lib, 0.5);
+        let cell_area = lib.cell_by_name("AND2").unwrap().area();
+        assert!((p.die().area() - cell_area / 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn io_pads_are_fixed_on_the_periphery() {
+        let (n, lib) = sample();
+        let p = Placement::initial(&n, &lib, 0.7);
+        for &pi in n.inputs() {
+            assert!(p.is_fixed(pi));
+            let (x, y) = p.position(pi).unwrap();
+            let die = p.die();
+            let on_edge = x == die.x0 || x == die.x1 || y == die.y0 || y == die.y1;
+            assert!(on_edge);
+        }
+    }
+
+    #[test]
+    fn hpwl_reflects_positions() {
+        let (n, lib) = sample();
+        let mut p = Placement::initial(&n, &lib, 0.7);
+        let g = n.cell_by_name("g").unwrap();
+        p.set_position(g, 1.0, 1.0);
+        let a_net = n.cell(n.inputs()[0]).unwrap().output().unwrap();
+        let hp = p.net_hpwl(&n, a_net);
+        let (ax, ay) = p.position(n.inputs()[0]).unwrap();
+        assert!((hp - ((1.0 - ax).abs() + (1.0 - ay).abs())).abs() < 1e-9);
+        assert!(p.total_hpwl(&n) > 0.0);
+    }
+
+    #[test]
+    fn constant_nets_have_zero_wirelength() {
+        let lib = generic::library();
+        let mut n = Netlist::new("c");
+        let a = n.add_input("a");
+        let one = n.constant(true);
+        let g = n.add_lib_cell("g", &lib, "AND2", &[a, one]).unwrap();
+        n.add_output("y", g);
+        let mut p = Placement::initial(&n, &lib, 0.7);
+        let gc = n.cell_by_name("g").unwrap();
+        p.set_position(gc, 3.0, 3.0);
+        assert_eq!(p.net_hpwl(&n, one), 0.0);
+    }
+
+    #[test]
+    fn completeness_check() {
+        let (n, lib) = sample();
+        let mut p = Placement::initial(&n, &lib, 0.7);
+        assert!(!p.is_complete(&n));
+        let g = n.cell_by_name("g").unwrap();
+        let die = p.die();
+        p.set_position(g, die.width() / 2.0, die.height() / 2.0);
+        assert!(p.is_complete(&n));
+    }
+
+    #[test]
+    fn regions_and_growth() {
+        let (n, lib) = sample();
+        let mut p = Placement::initial(&n, &lib, 0.7);
+        let g = n.cell_by_name("g").unwrap();
+        let r = Rect { x0: 0.0, y0: 0.0, x1: 1.0, y1: 1.0 };
+        p.set_region(g, Some(r));
+        assert_eq!(p.region(g), Some(r));
+        // Growth for later-added cells.
+        let far = CellId::from_index(1000);
+        p.set_position(far, 2.0, 2.0);
+        assert_eq!(p.position(far), Some((2.0, 2.0)));
+    }
+}

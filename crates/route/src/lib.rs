@@ -1,0 +1,559 @@
+//! Global routing over the die grid — the "ASIC-style custom global and
+//! detailed routing on the regular array of PLBs" of §3.1.
+//!
+//! A negotiated-congestion (PathFinder-style) router over a uniform tile
+//! grid: every net is ripped up and re-routed each iteration with edge
+//! costs that combine a base cost, a present-congestion penalty, and an
+//! accumulated history penalty, until no edge exceeds its channel capacity.
+//! Per-net routed wirelengths feed the Elmore wire delays of `vpga-timing`;
+//! this is the post-layout extraction step of the paper's flow.
+//!
+//! Two-pin connections are A*-routed driver→sink with free reuse of the
+//! net's own earlier branches, so multi-fanout nets form Steiner-like trees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BinaryHeap, HashSet};
+
+use vpga_netlist::{CellKind, Library, NetId, Netlist};
+use vpga_place::Placement;
+
+/// Router tunables.
+#[derive(Clone, Debug)]
+pub struct RouteConfig {
+    /// Routing tracks per tile boundary, per direction.
+    pub channel_capacity: u32,
+    /// Maximum negotiation iterations.
+    pub max_iterations: usize,
+    /// Tile edge length, µm. `None` derives a grid of roughly
+    /// `target_tiles` tiles from the die.
+    pub tile_size: Option<f64>,
+    /// Grid sizing target when `tile_size` is `None`.
+    pub target_tiles: usize,
+    /// Present-congestion penalty factor.
+    pub present_factor: f64,
+    /// History penalty increment per overflowed edge per iteration.
+    pub history_increment: f64,
+    /// Retain the per-net tile paths in the result (costs memory on large
+    /// designs; needed for physical hand-off and route inspection).
+    pub keep_routes: bool,
+}
+
+impl Default for RouteConfig {
+    fn default() -> RouteConfig {
+        RouteConfig {
+            channel_capacity: 16,
+            max_iterations: 8,
+            tile_size: None,
+            target_tiles: 4096,
+            present_factor: 0.6,
+            history_increment: 0.4,
+            keep_routes: false,
+        }
+    }
+}
+
+/// Result of a routing run: per-net wirelengths plus congestion statistics.
+#[derive(Clone, Debug)]
+pub struct RoutingResult {
+    net_length: Vec<f64>,
+    total_length: f64,
+    overflow_edges: usize,
+    iterations_used: usize,
+    max_edge_load: u32,
+    tile_size: f64,
+    grid_dims: (usize, usize),
+    routes: Option<std::collections::HashMap<NetId, Vec<((usize, usize), (usize, usize))>>>,
+}
+
+impl RoutingResult {
+    /// Routed wirelength of a net, µm (0 for unrouted or local nets).
+    pub fn net_length(&self, net: NetId) -> f64 {
+        self.net_length.get(net.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of all routed wirelengths, µm.
+    pub fn total_length(&self) -> f64 {
+        self.total_length
+    }
+
+    /// Edges still above capacity after the final iteration (0 = legal).
+    pub fn overflow_edges(&self) -> usize {
+        self.overflow_edges
+    }
+
+    /// Negotiation iterations consumed.
+    pub fn iterations_used(&self) -> usize {
+        self.iterations_used
+    }
+
+    /// Peak edge load observed in the final routing.
+    pub fn max_edge_load(&self) -> u32 {
+        self.max_edge_load
+    }
+
+    /// The tile edge length used, µm.
+    pub fn tile_size(&self) -> f64 {
+        self.tile_size
+    }
+
+    /// The routing-grid dimensions (cols, rows).
+    pub fn grid_dims(&self) -> (usize, usize) {
+        self.grid_dims
+    }
+
+    /// The routed tile-to-tile segments of a net, if
+    /// [`RouteConfig::keep_routes`] was set. Segments are unordered; each
+    /// is a pair of adjacent `(col, row)` tiles.
+    pub fn net_route(&self, net: NetId) -> Option<&[((usize, usize), (usize, usize))]> {
+        self.routes.as_ref()?.get(&net).map(Vec::as_slice)
+    }
+}
+
+struct Grid {
+    cols: usize,
+    rows: usize,
+    tile: f64,
+    x0: f64,
+    y0: f64,
+}
+
+impl Grid {
+    /// Edge indexing: horizontal edges first (between (c,r) and (c+1,r)),
+    /// then vertical ones (between (c,r) and (c,r+1)).
+    fn num_edges(&self) -> usize {
+        (self.cols.saturating_sub(1)) * self.rows + self.cols * (self.rows.saturating_sub(1))
+    }
+
+    fn h_edge(&self, c: usize, r: usize) -> usize {
+        r * (self.cols - 1) + c
+    }
+
+    fn v_edge(&self, c: usize, r: usize) -> usize {
+        (self.cols - 1) * self.rows + r * self.cols + c
+    }
+
+    /// The two adjacent tiles an edge index connects.
+    fn edge_endpoints(&self, edge: usize) -> ((usize, usize), (usize, usize)) {
+        let h_count = (self.cols - 1) * self.rows;
+        if edge < h_count {
+            let r = edge / (self.cols - 1);
+            let c = edge % (self.cols - 1);
+            ((c, r), (c + 1, r))
+        } else {
+            let v = edge - h_count;
+            let r = v / self.cols;
+            let c = v % self.cols;
+            ((c, r), (c, r + 1))
+        }
+    }
+
+    fn tile_of(&self, x: f64, y: f64) -> (usize, usize) {
+        let c = (((x - self.x0) / self.tile).floor().max(0.0) as usize).min(self.cols - 1);
+        let r = (((y - self.y0) / self.tile).floor().max(0.0) as usize).min(self.rows - 1);
+        (c, r)
+    }
+
+    fn neighbors(&self, c: usize, r: usize) -> impl Iterator<Item = (usize, usize, usize)> {
+        // (next col, next row, edge index)
+        let mut out: Vec<(usize, usize, usize)> = Vec::with_capacity(4);
+        if c + 1 < self.cols {
+            out.push((c + 1, r, self.h_edge(c, r)));
+        }
+        if c > 0 {
+            out.push((c - 1, r, self.h_edge(c - 1, r)));
+        }
+        if r + 1 < self.rows {
+            out.push((c, r + 1, self.v_edge(c, r)));
+        }
+        if r > 0 {
+            out.push((c, r - 1, self.v_edge(c, r - 1)));
+        }
+        out.into_iter()
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    priority: f64,
+    cost: f64,
+    tile: (usize, usize),
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on priority.
+        other.priority.total_cmp(&self.priority)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Routes every multi-tile net of the placed netlist.
+///
+/// # Panics
+///
+/// Panics if the placement lacks positions for placed library cells (run
+/// placement first) or if the config is degenerate.
+pub fn route(
+    netlist: &Netlist,
+    lib: &Library,
+    placement: &Placement,
+    config: &RouteConfig,
+) -> RoutingResult {
+    assert!(config.channel_capacity > 0, "capacity must be positive");
+    let _ = lib;
+    let die = placement.die();
+    let tile = config.tile_size.unwrap_or_else(|| {
+        (die.area() / config.target_tiles.max(1) as f64).sqrt().max(1e-3)
+    });
+    let grid = Grid {
+        cols: ((die.width() / tile).ceil() as usize).max(1),
+        rows: ((die.height() / tile).ceil() as usize).max(1),
+        tile,
+        x0: die.x0,
+        y0: die.y0,
+    };
+    // Collect routable nets: ≥2 placed pins spanning ≥2 tiles; skip
+    // constant-driven nets.
+    struct Job {
+        net: NetId,
+        source: (usize, usize),
+        sinks: Vec<(usize, usize)>,
+    }
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut net_length = vec![0.0f64; netlist.net_capacity()];
+    for net in netlist.nets() {
+        let Some(driver) = netlist.driver(net) else { continue };
+        if matches!(
+            netlist.cell(driver).map(|c| c.kind()),
+            Some(CellKind::Constant(_))
+        ) {
+            continue;
+        }
+        let Some((dx, dy)) = placement.position(driver) else { continue };
+        let source = grid.tile_of(dx, dy);
+        let mut sinks: Vec<(usize, usize)> = Vec::new();
+        for &(cell, _) in netlist.sinks(net) {
+            if let Some((x, y)) = placement.position(cell) {
+                let t = grid.tile_of(x, y);
+                if t != source && !sinks.contains(&t) {
+                    sinks.push(t);
+                }
+            }
+        }
+        if !sinks.is_empty() {
+            jobs.push(Job { net, source, sinks });
+        }
+    }
+    // Negotiated congestion loop.
+    let n_edges = grid.num_edges();
+    let mut history = vec![0.0f64; n_edges];
+    let mut occupancy = vec![0u32; n_edges];
+    let mut net_edges: Vec<HashSet<usize>> = Vec::new();
+    let mut iterations_used = 0;
+    for iter in 0..config.max_iterations.max(1) {
+        iterations_used = iter + 1;
+        occupancy.iter_mut().for_each(|o| *o = 0);
+        net_edges = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            let mut own: HashSet<usize> = HashSet::new();
+            for &sink in &job.sinks {
+                let path = astar(&grid, job.source, sink, &occupancy, &history, &own, config);
+                own.extend(path);
+            }
+            for &e in &own {
+                occupancy[e] += 1;
+            }
+            net_edges.push(own);
+        }
+        // Overflow check and history update.
+        let mut overflow = 0usize;
+        for (e, &occ) in occupancy.iter().enumerate() {
+            if occ > config.channel_capacity {
+                overflow += 1;
+                history[e] += config.history_increment * (occ - config.channel_capacity) as f64;
+            }
+        }
+        if overflow == 0 {
+            break;
+        }
+    }
+    // Final statistics.
+    let mut total = 0.0;
+    let mut routes = config.keep_routes.then(std::collections::HashMap::new);
+    for (job, edges) in jobs.iter().zip(&net_edges) {
+        let len = edges.len() as f64 * grid.tile;
+        net_length[job.net.index()] = len;
+        total += len;
+        if let Some(routes) = routes.as_mut() {
+            let segments: Vec<((usize, usize), (usize, usize))> = edges
+                .iter()
+                .map(|&e| grid.edge_endpoints(e))
+                .collect();
+            routes.insert(job.net, segments);
+        }
+    }
+    let overflow_edges = occupancy
+        .iter()
+        .filter(|&&o| o > config.channel_capacity)
+        .count();
+    RoutingResult {
+        net_length,
+        total_length: total,
+        overflow_edges,
+        iterations_used,
+        max_edge_load: occupancy.iter().copied().max().unwrap_or(0),
+        tile_size: grid.tile,
+        grid_dims: (grid.cols, grid.rows),
+        routes,
+    }
+}
+
+/// A* from any tile already owned by the net (starting at `source`) to
+/// `sink`; returns the path's edge set.
+#[allow(clippy::too_many_arguments)]
+fn astar(
+    grid: &Grid,
+    source: (usize, usize),
+    sink: (usize, usize),
+    occupancy: &[u32],
+    history: &[f64],
+    own: &HashSet<usize>,
+    config: &RouteConfig,
+) -> Vec<usize> {
+    let idx = |(c, r): (usize, usize)| r * grid.cols + c;
+    let n = grid.cols * grid.rows;
+    let mut best = vec![f64::INFINITY; n];
+    let mut from: Vec<Option<((usize, usize), usize)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    let h = |(c, r): (usize, usize)| -> f64 {
+        (c.abs_diff(sink.0) + r.abs_diff(sink.1)) as f64
+    };
+    best[idx(source)] = 0.0;
+    heap.push(HeapEntry {
+        priority: h(source),
+        cost: 0.0,
+        tile: source,
+    });
+    while let Some(entry) = heap.pop() {
+        let (c, r) = entry.tile;
+        if entry.cost > best[idx(entry.tile)] {
+            continue;
+        }
+        if entry.tile == sink {
+            break;
+        }
+        for (nc, nr, edge) in grid.neighbors(c, r) {
+            let edge_cost = if own.contains(&edge) {
+                0.0 // reuse of the net's own tree is free
+            } else {
+                let over = occupancy[edge] as f64 + 1.0 - config.channel_capacity as f64;
+                1.0 + config.present_factor * over.max(0.0) + history[edge]
+            };
+            let cost = entry.cost + edge_cost;
+            let t = (nc, nr);
+            if cost < best[idx(t)] {
+                best[idx(t)] = cost;
+                from[idx(t)] = Some(((c, r), edge));
+                heap.push(HeapEntry {
+                    priority: cost + h(t),
+                    cost,
+                    tile: t,
+                });
+            }
+        }
+    }
+    // Walk back and collect the path edges.
+    let mut path = Vec::new();
+    let mut cur = sink;
+    while cur != source {
+        let Some((prev, edge)) = from[idx(cur)] else { break };
+        path.push(edge);
+        cur = prev;
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpga_netlist::library::generic;
+    use vpga_place::PlaceConfig;
+
+    fn routed_chain(n_cells: usize, cfg: &RouteConfig) -> (Netlist, RoutingResult) {
+        let lib = generic::library();
+        let mut nl = Netlist::new("chain");
+        let mut cur = nl.add_input("a");
+        for i in 0..n_cells {
+            cur = nl
+                .add_lib_cell(format!("i{i}"), &lib, "INV", &[cur])
+                .unwrap();
+        }
+        nl.add_output("y", cur);
+        let p = vpga_place::place(&nl, &lib, &PlaceConfig::default());
+        let r = route(&nl, &lib, &p, cfg);
+        (nl, r)
+    }
+
+    #[test]
+    fn routes_are_produced_and_legal() {
+        let (nl, r) = routed_chain(30, &RouteConfig::default());
+        assert_eq!(r.overflow_edges(), 0);
+        assert!(r.total_length() > 0.0);
+        // Each inter-tile net has positive length.
+        let lengths: Vec<f64> = nl.nets().map(|n| r.net_length(n)).collect();
+        assert!(lengths.iter().any(|&l| l > 0.0));
+    }
+
+    #[test]
+    fn manhattan_lower_bound_holds() {
+        // A single 2-pin net: routed length ≥ tile-quantized manhattan
+        // distance between the endpoints.
+        let lib = generic::library();
+        let mut nl = Netlist::new("pair");
+        let a = nl.add_input("a");
+        let g = nl.add_lib_cell("g", &lib, "INV", &[a]).unwrap();
+        nl.add_output("y", g);
+        let mut p = vpga_place::place(&nl, &lib, &PlaceConfig::default());
+        let gc = nl.cell_by_name("g").unwrap();
+        let die = p.die();
+        p.set_position(gc, die.x1 - 0.01, die.y1 - 0.01);
+        let cfg = RouteConfig {
+            tile_size: Some(die.width() / 8.0),
+            ..RouteConfig::default()
+        };
+        let r = route(&nl, &lib, &p, &cfg);
+        let a_net = nl.cell(nl.inputs()[0]).unwrap().output().unwrap();
+        let (ax, ay) = p.position(nl.inputs()[0]).unwrap();
+        let (gx, gy) = p.position(gc).unwrap();
+        let manhattan = (ax - gx).abs() + (ay - gy).abs();
+        assert!(
+            r.net_length(a_net) + 2.0 * r.tile_size() >= manhattan,
+            "routed {} vs manhattan {}",
+            r.net_length(a_net),
+            manhattan
+        );
+    }
+
+    #[test]
+    fn congestion_negotiation_resolves_conflicts() {
+        // Many nets forced through a 2-tile-wide corridor with capacity 1:
+        // the router must spread or accept history-guided detours and end
+        // legal (or at least reduce overflow drastically).
+        let lib = generic::library();
+        let mut nl = Netlist::new("cong");
+        let a = nl.add_input("a");
+        let mut sinks = Vec::new();
+        for i in 0..6 {
+            let g = nl.add_lib_cell(format!("g{i}"), &lib, "INV", &[a]).unwrap();
+            sinks.push(g);
+            nl.add_output(format!("y{i}"), g);
+        }
+        let p = vpga_place::place(&nl, &lib, &PlaceConfig::default());
+        let tight = RouteConfig {
+            channel_capacity: 1,
+            max_iterations: 12,
+            tile_size: Some(p.die().width() / 6.0),
+            ..RouteConfig::default()
+        };
+        let r = route(&nl, &lib, &p, &tight);
+        assert!(
+            r.overflow_edges() <= 1,
+            "negotiation left {} overflows",
+            r.overflow_edges()
+        );
+    }
+
+    #[test]
+    fn local_nets_have_zero_length() {
+        let lib = generic::library();
+        let mut nl = Netlist::new("local");
+        let a = nl.add_input("a");
+        let g1 = nl.add_lib_cell("g1", &lib, "INV", &[a]).unwrap();
+        let g2 = nl.add_lib_cell("g2", &lib, "INV", &[g1]).unwrap();
+        nl.add_output("y", g2);
+        let mut p = vpga_place::place(&nl, &lib, &PlaceConfig::default());
+        // Co-locate the two inverters: their net is intra-tile.
+        let c1 = nl.cell_by_name("g1").unwrap();
+        let c2 = nl.cell_by_name("g2").unwrap();
+        p.set_position(c1, 1.0, 1.0);
+        p.set_position(c2, 1.0, 1.0);
+        let cfg = RouteConfig {
+            tile_size: Some(p.die().width()),
+            ..RouteConfig::default()
+        };
+        let r = route(&nl, &lib, &p, &cfg);
+        assert_eq!(r.net_length(g1), 0.0);
+    }
+
+    #[test]
+    fn capacity_one_grid_reports_peak_load() {
+        let (_, r) = routed_chain(10, &RouteConfig::default());
+        assert!(r.max_edge_load() >= 1);
+        assert!(r.iterations_used() >= 1);
+        assert!(r.tile_size() > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod route_extraction_tests {
+    use super::*;
+    use vpga_netlist::library::generic;
+    use vpga_place::PlaceConfig;
+
+    #[test]
+    fn kept_routes_are_connected_and_length_consistent() {
+        let lib = generic::library();
+        let mut nl = Netlist::new("paths");
+        let a = nl.add_input("a");
+        let mut cur = a;
+        for i in 0..8 {
+            cur = nl
+                .add_lib_cell(format!("i{i}"), &lib, "INV", &[cur])
+                .unwrap();
+        }
+        nl.add_output("y", cur);
+        let p = vpga_place::place(&nl, &lib, &PlaceConfig::default());
+        let cfg = RouteConfig {
+            keep_routes: true,
+            ..RouteConfig::default()
+        };
+        let r = route(&nl, &lib, &p, &cfg);
+        let (cols, rows) = r.grid_dims();
+        assert!(cols > 0 && rows > 0);
+        let mut seen_any = false;
+        for net in nl.nets() {
+            let Some(segments) = r.net_route(net) else { continue };
+            seen_any = true;
+            // Segment count matches the reported length.
+            let expect = segments.len() as f64 * r.tile_size();
+            assert!((r.net_length(net) - expect).abs() < 1e-9);
+            // Every segment joins adjacent in-grid tiles.
+            for &((c0, r0), (c1, r1)) in segments {
+                assert!(c0 < cols && c1 < cols && r0 < rows && r1 < rows);
+                assert_eq!(c0.abs_diff(c1) + r0.abs_diff(r1), 1);
+            }
+        }
+        assert!(seen_any, "at least one net kept a route");
+    }
+
+    #[test]
+    fn routes_are_not_kept_by_default() {
+        let lib = generic::library();
+        let mut nl = Netlist::new("nopaths");
+        let a = nl.add_input("a");
+        let g = nl.add_lib_cell("g", &lib, "INV", &[a]).unwrap();
+        nl.add_output("y", g);
+        let p = vpga_place::place(&nl, &lib, &PlaceConfig::default());
+        let r = route(&nl, &lib, &p, &RouteConfig::default());
+        assert!(r.net_route(g).is_none());
+    }
+}

@@ -1,0 +1,490 @@
+//! And-Inverter Graph with structural hashing.
+//!
+//! The AIG is the subject graph for technology mapping: the combinational
+//! part of a netlist decomposed into two-input ANDs and complemented edges.
+//! Flip-flops cut the graph — their Q outputs become AIG primary inputs and
+//! their D pins become AIG primary outputs, so one AIG covers one register
+//! bound exactly as the mapper and timer see it.
+
+use std::collections::HashMap;
+
+use vpga_logic::Tt3;
+use vpga_netlist::{CellId, CellKind, Library, NetId, Netlist};
+
+use crate::error::SynthError;
+
+/// A literal: an AIG node with an optional complement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal (node 0, uncomplemented).
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal (node 0, complemented).
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a node index and complement flag.
+    pub fn new(node: u32, complement: bool) -> Lit {
+        Lit(node << 1 | complement as u32)
+    }
+
+    /// The node this literal refers to.
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// True if the literal is complemented.
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit::not(self)
+    }
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_complement() {
+            write!(f, "!n{}", self.node())
+        } else {
+            write!(f, "n{}", self.node())
+        }
+    }
+}
+
+/// One AIG node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AigNode {
+    /// The constant-false node (always node 0).
+    Const,
+    /// Primary input `index` (combinational: design PI or flip-flop Q).
+    Pi(u32),
+    /// Two-input AND of two literals.
+    And(Lit, Lit),
+}
+
+/// A combinational output of the AIG (design PO or flip-flop D).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AigOutput {
+    /// The output's name (PO cell name, or the flip-flop instance name).
+    pub name: String,
+    /// The literal driving it.
+    pub lit: Lit,
+    /// True if this output is a flip-flop D pin rather than a design PO.
+    pub is_dff_d: bool,
+}
+
+/// An And-Inverter Graph with structural hashing and constant folding.
+///
+/// # Example
+///
+/// ```
+/// use vpga_synth::Aig;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.pi();
+/// let b = aig.pi();
+/// let x = aig.xor(a, b);
+/// assert_eq!(aig.xor(a, b), x); // structurally hashed
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Aig {
+    nodes: Vec<AigNode>,
+    strash: HashMap<(Lit, Lit), u32>,
+    pis: Vec<u32>,
+    outputs: Vec<AigOutput>,
+    /// For AIGs built from a netlist: PI node per source net.
+    pi_names: Vec<String>,
+}
+
+impl Aig {
+    /// Creates an AIG containing only the constant node.
+    pub fn new() -> Aig {
+        Aig {
+            nodes: vec![AigNode::Const],
+            strash: HashMap::new(),
+            pis: Vec::new(),
+            outputs: Vec::new(),
+            pi_names: Vec::new(),
+        }
+    }
+
+    /// Number of nodes, including the constant and PIs.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes besides the constant.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Number of AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, AigNode::And(_, _)))
+            .count()
+    }
+
+    /// The node table entry for `node`.
+    pub fn node(&self, node: u32) -> AigNode {
+        self.nodes[node as usize]
+    }
+
+    /// Combinational primary inputs (node ids), in creation order.
+    pub fn pis(&self) -> &[u32] {
+        &self.pis
+    }
+
+    /// The name of PI `index` (empty for hand-built AIGs).
+    pub fn pi_name(&self, index: usize) -> &str {
+        self.pi_names.get(index).map(String::as_str).unwrap_or("")
+    }
+
+    /// Combinational outputs, in creation order.
+    pub fn outputs(&self) -> &[AigOutput] {
+        &self.outputs
+    }
+
+    /// Adds a primary input and returns its (uncomplemented) literal.
+    pub fn pi(&mut self) -> Lit {
+        self.named_pi(String::new())
+    }
+
+    /// Adds a named primary input.
+    pub fn named_pi(&mut self, name: String) -> Lit {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(AigNode::Pi(self.pis.len() as u32));
+        self.pis.push(id);
+        self.pi_names.push(name);
+        Lit::new(id, false)
+    }
+
+    /// Registers a combinational output.
+    pub fn add_output(&mut self, name: String, lit: Lit, is_dff_d: bool) {
+        self.outputs.push(AigOutput { name, lit, is_dff_d });
+    }
+
+    /// The AND of two literals, with constant folding and structural
+    /// hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if a == Lit::FALSE {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return Lit::FALSE;
+        }
+        if let Some(&node) = self.strash.get(&(a, b)) {
+            return Lit::new(node, false);
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(AigNode::And(a, b));
+        self.strash.insert((a, b), id);
+        Lit::new(id, false)
+    }
+
+    /// The OR of two literals.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// The XOR of two literals.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let t0 = self.and(a, !b);
+        let t1 = self.and(!a, b);
+        self.or(t0, t1)
+    }
+
+    /// `sel ? on1 : on0`.
+    pub fn mux(&mut self, sel: Lit, on0: Lit, on1: Lit) -> Lit {
+        let t0 = self.and(!sel, on0);
+        let t1 = self.and(sel, on1);
+        self.or(t0, t1)
+    }
+
+    /// Builds the literal computing `tt` (over `inputs.len() <= 3`
+    /// variables) from the given input literals, by Shannon decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() > 3`.
+    pub fn build_tt3(&mut self, tt: Tt3, inputs: &[Lit]) -> Lit {
+        assert!(inputs.len() <= 3, "tt3 has at most 3 inputs");
+        self.build_tt3_rec(tt, inputs, inputs.len())
+    }
+
+    fn build_tt3_rec(&mut self, tt: Tt3, inputs: &[Lit], vars: usize) -> Lit {
+        // Constant / single-literal cases over the full 3-var table.
+        if tt == Tt3::FALSE {
+            return Lit::FALSE;
+        }
+        if tt == Tt3::TRUE {
+            return Lit::TRUE;
+        }
+        for (i, &lit) in inputs.iter().enumerate().take(vars) {
+            let v = vpga_logic::Var::from_index(i).expect("i < 3");
+            if tt == Tt3::var(v) {
+                return lit;
+            }
+            if tt == !Tt3::var(v) {
+                return !lit;
+            }
+        }
+        // Shannon on the highest variable the function depends on.
+        let split = (0..vars)
+            .rev()
+            .find(|&i| tt.depends_on(vpga_logic::Var::from_index(i).expect("i < 3")))
+            .expect("non-constant function depends on something");
+        let v = vpga_logic::Var::from_index(split).expect("split < 3");
+        let (g, h) = tt.cofactors(v);
+        let [x, y] = v.others();
+        let g3 = g.lift(x, y);
+        let h3 = h.lift(x, y);
+        let f0 = self.build_tt3_rec(g3, inputs, vars);
+        let f1 = self.build_tt3_rec(h3, inputs, vars);
+        self.mux(inputs[split], f0, f1)
+    }
+
+    /// Evaluates the AIG on a PI assignment (bit `i` of each element of
+    /// `values` unused — one bool per PI in order). Returns one bool per
+    /// output.
+    pub fn eval(&self, pi_values: &[bool]) -> Vec<bool> {
+        assert_eq!(pi_values.len(), self.pis.len(), "PI width mismatch");
+        let mut value = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            value[i] = match *node {
+                AigNode::Const => false,
+                AigNode::Pi(ix) => pi_values[ix as usize],
+                AigNode::And(a, b) => {
+                    let va = value[a.node() as usize] ^ a.is_complement();
+                    let vb = value[b.node() as usize] ^ b.is_complement();
+                    va && vb
+                }
+            };
+        }
+        self.outputs
+            .iter()
+            .map(|o| value[o.lit.node() as usize] ^ o.lit.is_complement())
+            .collect()
+    }
+
+    /// Rebuilds the graph keeping only nodes reachable from the outputs
+    /// (dead logic from speculative construction is dropped). PIs are all
+    /// retained to preserve the interface.
+    pub fn compacted(&self) -> Aig {
+        let mut out = Aig::new();
+        let mut map: HashMap<u32, Lit> = HashMap::new();
+        for (ix, &pi) in self.pis.iter().enumerate() {
+            map.insert(pi, out.named_pi(self.pi_name(ix).to_owned()));
+        }
+        // Mark live nodes.
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = self.outputs.iter().map(|o| o.lit.node()).collect();
+        while let Some(n) = stack.pop() {
+            if live[n as usize] {
+                continue;
+            }
+            live[n as usize] = true;
+            if let AigNode::And(a, b) = self.nodes[n as usize] {
+                stack.push(a.node());
+                stack.push(b.node());
+            }
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            if !live[n] {
+                continue;
+            }
+            if let AigNode::And(a, b) = *node {
+                let la = map[&a.node()];
+                let lb = map[&b.node()];
+                let la = if a.is_complement() { !la } else { la };
+                let lb = if b.is_complement() { !lb } else { lb };
+                let lit = out.and(la, lb);
+                map.insert(n as u32, lit);
+            } else if matches!(node, AigNode::Const) {
+                map.insert(n as u32, Lit::FALSE);
+            }
+        }
+        for o in &self.outputs {
+            let base = map[&o.lit.node()];
+            let lit = if o.lit.is_complement() { !base } else { base };
+            out.add_output(o.name.clone(), lit, o.is_dff_d);
+        }
+        out
+    }
+
+    /// Decomposes the combinational part of `netlist` into an AIG.
+    ///
+    /// PIs are created for every design primary input (in order), then for
+    /// every flip-flop Q (in cell-iteration order); outputs are every design
+    /// primary output (in order), then every flip-flop D. The returned map
+    /// gives each flip-flop's netlist cell id in AIG-output order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::Netlist`] if the netlist is malformed.
+    pub fn from_netlist(
+        netlist: &Netlist,
+        lib: &Library,
+    ) -> Result<(Aig, Vec<CellId>), SynthError> {
+        let mut aig = Aig::new();
+        let mut net2lit: HashMap<NetId, Lit> = HashMap::new();
+        for &pi in netlist.inputs() {
+            let cell = netlist.cell(pi).expect("live PI");
+            let net = cell.output().expect("PI drives a net");
+            let lit = aig.named_pi(cell.name().to_owned());
+            net2lit.insert(net, lit);
+        }
+        let mut dffs: Vec<CellId> = Vec::new();
+        for (id, cell) in netlist.cells() {
+            match cell.kind() {
+                CellKind::Constant(v) => {
+                    let net = cell.output().expect("tie drives a net");
+                    net2lit.insert(net, if v { Lit::TRUE } else { Lit::FALSE });
+                }
+                CellKind::Lib(lib_id) => {
+                    let lc = lib.cell(lib_id).expect("library cell");
+                    if lc.is_sequential() {
+                        let q = cell.output().expect("DFF drives Q");
+                        let lit = aig.named_pi(cell.name().to_owned());
+                        net2lit.insert(q, lit);
+                        dffs.push(id);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let order = vpga_netlist::graph::combinational_topo_order(netlist, lib)?;
+        for id in order {
+            let cell = netlist.cell(id).expect("live cell");
+            let tt = netlist
+                .instance_function(id, lib)
+                .expect("combinational lib cell");
+            let inputs: Vec<Lit> = cell
+                .inputs()
+                .iter()
+                .map(|n| *net2lit.get(n).expect("input net already built"))
+                .collect();
+            let lit = aig.build_tt3(tt, &inputs);
+            net2lit.insert(cell.output().expect("comb output"), lit);
+        }
+        for &po in netlist.outputs() {
+            let cell = netlist.cell(po).expect("live PO");
+            let net = cell.inputs()[0];
+            let lit = *net2lit.get(&net).expect("PO net built");
+            aig.add_output(cell.name().to_owned(), lit, false);
+        }
+        for &ff in &dffs {
+            let cell = netlist.cell(ff).expect("live DFF");
+            let d = cell.inputs()[0];
+            let lit = *net2lit.get(&d).expect("D net built");
+            aig.add_output(cell.name().to_owned(), lit, true);
+        }
+        Ok((aig, dffs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpga_netlist::library::generic;
+
+    #[test]
+    fn constant_folding() {
+        let mut aig = Aig::new();
+        let a = aig.pi();
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(a, Lit::TRUE), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, !a), Lit::FALSE);
+    }
+
+    #[test]
+    fn strashing_shares_structure() {
+        let mut aig = Aig::new();
+        let a = aig.pi();
+        let b = aig.pi();
+        let x1 = aig.and(a, b);
+        let x2 = aig.and(b, a);
+        assert_eq!(x1, x2);
+        let before = aig.len();
+        let _ = aig.xor(a, b);
+        let grown = aig.len() - before;
+        let _ = aig.xor(a, b);
+        assert_eq!(aig.len() - before, grown, "second xor reuses nodes");
+    }
+
+    #[test]
+    fn build_tt3_matches_semantics() {
+        for tt in Tt3::all() {
+            let mut aig = Aig::new();
+            let a = aig.pi();
+            let b = aig.pi();
+            let c = aig.pi();
+            let f = aig.build_tt3(tt, &[a, b, c]);
+            aig.add_output("f".into(), f, false);
+            for m in 0..8u8 {
+                let vals = [m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1];
+                let got = aig.eval(&vals)[0];
+                assert_eq!(got, tt.eval(vals[0], vals[1], vals[2]), "tt={tt} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_roundtrip_preserves_function() {
+        let lib = generic::library();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.add_lib_cell("g1", &lib, "MAJ3", &[a, b, c]).unwrap();
+        let g2 = n.add_lib_cell("g2", &lib, "XOR3", &[a, b, c]).unwrap();
+        let g3 = n.add_lib_cell("g3", &lib, "MUX2", &[g1, g2, a]).unwrap();
+        n.add_output("y", g3);
+        let (aig, dffs) = Aig::from_netlist(&n, &lib).unwrap();
+        assert!(dffs.is_empty());
+        let mut sim = vpga_netlist::sim::Simulator::new(&n, &lib).unwrap();
+        for m in 0..8u8 {
+            let vals = [m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1];
+            assert_eq!(aig.eval(&vals), sim.eval(&vals), "m={m}");
+        }
+    }
+
+    #[test]
+    fn dffs_become_pis_and_outputs() {
+        let lib = generic::library();
+        let mut n = Netlist::new("seq");
+        let a = n.add_input("a");
+        let q = n.add_lib_cell("ff", &lib, "DFF", &[a]).unwrap();
+        let i = n.add_lib_cell("i", &lib, "INV", &[q]).unwrap();
+        n.add_output("y", i);
+        let (aig, dffs) = Aig::from_netlist(&n, &lib).unwrap();
+        assert_eq!(dffs.len(), 1);
+        assert_eq!(aig.pis().len(), 2); // a + ff.Q
+        assert_eq!(aig.outputs().len(), 2); // y + ff.D
+        assert!(aig.outputs()[1].is_dff_d);
+        // y = !q; D = a.
+        assert_eq!(aig.eval(&[true, false]), vec![true, true]);
+        assert_eq!(aig.eval(&[false, true]), vec![false, false]);
+    }
+}

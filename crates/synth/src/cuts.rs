@@ -1,0 +1,270 @@
+//! K-feasible cut enumeration with local cut functions (K = 3).
+//!
+//! Every AND node's cut set is the cross-merge of its fanin cut sets plus
+//! the trivial cut, pruned to the best `MAX_CUTS` by (size, depth). Each cut
+//! carries its local function as a [`Tt3`] over the cut leaves in ascending
+//! node order, which is what the Boolean matcher consumes.
+
+use vpga_logic::Tt3;
+
+use crate::aig::{Aig, AigNode, Lit};
+
+/// Cut width bound: the component cells have at most three logic inputs.
+pub const K: usize = 3;
+
+/// Maximum cuts retained per node.
+pub const MAX_CUTS: usize = 8;
+
+/// One K-feasible cut of a node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cut {
+    /// Leaf nodes, ascending, at most [`K`].
+    pub leaves: Vec<u32>,
+    /// The node's function of the leaves (leaf `i` = variable `i`).
+    pub tt: Tt3,
+}
+
+impl Cut {
+    /// The trivial cut of a node: the node itself as its only leaf.
+    pub fn trivial(node: u32) -> Cut {
+        Cut {
+            leaves: vec![node],
+            tt: Tt3::var(vpga_logic::Var::A),
+        }
+    }
+
+    /// True if `other`'s leaves are a subset of this cut's leaves.
+    pub fn dominates(&self, other: &Cut) -> bool {
+        self.leaves.iter().all(|l| other.leaves.contains(l))
+    }
+}
+
+/// All cuts of every node, indexed by node id.
+#[derive(Debug)]
+pub struct CutSet {
+    cuts: Vec<Vec<Cut>>,
+}
+
+impl CutSet {
+    /// Enumerates cuts for the whole AIG.
+    pub fn enumerate(aig: &Aig) -> CutSet {
+        let mut cuts: Vec<Vec<Cut>> = Vec::with_capacity(aig.len());
+        for id in 0..aig.len() as u32 {
+            let node_cuts = match aig.node(id) {
+                AigNode::Const => vec![],
+                AigNode::Pi(_) => vec![Cut::trivial(id)],
+                AigNode::And(a, b) => {
+                    let mut merged: Vec<Cut> = Vec::new();
+                    for ca in cuts_of_lit(&cuts, a) {
+                        for cb in cuts_of_lit(&cuts, b) {
+                            if let Some(cut) = merge(ca, a, cb, b) {
+                                if !merged.iter().any(|c: &Cut| {
+                                    c.leaves == cut.leaves
+                                }) {
+                                    merged.push(cut);
+                                }
+                            }
+                        }
+                    }
+                    // Remove dominated cuts (a superset cut with the same or
+                    // larger leaf set adds nothing).
+                    let mut kept: Vec<Cut> = Vec::new();
+                    merged.sort_by_key(|c| c.leaves.len());
+                    for c in merged {
+                        if !kept.iter().any(|k| k.dominates(&c)) {
+                            kept.push(c);
+                        }
+                    }
+                    kept.truncate(MAX_CUTS - 1);
+                    kept.push(Cut::trivial(id));
+                    kept
+                }
+            };
+            cuts.push(node_cuts);
+        }
+        CutSet { cuts }
+    }
+
+    /// Cuts of `node`.
+    pub fn cuts(&self, node: u32) -> &[Cut] {
+        &self.cuts[node as usize]
+    }
+}
+
+/// The fanin's cuts viewed from the fanout: for the fanin's trivial cut the
+/// leaf is the fanin node itself; deeper cuts expose the fanin's own leaves.
+fn cuts_of_lit(cuts: &[Vec<Cut>], lit: Lit) -> Vec<&Cut> {
+    cuts[lit.node() as usize].iter().collect()
+}
+
+/// Merges fanin cuts `ca` (reached through literal `a`) and `cb` (through
+/// `b`) into a cut of the AND node, or `None` if the union exceeds K leaves.
+fn merge(ca: &Cut, a: Lit, cb: &Cut, b: Lit) -> Option<Cut> {
+    let mut leaves: Vec<u32> = ca.leaves.clone();
+    for &l in &cb.leaves {
+        if !leaves.contains(&l) {
+            leaves.push(l);
+        }
+    }
+    if leaves.len() > K {
+        return None;
+    }
+    leaves.sort_unstable();
+    let ta = remap(ca, &leaves, a.is_complement());
+    let tb = remap(cb, &leaves, b.is_complement());
+    Some(Cut {
+        leaves,
+        tt: ta & tb,
+    })
+}
+
+/// Re-expresses a fanin cut's function over the merged leaf list, applying
+/// the fanin edge's complement.
+fn remap(cut: &Cut, merged: &[u32], complement: bool) -> Tt3 {
+    let mut bits = 0u8;
+    for m in 0..8u8 {
+        // Build the fanin-local minterm from the merged minterm.
+        let mut local = 0u8;
+        for (i, &leaf) in cut.leaves.iter().enumerate() {
+            let pos = merged
+                .iter()
+                .position(|&l| l == leaf)
+                .expect("leaf survives merge");
+            local |= ((m >> pos) & 1) << i;
+        }
+        if (cut.tt.bits() >> local) & 1 == 1 {
+            bits |= 1 << m;
+        }
+    }
+    let tt = Tt3::new(bits);
+    if complement {
+        !tt
+    } else {
+        tt
+    }
+}
+
+/// Verifies a cut function by cofactor simulation of the cone (test
+/// helper): evaluates the AIG with each leaf assignment and compares.
+pub fn verify_cut(aig: &Aig, node: u32, cut: &Cut) -> bool {
+    for m in 0..(1u8 << cut.leaves.len()) {
+        let mut values = std::collections::HashMap::new();
+        for (i, &leaf) in cut.leaves.iter().enumerate() {
+            values.insert(leaf, (m >> i) & 1 == 1);
+        }
+        let got = eval_cone(aig, node, &values);
+        let minterm = (0..cut.leaves.len()).fold(0u8, |acc, i| {
+            acc | ((*values.get(&cut.leaves[i]).expect("leaf") as u8) << i)
+        });
+        if got != ((cut.tt.bits() >> minterm) & 1 == 1) {
+            return false;
+        }
+    }
+    true
+}
+
+fn eval_cone(aig: &Aig, node: u32, leaves: &std::collections::HashMap<u32, bool>) -> bool {
+    if let Some(&v) = leaves.get(&node) {
+        return v;
+    }
+    match aig.node(node) {
+        AigNode::Const => false,
+        AigNode::Pi(_) => panic!("cone evaluation escaped the cut"),
+        AigNode::And(a, b) => {
+            let va = eval_cone(aig, a.node(), leaves) ^ a.is_complement();
+            let vb = eval_cone(aig, b.node(), leaves) ^ b.is_complement();
+            va && vb
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cuts_for_pis() {
+        let mut aig = Aig::new();
+        let a = aig.pi();
+        let _ = a;
+        let cs = CutSet::enumerate(&aig);
+        assert_eq!(cs.cuts(1).len(), 1);
+        assert_eq!(cs.cuts(1)[0].leaves, vec![1]);
+    }
+
+    #[test]
+    fn and_node_has_wide_cut() {
+        let mut aig = Aig::new();
+        let a = aig.pi();
+        let b = aig.pi();
+        let x = aig.and(a, b);
+        let cs = CutSet::enumerate(&aig);
+        let cuts = cs.cuts(x.node());
+        // Expect the {a,b} cut with tt = AND, plus the trivial cut.
+        let wide = cuts
+            .iter()
+            .find(|c| c.leaves.len() == 2)
+            .expect("two-leaf cut");
+        assert_eq!(wide.tt, Tt3::var(vpga_logic::Var::A) & Tt3::var(vpga_logic::Var::B));
+    }
+
+    #[test]
+    fn xor_cut_function_is_xor() {
+        let mut aig = Aig::new();
+        let a = aig.pi();
+        let b = aig.pi();
+        let x = aig.xor(a, b);
+        let cs = CutSet::enumerate(&aig);
+        let cuts = cs.cuts(x.node());
+        let two = cuts.iter().find(|c| c.leaves.len() == 2).expect("xor cut");
+        // The xor output literal is complemented (or = !and of nots); the
+        // node function is therefore XNOR and the mapper complements it via
+        // the edge. Either polarity is acceptable here.
+        assert!(
+            two.tt == Tt3::var(vpga_logic::Var::A) ^ Tt3::var(vpga_logic::Var::B)
+                || two.tt == !(Tt3::var(vpga_logic::Var::A) ^ Tt3::var(vpga_logic::Var::B)),
+            "got {}",
+            two.tt
+        );
+    }
+
+    #[test]
+    fn all_cut_functions_verify_on_random_logic() {
+        // Build a blob of logic and verify every enumerated cut function by
+        // cone simulation.
+        let mut aig = Aig::new();
+        let a = aig.pi();
+        let b = aig.pi();
+        let c = aig.pi();
+        let d = aig.pi();
+        let t0 = aig.xor(a, b);
+        let t1 = aig.mux(c, t0, d);
+        let t2 = aig.and(t1, !a);
+        let t3 = aig.or(t2, b);
+        aig.add_output("f".into(), t3, false);
+        let cs = CutSet::enumerate(&aig);
+        for node in 1..aig.len() as u32 {
+            for cut in cs.cuts(node) {
+                assert!(verify_cut(&aig, node, cut), "node {node} cut {cut:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_counts_are_bounded() {
+        let mut aig = Aig::new();
+        let pis: Vec<Lit> = (0..8).map(|_| aig.pi()).collect();
+        let mut acc = pis[0];
+        for &p in &pis[1..] {
+            acc = aig.xor(acc, p);
+        }
+        aig.add_output("p".into(), acc, false);
+        let cs = CutSet::enumerate(&aig);
+        for node in 0..aig.len() as u32 {
+            assert!(cs.cuts(node).len() <= MAX_CUTS);
+            for cut in cs.cuts(node) {
+                assert!(cut.leaves.len() <= K);
+            }
+        }
+    }
+}

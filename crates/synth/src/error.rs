@@ -1,0 +1,63 @@
+//! Error type for the synthesis stack.
+
+use std::error::Error;
+use std::fmt;
+
+use vpga_netlist::NetlistError;
+
+/// Errors raised while building the AIG or mapping it onto a library.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// The input netlist was malformed.
+    Netlist(NetlistError),
+    /// A cut function could not be matched onto any cell of the target
+    /// library (the library is not functionally complete for the design).
+    Unmappable {
+        /// The function that failed to match.
+        function: vpga_logic::Tt3,
+        /// Number of leaves of the failing cut.
+        leaves: usize,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Netlist(e) => write!(f, "netlist error during synthesis: {e}"),
+            SynthError::Unmappable { function, leaves } => write!(
+                f,
+                "no library cell implements cut function {function} over {leaves} leaves"
+            ),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SynthError {
+    fn from(e: NetlistError) -> SynthError {
+        SynthError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SynthError::Unmappable {
+            function: vpga_logic::Tt3::XOR3,
+            leaves: 3,
+        };
+        assert!(e.to_string().contains("0x96"));
+    }
+}

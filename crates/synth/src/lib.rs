@@ -1,0 +1,46 @@
+//! Technology mapping onto restricted VPGA component libraries — the
+//! "Synthesis, Mapping (Design Compiler)" stage of the paper's flow
+//! (Figure 6).
+//!
+//! The pipeline is the standard cut-based mapping stack:
+//!
+//! 1. [`Aig`]: the generic netlist is decomposed into an And-Inverter Graph
+//!    with structural hashing and constant folding, optionally minimized by
+//!    the exact-synthesis rewriting pass ([`rewrite`]),
+//! 2. [`cuts`]: exhaustive 3-feasible priority-cut enumeration with local
+//!    cut functions,
+//! 3. [`map`]: delay-oriented covering with area recovery, where each cut
+//!    function is Boolean-matched onto the cheapest component cell of the
+//!    target [`vpga_core::PlbArchitecture`] (via pin binding + via
+//!    configuration, see `vpga_core::matcher`).
+//!
+//! Mapping preserves function; the test-suite proves it by co-simulating
+//! the generic and mapped netlists on random stimulus.
+//!
+//! # Example
+//!
+//! ```
+//! use vpga_core::PlbArchitecture;
+//! use vpga_designs::{alu, DesignParams};
+//! use vpga_netlist::library::generic;
+//! use vpga_synth::map::map_netlist;
+//!
+//! let design = alu(&DesignParams::tiny());
+//! let arch = PlbArchitecture::granular();
+//! let mapped = map_netlist(&design, &generic::library(), &arch)?;
+//! assert!(mapped.validate(arch.library()).is_ok());
+//! # Ok::<(), vpga_synth::SynthError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aig;
+pub mod cuts;
+mod error;
+pub mod map;
+pub mod rewrite;
+
+pub use aig::{Aig, AigNode, Lit};
+pub use error::SynthError;
+pub use map::{map_netlist, map_netlist_fast, MappingStats};

@@ -1,0 +1,66 @@
+//! Architecture explorer: reproduce the §2 analysis interactively — the
+//! S3-gate coverage ("196 of 256"), the Figure 2 census of infeasible
+//! functions, the coverage ladder of the granular PLB's logic
+//! configurations, and the via-site / area accounting of both PLBs.
+//!
+//! ```sh
+//! cargo run --release --example arch_explorer
+//! ```
+
+use vpga::core::{LogicConfig, PlbArchitecture};
+use vpga::logic::lut::LutMuxTree;
+use vpga::logic::{adder, s3, Tt3};
+
+fn main() {
+    println!("== §2.1: the S3 gate (2:1 MUX driven by two ND2WI gates) ==");
+    let feasible = s3::s3_set().len();
+    println!("S3-feasible 3-input functions: {feasible} of 256");
+    let any = Tt3::all().filter(|&t| s3::s3_feasible_any_select(t)).count();
+    println!("...with free select choice:    {any} of 256");
+    println!("modified S3 cell (Figure 3):   {} of 256\n", s3::modified_s3_set().len());
+
+    println!("== Figure 2: categories of S3-infeasible functions ==");
+    print!("{}", s3::InfeasibleCensus::compute());
+    println!();
+
+    println!("== §2.3: logic configurations of the granular PLB ==");
+    for cfg in LogicConfig::granular_configs() {
+        println!("  {cfg}");
+    }
+    println!("\n== LUT-based PLB configurations ==");
+    for cfg in LogicConfig::lut_based_configs() {
+        println!("  {cfg}");
+    }
+
+    println!("\n== PLB-level accounting ==");
+    for arch in [PlbArchitecture::granular(), PlbArchitecture::lut_based()] {
+        println!("  {arch}");
+        println!(
+            "    fits a full adder in one PLB: {}",
+            arch.fits_full_adder()
+        );
+    }
+    println!("\n== Figure 5: the 3-LUT as three 2:1 MUXes ==");
+    let sum = adder::sum();
+    let tree = LutMuxTree::decompose(sum);
+    let (lo, hi) = tree.intermediates(sum);
+    println!("  f = sum(a,b,cin) = {sum}: select0 = {}, select1 = {}", tree.select0, tree.select1);
+    println!("  exposed intermediates: {lo} (= a ⊕ b, the propagate!) and {hi}");
+    println!("  stored LUT bits: {:08b} (round-trips exactly)", tree.lut_bits());
+
+    let g = PlbArchitecture::granular();
+    let l = PlbArchitecture::lut_based();
+    println!(
+        "\n  area ratio granular/LUT:      {:.3}  (paper: 1.20)",
+        g.area() / l.area()
+    );
+    println!(
+        "  comb area ratio granular/LUT: {:.3}  (paper: 1.266)",
+        g.comb_area() / l.comb_area()
+    );
+    println!(
+        "  via sites per PLB:            {} vs {} (granularity costs vias, §2.3)",
+        g.via_sites(),
+        l.via_sites()
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run a small design through the full VPGA flow on both PLB
+//! architectures and compare the results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vpga::core::PlbArchitecture;
+use vpga::designs::{DesignParams, NamedDesign};
+use vpga::flow::{run_design, FlowConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = DesignParams::tiny();
+    let design = NamedDesign::Alu.generate(&params);
+    println!(
+        "design: {} ({} cells, {} inputs, {} outputs)\n",
+        design.name(),
+        design.num_cells(),
+        design.inputs().len(),
+        design.outputs().len()
+    );
+
+    for arch in [PlbArchitecture::granular(), PlbArchitecture::lut_based()] {
+        println!("=== {arch} ===");
+        let outcome = run_design(&design, &arch, &FlowConfig::default())?;
+        if let Some(c) = &outcome.compaction {
+            println!(
+                "compaction: {} -> {} cells ({:.1} % area reduction)",
+                c.cells_before,
+                c.cells_after,
+                100.0 * c.area_reduction()
+            );
+        }
+        println!(
+            "flow a (ASIC-style): die {:>8.0} µm², top-10 slack {:>8.1} ps",
+            outcome.flow_a.die_area, outcome.flow_a.avg_top10_slack
+        );
+        let (cols, rows, used) = outcome.flow_b.array.expect("flow b packs an array");
+        println!(
+            "flow b (PLB array):  die {:>8.0} µm², top-10 slack {:>8.1} ps ({cols}×{rows} array, {used} PLBs used)",
+            outcome.flow_b.die_area, outcome.flow_b.avg_top10_slack
+        );
+        println!(
+            "packing overhead: {:+.1} % area\n",
+            100.0 * outcome.area_overhead()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,244 @@
+//! `vpga` — command-line front end to the VPGA implementation flow.
+//!
+//! ```text
+//! vpga gen <alu|fpu|switch|firewire> [--size tiny|small|medium|paper] [-o design.v]
+//! vpga flow <design.v> [--arch granular|lut|homogeneous] [--no-compaction]
+//! vpga program <design.v> [--arch granular|lut] [-o design.fabric]
+//! vpga arch [granular|lut|homogeneous]
+//! ```
+//!
+//! `gen` writes a generated benchmark as structural Verilog over the
+//! generic library; `flow` runs the full Figure 6 flow (both variants) on a
+//! structural-Verilog design and prints the Table 1/2 metrics; `program`
+//! additionally emits the via program of the packed array; `arch` prints an
+//! architecture summary.
+
+use std::error::Error;
+use std::fs;
+use std::process::ExitCode;
+
+use vpga::core::PlbArchitecture;
+use vpga::designs::{DesignParams, NamedDesign};
+use vpga::flow::{run_design, FlowConfig};
+use vpga::netlist::library::generic;
+use vpga::netlist::{io, Netlist};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "gen" => cmd_gen(rest),
+        "flow" => cmd_flow(rest),
+        "program" => cmd_program(rest),
+        "arch" => cmd_arch(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `vpga help`").into()),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "vpga — Via-Patterned Gate Array implementation flow\n\n\
+         usage:\n\
+         \x20 vpga gen <alu|fpu|switch|firewire> [--size S] [-o FILE]   generate a benchmark as Verilog\n\
+         \x20 vpga flow <design.v> [--arch A] [--no-compaction]         run flows a and b, print metrics\n\
+         \x20 vpga program <design.v> [--arch A] [-o FILE]              emit the packed via program\n\
+         \x20 vpga arch [A]                                             print architecture summaries\n\n\
+         sizes S: tiny | small | medium | paper (default small)\n\
+         architectures A: granular | lut | homogeneous (default granular)"
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_size(args: &[String]) -> Result<DesignParams, Box<dyn Error>> {
+    let name = flag_value(args, "--size").unwrap_or("small");
+    match name {
+        "tiny" => Ok(DesignParams::tiny()),
+        "small" => Ok(DesignParams::small()),
+        "medium" => Ok(DesignParams {
+            alu_width: 24,
+            fpu_mantissa: 16,
+            fpu_exponent: 6,
+            fpu_lanes: 3,
+            switch_ports: 8,
+            switch_width: 16,
+            firewire_scale: 3,
+        }),
+        "paper" => Ok(DesignParams::paper()),
+        other => Err(format!("unknown size {other:?}").into()),
+    }
+}
+
+fn parse_arch(args: &[String]) -> Result<PlbArchitecture, Box<dyn Error>> {
+    match flag_value(args, "--arch").unwrap_or("granular") {
+        "granular" => Ok(PlbArchitecture::granular()),
+        "lut" => Ok(PlbArchitecture::lut_based()),
+        "homogeneous" => Ok(PlbArchitecture::homogeneous_lut()),
+        other => Err(format!("unknown architecture {other:?}").into()),
+    }
+}
+
+fn parse_design(name: &str) -> Result<NamedDesign, Box<dyn Error>> {
+    match name {
+        "alu" => Ok(NamedDesign::Alu),
+        "fpu" => Ok(NamedDesign::Fpu),
+        "switch" => Ok(NamedDesign::NetworkSwitch),
+        "firewire" => Ok(NamedDesign::Firewire),
+        other => Err(format!("unknown design {other:?}").into()),
+    }
+}
+
+fn load_design(path: &str) -> Result<Netlist, Box<dyn Error>> {
+    let text = fs::read_to_string(path)?;
+    let lib = generic::library();
+    Ok(io::read_verilog(&text, &lib)?)
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let name = args
+        .first()
+        .ok_or("gen requires a design name (alu|fpu|switch|firewire)")?;
+    let design = parse_design(name)?;
+    let params = parse_size(args)?;
+    let netlist = design.generate(&params);
+    let lib = generic::library();
+    let text = io::write_verilog(&netlist, &lib)?;
+    match flag_value(args, "-o") {
+        Some(path) => {
+            fs::write(path, &text)?;
+            eprintln!(
+                "wrote {} ({} cells, {} nets)",
+                path,
+                netlist.num_cells(),
+                netlist.num_nets()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_flow(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let path = args.first().ok_or("flow requires a Verilog file")?;
+    let design = load_design(path)?;
+    let arch = parse_arch(args)?;
+    let config = FlowConfig {
+        compaction: !args.iter().any(|a| a == "--no-compaction"),
+        ..FlowConfig::default()
+    };
+    eprintln!("running flows a and b on {:?} for {arch} ...", design.name());
+    let out = run_design(&design, &arch, &config)?;
+    println!("design          : {} ({:.0} NAND2-eq gates)", out.design, out.gates_nand2);
+    if let Some(c) = &out.compaction {
+        println!(
+            "compaction      : {} -> {} cells ({:+.1} % area)",
+            c.cells_before,
+            c.cells_after,
+            -100.0 * c.area_reduction()
+        );
+    }
+    println!(
+        "flow a (ASIC)   : die {:>10.0} µm², top-10 slack {:>9.1} ps, wire {:>9.0} µm",
+        out.flow_a.die_area, out.flow_a.avg_top10_slack, out.flow_a.wirelength
+    );
+    let (c, r, used) = out.flow_b.array.expect("flow b packs an array");
+    println!(
+        "flow b (array)  : die {:>10.0} µm², top-10 slack {:>9.1} ps, wire {:>9.0} µm ({c}×{r} PLBs, {used} used)",
+        out.flow_b.die_area, out.flow_b.avg_top10_slack, out.flow_b.wirelength
+    );
+    println!(
+        "power           : {:.3} mW (flow a) / {:.3} mW (flow b)",
+        out.flow_a.power_mw, out.flow_b.power_mw
+    );
+    println!("a→b overhead    : {:+.1} % area, {:.1} ps slack", 100.0 * out.area_overhead(), out.slack_degradation());
+    Ok(())
+}
+
+fn cmd_program(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let path = args.first().ok_or("program requires a Verilog file")?;
+    let design = load_design(path)?;
+    let arch = parse_arch(args)?;
+    let src = generic::library();
+    let mut mapped = vpga::synth::map_netlist_fast(&design, &src, &arch)?;
+    vpga::compact::compact(&mut mapped, &arch)?;
+    let place_cfg = vpga::place::PlaceConfig::default();
+    let mut placement = vpga::place::place(&mapped, arch.library(), &place_cfg);
+    let array = vpga::pack::pack_iterative(
+        &mapped,
+        &arch,
+        &mut placement,
+        &place_cfg,
+        &vpga::pack::PackConfig::default(),
+    )?;
+    let program = vpga::fabric::FabricProgram::generate(&mapped, &arch, &array)?;
+    // Sanity: the program must reconstruct to an equivalent netlist.
+    let _ = program.reconstruct(&mapped, &arch)?;
+    let mut text = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(text, "# {program}");
+    for plb in program.plbs() {
+        if plb.slots.is_empty() {
+            continue;
+        }
+        let _ = writeln!(text, "plb {}", plb.index);
+        for slot in &plb.slots {
+            let _ = writeln!(
+                text,
+                "  {}[{}] vias={} cell={}",
+                slot.slot_cell, slot.slot_class, slot.vias, slot.cell_name
+            );
+        }
+    }
+    match flag_value(args, "-o") {
+        Some(out_path) => {
+            fs::write(out_path, &text)?;
+            eprintln!("wrote {out_path}");
+        }
+        None => print!("{text}"),
+    }
+    eprintln!("{program}");
+    Ok(())
+}
+
+fn cmd_arch(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let archs: Vec<PlbArchitecture> = if args.is_empty() {
+        vec![
+            PlbArchitecture::granular(),
+            PlbArchitecture::lut_based(),
+            PlbArchitecture::homogeneous_lut(),
+        ]
+    } else {
+        vec![parse_arch(["--arch".to_owned(), args[0].clone()].as_ref())?]
+    };
+    for arch in archs {
+        println!("{arch}");
+        println!("  fits full adder in one PLB: {}", arch.fits_full_adder());
+        for cfg in arch.configs() {
+            println!("  config {cfg}");
+        }
+    }
+    Ok(())
+}

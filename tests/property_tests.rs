@@ -1,0 +1,281 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use proptest::prelude::*;
+use vpga::core::{matcher, PlbArchitecture};
+use vpga::logic::{npn, s3, Tt3, TruthTable, Var};
+use vpga::netlist::library::generic;
+use vpga::netlist::{Netlist, NetId};
+use vpga::synth::{map_netlist_fast, Aig};
+
+proptest! {
+    /// NPN canonicalization: the stored transform always reproduces the
+    /// canonical representative, and equivalence is transitive through it.
+    #[test]
+    fn npn_transform_is_consistent(bits in 0u8..=255) {
+        let t = Tt3::new(bits);
+        let (canon, tr) = npn::canonicalize3(t);
+        prop_assert_eq!(tr.apply(t), canon);
+        let (canon2, _) = npn::canonicalize3(canon);
+        prop_assert_eq!(canon, canon2, "canonical form is a fixed point");
+    }
+
+    /// Shannon cofactoring reconstructs every function around every pivot.
+    #[test]
+    fn cofactor_reconstruction(bits in 0u8..=255, v in 0usize..3) {
+        let t = Tt3::new(bits);
+        let var = Var::from_index(v).unwrap();
+        let (g, h) = t.cofactors(var);
+        prop_assert_eq!(Tt3::from_cofactors(var, g, h), t);
+    }
+
+    /// S3 feasibility matches its defining property: both cofactors w.r.t.
+    /// the select must avoid XOR/XNOR.
+    #[test]
+    fn s3_definition(bits in 0u8..=255) {
+        let t = Tt3::new(bits);
+        let (g, h) = t.cofactors(s3::SELECT);
+        prop_assert_eq!(
+            s3::s3_feasible(t),
+            !g.is_xor_like() && !h.is_xor_like()
+        );
+    }
+
+    /// Truth-table composition agrees with pointwise evaluation.
+    #[test]
+    fn compose_matches_eval(outer in 0u64..256, a in 0u64..256, b in 0u64..256) {
+        let f = TruthTable::new(3, outer).unwrap();
+        let ta = TruthTable::new(3, a).unwrap();
+        let tb = TruthTable::new(3, b).unwrap();
+        let tc = TruthTable::var(3, 2).unwrap();
+        let composed = f.compose(&[ta, tb, tc]).unwrap();
+        for m in 0..8u64 {
+            let inner = (ta.eval(m) as u64) | ((tb.eval(m) as u64) << 1) | ((tc.eval(m) as u64) << 2);
+            prop_assert_eq!(composed.eval(m), f.eval(inner));
+        }
+    }
+
+    /// Any matched cell really computes the target function under its pin
+    /// binding and configuration.
+    #[test]
+    fn matcher_matches_are_sound(bits in 0u8..=255) {
+        let t = Tt3::new(bits);
+        let arch = PlbArchitecture::granular();
+        for name in ["MUX", "XOA", "ND3", "ND2"] {
+            let cell = arch.library().cell_by_name(name).unwrap();
+            if let Some(m) = matcher::match_cell(cell, t, 3) {
+                let pins: Vec<Tt3> = m.pins.iter().map(|p| p.tt()).collect();
+                prop_assert_eq!(matcher::compose(m.config, &pins), t);
+            }
+        }
+    }
+
+    /// Every covering granular configuration realizes its functions
+    /// correctly (sampled).
+    #[test]
+    fn config_realizations_are_sound(bits in 0u8..=255) {
+        let t = Tt3::new(bits);
+        let arch = PlbArchitecture::granular();
+        for cfg in arch.configs() {
+            if cfg.functions().contains(t) {
+                let r = cfg.realize(t, arch.library());
+                prop_assert!(r.is_some(), "{} covers {} but cannot realize it", cfg.name(), t);
+                prop_assert_eq!(r.unwrap().output_function(), t);
+            }
+        }
+    }
+}
+
+/// Strategy: a random combinational netlist over the generic library.
+fn arbitrary_netlist() -> impl Strategy<Value = Netlist> {
+    // A sequence of gate choices; each gate picks fanins among prior nets.
+    let gate_names = prop::sample::select(vec![
+        "AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2", "MUX2", "MAJ3", "XOR3", "AOI21", "INV",
+    ]);
+    (
+        2usize..5,
+        prop::collection::vec((gate_names, any::<u64>()), 3..30),
+    )
+        .prop_map(|(n_inputs, gates)| {
+            let lib = generic::library();
+            let mut n = Netlist::new("random");
+            let mut nets: Vec<NetId> = (0..n_inputs)
+                .map(|i| n.add_input(format!("i{i}")))
+                .collect();
+            for (ix, (gate, seed)) in gates.into_iter().enumerate() {
+                let arity = lib.cell_by_name(gate).unwrap().arity();
+                let pins: Vec<NetId> = (0..arity)
+                    .map(|k| nets[(seed as usize + k * 7919) % nets.len()])
+                    .collect();
+                let out = n
+                    .add_lib_cell(format!("g{ix}"), &lib, gate, &pins)
+                    .expect("valid gate");
+                nets.push(out);
+            }
+            n.add_output("y", *nets.last().unwrap());
+            // A second output deep in the middle exercises multi-output
+            // cones.
+            n.add_output("z", nets[nets.len() / 2]);
+            n
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Technology mapping preserves the function of arbitrary netlists on
+    /// both architectures (exhaustive simulation up to 2^n input vectors,
+    /// capped).
+    #[test]
+    fn mapping_preserves_random_netlists(netlist in arbitrary_netlist()) {
+        let src = generic::library();
+        let n_in = netlist.inputs().len();
+        let vectors: Vec<Vec<bool>> = (0..(1u32 << n_in).min(32))
+            .map(|m| (0..n_in).map(|i| (m >> i) & 1 == 1).collect())
+            .collect();
+        for arch in [PlbArchitecture::granular(), PlbArchitecture::lut_based()] {
+            let mut mapped = map_netlist_fast(&netlist, &src, &arch).unwrap();
+            vpga::compact::compact(&mut mapped, &arch).unwrap();
+            let div = vpga::netlist::sim::first_divergence(
+                &netlist, &src, &mapped, arch.library(), &vectors,
+            )
+            .unwrap();
+            prop_assert_eq!(div, None, "diverges on {}", arch.name());
+        }
+    }
+
+    /// The AIG round-trip preserves combinational functions.
+    #[test]
+    fn aig_roundtrip_preserves_function(netlist in arbitrary_netlist()) {
+        let src = generic::library();
+        let (aig, _) = Aig::from_netlist(&netlist, &src).unwrap();
+        let n_in = netlist.inputs().len();
+        let mut sim = vpga::netlist::sim::Simulator::new(&netlist, &src).unwrap();
+        for m in 0..(1u32 << n_in).min(32) {
+            let vals: Vec<bool> = (0..n_in).map(|i| (m >> i) & 1 == 1).collect();
+            prop_assert_eq!(aig.eval(&vals), sim.eval(&vals));
+        }
+    }
+}
+
+mod physical_properties {
+    use super::*;
+    use vpga::netlist::CellClass;
+    use vpga::pack::PackConfig;
+    use vpga::place::PlaceConfig;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Packing a random mapped netlist always yields a legal array:
+        /// every cell seated, every PLB within capacity, every group whole.
+        #[test]
+        fn packing_is_always_legal(netlist in arbitrary_netlist(), seed in 0u64..1000) {
+            let src = generic::library();
+            let arch = PlbArchitecture::granular();
+            let mut mapped = map_netlist_fast(&netlist, &src, &arch).unwrap();
+            vpga::compact::compact(&mut mapped, &arch).unwrap();
+            let place_cfg = PlaceConfig { seed, ..PlaceConfig::default() };
+            let placement = vpga::place::place(&mapped, arch.library(), &place_cfg);
+            let array = vpga::pack::pack(&mapped, &arch, &placement, &PackConfig::default())
+                .expect("packable");
+            let lib_cells = mapped.cells().filter(|(_, c)| c.lib_id().is_some()).count();
+            prop_assert_eq!(array.num_assigned(), lib_cells);
+            for col in 0..array.cols() {
+                for row in 0..array.rows() {
+                    for class in CellClass::PLB_CLASSES {
+                        prop_assert!(
+                            array.plb(col, row).used(class) <= arch.capacity().count(class)
+                        );
+                    }
+                }
+            }
+            let mut groups: std::collections::HashMap<_, std::collections::HashSet<usize>> =
+                std::collections::HashMap::new();
+            for (id, cell) in mapped.cells() {
+                if let (Some(g), Some(p)) = (cell.group(), array.plb_of(id)) {
+                    groups.entry(g).or_default().insert(p);
+                }
+            }
+            for homes in groups.values() {
+                prop_assert_eq!(homes.len(), 1);
+            }
+        }
+
+        /// Routing a random placed netlist converges to a legal solution
+        /// with the default channel capacity, and every inter-tile net gets
+        /// a length of at least its tile-quantized manhattan bound.
+        #[test]
+        fn routing_is_legal_and_lower_bounded(netlist in arbitrary_netlist(), seed in 0u64..1000) {
+            let src = generic::library();
+            let place_cfg = PlaceConfig { seed, ..PlaceConfig::default() };
+            let placement = vpga::place::place(&netlist, &src, &place_cfg);
+            let cfg = vpga::route::RouteConfig::default();
+            let result = vpga::route::route(&netlist, &src, &placement, &cfg);
+            prop_assert_eq!(result.overflow_edges(), 0);
+            let tile = result.tile_size();
+            for net in netlist.nets() {
+                let len = result.net_length(net);
+                if len == 0.0 {
+                    continue;
+                }
+                // Lower bound: manhattan distance between driver and the
+                // farthest sink, minus tile quantization slack.
+                let Some(driver) = netlist.driver(net) else { continue };
+                let Some((dx, dy)) = placement.position(driver) else { continue };
+                let far = netlist
+                    .sinks(net)
+                    .iter()
+                    .filter_map(|&(c, _)| placement.position(c))
+                    .map(|(x, y)| (x - dx).abs() + (y - dy).abs())
+                    .fold(0.0f64, f64::max);
+                prop_assert!(
+                    len + 2.0 * tile >= far - 2.0 * tile,
+                    "net routed {len} vs manhattan {far} (tile {tile})"
+                );
+            }
+        }
+
+        /// The fabric program of any packed netlist reconstructs to a
+        /// functionally identical design.
+        #[test]
+        fn fabric_program_roundtrips(netlist in arbitrary_netlist()) {
+            let src = generic::library();
+            let arch = PlbArchitecture::lut_based();
+            let mut mapped = map_netlist_fast(&netlist, &src, &arch).unwrap();
+            vpga::compact::compact(&mut mapped, &arch).unwrap();
+            let placement =
+                vpga::place::place(&mapped, arch.library(), &PlaceConfig::default());
+            let array = vpga::pack::pack(&mapped, &arch, &placement, &PackConfig::default())
+                .expect("packable");
+            let program = vpga::fabric::FabricProgram::generate(&mapped, &arch, &array)
+                .expect("programmable");
+            let rebuilt = program.reconstruct(&mapped, &arch).expect("reconstructs");
+            let n_in = mapped.inputs().len();
+            let vectors: Vec<Vec<bool>> = (0..(1u32 << n_in).min(16))
+                .map(|m| (0..n_in).map(|i| (m >> i) & 1 == 1).collect())
+                .collect();
+            let div = vpga::netlist::sim::first_divergence(
+                &mapped, arch.library(), &rebuilt, arch.library(), &vectors,
+            )
+            .unwrap();
+            prop_assert_eq!(div, None);
+        }
+
+        /// Verilog round-trips preserve function for arbitrary netlists.
+        #[test]
+        fn verilog_roundtrip_preserves_function(netlist in arbitrary_netlist()) {
+            let src = generic::library();
+            let text = vpga::netlist::io::write_verilog(&netlist, &src).unwrap();
+            let back = vpga::netlist::io::read_verilog(&text, &src).unwrap();
+            let n_in = netlist.inputs().len();
+            let vectors: Vec<Vec<bool>> = (0..(1u32 << n_in).min(16))
+                .map(|m| (0..n_in).map(|i| (m >> i) & 1 == 1).collect())
+                .collect();
+            let div = vpga::netlist::sim::first_divergence(
+                &netlist, &src, &back, &src, &vectors,
+            )
+            .unwrap();
+            prop_assert_eq!(div, None);
+        }
+    }
+}
