@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Offline CI gate for the VPGA workspace.
+#
+# Runs the same checks a PR must pass, in order of increasing cost:
+#   1. cargo fmt --check          (formatting)
+#   2. cargo clippy -D warnings   (lints; skipped if clippy is not installed)
+#   3. cargo build --release      (whole workspace, all targets)
+#   4. cargo test                 (whole workspace)
+#
+# The workspace has no network dependencies: rand/proptest/criterion are
+# vendored as path crates under vendor/, so every step works offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+if cargo clippy --version >/dev/null 2>&1; then
+    step "cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets --release -- -D warnings
+else
+    step "clippy not installed; skipping lint step"
+fi
+
+step "cargo build --release --workspace"
+cargo build --release --workspace --all-targets
+
+step "cargo test --workspace"
+cargo test --workspace -q
+
+printf '\nall checks passed\n'

@@ -8,7 +8,7 @@ use vpga_core::PlbArchitecture;
 use vpga_designs::{DesignParams, NamedDesign};
 use vpga_flowmap::{Dag, Labeling};
 use vpga_netlist::library::generic;
-use vpga_synth::{Aig, map_netlist, map_netlist_fast};
+use vpga_synth::{map_netlist, map_netlist_fast, Aig};
 
 fn bench_synthesis(c: &mut Criterion) {
     let params = DesignParams::tiny();
@@ -71,8 +71,13 @@ fn bench_physical(c: &mut Criterion) {
             .unwrap()
         })
     });
-    let array =
-        vpga_pack::pack(&mapped, &arch, &placement, &vpga_pack::PackConfig::default()).unwrap();
+    let array = vpga_pack::pack(
+        &mapped,
+        &arch,
+        &placement,
+        &vpga_pack::PackConfig::default(),
+    )
+    .unwrap();
     let mut packed_placement = placement.clone();
     vpga_pack::apply_to_placement(&array, &mapped, &mut packed_placement);
     let route_cfg = vpga_route::RouteConfig {
@@ -80,7 +85,14 @@ fn bench_physical(c: &mut Criterion) {
         ..vpga_route::RouteConfig::default()
     };
     c.bench_function("route/pathfinder", |b| {
-        b.iter(|| vpga_route::route(black_box(&mapped), arch.library(), &packed_placement, &route_cfg))
+        b.iter(|| {
+            vpga_route::route(
+                black_box(&mapped),
+                arch.library(),
+                &packed_placement,
+                &route_cfg,
+            )
+        })
     });
     let routing = vpga_route::route(&mapped, arch.library(), &packed_placement, &route_cfg);
     c.bench_function("timing/sta_post_route", |b| {

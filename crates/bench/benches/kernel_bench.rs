@@ -46,7 +46,11 @@ fn bench_npn(c: &mut Criterion) {
 
 fn bench_s3(c: &mut Criterion) {
     c.bench_function("s3/feasibility_all_256", |b| {
-        b.iter(|| Tt3::all().filter(|&t| s3::s3_feasible(black_box(t))).count())
+        b.iter(|| {
+            Tt3::all()
+                .filter(|&t| s3::s3_feasible(black_box(t)))
+                .count()
+        })
     });
     c.bench_function("s3/figure2_census", |b| {
         b.iter(s3::InfeasibleCensus::compute)

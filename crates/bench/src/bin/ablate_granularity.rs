@@ -18,10 +18,19 @@ fn main() {
         "§2.3 granularity trade-offs; §4 \"the optimal combination of these logic elements ... varies\"",
     );
     let variants = [
-        ("g-1mux", PlbArchitecture::granular_variant("g-1mux", 1, 1, 1, 1)),
+        (
+            "g-1mux",
+            PlbArchitecture::granular_variant("g-1mux", 1, 1, 1, 1),
+        ),
         ("g-2mux (paper)", PlbArchitecture::granular()),
-        ("g-3mux", PlbArchitecture::granular_variant("g-3mux", 3, 1, 1, 1)),
-        ("g-4mux", PlbArchitecture::granular_variant("g-4mux", 4, 1, 1, 1)),
+        (
+            "g-3mux",
+            PlbArchitecture::granular_variant("g-3mux", 3, 1, 1, 1),
+        ),
+        (
+            "g-4mux",
+            PlbArchitecture::granular_variant("g-4mux", 4, 1, 1, 1),
+        ),
     ];
     for design in [NamedDesign::Alu, NamedDesign::Fpu] {
         println!("-- design: {} --", design.name());

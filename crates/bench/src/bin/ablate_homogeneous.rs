@@ -23,7 +23,11 @@ fn main() {
         PlbArchitecture::lut_based(),
         PlbArchitecture::granular(),
     ];
-    for design in [NamedDesign::Alu, NamedDesign::Fpu, NamedDesign::NetworkSwitch] {
+    for design in [
+        NamedDesign::Alu,
+        NamedDesign::Fpu,
+        NamedDesign::NetworkSwitch,
+    ] {
         println!("-- design: {} --", design.name());
         let netlist = design.generate(&params);
         for arch in &archs {

@@ -26,8 +26,7 @@ fn main() {
         println!("-- architecture: {} --", arch.name());
         for design in NamedDesign::ALL {
             let golden = design.generate(&params);
-            let mut mapped =
-                vpga_synth::map_netlist_fast(&golden, &src, &arch).expect("mappable");
+            let mut mapped = vpga_synth::map_netlist_fast(&golden, &src, &arch).expect("mappable");
             let report = vpga_compact::compact(&mut mapped, &arch).expect("compactable");
             let configs: Vec<String> = report
                 .rewrites_by_config

@@ -16,7 +16,9 @@ fn main() {
     );
     let feasible = s3::s3_set().len();
     println!("S3 gate (MUX + 2×ND2WI, designated select): {feasible} / 256 functions");
-    let any = Tt3::all().filter(|&t| s3::s3_feasible_any_select(t)).count();
+    let any = Tt3::all()
+        .filter(|&t| s3::s3_feasible_any_select(t))
+        .count();
     println!("  with free select-pin assignment:          {any} / 256");
     println!();
     println!("{}", s3::InfeasibleCensus::compute());

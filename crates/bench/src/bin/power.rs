@@ -24,8 +24,16 @@ fn main() {
     );
     for design in NamedDesign::ALL {
         let netlist = design.generate(&params);
-        let g = run_design(&netlist, &PlbArchitecture::granular(), &FlowConfig::default());
-        let l = run_design(&netlist, &PlbArchitecture::lut_based(), &FlowConfig::default());
+        let g = run_design(
+            &netlist,
+            &PlbArchitecture::granular(),
+            &FlowConfig::default(),
+        );
+        let l = run_design(
+            &netlist,
+            &PlbArchitecture::lut_based(),
+            &FlowConfig::default(),
+        );
         match (g, l) {
             (Ok(g), Ok(l)) => println!(
                 "{:16} {:>14.3} {:>14.3} {:>9.1} %",
@@ -34,7 +42,12 @@ fn main() {
                 l.flow_b.power_mw,
                 100.0 * (1.0 - g.flow_b.power_mw / l.flow_b.power_mw)
             ),
-            (g, l) => println!("{:16} failed: {:?} {:?}", design.name(), g.is_err(), l.is_err()),
+            (g, l) => println!(
+                "{:16} failed: {:?} {:?}",
+                design.name(),
+                g.is_err(),
+                l.is_err()
+            ),
         }
     }
     println!(

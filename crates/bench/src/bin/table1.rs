@@ -2,20 +2,22 @@
 //! paper, plus the §3.2 area claims derived from it.
 //!
 //! ```sh
-//! cargo run --release -p vpga-bench --bin table1 [tiny|small|medium|paper]
+//! cargo run --release -p vpga-bench --bin table1 -- [tiny|small|medium|paper] [--jobs N] [--stats]
 //! ```
 
 use vpga_flow::report::Matrix;
-use vpga_flow::FlowConfig;
+use vpga_flow::{Executor, FlowConfig};
 
 fn main() {
-    let params = vpga_bench::params_from_args();
+    let args = vpga_bench::bench_args();
     vpga_bench::banner(
         "E1 / Table 1 — die-area comparison (flows a and b, both PLBs)",
         "Table 1; §3.2 area claims (32 % datapath, 40 % FPU, Firewire inversion, 48 %/88 % overhead gaps)",
     );
     let t0 = std::time::Instant::now();
-    let matrix = Matrix::run(&params, &FlowConfig::default()).expect("flow matrix runs");
+    eprintln!("workers: {}", Executor::new(args.jobs).workers());
+    let matrix = Matrix::run_parallel(&args.params, &FlowConfig::default(), args.jobs)
+        .expect("flow matrix runs");
     println!("{}", matrix.table1());
     // Per-design overhead detail (the §3.2 packing-efficiency argument).
     println!("Flow a → flow b die-area overhead:");
@@ -31,5 +33,9 @@ fn main() {
     }
     println!();
     println!("{}", matrix.claims());
+    if args.stats {
+        println!();
+        print!("{}", matrix.stats_report());
+    }
     println!("elapsed: {:.1?}", t0.elapsed());
 }

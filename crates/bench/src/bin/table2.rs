@@ -3,20 +3,22 @@
 //! §3.2 slack claims.
 //!
 //! ```sh
-//! cargo run --release -p vpga-bench --bin table2 [tiny|small|medium|paper]
+//! cargo run --release -p vpga-bench --bin table2 -- [tiny|small|medium|paper] [--jobs N] [--stats]
 //! ```
 
 use vpga_flow::report::Matrix;
-use vpga_flow::FlowConfig;
+use vpga_flow::{Executor, FlowConfig};
 
 fn main() {
-    let params = vpga_bench::params_from_args();
+    let args = vpga_bench::bench_args();
     vpga_bench::banner(
         "E2 / Table 2 — top-10 path-slack comparison at the 500 ps cycle",
         "Table 2; §3.2 timing claims (18 % mean slack gain, 40 % FPU, 68 % less a→b degradation)",
     );
     let t0 = std::time::Instant::now();
-    let matrix = Matrix::run(&params, &FlowConfig::default()).expect("flow matrix runs");
+    eprintln!("workers: {}", Executor::new(args.jobs).workers());
+    let matrix = Matrix::run_parallel(&args.params, &FlowConfig::default(), args.jobs)
+        .expect("flow matrix runs");
     println!("{}", matrix.table2());
     println!("Flow a → flow b slack degradation (ps):");
     for o in matrix.outcomes() {
@@ -37,5 +39,9 @@ fn main() {
          the published ±0.x ns values; the architecture *comparisons* are\n\
          the reproduced quantity (see EXPERIMENTS.md)."
     );
+    if args.stats {
+        println!();
+        print!("{}", matrix.stats_report());
+    }
     println!("elapsed: {:.1?}", t0.elapsed());
 }

@@ -23,11 +23,14 @@ fn main() {
     );
     let src = generic::library();
     for arch in [PlbArchitecture::granular(), PlbArchitecture::lut_based()] {
-        println!("-- architecture: {} ({} via sites/PLB) --", arch.name(), arch.via_sites());
+        println!(
+            "-- architecture: {} ({} via sites/PLB) --",
+            arch.name(),
+            arch.via_sites()
+        );
         for design in NamedDesign::ALL {
             let golden = design.generate(&params);
-            let mut mapped =
-                vpga_synth::map_netlist_fast(&golden, &src, &arch).expect("mappable");
+            let mut mapped = vpga_synth::map_netlist_fast(&golden, &src, &arch).expect("mappable");
             vpga_compact::compact(&mut mapped, &arch).expect("compactable");
             let placement = vpga_place::place(&mapped, arch.library(), &PlaceConfig::default());
             let array = vpga_pack::pack(&mapped, &arch, &placement, &PackConfig::default())

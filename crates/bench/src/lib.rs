@@ -7,11 +7,62 @@
 //! default is `small`, which runs the full matrix in seconds. `paper`
 //! approximates the publication's 24 k/80 k gate counts and takes
 //! correspondingly longer.
+//!
+//! The matrix-running binaries (`table1`, `table2`) additionally accept
+//! `--jobs N` (worker threads; `0` = one per CPU, default 1 — output
+//! tables are bit-identical for any N, see `vpga_flow::Executor`) and
+//! `--stats` (print the per-stage instrumentation for all 16 runs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use vpga_designs::DesignParams;
+
+/// Parsed common benchmark-binary arguments.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Generated design sizes (first free argument; default `small`).
+    pub params: DesignParams,
+    /// Flow-executor worker count (`--jobs N`; `0` = one per CPU).
+    pub jobs: usize,
+    /// Print per-stage instrumentation (`--stats`).
+    pub stats: bool,
+}
+
+/// Parses `[size] [--jobs N] [--stats]` from the command line; exits with
+/// a usage message on bad input.
+pub fn bench_args() -> BenchArgs {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut parsed = BenchArgs {
+        params: params_by_name("small").expect("known size"),
+        jobs: 1,
+        stats: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stats" => parsed.stats = true,
+            "--jobs" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| usage("--jobs needs a value"));
+                parsed.jobs = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad --jobs value {v:?}")));
+            }
+            size => {
+                parsed.params = params_by_name(size)
+                    .unwrap_or_else(|| usage(&format!("unknown size {size:?}")));
+            }
+        }
+        i += 1;
+    }
+    parsed
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}\nusage: [tiny|small|medium|paper] [--jobs N] [--stats]");
+    std::process::exit(2);
+}
 
 /// Parses the size argument from the command line (first free argument),
 /// defaulting to `small`.

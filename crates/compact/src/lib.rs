@@ -181,9 +181,9 @@ fn compact_once(
         // Internal nodes (all but the root) must have no fanout escaping
         // the cluster — their signals disappear in the rewrite.
         let cluster_set: HashSet<NodeIx> = cluster.iter().copied().collect();
-        let escapes = cluster.iter().any(|&n| {
-            n != root && dag.fanouts(n).iter().any(|f| !cluster_set.contains(f))
-        });
+        let escapes = cluster
+            .iter()
+            .any(|&n| n != root && dag.fanouts(n).iter().any(|f| !cluster_set.contains(f)));
         if escapes {
             continue;
         }
@@ -200,8 +200,7 @@ fn compact_once(
             continue;
         }
         // The supernode's function over the cut leaves.
-        let Some(tt) = cluster_function(netlist, lib, &dag, &nets, root, cut, &cluster_set)
-        else {
+        let Some(tt) = cluster_function(netlist, lib, &dag, &nets, root, cut, &cluster_set) else {
             continue;
         };
         // Current cost of the cluster.
@@ -233,13 +232,17 @@ fn compact_once(
             if !cfg.functions().contains(tt) {
                 continue;
             }
-            let Some(r) = realizer.get(cfg, tt) else { continue };
+            let Some(r) = realizer.get(cfg, tt) else {
+                continue;
+            };
             let cost: f64 = r.cells.iter().map(|rc| costs.realized_cost(rc)).sum();
             if best.is_none_or(|(_, c, _)| cost < c) {
                 best = Some((cfg, cost, r.cells.len()));
             }
         }
-        let Some((cfg, new_cost, new_cells)) = best else { continue };
+        let Some((cfg, new_cost, new_cells)) = best else {
+            continue;
+        };
         let savings = old_cost - new_cost;
         let denser = new_cells < cluster.len();
         if savings <= 1e-9 && !(savings.abs() <= 1e-9 && denser) {
@@ -283,11 +286,9 @@ fn compact_once(
             }
         }
         // Leaves must survive the rewrites applied so far.
-        if cand
-            .leaves
-            .iter()
-            .any(|&l| !netlist.net_exists(l) || netlist.driver(l).is_none_or(|d| consumed.contains(&d)))
-        {
+        if cand.leaves.iter().any(|&l| {
+            !netlist.net_exists(l) || netlist.driver(l).is_none_or(|d| consumed.contains(&d))
+        }) {
             continue;
         }
         let cfg = arch
@@ -295,7 +296,9 @@ fn compact_once(
             .iter()
             .find(|c| c.name() == cand.config_name)
             .expect("candidate config exists");
-        let Some(realization) = realizer.get(cfg, cand.tt).cloned() else { continue };
+        let Some(realization) = realizer.get(cfg, cand.tt).cloned() else {
+            continue;
+        };
         let (old_root, new_root) = rewrite(netlist, arch, &cand, &realization)?;
         net_alias.insert(old_root, new_root);
         consumed.extend(cand.cluster_cells.iter().copied());
@@ -358,7 +361,9 @@ impl<'a> PackingCosts<'a> {
             if alt.is_sequential() || self.arch.capacity().count(alt) == 0 {
                 continue;
             }
-            let Some(cell) = self.arch.slot_cell(alt) else { continue };
+            let Some(cell) = self.arch.slot_cell(alt) else {
+                continue;
+            };
             if alt == class || vpga_core::matcher::match_cell(cell, function, 3).is_some() {
                 hosting_slots += self.arch.capacity().count(alt);
             }
@@ -369,9 +374,13 @@ impl<'a> PackingCosts<'a> {
     }
 
     fn cell_cost(&mut self, netlist: &Netlist, cell: CellId) -> f64 {
-        let Some(c) = netlist.cell(cell) else { return 0.0 };
+        let Some(c) = netlist.cell(cell) else {
+            return 0.0;
+        };
         let Some(lib_id) = c.lib_id() else { return 0.0 };
-        let Some(lc) = self.arch.library().cell(lib_id) else { return 0.0 };
+        let Some(lc) = self.arch.library().cell(lib_id) else {
+            return 0.0;
+        };
         if lc.is_sequential() {
             return self.arch.seq_area();
         }
@@ -703,10 +712,7 @@ mod tests {
         let report = compact(&mut mapped, &arch).unwrap();
         assert_equivalent(&n, &src, &mapped, arch.library());
         if report.num_rewrites() > 0 {
-            let grouped = mapped
-                .cells()
-                .filter(|(_, c)| c.group().is_some())
-                .count();
+            let grouped = mapped.cells().filter(|(_, c)| c.group().is_some()).count();
             let multi = report
                 .rewrites_by_config
                 .iter()

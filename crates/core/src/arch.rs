@@ -150,10 +150,8 @@ impl PlbArchitecture {
         capacity.add(CellClass::Dff, 1);
         let library = build_library("plb_lut", LibraryKind::LutBased);
         let configs = LogicConfig::lut_based_configs();
-        let comb_components = params::LUT3.area
-            + 2.0 * params::ND3.area
-            + params::BUF.area
-            + params::INV.area;
+        let comb_components =
+            params::LUT3.area + 2.0 * params::ND3.area + params::BUF.area + params::INV.area;
         let sites = params::VIA_SITES;
         PlbArchitecture {
             name: "lut".to_owned(),
@@ -213,7 +211,10 @@ impl PlbArchitecture {
         nd3s: u16,
         dffs: u16,
     ) -> PlbArchitecture {
-        assert!(muxes + xoas > 0, "granular variants need a MUX-capable slot");
+        assert!(
+            muxes + xoas > 0,
+            "granular variants need a MUX-capable slot"
+        );
         assert!(dffs > 0, "granular variants need at least one DFF");
         let mut capacity = SlotSet::new();
         capacity.add(CellClass::Mux, muxes);
@@ -497,10 +498,26 @@ fn build_library(name: &str, kind: LibraryKind) -> Library {
     {
         let mut buf_set = FunctionSet256::new();
         buf_set.insert(Literal::Pos(Var::A).tt());
-        add(&mut lib, "BUF", CellClass::Buf, 1, Literal::Pos(Var::A).tt(), buf_set, params::BUF);
+        add(
+            &mut lib,
+            "BUF",
+            CellClass::Buf,
+            1,
+            Literal::Pos(Var::A).tt(),
+            buf_set,
+            params::BUF,
+        );
         let mut inv_set = FunctionSet256::new();
         inv_set.insert(Literal::Neg(Var::A).tt());
-        add(&mut lib, "INV", CellClass::Inv, 1, Literal::Neg(Var::A).tt(), inv_set, params::INV);
+        add(
+            &mut lib,
+            "INV",
+            CellClass::Inv,
+            1,
+            Literal::Neg(Var::A).tt(),
+            inv_set,
+            params::INV,
+        );
     }
     lib.add(LibCell::new(
         "DFF",
@@ -623,12 +640,18 @@ mod tests {
     fn libraries_resolve_expected_cells() {
         let g = PlbArchitecture::granular();
         for name in ["MUX", "XOA", "ND3", "ND2", "BUF", "INV", "DFF"] {
-            assert!(g.library().cell_by_name(name).is_some(), "granular missing {name}");
+            assert!(
+                g.library().cell_by_name(name).is_some(),
+                "granular missing {name}"
+            );
         }
         assert!(g.library().cell_by_name("LUT3").is_none());
         let l = PlbArchitecture::lut_based();
         for name in ["LUT3", "ND3", "ND2", "BUF", "INV", "DFF"] {
-            assert!(l.library().cell_by_name(name).is_some(), "lut missing {name}");
+            assert!(
+                l.library().cell_by_name(name).is_some(),
+                "lut missing {name}"
+            );
         }
         assert!(l.library().cell_by_name("MUX").is_none());
     }

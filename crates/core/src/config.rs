@@ -354,9 +354,7 @@ fn realize_pair(
     for (inner_tt, inner_cell) in inner_candidates(inner_name, lib) {
         let mut sources = leaf_tts.clone();
         sources.push((NodeSource::Node(0), inner_tt));
-        if let Some(outer_cell) =
-            solve_outer(outer, outer_name, target, &sources)
-        {
+        if let Some(outer_cell) = solve_outer(outer, outer_name, target, &sources) {
             return Some(Realization {
                 cells: vec![inner_cell, outer_cell],
             });
@@ -385,11 +383,15 @@ fn realize_triple(
                 solve_unknown_full(outer, target, &known, unknown_pin, &gates)
             {
                 return Some(Realization {
-                    cells: vec![mux_cell, gate_cell, RealizedCell {
-                        lib_name: outer_name.to_owned(),
-                        config,
-                        pins,
-                    }],
+                    cells: vec![
+                        mux_cell,
+                        gate_cell,
+                        RealizedCell {
+                            lib_name: outer_name.to_owned(),
+                            config,
+                            pins,
+                        },
+                    ],
                 });
             }
         }
@@ -466,7 +468,16 @@ fn solve_unknown_full(
     let arity = outer.arity();
     let mut pins = vec![NodeSource::Const(false); arity];
     let mut tts = vec![Tt3::FALSE; arity];
-    solve_unknown_rec(outer, target, known, unknown_pin, gates, &mut pins, &mut tts, 0)
+    solve_unknown_rec(
+        outer,
+        target,
+        known,
+        unknown_pin,
+        gates,
+        &mut pins,
+        &mut tts,
+        0,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -599,8 +610,7 @@ mod tests {
         let xoamx = configs.iter().find(|c| c.name() == "XOAMX").unwrap();
         // Check every function that *needs* the triple (and a sample of the rest).
         for t in Tt3::all() {
-            let needs_triple =
-                !ndmx.functions().contains(t) && !xoamx.functions().contains(t);
+            let needs_triple = !ndmx.functions().contains(t) && !xoamx.functions().contains(t);
             if needs_triple || t.bits() % 37 == 0 {
                 let r = xoandmx.realize(t, arch.library()).expect("complete config");
                 assert_eq!(r.output_function(), t, "target {t}");

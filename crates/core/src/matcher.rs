@@ -23,9 +23,7 @@ impl PinSource {
     /// The truth table (over the leaf variables) this source carries.
     pub fn tt(self) -> Tt3 {
         match self {
-            PinSource::Leaf(i) => {
-                Tt3::var(vpga_logic::Var::from_index(i).expect("leaf index < 3"))
-            }
+            PinSource::Leaf(i) => Tt3::var(vpga_logic::Var::from_index(i).expect("leaf index < 3")),
             PinSource::Const(false) => Tt3::FALSE,
             PinSource::Const(true) => Tt3::TRUE,
         }

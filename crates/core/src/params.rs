@@ -187,10 +187,9 @@ mod tests {
     fn two_level_mux_configs_beat_the_lut() {
         // NDMX and XOAMX must be faster than LUT3 for the paper's timing
         // story to hold.
-        let ndmx = ND2.intrinsic_delay + ND2.drive_resistance * MUX.input_cap
-            + MUX.intrinsic_delay;
-        let xoamx = XOA.intrinsic_delay + XOA.drive_resistance * MUX.input_cap
-            + MUX.intrinsic_delay;
+        let ndmx = ND2.intrinsic_delay + ND2.drive_resistance * MUX.input_cap + MUX.intrinsic_delay;
+        let xoamx =
+            XOA.intrinsic_delay + XOA.drive_resistance * MUX.input_cap + MUX.intrinsic_delay;
         assert!(ndmx < LUT3.intrinsic_delay + 10.0, "NDMX {ndmx} ps");
         assert!(xoamx < LUT3.intrinsic_delay + 10.0, "XOAMX {xoamx} ps");
     }

@@ -107,7 +107,9 @@ impl PlbInstance {
             if alt == class || self.free(alt) == 0 || alt.is_sequential() {
                 continue;
             }
-            let Some(cell) = arch.slot_cell(alt) else { continue };
+            let Some(cell) = arch.slot_cell(alt) else {
+                continue;
+            };
             if cell.is_sequential() {
                 continue;
             }

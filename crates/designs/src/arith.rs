@@ -22,12 +22,7 @@ use crate::designer::Designer;
 /// # Panics
 ///
 /// Panics if the operand widths differ or are zero.
-pub fn cla_adder(
-    d: &mut Designer,
-    a: &[NetId],
-    b: &[NetId],
-    cin: NetId,
-) -> (Vec<NetId>, NetId) {
+pub fn cla_adder(d: &mut Designer, a: &[NetId], b: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
     assert_eq!(a.len(), b.len(), "adder operands must have equal width");
     assert!(!a.is_empty(), "adder width must be positive");
     use crate::blocks::{and_reduce, or_reduce};
@@ -94,7 +89,11 @@ pub fn cla_adder(
 ///
 /// Panics if the operand widths differ or are zero.
 pub fn array_multiplier(d: &mut Designer, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
-    assert_eq!(a.len(), b.len(), "multiplier operands must have equal width");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "multiplier operands must have equal width"
+    );
     assert!(!a.is_empty(), "multiplier width must be positive");
     let n = a.len();
     let zero = d.constant(false);
@@ -135,7 +134,11 @@ pub fn array_multiplier(d: &mut Designer, a: &[NetId], b: &[NetId]) -> Vec<NetId
 ///
 /// Panics if the widths differ or are zero.
 pub fn comparator(d: &mut Designer, a: &[NetId], b: &[NetId]) -> (NetId, NetId) {
-    assert_eq!(a.len(), b.len(), "comparator operands must have equal width");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "comparator operands must have equal width"
+    );
     assert!(!a.is_empty(), "comparator width must be positive");
     // a - b: borrow (no carry out) means a < b.
     let b_inv: Vec<NetId> = b.iter().map(|&x| d.not(x)).collect();
@@ -274,14 +277,9 @@ mod tests {
         let vectors: Vec<Vec<bool>> = (0..64u32)
             .map(|m| (0..6).map(|i| (m >> i) & 1 == 1).collect())
             .collect();
-        let div = vpga_netlist::sim::first_divergence(
-            &golden,
-            &src,
-            &mapped,
-            arch.library(),
-            &vectors,
-        )
-        .unwrap();
+        let div =
+            vpga_netlist::sim::first_divergence(&golden, &src, &mapped, arch.library(), &vectors)
+                .unwrap();
         assert_eq!(div, None);
     }
 }

@@ -19,12 +19,7 @@ pub fn full_adder(d: &mut Designer, a: NetId, b: NetId, cin: NetId) -> (NetId, N
 /// # Panics
 ///
 /// Panics if the operand widths differ.
-pub fn ripple_adder(
-    d: &mut Designer,
-    a: &[NetId],
-    b: &[NetId],
-    cin: NetId,
-) -> (Vec<NetId>, NetId) {
+pub fn ripple_adder(d: &mut Designer, a: &[NetId], b: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
     assert_eq!(a.len(), b.len(), "adder operands must have equal width");
     let mut carry = cin;
     let mut sum = Vec::with_capacity(a.len());
@@ -38,12 +33,7 @@ pub fn ripple_adder(
 
 /// An adder/subtractor: computes `a + (b ⊕ sub) + sub`, i.e. `a - b` when
 /// `sub` is high. Returns `(result, carry_out)`.
-pub fn add_sub(
-    d: &mut Designer,
-    a: &[NetId],
-    b: &[NetId],
-    sub: NetId,
-) -> (Vec<NetId>, NetId) {
+pub fn add_sub(d: &mut Designer, a: &[NetId], b: &[NetId], sub: NetId) -> (Vec<NetId>, NetId) {
     let b_adj: Vec<NetId> = b.iter().map(|&bi| d.xor2(bi, sub)).collect();
     ripple_adder(d, a, &b_adj, sub)
 }
@@ -54,7 +44,11 @@ pub fn add_sub(
 ///
 /// Panics if the widths differ.
 pub fn equals(d: &mut Designer, a: &[NetId], b: &[NetId]) -> NetId {
-    assert_eq!(a.len(), b.len(), "comparator operands must have equal width");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "comparator operands must have equal width"
+    );
     let bits: Vec<NetId> = a.iter().zip(b).map(|(&x, &y)| d.xnor2(x, y)).collect();
     and_reduce(d, &bits)
 }
@@ -86,11 +80,7 @@ pub fn xor_reduce(d: &mut Designer, bits: &[NetId]) -> NetId {
     reduce(d, bits, Designer::xor2)
 }
 
-fn reduce(
-    d: &mut Designer,
-    bits: &[NetId],
-    op: fn(&mut Designer, NetId, NetId) -> NetId,
-) -> NetId {
+fn reduce(d: &mut Designer, bits: &[NetId], op: fn(&mut Designer, NetId, NetId) -> NetId) -> NetId {
     assert!(!bits.is_empty(), "reduction over an empty bus");
     let mut level: Vec<NetId> = bits.to_vec();
     while level.len() > 1 {

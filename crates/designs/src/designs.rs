@@ -215,7 +215,9 @@ pub fn fpu(params: &DesignParams) -> Netlist {
         let sign_diff = d.dff(sign_diff);
         let s1_q = d.dff(s1);
         // Stage 2: align and add/subtract mantissas.
-        let shift_bits = abs_diff.len().min(usize::BITS as usize - (m - 1).leading_zeros() as usize + 1);
+        let shift_bits = abs_diff
+            .len()
+            .min(usize::BITS as usize - (m - 1).leading_zeros() as usize + 1);
         let aligned = barrel_shift_right(&mut d, &man_small, &abs_diff[..shift_bits]);
         let (mantissa, carry) = add_sub(&mut d, &man_big, &aligned, sign_diff);
         let mantissa = d.register(&mantissa);
@@ -401,7 +403,12 @@ pub fn firewire(params: &DesignParams) -> Netlist {
     // CRC generators, gated by the active states.
     let crc_en = d.or2(tx, rx);
     let crc_in = d.and2(serial_in, crc_en);
-    let crc32 = lfsr(&mut d, 32, &[1, 2, 4, 5, 7, 8, 10, 11, 12, 16, 22, 23, 26], crc_in);
+    let crc32 = lfsr(
+        &mut d,
+        32,
+        &[1, 2, 4, 5, 7, 8, 10, 11, 12, 16, 22, 23, 26],
+        crc_in,
+    );
     let crc16 = lfsr(&mut d, 16, &[2, 15], crc_in);
     let crc_ok = {
         let all32 = or_reduce(&mut d, &crc32);
@@ -471,7 +478,11 @@ mod tests {
     fn datapath_designs_are_combinational_dominated() {
         let params = DesignParams::tiny();
         let lib = generic::library();
-        for design in [NamedDesign::Alu, NamedDesign::Fpu, NamedDesign::NetworkSwitch] {
+        for design in [
+            NamedDesign::Alu,
+            NamedDesign::Fpu,
+            NamedDesign::NetworkSwitch,
+        ] {
             let stats = NetlistStats::compute(&design.generate(&params), &lib);
             assert!(
                 stats.seq_fraction < 0.45,
@@ -576,7 +587,7 @@ mod tests {
         inputs.push(true); // valid0
         inputs.push(true); // dest0 = 1
         inputs.extend([false, false, false, false, false, false]); // port1 idle
-        // Three cycles of latency: input reg, grant reg, output reg.
+                                                                   // Three cycles of latency: input reg, grant reg, output reg.
         for _ in 0..3 {
             sim.step(&inputs);
         }

@@ -36,7 +36,11 @@ impl fmt::Display for FabricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FabricError::MissingSlot(c) => write!(f, "cell {c} has no slot assignment"),
-            FabricError::Unexpressible { cell, slot_cell, function } => write!(
+            FabricError::Unexpressible {
+                cell,
+                slot_cell,
+                function,
+            } => write!(
                 f,
                 "cell {cell:?} needs {function} which slot cell {slot_cell} cannot express"
             ),
@@ -139,7 +143,9 @@ impl FabricProgram {
             .collect();
         let mut vias_used = 0usize;
         for (id, cell) in netlist.cells() {
-            let Some(lib_id) = cell.lib_id() else { continue };
+            let Some(lib_id) = cell.lib_id() else {
+                continue;
+            };
             let lc = lib.cell(lib_id).expect("lib cell");
             let plb = array.plb_of(id).ok_or(FabricError::MissingSlot(id))?;
             let slot_class = array
@@ -303,9 +309,9 @@ impl FabricProgram {
         for (slot, new_cell) in pending {
             for (pin, strap) in slot.pins.iter().enumerate() {
                 let net = match *strap {
-                    PinStrap::Net(src) => *net_map.get(&src).ok_or({
-                        FabricError::Netlist(NetlistError::UnknownNet(src))
-                    })?,
+                    PinStrap::Net(src) => *net_map
+                        .get(&src)
+                        .ok_or(FabricError::Netlist(NetlistError::UnknownNet(src)))?,
                     PinStrap::Rail(b) => out.constant(b),
                 };
                 out.connect_pin(new_cell, pin, net)?;
@@ -351,10 +357,7 @@ mod tests {
     use vpga_pack::PackConfig;
     use vpga_place::PlaceConfig;
 
-    fn packed(
-        design: NamedDesign,
-        arch: &PlbArchitecture,
-    ) -> (Netlist, PlbArray) {
+    fn packed(design: NamedDesign, arch: &PlbArchitecture) -> (Netlist, PlbArray) {
         let src = generic::library();
         let golden = design.generate(&DesignParams::tiny());
         let mut mapped = vpga_synth::map_netlist_fast(&golden, &src, arch).unwrap();
@@ -371,7 +374,10 @@ mod tests {
                 let (netlist, array) = packed(design, &arch);
                 let program = FabricProgram::generate(&netlist, &arch, &array)
                     .unwrap_or_else(|e| panic!("{design} on {}: {e}", arch.name()));
-                let lib_cells = netlist.cells().filter(|(_, c)| c.lib_id().is_some()).count();
+                let lib_cells = netlist
+                    .cells()
+                    .filter(|(_, c)| c.lib_id().is_some())
+                    .count();
                 assert_eq!(program.slots_used(), lib_cells, "{design}");
                 assert!(program.vias_used() > 0);
                 assert!(program.vias_used() <= program.via_sites_available());
@@ -424,8 +430,9 @@ mod tests {
         // At least one gate landed on a MUX/XOA slot if any PLB holds >1
         // gate; regardless, reconstruction must hold.
         let rebuilt = program.reconstruct(&mapped, &arch).unwrap();
-        let vectors: Vec<Vec<bool>> =
-            (0..4u8).map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1]).collect();
+        let vectors: Vec<Vec<bool>> = (0..4u8)
+            .map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1])
+            .collect();
         let div = vpga_netlist::sim::first_divergence(
             &mapped,
             arch.library(),

@@ -153,8 +153,7 @@ mod tests {
             ("XOA", xoa_config_set()),
         ] {
             for f in set.iter() {
-                let vias = encode(cell, f)
-                    .unwrap_or_else(|| panic!("{cell} cannot encode {f}"));
+                let vias = encode(cell, f).unwrap_or_else(|| panic!("{cell} cannot encode {f}"));
                 assert_eq!(decode(cell, vias), Some(f), "{cell} {f}");
             }
         }

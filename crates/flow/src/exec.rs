@@ -1,0 +1,293 @@
+//! Parallel, deterministic flow execution.
+//!
+//! [`Executor`] is a bounded worker pool over [`std::thread::scope`] (no
+//! external crates): `n` jobs are pulled off an atomic counter by
+//! `min(workers, n)` scoped threads, and results land in their input slot,
+//! so the output order never depends on scheduling. Every job is a pure
+//! function of its index — each flow job derives all randomness from the
+//! seeds in its own `FlowConfig`, shares nothing mutable, and therefore
+//! produces bit-identical results whether run on 1 worker or 16 (the
+//! determinism tests pin this via [`crate::FlowResult::fingerprint`]).
+//!
+//! [`FlowMatrix`] names the (design, architecture, flow-variant) jobs of
+//! the paper's evaluation matrix and runs them in two waves: the shared
+//! front-ends (synthesis → physical synthesis, one per (design, arch)
+//! pair), then every variant back-end against its immutable front-end.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use vpga_core::PlbArchitecture;
+use vpga_designs::{DesignParams, NamedDesign};
+
+use crate::pipeline::{front_end, run_variant, FrontEnd};
+use crate::stats::StageStats;
+use crate::{FlowConfig, FlowError, FlowResult, FlowVariant};
+
+/// A bounded, order-preserving worker pool.
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Executor {
+    /// An executor with `workers` threads; `0` means "one per available
+    /// CPU" via [`std::thread::available_parallelism`].
+    pub fn new(workers: usize) -> Executor {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        Executor { workers }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `job(0) ..= job(n - 1)`, returning results in index order.
+    /// With one worker (or one job) this degenerates to a plain serial
+    /// loop on the calling thread; otherwise `min(workers, n)` scoped
+    /// threads race over an atomic work queue. Either way `out[i]` is
+    /// exactly `job(i)`.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics, the panic propagates to the caller once the
+    /// remaining workers drain.
+    pub fn run<T, F>(&self, n: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return (0..n).map(job).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = job(i);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every index claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+/// One cell of the evaluation matrix.
+#[derive(Clone, Debug)]
+pub struct FlowJob {
+    /// Which of the four paper designs.
+    pub design: NamedDesign,
+    /// The PLB architecture to map onto.
+    pub arch: PlbArchitecture,
+    /// Which §3.2 flow variant.
+    pub variant: FlowVariant,
+}
+
+/// The result of one [`FlowJob`], carrying enough front-end context to
+/// reassemble [`crate::DesignOutcome`] pairs.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The job that produced this.
+    pub job: FlowJob,
+    /// The generated netlist's name (the key [`crate::report::Matrix`]
+    /// looks outcomes up by).
+    pub design: String,
+    /// NAND2-equivalent gate count of the source design.
+    pub gates_nand2: f64,
+    /// Compaction summary from the shared front-end.
+    pub compaction: Option<vpga_compact::CompactionReport>,
+    /// Front-end stage instrumentation (shared by both variants of a
+    /// (design, arch) pair).
+    pub front_stages: Vec<StageStats>,
+    /// The variant's metrics and back-end stage instrumentation.
+    pub result: FlowResult,
+}
+
+/// A set of (design, architecture, flow-variant) jobs.
+#[derive(Clone, Debug, Default)]
+pub struct FlowMatrix {
+    jobs: Vec<FlowJob>,
+}
+
+impl FlowMatrix {
+    /// The paper's full 4 designs × 2 architectures × 2 variants matrix,
+    /// in Table 1 row order.
+    pub fn full() -> FlowMatrix {
+        let mut jobs = Vec::new();
+        for design in NamedDesign::ALL {
+            for arch in [PlbArchitecture::granular(), PlbArchitecture::lut_based()] {
+                for variant in [FlowVariant::A, FlowVariant::B] {
+                    jobs.push(FlowJob {
+                        design,
+                        arch: arch.clone(),
+                        variant,
+                    });
+                }
+            }
+        }
+        FlowMatrix { jobs }
+    }
+
+    /// A matrix over an explicit job list (any subset, any order,
+    /// duplicates allowed).
+    pub fn from_jobs(jobs: Vec<FlowJob>) -> FlowMatrix {
+        FlowMatrix { jobs }
+    }
+
+    /// The job list, in execution (= result) order.
+    pub fn jobs(&self) -> &[FlowJob] {
+        &self.jobs
+    }
+
+    /// Runs every job on `executor`, returning results in job order.
+    ///
+    /// Work is scheduled in two waves so a front-end shared by both
+    /// variants of a (design, arch) pair is computed once: first the
+    /// distinct front-ends fan out across the pool, then every variant
+    /// back-end runs against its (now immutable) front-end. Both waves
+    /// use the same index-ordered queue, so the result vector — and every
+    /// bit inside it — is independent of the worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in job order, if any job fails.
+    pub fn run(
+        &self,
+        params: &DesignParams,
+        config: &FlowConfig,
+        executor: &Executor,
+    ) -> Result<Vec<JobResult>, FlowError> {
+        // Wave 1: distinct (design, arch) front-ends, keyed by first use.
+        let mut pair_keys: Vec<(NamedDesign, String)> = Vec::new();
+        let mut pair_arch: Vec<&PlbArchitecture> = Vec::new();
+        let mut pair_of_job: Vec<usize> = Vec::with_capacity(self.jobs.len());
+        for job in &self.jobs {
+            let key = (job.design, job.arch.name().to_owned());
+            let ix = match pair_keys.iter().position(|k| *k == key) {
+                Some(ix) => ix,
+                None => {
+                    pair_keys.push(key);
+                    pair_arch.push(&job.arch);
+                    pair_keys.len() - 1
+                }
+            };
+            pair_of_job.push(ix);
+        }
+        let fronts: Vec<Result<FrontEnd, FlowError>> = executor.run(pair_keys.len(), |ix| {
+            let (design, _) = &pair_keys[ix];
+            let netlist = design.generate(params);
+            front_end(&netlist, pair_arch[ix], config)
+        });
+        let mut front_ok: Vec<FrontEnd> = Vec::with_capacity(fronts.len());
+        for front in fronts {
+            front_ok.push(front?);
+        }
+
+        // Wave 2: variant back-ends against the shared front-ends.
+        let results: Vec<Result<JobResult, FlowError>> = executor.run(self.jobs.len(), |i| {
+            let job = &self.jobs[i];
+            let front = &front_ok[pair_of_job[i]];
+            let result = run_variant(front, &job.arch, config, job.variant)?;
+            Ok(JobResult {
+                job: job.clone(),
+                design: front.design.clone(),
+                gates_nand2: front.gates_nand2,
+                compaction: front.compaction.clone(),
+                front_stages: front.stages.clone(),
+                result,
+            })
+        });
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_preserves_order_and_runs_every_job() {
+        for workers in [1, 2, 3, 8] {
+            let exec = Executor::new(workers);
+            let out = exec.run(17, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_workers_resolves_to_available_parallelism() {
+        let exec = Executor::new(0);
+        assert!(exec.workers() >= 1);
+    }
+
+    #[test]
+    fn executor_handles_empty_and_single_job_sets() {
+        let exec = Executor::new(4);
+        assert!(exec.run(0, |_| 0u8).is_empty());
+        assert_eq!(exec.run(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn full_matrix_has_sixteen_jobs() {
+        let m = FlowMatrix::full();
+        assert_eq!(m.jobs().len(), 16);
+        let b_granular = m
+            .jobs()
+            .iter()
+            .filter(|j| j.variant == FlowVariant::B && j.arch.name() == "granular")
+            .count();
+        assert_eq!(b_granular, 4);
+    }
+
+    #[test]
+    fn matrix_subset_runs_and_matches_run_design() {
+        let params = DesignParams::tiny();
+        let config = FlowConfig::default();
+        let jobs = vec![
+            FlowJob {
+                design: NamedDesign::Alu,
+                arch: PlbArchitecture::granular(),
+                variant: FlowVariant::B,
+            },
+            FlowJob {
+                design: NamedDesign::Alu,
+                arch: PlbArchitecture::granular(),
+                variant: FlowVariant::A,
+            },
+        ];
+        let out = FlowMatrix::from_jobs(jobs)
+            .run(&params, &config, &Executor::new(1))
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let whole = crate::run_design(
+            &NamedDesign::Alu.generate(&params),
+            &PlbArchitecture::granular(),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(out[0].result.fingerprint(), whole.flow_b.fingerprint());
+        assert_eq!(out[1].result.fingerprint(), whole.flow_a.fingerprint());
+    }
+}

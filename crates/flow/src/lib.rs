@@ -12,11 +12,22 @@
 //! [`run_design`] runs both variants over a shared front-end and returns a
 //! [`DesignOutcome`]; [`report`] assembles the paper's Table 1 (die area)
 //! and Table 2 (top-10 path slack) plus the derived §3.2 claims.
+//!
+//! The [`exec`] module runs many (design, architecture, flow-variant)
+//! jobs across a bounded [`Executor`] pool, deterministically: results are
+//! bit-identical to a serial run (pinned by [`FlowResult::fingerprint`]).
+//! The [`stats`] module carries per-stage instrumentation — wall time,
+//! netlist sizes, optimizer cost movement, and mover/acceptance counters —
+//! through every stage of the pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
 mod pipeline;
 pub mod report;
+pub mod stats;
 
+pub use exec::{Executor, FlowJob, FlowMatrix, JobResult};
 pub use pipeline::{run_design, DesignOutcome, FlowConfig, FlowError, FlowResult, FlowVariant};
+pub use stats::{Stage, StageStats};

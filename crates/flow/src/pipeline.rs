@@ -2,16 +2,19 @@
 
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 use vpga_compact::CompactionReport;
 use vpga_core::PlbArchitecture;
 use vpga_netlist::library::generic;
 use vpga_netlist::{Netlist, NetlistError};
 use vpga_pack::{PackConfig, PackError};
-use vpga_place::PlaceConfig;
+use vpga_place::{PlaceConfig, Placement};
 use vpga_route::RouteConfig;
 use vpga_synth::SynthError;
 use vpga_timing::TimingConfig;
+
+use crate::stats::{Stage, StageStats};
 
 /// Which flow of §3.2 to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -146,6 +149,42 @@ pub struct FlowResult {
     pub array: Option<(usize, usize, usize)>,
     /// Routing overflow edges (0 = fully legal).
     pub route_overflow: usize,
+    /// Per-stage instrumentation for this variant's back-end stages
+    /// (pack/swap for flow b, then route and STA for both).
+    pub stages: Vec<StageStats>,
+}
+
+impl FlowResult {
+    /// A 64-bit FNV-1a digest over every deterministic field — metrics to
+    /// the bit (`f64::to_bits`) plus the stage counters, excluding wall
+    /// times. Two runs of the same job agree on this exactly, regardless
+    /// of worker count or machine load.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(match self.variant {
+            FlowVariant::A => 0xa,
+            FlowVariant::B => 0xb,
+        });
+        mix(self.die_area.to_bits());
+        mix(self.avg_top10_slack.to_bits());
+        mix(self.worst_slack.to_bits());
+        mix(self.critical_delay.to_bits());
+        mix(self.wirelength.to_bits());
+        mix(self.power_mw.to_bits());
+        mix(self.cells as u64);
+        let (c, r, u) = self.array.unwrap_or((0, 0, 0));
+        mix(c as u64);
+        mix(r as u64);
+        mix(u as u64);
+        mix(self.route_overflow as u64);
+        for s in &self.stages {
+            s.fold_fingerprint(&mut h);
+        }
+        h
+    }
 }
 
 /// The shared-front-end outcome for one (design, architecture) pair.
@@ -159,6 +198,9 @@ pub struct DesignOutcome {
     pub gates_nand2: f64,
     /// Compaction summary (if the step ran).
     pub compaction: Option<CompactionReport>,
+    /// Per-stage instrumentation for the shared front-end (synthesis,
+    /// compaction, placement, physical synthesis).
+    pub front_stages: Vec<StageStats>,
     /// The ASIC-style result.
     pub flow_a: FlowResult,
     /// The packed-array result.
@@ -179,6 +221,304 @@ impl DesignOutcome {
     pub fn slack_degradation(&self) -> f64 {
         self.flow_a.avg_top10_slack - self.flow_b.avg_top10_slack
     }
+
+    /// Deterministic digest over both variants' fingerprints plus the
+    /// front-end stage records (wall times excluded).
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: &mut u64, v: u64) {
+            *h = (*h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.design.bytes().chain(self.arch.bytes()) {
+            mix(&mut h, u64::from(b));
+        }
+        mix(&mut h, self.gates_nand2.to_bits());
+        for s in &self.front_stages {
+            s.fold_fingerprint(&mut h);
+        }
+        mix(&mut h, self.flow_a.fingerprint());
+        mix(&mut h, self.flow_b.fingerprint());
+        h
+    }
+}
+
+/// The shared front-end product for one (design, architecture) pair:
+/// the mapped, compacted, placed, buffered netlist both flow variants
+/// consume. Immutable once built, so any number of variant jobs can read
+/// it concurrently.
+#[derive(Clone, Debug)]
+pub(crate) struct FrontEnd {
+    pub design: String,
+    pub gates_nand2: f64,
+    pub compaction: Option<CompactionReport>,
+    pub netlist: Netlist,
+    pub placement: Placement,
+    pub cells: usize,
+    pub stages: Vec<StageStats>,
+}
+
+fn lib_cells(netlist: &Netlist) -> usize {
+    netlist
+        .cells()
+        .filter(|(_, c)| c.lib_id().is_some())
+        .count()
+}
+
+fn nets(netlist: &Netlist) -> usize {
+    netlist.nets().count()
+}
+
+/// Runs synthesis, compaction, timing-driven placement, and physical
+/// synthesis for one (design, architecture) pair.
+pub(crate) fn front_end(
+    design: &Netlist,
+    arch: &PlbArchitecture,
+    config: &FlowConfig,
+) -> Result<FrontEnd, FlowError> {
+    let src = generic::library();
+    let gates_nand2 = vpga_netlist::stats::NetlistStats::compute(design, &src)
+        .nand2_equivalent(generic::NAND2_AREA);
+    let mut stages = Vec::new();
+
+    // 1. Synthesis / technology mapping onto the component library.
+    let t = Instant::now();
+    let mut netlist = if config.cut_based_mapper {
+        vpga_synth::map_netlist(design, &src, arch)?
+    } else {
+        vpga_synth::map_netlist_fast(design, &src, arch)?
+    };
+    stages.push(StageStats::new(
+        Stage::Synth,
+        t.elapsed(),
+        lib_cells(&netlist),
+        nets(&netlist),
+    ));
+
+    // 2. Regularity-driven logic compaction.
+    let compaction = if config.compaction {
+        let t = Instant::now();
+        let cells_before = lib_cells(&netlist) as f64;
+        let report = vpga_compact::compact(&mut netlist, arch)?;
+        stages.push(
+            StageStats::new(
+                Stage::Compact,
+                t.elapsed(),
+                lib_cells(&netlist),
+                nets(&netlist),
+            )
+            .with_cost(cells_before, lib_cells(&netlist) as f64),
+        );
+        Some(report)
+    } else {
+        None
+    };
+
+    // 3. Timing-driven placement: wirelength-driven start, then one
+    //    criticality-weighted refinement.
+    let lib = arch.library();
+    let t = Instant::now();
+    let (mut placement, place_stats) = vpga_place::place_with_stats(&netlist, lib, &config.place);
+    let pre = vpga_timing::analyze(&netlist, lib, &placement, None, &config.timing);
+    let weights: Vec<f64> = pre
+        .net_criticalities()
+        .iter()
+        .map(|&c| 1.0 + 8.0 * c * c)
+        .collect();
+    let weighted = PlaceConfig {
+        net_weights: Some(weights),
+        ..config.place.clone()
+    };
+    let refine_stats = vpga_place::refine_with_stats(&netlist, lib, &mut placement, &weighted, 0.6);
+    // Cost fields cover the wirelength-driven anneal (its own cost
+    // function); the criticality-weighted refinement optimizes a different
+    // (weighted) cost, so it contributes to the move counters only.
+    stages.push(
+        StageStats::new(
+            Stage::Place,
+            t.elapsed(),
+            lib_cells(&netlist),
+            nets(&netlist),
+        )
+        .with_cost(place_stats.cost_initial, place_stats.cost_final)
+        .with_moves(
+            place_stats.moves_attempted + refine_stats.moves_attempted,
+            place_stats.moves_accepted + refine_stats.moves_accepted,
+        ),
+    );
+
+    // 4. Physical synthesis: buffer insertion, then legalizing refinement.
+    let t = Instant::now();
+    let max_len = placement.die().width() * config.buffer_max_length_frac;
+    vpga_place::insert_buffers(
+        &mut netlist,
+        lib,
+        &mut placement,
+        config.buffer_max_fanout,
+        max_len,
+    )?;
+    let legalize_stats =
+        vpga_place::refine_with_stats(&netlist, lib, &mut placement, &weighted, 0.2);
+    stages.push(
+        StageStats::new(
+            Stage::PhysSynth,
+            t.elapsed(),
+            lib_cells(&netlist),
+            nets(&netlist),
+        )
+        .with_cost(legalize_stats.cost_initial, legalize_stats.cost_final)
+        .with_moves(
+            legalize_stats.moves_attempted,
+            legalize_stats.moves_accepted,
+        ),
+    );
+
+    let cells = lib_cells(&netlist);
+    Ok(FrontEnd {
+        design: design.name().to_owned(),
+        gates_nand2,
+        compaction,
+        netlist,
+        placement,
+        cells,
+        stages,
+    })
+}
+
+/// Runs one back-end variant over a (shared, immutable) front-end.
+pub(crate) fn run_variant(
+    front: &FrontEnd,
+    arch: &PlbArchitecture,
+    config: &FlowConfig,
+    variant: FlowVariant,
+) -> Result<FlowResult, FlowError> {
+    let lib = arch.library();
+    let netlist = &front.netlist;
+    let cells = front.cells;
+    let n_nets = nets(netlist);
+    let mut stages = Vec::new();
+
+    match variant {
+        // Flow a: route + post-layout STA on the ASIC-style placement.
+        FlowVariant::A => {
+            let t = Instant::now();
+            let routing = vpga_route::route(netlist, lib, &front.placement, &config.route);
+            stages.push(StageStats::new(Stage::Route, t.elapsed(), cells, n_nets));
+            let t = Instant::now();
+            let sta = vpga_timing::analyze(
+                netlist,
+                lib,
+                &front.placement,
+                Some(&routing),
+                &config.timing,
+            );
+            let power = vpga_timing::power::estimate(
+                netlist,
+                lib,
+                &front.placement,
+                Some(&routing),
+                &vpga_timing::power::PowerConfig::default(),
+            );
+            stages.push(StageStats::new(Stage::Timing, t.elapsed(), cells, n_nets));
+            Ok(FlowResult {
+                variant: FlowVariant::A,
+                die_area: front.placement.die().area(),
+                avg_top10_slack: sta.avg_top_slack(10),
+                worst_slack: sta.worst_slack(),
+                critical_delay: sta.critical_delay(),
+                wirelength: routing.total_length(),
+                power_mw: power.total() * 1e3,
+                cells,
+                array: None,
+                route_overflow: routing.overflow_edges(),
+                stages,
+            })
+        }
+        // Flow b: pack into the PLB array (criticality-aware, iterated
+        // with placement), then route + STA on the array.
+        FlowVariant::B => {
+            let t = Instant::now();
+            let sta = vpga_timing::analyze(netlist, lib, &front.placement, None, &config.timing);
+            let pack_cfg = PackConfig {
+                criticality: config
+                    .pack_criticality
+                    .then(|| sta.cell_criticalities(netlist)),
+                ..config.pack.clone()
+            };
+            let mut b_placement = front.placement.clone();
+            let hpwl_before = b_placement.total_hpwl(netlist);
+            let (mut array, pack_stats) = vpga_pack::pack_iterative_with_stats(
+                netlist,
+                arch,
+                &mut b_placement,
+                &config.place,
+                &pack_cfg,
+            )?;
+            stages.push(
+                StageStats::new(Stage::Pack, t.elapsed(), cells, n_nets)
+                    .with_cost(hpwl_before, b_placement.total_hpwl(netlist))
+                    .with_moves(
+                        pack_stats.relocations + pack_stats.spilled,
+                        pack_stats.relocations,
+                    ),
+            );
+            // PLB-level detailed placement: anneal whole-PLB swaps to
+            // recover the wirelength the quantization cost, weighting
+            // critical nets.
+            let t = Instant::now();
+            let swap_cfg = vpga_pack::SwapConfig {
+                net_weights: Some(
+                    sta.net_criticalities()
+                        .iter()
+                        .map(|&c| 1.0 + 8.0 * c * c)
+                        .collect(),
+                ),
+                ..vpga_pack::SwapConfig::default()
+            };
+            let (_, swap_stats) = vpga_pack::swap_optimize_with_stats(
+                &mut array,
+                netlist,
+                &mut b_placement,
+                &swap_cfg,
+            );
+            stages.push(
+                StageStats::new(Stage::Swap, t.elapsed(), cells, n_nets)
+                    .with_cost(swap_stats.cost_initial, swap_stats.cost_final)
+                    .with_moves(swap_stats.moves_attempted, swap_stats.moves_accepted),
+            );
+            // Route over the PLB grid: one tile per PLB.
+            let t = Instant::now();
+            let route_cfg = RouteConfig {
+                tile_size: Some(array.plb_pitch()),
+                ..config.route.clone()
+            };
+            let routing = vpga_route::route(netlist, lib, &b_placement, &route_cfg);
+            stages.push(StageStats::new(Stage::Route, t.elapsed(), cells, n_nets));
+            let t = Instant::now();
+            let sta =
+                vpga_timing::analyze(netlist, lib, &b_placement, Some(&routing), &config.timing);
+            let power = vpga_timing::power::estimate(
+                netlist,
+                lib,
+                &b_placement,
+                Some(&routing),
+                &vpga_timing::power::PowerConfig::default(),
+            );
+            stages.push(StageStats::new(Stage::Timing, t.elapsed(), cells, n_nets));
+            Ok(FlowResult {
+                variant: FlowVariant::B,
+                die_area: array.die_area(),
+                avg_top10_slack: sta.avg_top_slack(10),
+                worst_slack: sta.worst_slack(),
+                critical_delay: sta.critical_delay(),
+                wirelength: routing.total_length(),
+                power_mw: power.total() * 1e3,
+                cells,
+                array: Some((array.cols(), array.rows(), array.plbs_used())),
+                route_overflow: routing.overflow_edges(),
+                stages,
+            })
+        }
+    }
 }
 
 /// Runs the complete flow (both variants) for one generic design netlist on
@@ -192,142 +532,15 @@ pub fn run_design(
     arch: &PlbArchitecture,
     config: &FlowConfig,
 ) -> Result<DesignOutcome, FlowError> {
-    let src = generic::library();
-    let gates_nand2 = vpga_netlist::stats::NetlistStats::compute(design, &src)
-        .nand2_equivalent(generic::NAND2_AREA);
-
-    // 1. Synthesis / technology mapping onto the component library.
-    let mut netlist = if config.cut_based_mapper {
-        vpga_synth::map_netlist(design, &src, arch)?
-    } else {
-        vpga_synth::map_netlist_fast(design, &src, arch)?
-    };
-
-    // 2. Regularity-driven logic compaction.
-    let compaction = if config.compaction {
-        Some(vpga_compact::compact(&mut netlist, arch)?)
-    } else {
-        None
-    };
-
-    // 3. Timing-driven placement: wirelength-driven start, then one
-    //    criticality-weighted refinement.
-    let lib = arch.library();
-    let mut placement = vpga_place::place(&netlist, lib, &config.place);
-    let pre = vpga_timing::analyze(&netlist, lib, &placement, None, &config.timing);
-    let weights: Vec<f64> = pre
-        .net_criticalities()
-        .iter()
-        .map(|&c| 1.0 + 8.0 * c * c)
-        .collect();
-    let weighted = PlaceConfig {
-        net_weights: Some(weights),
-        ..config.place.clone()
-    };
-    vpga_place::refine(&netlist, lib, &mut placement, &weighted, 0.6);
-
-    // 4. Physical synthesis: buffer insertion, then legalizing refinement.
-    let max_len = placement.die().width() * config.buffer_max_length_frac;
-    vpga_place::insert_buffers(
-        &mut netlist,
-        lib,
-        &mut placement,
-        config.buffer_max_fanout,
-        max_len,
-    )?;
-    vpga_place::refine(&netlist, lib, &mut placement, &weighted, 0.2);
-
-    let cells = netlist.cells().filter(|(_, c)| c.lib_id().is_some()).count();
-
-    // 5. Flow a: route + post-layout STA on the ASIC-style placement.
-    let flow_a = {
-        let routing = vpga_route::route(&netlist, lib, &placement, &config.route);
-        let sta = vpga_timing::analyze(&netlist, lib, &placement, Some(&routing), &config.timing);
-        let power = vpga_timing::power::estimate(
-            &netlist,
-            lib,
-            &placement,
-            Some(&routing),
-            &vpga_timing::power::PowerConfig::default(),
-        );
-        FlowResult {
-            variant: FlowVariant::A,
-            die_area: placement.die().area(),
-            avg_top10_slack: sta.avg_top_slack(10),
-            worst_slack: sta.worst_slack(),
-            critical_delay: sta.critical_delay(),
-            wirelength: routing.total_length(),
-            power_mw: power.total() * 1e3,
-            cells,
-            array: None,
-            route_overflow: routing.overflow_edges(),
-        }
-    };
-
-    // 6. Flow b: pack into the PLB array (criticality-aware, iterated with
-    //    placement), then route + STA on the array.
-    let flow_b = {
-        let sta = vpga_timing::analyze(&netlist, lib, &placement, None, &config.timing);
-        let pack_cfg = PackConfig {
-            criticality: config
-                .pack_criticality
-                .then(|| sta.cell_criticalities(&netlist)),
-            ..config.pack.clone()
-        };
-        let mut b_placement = placement.clone();
-        let mut array = vpga_pack::pack_iterative(
-            &netlist,
-            arch,
-            &mut b_placement,
-            &config.place,
-            &pack_cfg,
-        )?;
-        // PLB-level detailed placement: anneal whole-PLB swaps to recover
-        // the wirelength the quantization cost, weighting critical nets.
-        let swap_cfg = vpga_pack::SwapConfig {
-            net_weights: Some(
-                sta.net_criticalities()
-                    .iter()
-                    .map(|&c| 1.0 + 8.0 * c * c)
-                    .collect(),
-            ),
-            ..vpga_pack::SwapConfig::default()
-        };
-        vpga_pack::swap_optimize(&mut array, &netlist, &mut b_placement, &swap_cfg);
-        // Route over the PLB grid: one tile per PLB.
-        let route_cfg = RouteConfig {
-            tile_size: Some(array.plb_pitch()),
-            ..config.route.clone()
-        };
-        let routing = vpga_route::route(&netlist, lib, &b_placement, &route_cfg);
-        let sta =
-            vpga_timing::analyze(&netlist, lib, &b_placement, Some(&routing), &config.timing);
-        let power = vpga_timing::power::estimate(
-            &netlist,
-            lib,
-            &b_placement,
-            Some(&routing),
-            &vpga_timing::power::PowerConfig::default(),
-        );
-        FlowResult {
-            variant: FlowVariant::B,
-            die_area: array.die_area(),
-            avg_top10_slack: sta.avg_top_slack(10),
-            worst_slack: sta.worst_slack(),
-            critical_delay: sta.critical_delay(),
-            wirelength: routing.total_length(),
-            power_mw: power.total() * 1e3,
-            cells,
-            array: Some((array.cols(), array.rows(), array.plbs_used())),
-            route_overflow: routing.overflow_edges(),
-        }
-    };
-
+    let front = front_end(design, arch, config)?;
+    let flow_a = run_variant(&front, arch, config, FlowVariant::A)?;
+    let flow_b = run_variant(&front, arch, config, FlowVariant::B)?;
     Ok(DesignOutcome {
-        design: design.name().to_owned(),
+        design: front.design,
         arch: arch.name().to_owned(),
-        gates_nand2,
-        compaction,
+        gates_nand2: front.gates_nand2,
+        compaction: front.compaction,
+        front_stages: front.stages,
         flow_a,
         flow_b,
     })
@@ -391,5 +604,48 @@ mod tests {
         };
         let out = run_design(&design, &arch, &cfg).unwrap();
         assert!(out.flow_b.die_area > 0.0);
+    }
+
+    #[test]
+    fn every_stage_is_instrumented() {
+        let design = NamedDesign::Alu.generate(&DesignParams::tiny());
+        let arch = PlbArchitecture::granular();
+        let out = run_design(&design, &arch, &FlowConfig::default()).unwrap();
+        let front: Vec<Stage> = out.front_stages.iter().map(|s| s.stage).collect();
+        assert_eq!(
+            front,
+            [Stage::Synth, Stage::Compact, Stage::Place, Stage::PhysSynth]
+        );
+        let a: Vec<Stage> = out.flow_a.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(a, [Stage::Route, Stage::Timing]);
+        let b: Vec<Stage> = out.flow_b.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(b, [Stage::Pack, Stage::Swap, Stage::Route, Stage::Timing]);
+        // Annealing stages must not worsen their own cost.
+        for s in out.front_stages.iter().chain(&out.flow_b.stages) {
+            if let (Some(before), Some(after)) = (s.cost_before, s.cost_after) {
+                if matches!(s.stage, Stage::Place | Stage::PhysSynth | Stage::Swap) {
+                    assert!(after <= before + 1e-6, "{}: {before} → {after}", s.stage);
+                }
+            }
+            if let (Some(att), Some(acc)) = (s.moves_attempted, s.moves_accepted) {
+                assert!(acc <= att, "{}: accepted {acc} > attempted {att}", s.stage);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_reproducible_and_discriminating() {
+        let design = NamedDesign::Alu.generate(&DesignParams::tiny());
+        let arch = PlbArchitecture::granular();
+        let a = run_design(&design, &arch, &FlowConfig::default()).unwrap();
+        let b = run_design(&design, &arch, &FlowConfig::default()).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let lut = run_design(
+            &design,
+            &PlbArchitecture::lut_based(),
+            &FlowConfig::default(),
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), lut.fingerprint());
     }
 }

@@ -1,9 +1,10 @@
 //! Table 1 / Table 2 assembly and the derived §3.2 claims.
 
-use vpga_core::PlbArchitecture;
 use vpga_designs::{DesignParams, NamedDesign};
 
-use crate::pipeline::{run_design, DesignOutcome, FlowConfig, FlowError};
+use crate::exec::{Executor, FlowMatrix};
+use crate::pipeline::{DesignOutcome, FlowConfig, FlowError, FlowVariant};
+use crate::stats::render_stages;
 
 /// All outcomes for the 4 designs × 2 architectures evaluation matrix.
 #[derive(Clone, Debug)]
@@ -12,19 +13,49 @@ pub struct Matrix {
 }
 
 impl Matrix {
-    /// Runs the full evaluation matrix at the given design sizes.
+    /// Runs the full evaluation matrix at the given design sizes,
+    /// serially. Identical (bit for bit) to [`Matrix::run_parallel`] with
+    /// any worker count.
     ///
     /// # Errors
     ///
     /// Propagates the first [`FlowError`].
     pub fn run(params: &DesignParams, config: &FlowConfig) -> Result<Matrix, FlowError> {
-        let archs = [PlbArchitecture::granular(), PlbArchitecture::lut_based()];
+        Matrix::run_parallel(params, config, 1)
+    }
+
+    /// Runs the full evaluation matrix across `jobs` workers (`0` = one
+    /// per available CPU). Every flow job derives its randomness from the
+    /// seeds in `config` alone, so the outcomes are bit-identical to a
+    /// serial run — only the wall-time fields in the stage records differ.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`FlowError`] in job order.
+    pub fn run_parallel(
+        params: &DesignParams,
+        config: &FlowConfig,
+        jobs: usize,
+    ) -> Result<Matrix, FlowError> {
+        let executor = Executor::new(jobs);
+        let results = FlowMatrix::full().run(params, config, &executor)?;
+        // `FlowMatrix::full` lists each (design, arch) pair's variant A
+        // immediately followed by its variant B.
         let mut outcomes = Vec::new();
-        for design in NamedDesign::ALL {
-            let netlist = design.generate(params);
-            for arch in &archs {
-                outcomes.push(run_design(&netlist, arch, config)?);
-            }
+        let mut iter = results.into_iter();
+        while let Some(a) = iter.next() {
+            let b = iter.next().expect("full matrix pairs A with B");
+            debug_assert_eq!(a.job.variant, FlowVariant::A);
+            debug_assert_eq!(b.job.variant, FlowVariant::B);
+            outcomes.push(DesignOutcome {
+                design: a.design,
+                arch: a.job.arch.name().to_owned(),
+                gates_nand2: a.gates_nand2,
+                compaction: a.compaction,
+                front_stages: a.front_stages,
+                flow_a: a.result,
+                flow_b: b.result,
+            });
         }
         Ok(Matrix { outcomes })
     }
@@ -62,8 +93,7 @@ impl Matrix {
             "Design", "gran flow a", "gran flow b", "lut flow a", "lut flow b"
         ));
         for design in NamedDesign::ALL {
-            let (Some(g), Some(l)) = (self.get(design, "granular"), self.get(design, "lut"))
-            else {
+            let (Some(g), Some(l)) = (self.get(design, "granular"), self.get(design, "lut")) else {
                 continue;
             };
             s.push_str(&format!(
@@ -88,8 +118,7 @@ impl Matrix {
             "Design", "gates", "gran flow a", "gran flow b", "lut flow a", "lut flow b"
         ));
         for design in NamedDesign::ALL {
-            let (Some(g), Some(l)) = (self.get(design, "granular"), self.get(design, "lut"))
-            else {
+            let (Some(g), Some(l)) = (self.get(design, "granular"), self.get(design, "lut")) else {
                 continue;
             };
             s.push_str(&format!(
@@ -105,6 +134,35 @@ impl Matrix {
         s
     }
 
+    /// Renders the per-stage instrumentation for all 16 matrix runs
+    /// (8 shared front-ends + each variant's back-end stages): wall time,
+    /// netlist sizes, cost before/after, and mover/acceptance counters.
+    pub fn stats_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        s.push_str("Per-stage statistics\n");
+        for o in &self.outcomes {
+            let _ = writeln!(s, "{} / {} — front-end", o.design, o.arch);
+            s.push_str(&render_stages(&o.front_stages, "  "));
+            for result in [&o.flow_a, &o.flow_b] {
+                let _ = writeln!(s, "{} / {} — {}", o.design, o.arch, result.variant);
+                s.push_str(&render_stages(&result.stages, "  "));
+            }
+        }
+        s
+    }
+
+    /// Deterministic digest over every outcome (see
+    /// [`DesignOutcome::fingerprint`]); equal across runs and worker
+    /// counts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for o in &self.outcomes {
+            h = (h ^ o.fingerprint()).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// The §3.2 derived claims.
     pub fn claims(&self) -> Claims {
         let pair = |d: NamedDesign| {
@@ -113,10 +171,13 @@ impl Matrix {
                 self.get(d, "lut").expect("lut outcome"),
             )
         };
-        let datapath = [NamedDesign::Alu, NamedDesign::Fpu, NamedDesign::NetworkSwitch];
-        let area_reduction = |g: &DesignOutcome, l: &DesignOutcome| {
-            1.0 - g.flow_b.die_area / l.flow_b.die_area
-        };
+        let datapath = [
+            NamedDesign::Alu,
+            NamedDesign::Fpu,
+            NamedDesign::NetworkSwitch,
+        ];
+        let area_reduction =
+            |g: &DesignOutcome, l: &DesignOutcome| 1.0 - g.flow_b.die_area / l.flow_b.die_area;
         let datapath_area_reduction = datapath
             .iter()
             .map(|&d| {

@@ -1,0 +1,210 @@
+//! Per-stage instrumentation for the implementation flow.
+//!
+//! Every pipeline stage (synthesis, compaction, placement, physical
+//! synthesis, packing, PLB-swap optimization, routing, STA) records a
+//! [`StageStats`]: wall time, netlist size at the end of the stage, the
+//! optimizer's cost before/after, and mover/acceptance counters where the
+//! stage is an annealer (placement, swap) or a relocator (quadrisection
+//! packing). Wall time is the only non-deterministic field; everything
+//! else is bit-identical across runs and across worker counts, which the
+//! determinism tests pin via [`StageStats::fingerprint`].
+
+use std::fmt;
+use std::time::Duration;
+
+/// A stage of the Figure 6 flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Stage {
+    /// Technology mapping onto the component-cell library.
+    Synth,
+    /// Regularity-driven logic compaction.
+    Compact,
+    /// Timing-driven annealing placement (including the criticality
+    /// refinement).
+    Place,
+    /// Physical synthesis: buffer insertion plus legalizing refinement.
+    PhysSynth,
+    /// Recursive-quadrisection packing into the PLB array (flow b).
+    Pack,
+    /// Whole-PLB swap optimization after packing (flow b).
+    Swap,
+    /// Global routing.
+    Route,
+    /// Static timing analysis (plus the power estimate).
+    Timing,
+}
+
+impl Stage {
+    /// The stage's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Synth => "synth",
+            Stage::Compact => "compact",
+            Stage::Place => "place",
+            Stage::PhysSynth => "physsynth",
+            Stage::Pack => "pack",
+            Stage::Swap => "swap",
+            Stage::Route => "route",
+            Stage::Timing => "sta",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One stage's record: timing, sizes, cost movement, and mover counters.
+#[derive(Clone, Debug)]
+pub struct StageStats {
+    /// Which stage this describes.
+    pub stage: Stage,
+    /// Wall-clock time spent in the stage (non-deterministic).
+    pub wall: Duration,
+    /// Library-cell count at the end of the stage.
+    pub cells: usize,
+    /// Net count at the end of the stage.
+    pub nets: usize,
+    /// Optimizer cost entering the stage, if the stage optimizes one.
+    pub cost_before: Option<f64>,
+    /// Optimizer cost leaving the stage.
+    pub cost_after: Option<f64>,
+    /// Move/relocation attempts, for annealing or relocating stages.
+    pub moves_attempted: Option<u64>,
+    /// Accepted moves/relocations.
+    pub moves_accepted: Option<u64>,
+}
+
+impl StageStats {
+    /// A record with sizes only; costs and counters unset.
+    pub fn new(stage: Stage, wall: Duration, cells: usize, nets: usize) -> StageStats {
+        StageStats {
+            stage,
+            wall,
+            cells,
+            nets,
+            cost_before: None,
+            cost_after: None,
+            moves_attempted: None,
+            moves_accepted: None,
+        }
+    }
+
+    /// Attaches before/after optimizer cost.
+    #[must_use]
+    pub fn with_cost(mut self, before: f64, after: f64) -> StageStats {
+        self.cost_before = Some(before);
+        self.cost_after = Some(after);
+        self
+    }
+
+    /// Attaches mover counters.
+    #[must_use]
+    pub fn with_moves(mut self, attempted: u64, accepted: u64) -> StageStats {
+        self.moves_attempted = Some(attempted);
+        self.moves_accepted = Some(accepted);
+        self
+    }
+
+    /// Folds every deterministic field (everything but `wall`) into `h`
+    /// with an FNV-1a step, so result fingerprints also pin the
+    /// instrumentation.
+    pub fn fold_fingerprint(&self, h: &mut u64) {
+        let mut mix = |v: u64| {
+            *h = (*h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.stage.name().len() as u64);
+        for b in self.stage.name().bytes() {
+            mix(u64::from(b));
+        }
+        mix(self.cells as u64);
+        mix(self.nets as u64);
+        mix(self.cost_before.map_or(0, f64::to_bits));
+        mix(self.cost_after.map_or(0, f64::to_bits));
+        mix(self.moves_attempted.unwrap_or(0));
+        mix(self.moves_accepted.unwrap_or(0));
+    }
+}
+
+impl fmt::Display for StageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:10} {:>9.1?} ms  {:>6} cells {:>6} nets",
+            self.stage.name(),
+            self.wall.as_secs_f64() * 1e3,
+            self.cells,
+            self.nets
+        )?;
+        if let (Some(b), Some(a)) = (self.cost_before, self.cost_after) {
+            write!(f, "  cost {b:>12.1} → {a:>12.1}")?;
+        }
+        if let (Some(att), Some(acc)) = (self.moves_attempted, self.moves_accepted) {
+            write!(f, "  moves {acc}/{att}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a stage list as an indented block.
+pub fn render_stages(stages: &[StageStats], indent: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut total = Duration::ZERO;
+    for s in stages {
+        let _ = writeln!(out, "{indent}{s}");
+        total += s.wall;
+    }
+    let _ = writeln!(
+        out,
+        "{indent}{:10} {:>9.1} ms",
+        "total",
+        total.as_secs_f64() * 1e3
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_ignores_wall_time() {
+        let a = StageStats::new(Stage::Place, Duration::from_millis(5), 10, 20)
+            .with_cost(100.0, 50.0)
+            .with_moves(1000, 440);
+        let b = StageStats {
+            wall: Duration::from_millis(999),
+            ..a.clone()
+        };
+        let (mut ha, mut hb) = (0xcbf2_9ce4_8422_2325u64, 0xcbf2_9ce4_8422_2325u64);
+        a.fold_fingerprint(&mut ha);
+        b.fold_fingerprint(&mut hb);
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn fingerprint_sees_counters() {
+        let a = StageStats::new(Stage::Pack, Duration::ZERO, 10, 20).with_moves(5, 3);
+        let b = StageStats::new(Stage::Pack, Duration::ZERO, 10, 20).with_moves(5, 4);
+        let (mut ha, mut hb) = (0u64, 0u64);
+        a.fold_fingerprint(&mut ha);
+        b.fold_fingerprint(&mut hb);
+        assert_ne!(ha, hb);
+    }
+
+    #[test]
+    fn render_includes_every_stage_and_total() {
+        let stages = vec![
+            StageStats::new(Stage::Synth, Duration::from_millis(1), 5, 6),
+            StageStats::new(Stage::Route, Duration::from_millis(2), 5, 6),
+        ];
+        let s = render_stages(&stages, "  ");
+        assert!(s.contains("synth"));
+        assert!(s.contains("route"));
+        assert!(s.contains("total"));
+    }
+}

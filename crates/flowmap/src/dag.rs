@@ -113,10 +113,7 @@ impl Dag {
             let (source, constant) = match cell.kind() {
                 CellKind::Input => (true, None),
                 CellKind::Constant(v) => (true, Some(v)),
-                CellKind::Lib(id) => (
-                    lib.cell(id).is_some_and(|c| c.is_sequential()),
-                    None,
-                ),
+                CellKind::Lib(id) => (lib.cell(id).is_some_and(|c| c.is_sequential()), None),
                 CellKind::Output => (false, None),
             };
             if source {

@@ -169,12 +169,12 @@ mod tests {
     fn diamond() -> FlowProblem {
         FlowProblem {
             fanins: vec![
-                vec![],        // 0: input a
-                vec![],        // 1: input b
-                vec![],        // 2: input c
-                vec![0, 1],    // 3: a·b
-                vec![1, 2],    // 4: b·c
-                vec![3, 4],    // 5: target
+                vec![],     // 0: input a
+                vec![],     // 1: input b
+                vec![],     // 2: input c
+                vec![0, 1], // 3: a·b
+                vec![1, 2], // 4: b·c
+                vec![3, 4], // 5: target
             ],
             is_input: vec![true, true, true, false, false, false],
             in_sink_group: vec![false, false, false, false, false, true],

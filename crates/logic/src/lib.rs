@@ -36,8 +36,8 @@
 
 pub mod adder;
 pub mod cells;
-pub mod lut;
 mod error;
+pub mod lut;
 pub mod npn;
 pub mod s3;
 mod sets;

@@ -46,8 +46,8 @@ impl LutMuxTree {
     pub fn decompose_with(f: Tt3, select0: Var, select1: Var) -> LutMuxTree {
         assert_ne!(select0, select1, "selects must be distinct variables");
         let (g, h) = f.cofactors(select1); // g = f|s1=0, h = f|s1=1
-        // Each cofactor is a 2-input function of (remaining, select0) in
-        // index order; re-split it by select0.
+                                           // Each cofactor is a 2-input function of (remaining, select0) in
+                                           // index order; re-split it by select0.
         let [x, y] = select1.others();
         let remaining = Var::ALL
             .into_iter()

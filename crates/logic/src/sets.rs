@@ -34,7 +34,9 @@ impl FunctionSet256 {
 
     /// The set of all 256 functions.
     pub fn full() -> FunctionSet256 {
-        FunctionSet256 { words: [u64::MAX; 4] }
+        FunctionSet256 {
+            words: [u64::MAX; 4],
+        }
     }
 
     /// Inserts a function; returns `true` if it was newly inserted.
@@ -71,7 +73,10 @@ impl FunctionSet256 {
 
     /// Iterates the member functions in ascending truth-table order.
     pub fn iter(&self) -> Iter {
-        Iter { set: *self, next: 0 }
+        Iter {
+            set: *self,
+            next: 0,
+        }
     }
 
     #[inline]
@@ -228,7 +233,9 @@ mod tests {
 
     #[test]
     fn iter_in_ascending_order() {
-        let s: FunctionSet256 = [Tt3::new(3), Tt3::new(200), Tt3::new(7)].into_iter().collect();
+        let s: FunctionSet256 = [Tt3::new(3), Tt3::new(200), Tt3::new(7)]
+            .into_iter()
+            .collect();
         let got: Vec<u8> = s.iter().map(Tt3::bits).collect();
         assert_eq!(got, vec![3, 7, 200]);
     }

@@ -90,7 +90,10 @@ impl TruthTable {
                 bits |= 1 << m;
             }
         }
-        Ok(TruthTable { vars: vars as u8, bits })
+        Ok(TruthTable {
+            vars: vars as u8,
+            bits,
+        })
     }
 
     fn mask(vars: usize) -> u64 {

@@ -384,7 +384,10 @@ impl Tt3 {
 
     /// The set of variables the function depends on.
     pub fn support(self) -> Vec<Var> {
-        Var::ALL.into_iter().filter(|&v| self.depends_on(v)).collect()
+        Var::ALL
+            .into_iter()
+            .filter(|&v| self.depends_on(v))
+            .collect()
     }
 
     /// Number of variables in the support.
@@ -448,11 +451,7 @@ impl Tt3 {
         }
         let mut bits = 0u8;
         for m in 0..8u8 {
-            let args = [
-                (m >> perm[0]) & 1,
-                (m >> perm[1]) & 1,
-                (m >> perm[2]) & 1,
-            ];
+            let args = [(m >> perm[0]) & 1, (m >> perm[1]) & 1, (m >> perm[2]) & 1];
             let src = args[0] | (args[1] << 1) | (args[2] << 2);
             bits |= ((self.0 >> src) & 1) << m;
         }
@@ -613,7 +612,10 @@ mod tests {
     fn support_of_degenerate_functions() {
         assert_eq!(Tt3::FALSE.support_size(), 0);
         assert_eq!(Tt3::var(Var::B).support(), vec![Var::B]);
-        assert_eq!(Tt2::XOR.lift(Var::A, Var::C).support(), vec![Var::A, Var::C]);
+        assert_eq!(
+            Tt2::XOR.lift(Var::A, Var::C).support(),
+            vec![Var::A, Var::C]
+        );
         assert_eq!(Tt3::XOR3.support_size(), 3);
     }
 

@@ -54,7 +54,12 @@ pub struct Cell {
 }
 
 impl Cell {
-    pub(crate) fn new(name: String, kind: CellKind, inputs: Vec<NetId>, output: Option<NetId>) -> Cell {
+    pub(crate) fn new(
+        name: String,
+        kind: CellKind,
+        inputs: Vec<NetId>,
+        output: Option<NetId>,
+    ) -> Cell {
         Cell {
             name,
             kind,
@@ -131,10 +136,7 @@ mod tests {
     fn kind_display() {
         assert_eq!(CellKind::Input.to_string(), "input");
         assert_eq!(CellKind::Constant(true).to_string(), "const1");
-        assert_eq!(
-            CellKind::Lib(LibCellId::from_index(3)).to_string(),
-            "lib3"
-        );
+        assert_eq!(CellKind::Lib(LibCellId::from_index(3)).to_string(), "lib3");
     }
 
     #[test]

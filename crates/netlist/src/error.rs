@@ -51,7 +51,11 @@ impl fmt::Display for NetlistError {
             NetlistError::UnknownCell(id) => write!(f, "unknown cell {id}"),
             NetlistError::UnknownNet(id) => write!(f, "unknown net {id}"),
             NetlistError::UnknownLibCell(n) => write!(f, "unknown library cell {n:?}"),
-            NetlistError::PinCountMismatch { cell, got, expected } => write!(
+            NetlistError::PinCountMismatch {
+                cell,
+                got,
+                expected,
+            } => write!(
                 f,
                 "cell {cell:?} instantiated with {got} input pins, expected {expected}"
             ),

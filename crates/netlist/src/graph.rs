@@ -39,7 +39,9 @@ pub fn combinational_topo_order(
     let mut indegree = vec![0usize; cap];
     let mut comb = vec![false; cap];
     for (id, cell) in netlist.cells() {
-        let CellKind::Lib(lib_id) = cell.kind() else { continue };
+        let CellKind::Lib(lib_id) = cell.kind() else {
+            continue;
+        };
         let lc = lib.cell(lib_id).ok_or(NetlistError::UnknownCell(id))?;
         if lc.is_sequential() {
             continue;
@@ -125,11 +127,7 @@ pub fn logic_depth(netlist: &Netlist, lib: &Library) -> Result<usize, NetlistErr
 /// The transitive fanin cone of `net`, stopping at combinational sources.
 /// Returns the combinational cells in the cone (topologically unordered) and
 /// the source nets feeding it.
-pub fn fanin_cone(
-    netlist: &Netlist,
-    lib: &Library,
-    net: NetId,
-) -> (Vec<CellId>, Vec<NetId>) {
+pub fn fanin_cone(netlist: &Netlist, lib: &Library, net: NetId) -> (Vec<CellId>, Vec<NetId>) {
     let mut cone = Vec::new();
     let mut leaves = Vec::new();
     let mut seen_cells = vec![false; netlist.cell_capacity()];
@@ -140,7 +138,9 @@ pub fn fanin_cone(
             continue;
         }
         seen_nets[n.index()] = true;
-        let Some(driver) = netlist.driver(n) else { continue };
+        let Some(driver) = netlist.driver(n) else {
+            continue;
+        };
         if is_source(netlist, lib, driver) {
             leaves.push(n);
             continue;
@@ -206,7 +206,12 @@ mod tests {
     fn levels_grow_along_chain() {
         let (n, lib) = chain();
         let levels = net_levels(&n, &lib).unwrap();
-        let net_of = |name: &str| n.cell(n.cell_by_name(name).unwrap()).unwrap().output().unwrap();
+        let net_of = |name: &str| {
+            n.cell(n.cell_by_name(name).unwrap())
+                .unwrap()
+                .output()
+                .unwrap()
+        };
         assert_eq!(levels[net_of("i1").index()], 1);
         assert_eq!(levels[net_of("i2").index()], 2);
         assert_eq!(levels[net_of("i3").index()], 1); // restarts after DFF
@@ -246,11 +251,19 @@ mod tests {
     #[test]
     fn fanin_cone_stops_at_sources() {
         let (n, lib) = chain();
-        let i3_net = n.cell(n.cell_by_name("i3").unwrap()).unwrap().output().unwrap();
+        let i3_net = n
+            .cell(n.cell_by_name("i3").unwrap())
+            .unwrap()
+            .output()
+            .unwrap();
         let (cone, leaves) = fanin_cone(&n, &lib, i3_net);
         assert_eq!(cone.len(), 1); // just i3
         assert_eq!(leaves.len(), 1); // the DFF output
-        let q = n.cell(n.cell_by_name("ff").unwrap()).unwrap().output().unwrap();
+        let q = n
+            .cell(n.cell_by_name("ff").unwrap())
+            .unwrap()
+            .output()
+            .unwrap();
         assert_eq!(leaves[0], q);
     }
 

@@ -50,9 +50,7 @@ pub fn write_verilog(netlist: &Netlist, lib: &Library) -> Result<String, Netlist
     netlist.validate(lib)?;
     let mut out = String::new();
     let esc = |name: &str| -> String {
-        if name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
             && !name.chars().next().is_some_and(|c| c.is_ascii_digit())
         {
             name.to_owned()
@@ -78,12 +76,25 @@ pub fn write_verilog(netlist: &Netlist, lib: &Library) -> Result<String, Netlist
             .map(|&po| esc(netlist.cell(po).expect("live PO").name())),
     );
     let _ = writeln!(out, "// vpga structural netlist");
-    let _ = writeln!(out, "module {} ({});", esc(netlist.name()), ports.join(", "));
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        esc(netlist.name()),
+        ports.join(", ")
+    );
     for &pi in netlist.inputs() {
-        let _ = writeln!(out, "  input {};", esc(netlist.cell(pi).expect("live").name()));
+        let _ = writeln!(
+            out,
+            "  input {};",
+            esc(netlist.cell(pi).expect("live").name())
+        );
     }
     for &po in netlist.outputs() {
-        let _ = writeln!(out, "  output {};", esc(netlist.cell(po).expect("live").name()));
+        let _ = writeln!(
+            out,
+            "  output {};",
+            esc(netlist.cell(po).expect("live").name())
+        );
     }
     // Wires for everything else.
     let mut wire_ix = 0usize;
@@ -100,17 +111,14 @@ pub fn write_verilog(netlist: &Netlist, lib: &Library) -> Result<String, Netlist
     for (_, cell) in netlist.cells() {
         if let CellKind::Constant(v) = cell.kind() {
             let net = cell.output().expect("tie net");
-            let _ = writeln!(
-                out,
-                "  assign {} = 1'b{};",
-                net_name[&net],
-                u8::from(v)
-            );
+            let _ = writeln!(out, "  assign {} = 1'b{};", net_name[&net], u8::from(v));
         }
     }
     // Instances.
     for (id, cell) in netlist.cells() {
-        let Some(lib_id) = cell.lib_id() else { continue };
+        let Some(lib_id) = cell.lib_id() else {
+            continue;
+        };
         let lc = lib.cell(lib_id).ok_or(NetlistError::UnknownCell(id))?;
         let cfg = cell.config();
         let params = match cfg {
@@ -221,8 +229,7 @@ pub fn read_verilog(text: &str, lib: &Library) -> Result<Netlist, NetlistError> 
             });
         }
     }
-    let mut n = netlist
-        .ok_or_else(|| NetlistError::UnknownLibCell("no module found".into()))?;
+    let mut n = netlist.ok_or_else(|| NetlistError::UnknownLibCell("no module found".into()))?;
     // Create instances with placeholder inputs, record their output nets,
     // then rewire (instances may reference each other in any order).
     let placeholder = n.constant(false);
@@ -319,7 +326,9 @@ fn parse_instance(line: &str) -> Option<ParsedInstance> {
         head_clean = format!(
             "{} {}",
             &head[..ix],
-            head.get(ix..).and_then(|t| t.split_once("))")).map(|(_, r)| r)?
+            head.get(ix..)
+                .and_then(|t| t.split_once("))"))
+                .map(|(_, r)| r)?
         );
     }
     let mut words = head_clean.split_whitespace();
@@ -331,7 +340,10 @@ fn parse_instance(line: &str) -> Option<ParsedInstance> {
     for part in pins_str.split("),") {
         let part = part.trim().trim_start_matches('.');
         let (pin, net) = part.split_once('(')?;
-        pins.push((pin.trim().to_owned(), parse_ident(net.trim_end_matches(')'))));
+        pins.push((
+            pin.trim().to_owned(),
+            parse_ident(net.trim_end_matches(')')),
+        ));
     }
     Some((lib_name, name, cfg, pins))
 }
@@ -403,7 +415,8 @@ mod tests {
         let c = n.add_input("c");
         let y = n.add_lib_cell("l", &lib, "LUT3", &[a, b, c]).unwrap();
         let cell = n.driver(y).unwrap();
-        n.set_config(cell, &lib, Some(vpga_logic::Tt3::MAJ3)).unwrap();
+        n.set_config(cell, &lib, Some(vpga_logic::Tt3::MAJ3))
+            .unwrap();
         n.add_output("y", y);
         let _ = Var::A;
         let text = write_verilog(&n, &lib).unwrap();

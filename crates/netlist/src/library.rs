@@ -404,8 +404,8 @@ mod tests {
     fn generic_library_cells_resolve() {
         let lib = generic::library();
         for name in [
-            "BUF", "INV", "AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2", "AND3", "OR3",
-            "NAND3", "NOR3", "XOR3", "MAJ3", "MUX2", "AOI21", "OAI21", "DFF",
+            "BUF", "INV", "AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2", "AND3", "OR3", "NAND3",
+            "NOR3", "XOR3", "MAJ3", "MUX2", "AOI21", "OAI21", "DFF",
         ] {
             let cell = lib.cell_by_name(name);
             assert!(cell.is_some(), "missing {name}");

@@ -217,7 +217,10 @@ impl Netlist {
 
     /// The cell driving `net`, if any.
     pub fn driver(&self, net: NetId) -> Option<CellId> {
-        self.nets.get(net.index()).and_then(|n| n.as_ref()).and_then(|n| n.driver)
+        self.nets
+            .get(net.index())
+            .and_then(|n| n.as_ref())
+            .and_then(|n| n.driver)
     }
 
     /// The `(cell, pin)` sinks of `net`.
@@ -314,15 +317,15 @@ impl Netlist {
         }
         let old = {
             let c = self.cell(cell).ok_or(NetlistError::UnknownCell(cell))?;
-            *c.inputs()
-                .get(pin)
-                .ok_or(NetlistError::PinCountMismatch {
-                    cell: c.name().to_owned(),
-                    got: pin,
-                    expected: c.inputs().len(),
-                })?
+            *c.inputs().get(pin).ok_or(NetlistError::PinCountMismatch {
+                cell: c.name().to_owned(),
+                got: pin,
+                expected: c.inputs().len(),
+            })?
         };
-        self.net_mut(old).sinks.retain(|&(c, p)| !(c == cell && p == pin));
+        self.net_mut(old)
+            .sinks
+            .retain(|&(c, p)| !(c == cell && p == pin));
         self.cell_mut(cell).inputs_mut()[pin] = net;
         self.net_mut(net).sinks.push((cell, pin));
         Ok(())
@@ -370,7 +373,9 @@ impl Netlist {
         let inputs: Vec<NetId> = cell.inputs().to_vec();
         let name = cell.name().to_owned();
         for (pin, net) in inputs.into_iter().enumerate() {
-            self.net_mut(net).sinks.retain(|&(c, p)| !(c == id && p == pin));
+            self.net_mut(net)
+                .sinks
+                .retain(|&(c, p)| !(c == id && p == pin));
         }
         if let Some(out) = out {
             self.nets[out.index()] = None;

@@ -124,7 +124,12 @@ impl<'a> Simulator<'a> {
         let pis = self.netlist.inputs();
         assert_eq!(inputs.len(), pis.len(), "primary-input width mismatch");
         for (&pi, &v) in pis.iter().zip(inputs) {
-            let net = self.netlist.cell(pi).expect("live PI").output().expect("PI net");
+            let net = self
+                .netlist
+                .cell(pi)
+                .expect("live PI")
+                .output()
+                .expect("PI net");
             self.values[net.index()] = v;
         }
         for (id, cell) in self.netlist.cells() {
@@ -135,12 +140,19 @@ impl<'a> Simulator<'a> {
             }
         }
         for (i, &ff) in self.dffs.iter().enumerate() {
-            let q = self.netlist.cell(ff).expect("live dff").output().expect("Q net");
+            let q = self
+                .netlist
+                .cell(ff)
+                .expect("live dff")
+                .output()
+                .expect("Q net");
             self.values[q.index()] = self.state[i];
         }
         for &id in &self.order {
             let cell = self.netlist.cell(id).expect("live cell");
-            let CellKind::Lib(lib_id) = cell.kind() else { continue };
+            let CellKind::Lib(lib_id) = cell.kind() else {
+                continue;
+            };
             let lc = self.lib.cell(lib_id).expect("lib cell");
             let f: Tt3 = cell.config().unwrap_or_else(|| lc.function());
             let mut args = [false; 3];
@@ -287,8 +299,9 @@ mod tests {
         };
         let n1 = build(false);
         let n2 = build(true);
-        let vectors: Vec<Vec<bool>> =
-            (0..4u8).map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1]).collect();
+        let vectors: Vec<Vec<bool>> = (0..4u8)
+            .map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1])
+            .collect();
         assert_eq!(
             first_divergence(&n1, &lib, &n2, &lib, &vectors).unwrap(),
             None
@@ -308,8 +321,9 @@ mod tests {
         };
         let n1 = build("AND2");
         let n2 = build("OR2");
-        let vectors: Vec<Vec<bool>> =
-            (0..4u8).map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1]).collect();
+        let vectors: Vec<Vec<bool>> = (0..4u8)
+            .map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1])
+            .collect();
         assert!(first_divergence(&n1, &lib, &n2, &lib, &vectors)
             .unwrap()
             .is_some());

@@ -50,7 +50,9 @@ impl NetlistStats {
         let mut seq_cells = 0usize;
         let mut lib_cells = 0usize;
         for (_, cell) in netlist.cells() {
-            let CellKind::Lib(id) = cell.kind() else { continue };
+            let CellKind::Lib(id) = cell.kind() else {
+                continue;
+            };
             let lc = lib.cell(id).expect("netlist validated against lib");
             *cells_by_class.entry(lc.class()).or_insert(0) += 1;
             total_area += lc.area();

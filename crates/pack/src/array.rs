@@ -36,7 +36,11 @@ pub enum PackError {
 impl fmt::Display for PackError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PackError::CapacityExceeded { class, demand, available } => write!(
+            PackError::CapacityExceeded {
+                class,
+                demand,
+                available,
+            } => write!(
                 f,
                 "demand of {demand} {class} slots exceeds the {available} available"
             ),

@@ -26,5 +26,8 @@ pub(crate) mod quadrisect;
 mod swap;
 
 pub use array::{PackError, PlbArray};
-pub use quadrisect::{apply_to_placement, pack, pack_iterative, PackConfig};
-pub use swap::{swap_optimize, SwapConfig};
+pub use quadrisect::{
+    apply_to_placement, pack, pack_iterative, pack_iterative_with_stats, pack_with_stats,
+    PackConfig, PackStats,
+};
+pub use swap::{swap_optimize, swap_optimize_with_stats, SwapConfig, SwapStats};

@@ -52,6 +52,25 @@ struct Item {
     criticality: f64,
 }
 
+/// Counters from one quadrisection packing run (accumulated over the
+/// grow-and-retry attempts, and over repack passes in
+/// [`pack_iterative_with_stats`]) — the per-stage instrumentation the flow
+/// executor reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackStats {
+    /// Movable units (cells plus whole compaction groups) packed.
+    pub items: usize,
+    /// Items relocated between quadrants by the resource-balancing step.
+    pub relocations: u64,
+    /// Items the recursion could not seat geometrically, handled by the
+    /// nearest-fit spill pass.
+    pub spilled: u64,
+    /// Array-growth retries taken before the design fit.
+    pub growth_retries: u32,
+    /// Full quadrisection passes run (> 1 only for the §3.1 loop).
+    pub passes: u32,
+}
+
 /// Packs the placed netlist into a PLB array of `arch`. The placement is
 /// read-only; apply the result with [`apply_to_placement`].
 ///
@@ -70,6 +89,24 @@ pub fn pack(
     placement: &Placement,
     config: &PackConfig,
 ) -> Result<PlbArray, PackError> {
+    pack_with_stats(netlist, arch, placement, config).map(|(array, _)| array)
+}
+
+/// [`pack`], also returning the packer's [`PackStats`].
+///
+/// # Errors
+///
+/// Propagates [`pack`] errors.
+///
+/// # Panics
+///
+/// Panics if `config.target_fill` is not in `(0, 1]`.
+pub fn pack_with_stats(
+    netlist: &Netlist,
+    arch: &PlbArchitecture,
+    placement: &Placement,
+    config: &PackConfig,
+) -> Result<(PlbArray, PackStats), PackError> {
     assert!(
         config.target_fill > 0.0 && config.target_fill <= 1.0,
         "target_fill must be in (0, 1]"
@@ -86,7 +123,9 @@ pub fn pack(
             .unwrap_or(0.0)
     };
     for (id, cell) in netlist.cells() {
-        let CellKind::Lib(lib_id) = cell.kind() else { continue };
+        let CellKind::Lib(lib_id) = cell.kind() else {
+            continue;
+        };
         let lc = lib.cell(lib_id).expect("lib cell");
         let class = lc.class();
         let function = netlist.instance_function(id, lib);
@@ -130,6 +169,11 @@ pub fn pack(
         }
         items.push(item);
     }
+    let mut stats = PackStats {
+        items: items.len(),
+        passes: 1,
+        ..PackStats::default()
+    };
     // Total demand per class.
     let mut totals = SlotSet::new();
     for item in &items {
@@ -142,7 +186,10 @@ pub fn pack(
     // whose compatible-class sets lie entirely inside S must fit within
     // S's pooled capacity. With seven classes that is 128 subsets —
     // enumerated exactly.
-    let mut n_plbs = items.len().max(1).div_ceil(arch.capacity().total() as usize);
+    let mut n_plbs = items
+        .len()
+        .max(1)
+        .div_ceil(arch.capacity().total() as usize);
     let class_bit = |class: CellClass| -> u32 {
         CellClass::PLB_CLASSES
             .iter()
@@ -246,7 +293,9 @@ pub fn pack(
             grid_items,
             config,
             &mut spill,
+            &mut stats,
         );
+        stats.spilled += spill.len() as u64;
         // Spill pass: hardest items first (groups, then the least flexible
         // single cells), each into the nearest PLB with room.
         spill.sort_by(|a, b| {
@@ -269,7 +318,8 @@ pub fn pack(
             }
         }
         if leftover == 0 {
-            return Ok(array);
+            stats.growth_retries = retry as u32;
+            return Ok((array, stats));
         }
         if retry == config.growth_retries {
             return Err(PackError::Unpackable { leftover });
@@ -330,7 +380,9 @@ fn compatible_classes(
         if alt == class || alt.is_sequential() || arch.capacity().count(alt) == 0 {
             continue;
         }
-        let Some(cell) = arch.slot_cell(alt) else { continue };
+        let Some(cell) = arch.slot_cell(alt) else {
+            continue;
+        };
         if vpga_core::matcher::match_cell(cell, f, 3).is_some() {
             out.push(alt);
         }
@@ -370,6 +422,7 @@ fn quadrisect(
     items: Vec<Item>,
     config: &PackConfig,
     spill: &mut Vec<Item>,
+    stats: &mut PackStats,
 ) {
     if items.is_empty() {
         return;
@@ -425,9 +478,9 @@ fn quadrisect(
     }
     // Resource balancing: relocate overflow items to quadrants with room,
     // cheapest (criticality-weighted displacement) first.
-    balance(arch, &quads, &mut buckets, config);
+    stats.relocations += balance(arch, &quads, &mut buckets, config);
     for (q, bucket) in quads.iter().zip(buckets) {
-        quadrisect(arch, array, *q, bucket, config, spill);
+        quadrisect(arch, array, *q, bucket, config, spill, stats);
     }
 }
 
@@ -450,7 +503,8 @@ fn balance(
     quads: &[Region],
     buckets: &mut [Vec<Item>],
     config: &PackConfig,
-) {
+) -> u64 {
+    let mut relocated = 0u64;
     let mut demands: Vec<SlotSet> = buckets.iter().map(|b| demand_of(b)).collect();
     // Bounded relocation loop.
     for _ in 0..10_000 {
@@ -459,7 +513,7 @@ fn balance(
             .enumerate()
             .find_map(|(i, q)| overflows(arch, q, &demands[i]).map(|c| (i, c)))
         else {
-            return; // feasible everywhere
+            return relocated; // feasible everywhere
         };
         // Candidate items in the overfull quadrant that use the class.
         let mut best: Option<(usize, usize, f64)> = None; // (item ix, target quad, cost)
@@ -486,7 +540,7 @@ fn balance(
         }
         let Some((ix, ti, _)) = best else {
             // Nothing movable: leave the overflow for the spill pass.
-            return;
+            return relocated;
         };
         let mut item = buckets[qi].swap_remove(ix);
         // Re-center the item inside the target quadrant so recursion
@@ -497,8 +551,10 @@ fn balance(
         demands[qi] = demand_of(&buckets[qi]);
         demands[ti] = demands[ti].plus(&item.demand);
         buckets[ti].push(item);
+        relocated += 1;
     }
     let _ = config;
+    relocated
 }
 
 /// Seats an item into the given PLB; returns success.
@@ -582,7 +638,24 @@ pub fn pack_iterative(
     place_config: &PlaceConfig,
     config: &PackConfig,
 ) -> Result<PlbArray, PackError> {
-    let mut array = pack(netlist, arch, placement, config)?;
+    pack_iterative_with_stats(netlist, arch, placement, place_config, config)
+        .map(|(array, _)| array)
+}
+
+/// [`pack_iterative`], also returning the accumulated [`PackStats`] across
+/// every pack pass of the §3.1 loop.
+///
+/// # Errors
+///
+/// Propagates [`pack`] errors.
+pub fn pack_iterative_with_stats(
+    netlist: &Netlist,
+    arch: &PlbArchitecture,
+    placement: &mut Placement,
+    place_config: &PlaceConfig,
+    config: &PackConfig,
+) -> Result<(PlbArray, PackStats), PackError> {
+    let (mut array, mut stats) = pack_with_stats(netlist, arch, placement, config)?;
     for _ in 1..config.iterations.max(1) {
         // Measure displacement of each cell from its assigned PLB centre.
         let mut moved: Vec<(CellId, f64, (f64, f64))> = Vec::new();
@@ -592,7 +665,9 @@ pub fn pack_iterative(
             }
             let Some(ix) = array.plb_of(id) else { continue };
             let target = array.plb_center(ix);
-            let Some((x, y)) = placement.position(id) else { continue };
+            let Some((x, y)) = placement.position(id) else {
+                continue;
+            };
             // Normalize: the placement die and the array extent differ in
             // scale; compare in fractional coordinates.
             let die = placement.die();
@@ -628,10 +703,15 @@ pub fn pack_iterative(
         for id in pinned {
             placement.set_fixed(id, false);
         }
-        array = pack(netlist, arch, placement, config)?;
+        let (repacked, pass) = pack_with_stats(netlist, arch, placement, config)?;
+        array = repacked;
+        stats.relocations += pass.relocations;
+        stats.spilled += pass.spilled;
+        stats.growth_retries += pass.growth_retries;
+        stats.passes += pass.passes;
     }
     apply_to_placement(&array, netlist, placement);
-    Ok(array)
+    Ok((array, stats))
 }
 
 #[cfg(test)]
@@ -641,10 +721,7 @@ mod tests {
     use vpga_netlist::Netlist;
     use vpga_synth::map_netlist_fast;
 
-    fn mapped_design(
-        design: vpga_designs::NamedDesign,
-        arch: &PlbArchitecture,
-    ) -> Netlist {
+    fn mapped_design(design: vpga_designs::NamedDesign, arch: &PlbArchitecture) -> Netlist {
         let params = vpga_designs::DesignParams::tiny();
         let src = generic::library();
         map_netlist_fast(&design.generate(&params), &src, arch).expect("mappable")
@@ -655,11 +732,8 @@ mod tests {
         for arch in [PlbArchitecture::granular(), PlbArchitecture::lut_based()] {
             for design in vpga_designs::NamedDesign::ALL {
                 let netlist = mapped_design(design, &arch);
-                let placement = vpga_place::place(
-                    &netlist,
-                    arch.library(),
-                    &PlaceConfig::default(),
-                );
+                let placement =
+                    vpga_place::place(&netlist, arch.library(), &PlaceConfig::default());
                 let array = pack(&netlist, &arch, &placement, &PackConfig::default())
                     .unwrap_or_else(|e| panic!("{design} on {}: {e}", arch.name()));
                 // Every library cell is assigned.
@@ -730,7 +804,9 @@ mod tests {
         let mut cur = a;
         let mut cells = Vec::new();
         for i in 0..5 {
-            cur = n.add_lib_cell(format!("g{i}"), &src, "INV", &[cur]).unwrap();
+            cur = n
+                .add_lib_cell(format!("g{i}"), &src, "INV", &[cur])
+                .unwrap();
             cells.push(n.driver(cur).unwrap());
         }
         n.add_output("y", cur);
@@ -850,8 +926,7 @@ mod tests {
     fn applied_placement_sits_on_plb_centers() {
         let arch = PlbArchitecture::lut_based();
         let netlist = mapped_design(vpga_designs::NamedDesign::Alu, &arch);
-        let mut placement =
-            vpga_place::place(&netlist, arch.library(), &PlaceConfig::default());
+        let mut placement = vpga_place::place(&netlist, arch.library(), &PlaceConfig::default());
         let array = pack(&netlist, &arch, &placement, &PackConfig::default()).unwrap();
         apply_to_placement(&array, &netlist, &mut placement);
         for (id, cell) in netlist.cells() {

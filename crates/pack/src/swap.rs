@@ -35,6 +35,22 @@ impl Default for SwapConfig {
     }
 }
 
+/// Mover/acceptance counters and cost bookkeeping from one PLB-swap
+/// anneal — the per-stage instrumentation the flow executor reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SwapStats {
+    /// Swap attempts (pairs drawn, excluding p == q draws).
+    pub moves_attempted: u64,
+    /// Accepted swaps.
+    pub moves_accepted: u64,
+    /// Temperature rounds run.
+    pub rounds: u32,
+    /// Weighted-HPWL cost before swapping.
+    pub cost_initial: f64,
+    /// Weighted-HPWL cost after swapping.
+    pub cost_final: f64,
+}
+
 /// Anneals whole-PLB content swaps to minimize (criticality-weighted)
 /// wirelength; updates both the array's assignments and the placement's
 /// positions. Returns the fractional wirelength reduction achieved.
@@ -49,9 +65,25 @@ pub fn swap_optimize(
     placement: &mut Placement,
     config: &SwapConfig,
 ) -> f64 {
+    swap_optimize_with_stats(array, netlist, placement, config).0
+}
+
+/// [`swap_optimize`], also returning the annealer's [`SwapStats`].
+///
+/// # Panics
+///
+/// Panics if `placement` has not been updated to the array (run
+/// [`crate::apply_to_placement`] first).
+pub fn swap_optimize_with_stats(
+    array: &mut PlbArray,
+    netlist: &Netlist,
+    placement: &mut Placement,
+    config: &SwapConfig,
+) -> (f64, SwapStats) {
+    let mut stats = SwapStats::default();
     let n_plbs = array.len();
     if n_plbs < 2 {
-        return 0.0;
+        return (0.0, stats);
     }
     // Cells per PLB.
     let mut cells_of: Vec<Vec<CellId>> = vec![Vec::new(); n_plbs];
@@ -90,8 +122,10 @@ pub fn swap_optimize(
         .map(|i| cost_of(placement, NetId::from_index(i)))
         .collect();
     let initial: f64 = net_cost.iter().sum();
+    stats.cost_initial = initial;
+    stats.cost_final = initial;
     if initial <= 0.0 {
-        return 0.0;
+        return (0.0, stats);
     }
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut t = initial / n_plbs as f64; // gentle start
@@ -108,6 +142,7 @@ pub fn swap_optimize(
             if p == q {
                 continue;
             }
+            stats.moves_attempted += 1;
             // Affected nets.
             let mut nets: Vec<NetId> = Vec::new();
             for &cell in cells_of[p].iter().chain(&cells_of[q]) {
@@ -142,6 +177,8 @@ pub fn swap_optimize(
                 seat_cells(array, placement, &cells_of[q], q);
             }
         }
+        stats.moves_accepted += accepted as u64;
+        stats.rounds += 1;
         t *= 0.85;
         if greedy && accepted == 0 {
             break;
@@ -161,7 +198,8 @@ pub fn swap_optimize(
         (final_cost - real).abs() < 1e-6 * real.max(1.0) + 1e-6,
         "incremental cost drift: tracked {final_cost} vs real {real}"
     );
-    1.0 - final_cost / initial
+    stats.cost_final = final_cost;
+    (1.0 - final_cost / initial, stats)
 }
 
 /// Seats a list of cells in PLB `ix` (position + assignment). Occupancy
@@ -188,8 +226,7 @@ mod tests {
     fn swapping_reduces_wirelength_after_packing() {
         let arch = PlbArchitecture::granular();
         let src = generic::library();
-        let design =
-            vpga_designs::NamedDesign::Alu.generate(&vpga_designs::DesignParams::tiny());
+        let design = vpga_designs::NamedDesign::Alu.generate(&vpga_designs::DesignParams::tiny());
         let mapped = vpga_synth::map_netlist_fast(&design, &src, &arch).unwrap();
         let mut placement = vpga_place::place(&mapped, arch.library(), &PlaceConfig::default());
         let mut array = pack(&mapped, &arch, &placement, &PackConfig::default()).unwrap();
@@ -197,7 +234,10 @@ mod tests {
         let before = placement.total_hpwl(&mapped);
         let gain = swap_optimize(&mut array, &mapped, &mut placement, &SwapConfig::default());
         let after = placement.total_hpwl(&mapped);
-        assert!(after <= before + 1e-6, "swap must not worsen: {before} → {after}");
+        assert!(
+            after <= before + 1e-6,
+            "swap must not worsen: {before} → {after}"
+        );
         assert!(gain >= 0.0);
         // Assignments stay consistent with positions.
         for (id, cell) in mapped.cells() {

@@ -38,6 +38,22 @@ impl Default for PlaceConfig {
     }
 }
 
+/// Mover/acceptance counters and cost bookkeeping from one annealing run
+/// — the per-stage instrumentation the flow executor reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PlaceStats {
+    /// Move attempts (including the initial-temperature probes).
+    pub moves_attempted: u64,
+    /// Accepted moves.
+    pub moves_accepted: u64,
+    /// Temperature steps taken by the adaptive schedule.
+    pub temperature_steps: u32,
+    /// Weighted-HPWL cost after the initial scatter/snap.
+    pub cost_initial: f64,
+    /// Weighted-HPWL cost at the end of the anneal.
+    pub cost_final: f64,
+}
+
 /// Places all library cells of `netlist` by simulated annealing from a
 /// fresh random start; returns the placement.
 ///
@@ -45,12 +61,28 @@ impl Default for PlaceConfig {
 ///
 /// Panics if `config.utilization` is outside `(0, 1]`.
 pub fn place(netlist: &Netlist, lib: &Library, config: &PlaceConfig) -> Placement {
+    place_with_stats(netlist, lib, config).0
+}
+
+/// [`place`], also returning the annealer's [`PlaceStats`].
+///
+/// # Panics
+///
+/// Panics if `config.utilization` is outside `(0, 1]`.
+pub fn place_with_stats(
+    netlist: &Netlist,
+    lib: &Library,
+    config: &PlaceConfig,
+) -> (Placement, PlaceStats) {
     let mut placement = Placement::initial(netlist, lib, config.utilization);
-    let mut engine = Engine::new(netlist, lib, &mut placement, config);
-    engine.scatter();
-    engine.anneal(1.0);
-    engine.commit();
-    placement
+    let stats = {
+        let mut engine = Engine::new(netlist, lib, &mut placement, config);
+        engine.scatter();
+        engine.anneal(1.0);
+        engine.commit();
+        engine.stats
+    };
+    (placement, stats)
 }
 
 /// Refines an existing placement at reduced temperature, honouring fixed
@@ -71,11 +103,27 @@ pub fn refine(
     config: &PlaceConfig,
     heat: f64,
 ) {
+    let _ = refine_with_stats(netlist, lib, placement, config, heat);
+}
+
+/// [`refine`], also returning the annealer's [`PlaceStats`].
+///
+/// # Panics
+///
+/// Panics if `heat` is not in `(0, 1]`.
+pub fn refine_with_stats(
+    netlist: &Netlist,
+    lib: &Library,
+    placement: &mut Placement,
+    config: &PlaceConfig,
+    heat: f64,
+) -> PlaceStats {
     assert!(heat > 0.0 && heat <= 1.0, "heat must be in (0, 1]");
     let mut engine = Engine::new(netlist, lib, placement, config);
     engine.scatter_unplaced_only();
     engine.anneal(heat);
     engine.commit();
+    engine.stats
 }
 
 /// Internal annealing engine over a discrete site grid.
@@ -95,6 +143,7 @@ struct Engine<'a> {
     net_cost: Vec<f64>,
     weights: Vec<f64>,
     rng: SmallRng,
+    stats: PlaceStats,
 }
 
 impl<'a> Engine<'a> {
@@ -112,7 +161,9 @@ impl<'a> Engine<'a> {
             .map(|(id, _)| id)
             .collect();
         let _ = lib;
-        let n_sites = ((movable.len() as f64) / config.utilization).ceil().max(1.0) as usize;
+        let n_sites = ((movable.len() as f64) / config.utilization)
+            .ceil()
+            .max(1.0) as usize;
         let cols = (n_sites as f64).sqrt().ceil() as usize;
         let rows = n_sites.div_ceil(cols);
         let mut weights = vec![1.0; netlist.net_capacity()];
@@ -161,6 +212,7 @@ impl<'a> Engine<'a> {
             net_cost: vec![0.0; netlist.net_capacity()],
             weights,
             rng: SmallRng::seed_from_u64(config.seed),
+            stats: PlaceStats::default(),
         }
     }
 
@@ -265,6 +317,7 @@ impl<'a> Engine<'a> {
         if self.movable.is_empty() {
             return None;
         }
+        self.stats.moves_attempted += 1;
         let cell = self.movable[self.rng.gen_range(0..self.movable.len())];
         let from = self.site_of[cell.index()].expect("movable cell is seated");
         // Target site within the window (and region constraint, if any).
@@ -306,12 +359,12 @@ impl<'a> Engine<'a> {
         self.swap_sites(cell, from, other, to);
         let after: f64 = nets.iter().map(|&n| self.weighted_hpwl(n)).sum();
         let delta = after - before;
-        let accept = delta <= 0.0
-            || self.rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
+        let accept = delta <= 0.0 || self.rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
         if accept {
             for &n in &nets {
                 self.net_cost[n.index()] = self.weighted_hpwl(n);
             }
+            self.stats.moves_accepted += 1;
             Some(delta)
         } else {
             self.swap_sites(cell, to, other, from);
@@ -333,9 +386,15 @@ impl<'a> Engine<'a> {
     }
 
     fn anneal(&mut self, heat: f64) {
+        self.stats.cost_initial = self.total_cost();
+        self.stats.cost_final = self.stats.cost_initial;
         if self.movable.len() < 2 {
             return;
         }
+        // The initial-temperature probes below accept unconditionally, so
+        // on tiny netlists a short anneal can end above its starting cost;
+        // keep the starting state to restore in that case.
+        let start_sites = self.site_of.clone();
         // Initial temperature from the spread of random perturbations.
         let probes = (self.movable.len() * 2).clamp(16, 512);
         let mut deltas: Vec<f64> = Vec::with_capacity(probes);
@@ -345,10 +404,7 @@ impl<'a> Engine<'a> {
             }
         }
         let mean = deltas.iter().copied().sum::<f64>() / deltas.len().max(1) as f64;
-        let var = deltas
-            .iter()
-            .map(|d| (d - mean) * (d - mean))
-            .sum::<f64>()
+        let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
             / deltas.len().max(1) as f64;
         let mut t = (20.0 * var.sqrt()).max(1.0) * heat;
         let mut window = self.cols.max(self.rows);
@@ -373,14 +429,34 @@ impl<'a> Engine<'a> {
                 0.8
             };
             t *= alpha;
+            self.stats.temperature_steps += 1;
             // Track 44 % target acceptance with the window size.
             let scale = 1.0 - 0.44 + rate;
-            window = ((window as f64 * scale).round() as usize)
-                .clamp(1, self.cols.max(self.rows));
+            window = ((window as f64 * scale).round() as usize).clamp(1, self.cols.max(self.rows));
             if t < stop {
                 break;
             }
         }
+        self.stats.cost_final = self.total_cost();
+        if self.stats.cost_final > self.stats.cost_initial {
+            self.restore(&start_sites);
+            self.stats.cost_final = self.total_cost();
+        }
+    }
+
+    /// Reseats every movable cell at its site in `site_of` and rebuilds
+    /// the cost cache.
+    fn restore(&mut self, site_of: &[Option<usize>]) {
+        self.cell_at.fill(None);
+        for i in 0..self.movable.len() {
+            let cell = self.movable[i];
+            let site = site_of[cell.index()].expect("snapshot covers movable cells");
+            self.cell_at[site] = Some(cell);
+            self.site_of[cell.index()] = Some(site);
+            let (x, y) = self.site_xy(site);
+            self.placement.set_position(cell, x, y);
+        }
+        self.rebuild_costs();
     }
 
     fn commit(&mut self) {
@@ -400,7 +476,9 @@ mod tests {
         let mut nl = Netlist::new("chain");
         let mut cur = nl.add_input("a");
         for i in 0..n {
-            cur = nl.add_lib_cell(format!("i{i}"), &lib, "INV", &[cur]).unwrap();
+            cur = nl
+                .add_lib_cell(format!("i{i}"), &lib, "INV", &[cur])
+                .unwrap();
         }
         nl.add_output("y", cur);
         (nl, lib)

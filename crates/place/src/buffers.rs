@@ -52,7 +52,9 @@ pub fn insert_buffers(
     let mut report = BufferReport::default();
     let nets: Vec<NetId> = netlist.nets().collect();
     for net in nets {
-        let Some(driver) = netlist.driver(net) else { continue };
+        let Some(driver) = netlist.driver(net) else {
+            continue;
+        };
         let driver_cell = netlist.cell(driver).expect("live driver");
         if driver_cell.kind().is_port_or_tie()
             && !matches!(driver_cell.kind(), vpga_netlist::CellKind::Input)
@@ -66,7 +68,9 @@ pub fn insert_buffers(
         if !too_wide && !too_long {
             continue;
         }
-        let Some((dx, dy)) = placement.position(driver) else { continue };
+        let Some((dx, dy)) = placement.position(driver) else {
+            continue;
+        };
         // Sort sinks by distance from the driver; keep the nearest ones.
         let mut sinks: Vec<(vpga_netlist::CellId, usize, f64)> = netlist
             .sinks(net)
@@ -80,9 +84,12 @@ pub fn insert_buffers(
             })
             .collect();
         sinks.sort_by(|a, b| a.2.total_cmp(&b.2));
-        let keep = if too_wide { max_fanout / 2 } else { sinks.len() / 2 };
-        let far = sinks.split_off(keep.max(1).min(sinks.len()))
-            ;
+        let keep = if too_wide {
+            max_fanout / 2
+        } else {
+            sinks.len() / 2
+        };
+        let far = sinks.split_off(keep.max(1).min(sinks.len()));
         if far.is_empty() {
             continue;
         }
@@ -132,7 +139,9 @@ mod tests {
         let a = n.add_input("a");
         let src = n.add_lib_cell("src", &lib, "INV", &[a]).unwrap();
         for i in 0..20 {
-            let s = n.add_lib_cell(format!("s{i}"), &lib, "INV", &[src]).unwrap();
+            let s = n
+                .add_lib_cell(format!("s{i}"), &lib, "INV", &[src])
+                .unwrap();
             n.add_output(format!("y{i}"), s);
         }
         let mut p = place(&n, &lib, &PlaceConfig::default());
@@ -171,15 +180,16 @@ mod tests {
         let a = n.add_input("a");
         let src = n.add_lib_cell("src", &lib, "INV", &[a]).unwrap();
         for i in 0..12 {
-            let s = n.add_lib_cell(format!("s{i}"), &lib, "BUF", &[src]).unwrap();
+            let s = n
+                .add_lib_cell(format!("s{i}"), &lib, "BUF", &[src])
+                .unwrap();
             n.add_output(format!("y{i}"), s);
         }
         let golden = n.clone();
         let mut p = place(&n, &lib, &PlaceConfig::default());
         insert_buffers(&mut n, &lib, &mut p, 4, 1e9).unwrap();
         let vectors = vec![vec![true], vec![false], vec![true]];
-        let div =
-            vpga_netlist::sim::first_divergence(&golden, &lib, &n, &lib, &vectors).unwrap();
+        let div = vpga_netlist::sim::first_divergence(&golden, &lib, &n, &lib, &vectors).unwrap();
         assert_eq!(div, None);
     }
 

@@ -192,7 +192,9 @@ impl Placement {
     /// Half-perimeter wirelength of one net, µm (0 for nets with fewer than
     /// two placed pins or driven by constants).
     pub fn net_hpwl(&self, netlist: &Netlist, net: NetId) -> f64 {
-        let Some(driver) = netlist.driver(net) else { return 0.0 };
+        let Some(driver) = netlist.driver(net) else {
+            return 0.0;
+        };
         if matches!(
             netlist.cell(driver).map(|c| c.kind()),
             Some(CellKind::Constant(_))
@@ -337,7 +339,12 @@ mod tests {
         let (n, lib) = sample();
         let mut p = Placement::initial(&n, &lib, 0.7);
         let g = n.cell_by_name("g").unwrap();
-        let r = Rect { x0: 0.0, y0: 0.0, x1: 1.0, y1: 1.0 };
+        let r = Rect {
+            x0: 0.0,
+            y0: 0.0,
+            x1: 1.0,
+            y1: 1.0,
+        };
         p.set_region(g, Some(r));
         assert_eq!(p.region(g), Some(r));
         // Growth for later-added cells.

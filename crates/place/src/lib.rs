@@ -24,6 +24,6 @@ mod anneal;
 mod buffers;
 mod grid;
 
-pub use anneal::{place, refine, PlaceConfig};
+pub use anneal::{place, place_with_stats, refine, refine_with_stats, PlaceConfig, PlaceStats};
 pub use buffers::{insert_buffers, BufferReport};
 pub use grid::{Placement, Rect};

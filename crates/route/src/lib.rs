@@ -64,8 +64,11 @@ pub struct RoutingResult {
     max_edge_load: u32,
     tile_size: f64,
     grid_dims: (usize, usize),
-    routes: Option<std::collections::HashMap<NetId, Vec<((usize, usize), (usize, usize))>>>,
+    routes: Option<std::collections::HashMap<NetId, Vec<RouteSegment>>>,
 }
+
+/// One routed hop between two adjacent `(col, row)` tiles.
+pub type RouteSegment = ((usize, usize), (usize, usize));
 
 impl RoutingResult {
     /// Routed wirelength of a net, µm (0 for unrouted or local nets).
@@ -106,7 +109,7 @@ impl RoutingResult {
     /// The routed tile-to-tile segments of a net, if
     /// [`RouteConfig::keep_routes`] was set. Segments are unordered; each
     /// is a pair of adjacent `(col, row)` tiles.
-    pub fn net_route(&self, net: NetId) -> Option<&[((usize, usize), (usize, usize))]> {
+    pub fn net_route(&self, net: NetId) -> Option<&[RouteSegment]> {
         self.routes.as_ref()?.get(&net).map(Vec::as_slice)
     }
 }
@@ -212,7 +215,9 @@ pub fn route(
     let _ = lib;
     let die = placement.die();
     let tile = config.tile_size.unwrap_or_else(|| {
-        (die.area() / config.target_tiles.max(1) as f64).sqrt().max(1e-3)
+        (die.area() / config.target_tiles.max(1) as f64)
+            .sqrt()
+            .max(1e-3)
     });
     let grid = Grid {
         cols: ((die.width() / tile).ceil() as usize).max(1),
@@ -231,14 +236,18 @@ pub fn route(
     let mut jobs: Vec<Job> = Vec::new();
     let mut net_length = vec![0.0f64; netlist.net_capacity()];
     for net in netlist.nets() {
-        let Some(driver) = netlist.driver(net) else { continue };
+        let Some(driver) = netlist.driver(net) else {
+            continue;
+        };
         if matches!(
             netlist.cell(driver).map(|c| c.kind()),
             Some(CellKind::Constant(_))
         ) {
             continue;
         }
-        let Some((dx, dy)) = placement.position(driver) else { continue };
+        let Some((dx, dy)) = placement.position(driver) else {
+            continue;
+        };
         let source = grid.tile_of(dx, dy);
         let mut sinks: Vec<(usize, usize)> = Vec::new();
         for &(cell, _) in netlist.sinks(net) {
@@ -294,10 +303,8 @@ pub fn route(
         net_length[job.net.index()] = len;
         total += len;
         if let Some(routes) = routes.as_mut() {
-            let segments: Vec<((usize, usize), (usize, usize))> = edges
-                .iter()
-                .map(|&e| grid.edge_endpoints(e))
-                .collect();
+            let segments: Vec<((usize, usize), (usize, usize))> =
+                edges.iter().map(|&e| grid.edge_endpoints(e)).collect();
             routes.insert(job.net, segments);
         }
     }
@@ -334,9 +341,7 @@ fn astar(
     let mut best = vec![f64::INFINITY; n];
     let mut from: Vec<Option<((usize, usize), usize)>> = vec![None; n];
     let mut heap = BinaryHeap::new();
-    let h = |(c, r): (usize, usize)| -> f64 {
-        (c.abs_diff(sink.0) + r.abs_diff(sink.1)) as f64
-    };
+    let h = |(c, r): (usize, usize)| -> f64 { (c.abs_diff(sink.0) + r.abs_diff(sink.1)) as f64 };
     best[idx(source)] = 0.0;
     heap.push(HeapEntry {
         priority: h(source),
@@ -375,7 +380,9 @@ fn astar(
     let mut path = Vec::new();
     let mut cur = sink;
     while cur != source {
-        let Some((prev, edge)) = from[idx(cur)] else { break };
+        let Some((prev, edge)) = from[idx(cur)] else {
+            break;
+        };
         path.push(edge);
         cur = prev;
     }
@@ -531,7 +538,9 @@ mod route_extraction_tests {
         assert!(cols > 0 && rows > 0);
         let mut seen_any = false;
         for net in nl.nets() {
-            let Some(segments) = r.net_route(net) else { continue };
+            let Some(segments) = r.net_route(net) else {
+                continue;
+            };
             seen_any = true;
             // Segment count matches the reported length.
             let expect = segments.len() as f64 * r.tile_size();

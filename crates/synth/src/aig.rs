@@ -174,7 +174,11 @@ impl Aig {
 
     /// Registers a combinational output.
     pub fn add_output(&mut self, name: String, lit: Lit, is_dff_d: bool) {
-        self.outputs.push(AigOutput { name, lit, is_dff_d });
+        self.outputs.push(AigOutput {
+            name,
+            lit,
+            is_dff_d,
+        });
     }
 
     /// The AND of two literals, with constant folding and structural

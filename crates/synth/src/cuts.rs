@@ -58,9 +58,7 @@ impl CutSet {
                     for ca in cuts_of_lit(&cuts, a) {
                         for cb in cuts_of_lit(&cuts, b) {
                             if let Some(cut) = merge(ca, a, cb, b) {
-                                if !merged.iter().any(|c: &Cut| {
-                                    c.leaves == cut.leaves
-                                }) {
+                                if !merged.iter().any(|c: &Cut| c.leaves == cut.leaves) {
                                     merged.push(cut);
                                 }
                             }
@@ -205,7 +203,10 @@ mod tests {
             .iter()
             .find(|c| c.leaves.len() == 2)
             .expect("two-leaf cut");
-        assert_eq!(wide.tt, Tt3::var(vpga_logic::Var::A) & Tt3::var(vpga_logic::Var::B));
+        assert_eq!(
+            wide.tt,
+            Tt3::var(vpga_logic::Var::A) & Tt3::var(vpga_logic::Var::B)
+        );
     }
 
     #[test]

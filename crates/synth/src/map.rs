@@ -63,9 +63,7 @@ impl<'a> Chooser<'a> {
                 };
                 let better = match &best {
                     None => true,
-                    Some(b) => {
-                        (cand.delay, cand.area) < (b.delay, b.area)
-                    }
+                    Some(b) => (cand.delay, cand.area) < (b.delay, b.area),
                 };
                 if better {
                     best = Some(cand);
@@ -197,8 +195,7 @@ pub fn map_netlist(
                 if cand_cut.leaves == [node] {
                     continue;
                 }
-                let Some(cand) = chooser.choose_min_area(cand_cut.tt, cand_cut.leaves.len())
-                else {
+                let Some(cand) = chooser.choose_min_area(cand_cut.tt, cand_cut.leaves.len()) else {
                     continue;
                 };
                 let leaf_arrival = cand_cut
@@ -346,8 +343,8 @@ pub fn map_netlist_fast(
 ) -> Result<Netlist, SynthError> {
     use vpga_core::config::NodeSource;
 
-    let order = vpga_netlist::graph::combinational_topo_order(netlist, src)
-        .map_err(SynthError::Netlist)?;
+    let order =
+        vpga_netlist::graph::combinational_topo_order(netlist, src).map_err(SynthError::Netlist)?;
     let mut out = Netlist::new(netlist.name());
     let mut net_map: HashMap<NetId, NetId> = HashMap::new();
     for &pi in netlist.inputs() {
@@ -369,7 +366,12 @@ pub fn map_netlist_fast(
             {
                 let placeholder = out.constant(false);
                 let q = out
-                    .add_lib_cell(cell.name().to_owned(), arch.library(), "DFF", &[placeholder])
+                    .add_lib_cell(
+                        cell.name().to_owned(),
+                        arch.library(),
+                        "DFF",
+                        &[placeholder],
+                    )
                     .expect("DFF instantiation");
                 let new_cell = out.driver(q).expect("dff drives q");
                 dff_fixups.push((new_cell, cell.inputs()[0]));

@@ -63,7 +63,12 @@ impl ExactTable {
         let mut cost = [u8::MAX; 256];
         let mut recipe = [Recipe::Leaf(Tt3::FALSE); 256];
         let mut known: Vec<Tt3> = Vec::new();
-        let set = |t: Tt3, c: u8, r: Recipe, known: &mut Vec<Tt3>, cost: &mut [u8; 256], recipe: &mut [Recipe; 256]| {
+        let set = |t: Tt3,
+                   c: u8,
+                   r: Recipe,
+                   known: &mut Vec<Tt3>,
+                   cost: &mut [u8; 256],
+                   recipe: &mut [Recipe; 256]| {
             if c < cost[t.bits() as usize] {
                 cost[t.bits() as usize] = c;
                 recipe[t.bits() as usize] = r;
@@ -204,7 +209,9 @@ pub fn rewrite(aig: &Aig) -> Aig {
         lit_map.insert(pi, l);
     }
     for node in 0..aig.len() as u32 {
-        let AigNode::And(a, b) = aig.node(node) else { continue };
+        let AigNode::And(a, b) = aig.node(node) else {
+            continue;
+        };
         // Choose the cut minimizing the exact cost of its function; on
         // ties prefer the widest cut (it lets more interior nodes die).
         let mut best: Option<(u8, usize, Lit)> = None;
@@ -217,10 +224,9 @@ pub fn rewrite(aig: &Aig) -> Aig {
             }
             let cost = table.and_count(cut.tt);
             let width = cut.leaves.len();
-            if best
-                .as_ref()
-                .is_some_and(|&(c, w, _)| (cost, std::cmp::Reverse(width)) >= (c, std::cmp::Reverse(w)))
-            {
+            if best.as_ref().is_some_and(|&(c, w, _)| {
+                (cost, std::cmp::Reverse(width)) >= (c, std::cmp::Reverse(w))
+            }) {
                 continue;
             }
             let mut leaves = [Lit::FALSE; 3];
@@ -324,8 +330,7 @@ mod tests {
     fn rewriting_a_real_design_is_sound() {
         use vpga_netlist::library::generic;
         let src = generic::library();
-        let design =
-            vpga_designs::NamedDesign::Alu.generate(&vpga_designs::DesignParams::tiny());
+        let design = vpga_designs::NamedDesign::Alu.generate(&vpga_designs::DesignParams::tiny());
         let (aig, _) = Aig::from_netlist(&design, &src).unwrap();
         let rewritten = rewrite(&aig);
         assert!(rewritten.num_ands() <= aig.num_ands());

@@ -107,7 +107,12 @@ impl TimingReport {
         if self.endpoints.is_empty() {
             return self.config.clock_period;
         }
-        self.endpoints.iter().take(take).map(|e| e.slack).sum::<f64>() / take as f64
+        self.endpoints
+            .iter()
+            .take(take)
+            .map(|e| e.slack)
+            .sum::<f64>()
+            / take as f64
     }
 
     /// Per-net criticality in `[0, 1]` (1 = on the critical path), for the
@@ -193,7 +198,11 @@ impl std::fmt::Display for TimingReport {
             self.config.clock_period
         )?;
         for e in self.endpoints.iter().take(5) {
-            writeln!(f, "  {:30} arrival {:9.1} ps, slack {:9.1} ps", e.name, e.arrival, e.slack)?;
+            writeln!(
+                f,
+                "  {:30} arrival {:9.1} ps, slack {:9.1} ps",
+                e.name, e.arrival, e.slack
+            )?;
         }
         Ok(())
     }
@@ -215,8 +224,8 @@ pub fn analyze(
     routing: Option<&RoutingResult>,
     config: &TimingConfig,
 ) -> TimingReport {
-    let order = vpga_netlist::graph::combinational_topo_order(netlist, lib)
-        .expect("netlist is acyclic");
+    let order =
+        vpga_netlist::graph::combinational_topo_order(netlist, lib).expect("netlist is acyclic");
     let mut arrival = vec![0.0f64; netlist.net_capacity()];
 
     // Wire parasitics per net.
@@ -245,9 +254,7 @@ pub fn analyze(
         let wire_cap = len * params::WIRE_CAP_PER_UM;
         len * params::WIRE_RES_PER_UM * (wire_cap / 2.0 + sink_cap(net))
     };
-    let net_load = |net: NetId| -> f64 {
-        wire_len(net) * params::WIRE_CAP_PER_UM + sink_cap(net)
-    };
+    let net_load = |net: NetId| -> f64 { wire_len(net) * params::WIRE_CAP_PER_UM + sink_cap(net) };
 
     // Launch points: primary inputs at t = 0, flip-flop Qs at clk→Q.
     let mut dffs: Vec<CellId> = Vec::new();
@@ -341,10 +348,7 @@ pub fn analyze(
         })
         .collect();
     endpoints.sort_by(|a, b| a.slack.total_cmp(&b.slack));
-    let worst_arrival = endpoints
-        .iter()
-        .map(|e| e.arrival)
-        .fold(0.0f64, f64::max);
+    let worst_arrival = endpoints.iter().map(|e| e.arrival).fold(0.0f64, f64::max);
     TimingReport {
         arrival,
         slack,
@@ -381,8 +385,16 @@ mod tests {
         let (n, arch) = pipeline();
         let p = vpga_place::place(&n, arch.library(), &PlaceConfig::default());
         let report = analyze(&n, arch.library(), &p, None, &TimingConfig::default());
-        let g_net = n.cell(n.cell_by_name("g").unwrap()).unwrap().output().unwrap();
-        let m_net = n.cell(n.cell_by_name("m").unwrap()).unwrap().output().unwrap();
+        let g_net = n
+            .cell(n.cell_by_name("g").unwrap())
+            .unwrap()
+            .output()
+            .unwrap();
+        let m_net = n
+            .cell(n.cell_by_name("m").unwrap())
+            .unwrap()
+            .output()
+            .unwrap();
         assert!(report.net_arrival(g_net) >= 45.0, "ND3 intrinsic at least");
         // The MUX output launches from the DFF Q, not from g.
         assert!(report.net_arrival(m_net) > 0.0);

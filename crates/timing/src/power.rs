@@ -94,8 +94,8 @@ pub fn estimate(
     routing: Option<&RoutingResult>,
     config: &PowerConfig,
 ) -> PowerReport {
-    let order = vpga_netlist::graph::combinational_topo_order(netlist, lib)
-        .expect("netlist is acyclic");
+    let order =
+        vpga_netlist::graph::combinational_topo_order(netlist, lib).expect("netlist is acyclic");
     let cap = netlist.net_capacity();
     let mut probability = vec![0.0f64; cap];
     let mut activity = vec![0.0f64; cap];
@@ -159,7 +159,7 @@ pub fn estimate(
                 let v = vpga_logic::Var::from_index(i).expect("pin < 3");
                 let (g, h) = f.cofactors(v);
                 let diff = g ^ h; // 2-var function over the other pins
-                // Probability that the Boolean difference is 1.
+                                  // Probability that the Boolean difference is 1.
                 let mut others: Vec<f64> = Vec::with_capacity(2);
                 for (j, &pp) in p_in.iter().enumerate() {
                     if j != i {
@@ -174,8 +174,16 @@ pub fn estimate(
                     if (diff.bits() >> m) & 1 == 0 {
                         continue;
                     }
-                    let b0 = if m & 1 == 1 { others[0] } else { 1.0 - others[0] };
-                    let b1 = if m >> 1 & 1 == 1 { others[1] } else { 1.0 - others[1] };
+                    let b0 = if m & 1 == 1 {
+                        others[0]
+                    } else {
+                        1.0 - others[0]
+                    };
+                    let b1 = if m >> 1 & 1 == 1 {
+                        others[1]
+                    } else {
+                        1.0 - others[1]
+                    };
                     p_diff += b0 * b1;
                 }
                 a_out += ai * p_diff;
@@ -245,8 +253,14 @@ mod tests {
         // AND of two independent 0.5 inputs → probability 0.25.
         let g = n.add_lib_cell("g", &lib, "ND2", &[a, b]).unwrap();
         let cell = n.cell_by_name("g").unwrap();
-        n.set_config(cell, &lib, Some(vpga_logic::Tt3::var(vpga_logic::Var::A) & vpga_logic::Tt3::var(vpga_logic::Var::B)))
-            .unwrap();
+        n.set_config(
+            cell,
+            &lib,
+            Some(
+                vpga_logic::Tt3::var(vpga_logic::Var::A) & vpga_logic::Tt3::var(vpga_logic::Var::B),
+            ),
+        )
+        .unwrap();
         n.add_output("y", g);
         let p = vpga_place::place(&n, &lib, &PlaceConfig::default());
         let report = estimate(&n, &lib, &p, None, &PowerConfig::default());
@@ -281,7 +295,8 @@ mod tests {
             let c = n.add_input("c");
             let g = n.add_lib_cell("g", &lib, cell, &[a, b, c]).unwrap();
             let id = n.cell_by_name("g").unwrap();
-            n.set_config(id, &lib, Some(vpga_logic::Tt3::NAND3)).unwrap();
+            n.set_config(id, &lib, Some(vpga_logic::Tt3::NAND3))
+                .unwrap();
             n.add_output("y", g);
             let p = vpga_place::place(&n, &lib, &PlaceConfig::default());
             estimate(&n, &lib, &p, None, &PowerConfig::default()).total()

@@ -15,9 +15,14 @@ fn main() {
     println!("== §2.1: the S3 gate (2:1 MUX driven by two ND2WI gates) ==");
     let feasible = s3::s3_set().len();
     println!("S3-feasible 3-input functions: {feasible} of 256");
-    let any = Tt3::all().filter(|&t| s3::s3_feasible_any_select(t)).count();
+    let any = Tt3::all()
+        .filter(|&t| s3::s3_feasible_any_select(t))
+        .count();
     println!("...with free select choice:    {any} of 256");
-    println!("modified S3 cell (Figure 3):   {} of 256\n", s3::modified_s3_set().len());
+    println!(
+        "modified S3 cell (Figure 3):   {} of 256\n",
+        s3::modified_s3_set().len()
+    );
 
     println!("== Figure 2: categories of S3-infeasible functions ==");
     print!("{}", s3::InfeasibleCensus::compute());
@@ -44,9 +49,15 @@ fn main() {
     let sum = adder::sum();
     let tree = LutMuxTree::decompose(sum);
     let (lo, hi) = tree.intermediates(sum);
-    println!("  f = sum(a,b,cin) = {sum}: select0 = {}, select1 = {}", tree.select0, tree.select1);
+    println!(
+        "  f = sum(a,b,cin) = {sum}: select0 = {}, select1 = {}",
+        tree.select0, tree.select1
+    );
     println!("  exposed intermediates: {lo} (= a ⊕ b, the propagate!) and {hi}");
-    println!("  stored LUT bits: {:08b} (round-trips exactly)", tree.lut_bits());
+    println!(
+        "  stored LUT bits: {:08b} (round-trips exactly)",
+        tree.lut_bits()
+    );
 
     let g = PlbArchitecture::granular();
     let l = PlbArchitecture::lut_based();

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let max_len = placement.die().width() * 0.5;
     let buffered = vpga::place::insert_buffers(&mut netlist, lib, &mut placement, 12, max_len)?;
     vpga::place::refine(&netlist, lib, &mut placement, &place_cfg, 0.2);
-    println!("\n-- physical synthesis --\ninserted {} buffers", buffered.total());
+    println!(
+        "\n-- physical synthesis --\ninserted {} buffers",
+        buffered.total()
+    );
 
     // Packing into the regular PLB array (the step flow a skips).
     let array = vpga::pack::pack_iterative(

@@ -2,16 +2,21 @@
 //!
 //! ```text
 //! vpga gen <alu|fpu|switch|firewire> [--size tiny|small|medium|paper] [-o design.v]
-//! vpga flow <design.v> [--arch granular|lut|homogeneous] [--no-compaction]
+//! vpga flow <design.v> [--arch granular|lut|homogeneous] [--no-compaction] [--stats]
+//! vpga matrix [--size tiny|small|medium|paper] [--jobs N] [--stats]
 //! vpga program <design.v> [--arch granular|lut] [-o design.fabric]
 //! vpga arch [granular|lut|homogeneous]
 //! ```
 //!
 //! `gen` writes a generated benchmark as structural Verilog over the
 //! generic library; `flow` runs the full Figure 6 flow (both variants) on a
-//! structural-Verilog design and prints the Table 1/2 metrics; `program`
+//! structural-Verilog design and prints the Table 1/2 metrics; `matrix`
+//! runs the paper's full 4 designs × 2 architectures evaluation across a
+//! worker pool (`--jobs 0` = all CPUs; results are bit-identical for any
+//! worker count) and prints Tables 1–2 plus the §3.2 claims; `program`
 //! additionally emits the via program of the packed array; `arch` prints an
-//! architecture summary.
+//! architecture summary. `--stats` adds the per-stage instrumentation
+//! (wall time, netlist sizes, cost movement, mover/acceptance counters).
 
 use std::error::Error;
 use std::fs;
@@ -19,6 +24,7 @@ use std::process::ExitCode;
 
 use vpga::core::PlbArchitecture;
 use vpga::designs::{DesignParams, NamedDesign};
+use vpga::flow::report::Matrix;
 use vpga::flow::{run_design, FlowConfig};
 use vpga::netlist::library::generic;
 use vpga::netlist::{io, Netlist};
@@ -43,6 +49,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
     match command.as_str() {
         "gen" => cmd_gen(rest),
         "flow" => cmd_flow(rest),
+        "matrix" => cmd_matrix(rest),
         "program" => cmd_program(rest),
         "arch" => cmd_arch(rest),
         "help" | "--help" | "-h" => {
@@ -58,11 +65,15 @@ fn print_usage() {
         "vpga — Via-Patterned Gate Array implementation flow\n\n\
          usage:\n\
          \x20 vpga gen <alu|fpu|switch|firewire> [--size S] [-o FILE]   generate a benchmark as Verilog\n\
-         \x20 vpga flow <design.v> [--arch A] [--no-compaction]         run flows a and b, print metrics\n\
+         \x20 vpga flow <design.v> [--arch A] [--no-compaction] [--stats]  run flows a and b, print metrics\n\
+         \x20 vpga matrix [--size S] [--jobs N] [--stats]               run the full 4×2 evaluation matrix\n\
          \x20 vpga program <design.v> [--arch A] [-o FILE]              emit the packed via program\n\
          \x20 vpga arch [A]                                             print architecture summaries\n\n\
          sizes S: tiny | small | medium | paper (default small)\n\
-         architectures A: granular | lut | homogeneous (default granular)"
+         architectures A: granular | lut | homogeneous (default granular)\n\
+         --jobs N: worker threads (0 = one per CPU; default 1) — results are\n\
+         \x20         bit-identical for any N\n\
+         --stats : print per-stage wall time, sizes, cost and move counters"
     );
 }
 
@@ -149,9 +160,15 @@ fn cmd_flow(args: &[String]) -> Result<(), Box<dyn Error>> {
         compaction: !args.iter().any(|a| a == "--no-compaction"),
         ..FlowConfig::default()
     };
-    eprintln!("running flows a and b on {:?} for {arch} ...", design.name());
+    eprintln!(
+        "running flows a and b on {:?} for {arch} ...",
+        design.name()
+    );
     let out = run_design(&design, &arch, &config)?;
-    println!("design          : {} ({:.0} NAND2-eq gates)", out.design, out.gates_nand2);
+    println!(
+        "design          : {} ({:.0} NAND2-eq gates)",
+        out.design, out.gates_nand2
+    );
     if let Some(c) = &out.compaction {
         println!(
             "compaction      : {} -> {} cells ({:+.1} % area)",
@@ -173,7 +190,51 @@ fn cmd_flow(args: &[String]) -> Result<(), Box<dyn Error>> {
         "power           : {:.3} mW (flow a) / {:.3} mW (flow b)",
         out.flow_a.power_mw, out.flow_b.power_mw
     );
-    println!("a→b overhead    : {:+.1} % area, {:.1} ps slack", 100.0 * out.area_overhead(), out.slack_degradation());
+    println!(
+        "a→b overhead    : {:+.1} % area, {:.1} ps slack",
+        100.0 * out.area_overhead(),
+        out.slack_degradation()
+    );
+    if args.iter().any(|a| a == "--stats") {
+        println!("\nPer-stage statistics");
+        println!("front-end");
+        print!(
+            "{}",
+            vpga::flow::stats::render_stages(&out.front_stages, "  ")
+        );
+        for result in [&out.flow_a, &out.flow_b] {
+            println!("{}", result.variant);
+            print!("{}", vpga::flow::stats::render_stages(&result.stages, "  "));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_matrix(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let params = parse_size(args)?;
+    let jobs: usize = match flag_value(args, "--jobs") {
+        Some(v) => v.parse().map_err(|_| format!("bad --jobs value {v:?}"))?,
+        None if args.iter().any(|a| a == "--jobs") => return Err("--jobs needs a value".into()),
+        None => 1,
+    };
+    let config = FlowConfig {
+        compaction: !args.iter().any(|a| a == "--no-compaction"),
+        ..FlowConfig::default()
+    };
+    eprintln!(
+        "running the 4 designs × 2 architectures matrix on {} worker(s) ...",
+        vpga::flow::Executor::new(jobs).workers()
+    );
+    let matrix = Matrix::run_parallel(&params, &config, jobs)?;
+    print!("{}", matrix.table1());
+    println!();
+    print!("{}", matrix.table2());
+    println!();
+    print!("{}", matrix.claims());
+    if args.iter().any(|a| a == "--stats") {
+        println!();
+        print!("{}", matrix.stats_report());
+    }
     Ok(())
 }
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_ff_ratio-2b7181996db00114.d: crates/bench/src/bin/ablate_ff_ratio.rs
+
+/root/repo/target/debug/deps/ablate_ff_ratio-2b7181996db00114: crates/bench/src/bin/ablate_ff_ratio.rs
+
+crates/bench/src/bin/ablate_ff_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_ff_ratio-501102d51499a533.d: crates/bench/src/bin/ablate_ff_ratio.rs
+
+/root/repo/target/debug/deps/ablate_ff_ratio-501102d51499a533: crates/bench/src/bin/ablate_ff_ratio.rs
+
+crates/bench/src/bin/ablate_ff_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_granularity-ab99c2a2eceef2f3.d: crates/bench/src/bin/ablate_granularity.rs
+
+/root/repo/target/debug/deps/ablate_granularity-ab99c2a2eceef2f3: crates/bench/src/bin/ablate_granularity.rs
+
+crates/bench/src/bin/ablate_granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_granularity-f199dab3ccf1a35c.d: crates/bench/src/bin/ablate_granularity.rs
+
+/root/repo/target/debug/deps/ablate_granularity-f199dab3ccf1a35c: crates/bench/src/bin/ablate_granularity.rs
+
+crates/bench/src/bin/ablate_granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_homogeneous-83f1bfcd044e529c.d: crates/bench/src/bin/ablate_homogeneous.rs
+
+/root/repo/target/debug/deps/ablate_homogeneous-83f1bfcd044e529c: crates/bench/src/bin/ablate_homogeneous.rs
+
+crates/bench/src/bin/ablate_homogeneous.rs:

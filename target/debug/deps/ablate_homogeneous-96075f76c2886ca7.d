@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_homogeneous-96075f76c2886ca7.d: crates/bench/src/bin/ablate_homogeneous.rs
+
+/root/repo/target/debug/deps/ablate_homogeneous-96075f76c2886ca7: crates/bench/src/bin/ablate_homogeneous.rs
+
+crates/bench/src/bin/ablate_homogeneous.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_iteration-8524cf511b88e4be.d: crates/bench/src/bin/ablate_iteration.rs
+
+/root/repo/target/debug/deps/ablate_iteration-8524cf511b88e4be: crates/bench/src/bin/ablate_iteration.rs
+
+crates/bench/src/bin/ablate_iteration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_iteration-ae4ceaa381307b3d.d: crates/bench/src/bin/ablate_iteration.rs
+
+/root/repo/target/debug/deps/ablate_iteration-ae4ceaa381307b3d: crates/bench/src/bin/ablate_iteration.rs
+
+crates/bench/src/bin/ablate_iteration.rs:

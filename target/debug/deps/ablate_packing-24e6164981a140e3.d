@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_packing-24e6164981a140e3.d: crates/bench/src/bin/ablate_packing.rs
+
+/root/repo/target/debug/deps/ablate_packing-24e6164981a140e3: crates/bench/src/bin/ablate_packing.rs
+
+crates/bench/src/bin/ablate_packing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_packing-9651d15840945b9c.d: crates/bench/src/bin/ablate_packing.rs
+
+/root/repo/target/debug/deps/ablate_packing-9651d15840945b9c: crates/bench/src/bin/ablate_packing.rs
+
+crates/bench/src/bin/ablate_packing.rs:

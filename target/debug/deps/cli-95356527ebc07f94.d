@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-95356527ebc07f94.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-95356527ebc07f94: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_vpga=/root/repo/target/debug/vpga

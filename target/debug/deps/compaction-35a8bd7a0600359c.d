@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compaction-35a8bd7a0600359c.d: crates/bench/src/bin/compaction.rs
+
+/root/repo/target/debug/deps/compaction-35a8bd7a0600359c: crates/bench/src/bin/compaction.rs
+
+crates/bench/src/bin/compaction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compaction-d6d6728de37f6823.d: crates/bench/src/bin/compaction.rs
+
+/root/repo/target/debug/deps/compaction-d6d6728de37f6823: crates/bench/src/bin/compaction.rs
+
+crates/bench/src/bin/compaction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-83f8b75e09753798.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-83f8b75e09753798: tests/determinism.rs
+
+tests/determinism.rs:

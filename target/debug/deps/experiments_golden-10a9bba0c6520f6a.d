@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_golden-10a9bba0c6520f6a.d: tests/experiments_golden.rs
+
+/root/repo/target/debug/deps/experiments_golden-10a9bba0c6520f6a: tests/experiments_golden.rs
+
+tests/experiments_golden.rs:

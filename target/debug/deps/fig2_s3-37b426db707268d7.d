@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_s3-37b426db707268d7.d: crates/bench/src/bin/fig2_s3.rs
+
+/root/repo/target/debug/deps/fig2_s3-37b426db707268d7: crates/bench/src/bin/fig2_s3.rs
+
+crates/bench/src/bin/fig2_s3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_s3-7eefebf4f5ba3a24.d: crates/bench/src/bin/fig2_s3.rs
+
+/root/repo/target/debug/deps/fig2_s3-7eefebf4f5ba3a24: crates/bench/src/bin/fig2_s3.rs
+
+crates/bench/src/bin/fig2_s3.rs:

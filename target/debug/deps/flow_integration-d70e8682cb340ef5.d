@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_integration-d70e8682cb340ef5.d: tests/flow_integration.rs
+
+/root/repo/target/debug/deps/flow_integration-d70e8682cb340ef5: tests/flow_integration.rs
+
+tests/flow_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_adder-231fc262b8a976e7.d: crates/bench/src/bin/full_adder.rs
+
+/root/repo/target/debug/deps/full_adder-231fc262b8a976e7: crates/bench/src/bin/full_adder.rs
+
+crates/bench/src/bin/full_adder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_adder-71f0e951e3e6aca7.d: crates/bench/src/bin/full_adder.rs
+
+/root/repo/target/debug/deps/full_adder-71f0e951e3e6aca7: crates/bench/src/bin/full_adder.rs
+
+crates/bench/src/bin/full_adder.rs:

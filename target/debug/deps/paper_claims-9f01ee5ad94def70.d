@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-9f01ee5ad94def70.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-9f01ee5ad94def70: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plb_area-38bd34b4a409fe97.d: crates/bench/src/bin/plb_area.rs
+
+/root/repo/target/debug/deps/plb_area-38bd34b4a409fe97: crates/bench/src/bin/plb_area.rs
+
+crates/bench/src/bin/plb_area.rs:

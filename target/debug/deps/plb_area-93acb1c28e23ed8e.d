@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plb_area-93acb1c28e23ed8e.d: crates/bench/src/bin/plb_area.rs
+
+/root/repo/target/debug/deps/plb_area-93acb1c28e23ed8e: crates/bench/src/bin/plb_area.rs
+
+crates/bench/src/bin/plb_area.rs:

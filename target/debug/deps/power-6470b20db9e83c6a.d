@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power-6470b20db9e83c6a.d: crates/bench/src/bin/power.rs
+
+/root/repo/target/debug/deps/power-6470b20db9e83c6a: crates/bench/src/bin/power.rs
+
+crates/bench/src/bin/power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power-fabb1d4e3eb79119.d: crates/bench/src/bin/power.rs
+
+/root/repo/target/debug/deps/power-fabb1d4e3eb79119: crates/bench/src/bin/power.rs
+
+crates/bench/src/bin/power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-8aa76fde69f123a4.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-8aa76fde69f123a4: tests/property_tests.rs
+
+tests/property_tests.rs:

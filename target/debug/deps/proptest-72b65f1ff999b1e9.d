@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-72b65f1ff999b1e9.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-72b65f1ff999b1e9.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-72b65f1ff999b1e9.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

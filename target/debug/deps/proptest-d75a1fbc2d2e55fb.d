@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-d75a1fbc2d2e55fb.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/proptest-d75a1fbc2d2e55fb: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

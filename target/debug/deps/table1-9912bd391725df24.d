@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-9912bd391725df24.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-9912bd391725df24: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f7dc767ea91da01a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f7dc767ea91da01a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

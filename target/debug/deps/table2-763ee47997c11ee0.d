@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-763ee47997c11ee0.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-763ee47997c11ee0: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

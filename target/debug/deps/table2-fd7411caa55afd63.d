@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-fd7411caa55afd63.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-fd7411caa55afd63: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/via_census-1d3e301a7dd7db9a.d: crates/bench/src/bin/via_census.rs
+
+/root/repo/target/debug/deps/via_census-1d3e301a7dd7db9a: crates/bench/src/bin/via_census.rs
+
+crates/bench/src/bin/via_census.rs:

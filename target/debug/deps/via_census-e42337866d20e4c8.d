@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/via_census-e42337866d20e4c8.d: crates/bench/src/bin/via_census.rs
+
+/root/repo/target/debug/deps/via_census-e42337866d20e4c8: crates/bench/src/bin/via_census.rs
+
+crates/bench/src/bin/via_census.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vpga-1098d6340a8875b5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libvpga-1098d6340a8875b5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libvpga-1098d6340a8875b5.rmeta: src/lib.rs
+
+src/lib.rs:

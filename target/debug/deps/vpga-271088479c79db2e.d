@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vpga-271088479c79db2e.d: src/bin/vpga.rs
+
+/root/repo/target/debug/deps/vpga-271088479c79db2e: src/bin/vpga.rs
+
+src/bin/vpga.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vpga-5fced2eaabc22cc4.d: src/lib.rs
+
+/root/repo/target/debug/deps/vpga-5fced2eaabc22cc4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vpga-cdf11b92a005c0a6.d: src/bin/vpga.rs
+
+/root/repo/target/debug/deps/vpga-cdf11b92a005c0a6: src/bin/vpga.rs
+
+src/bin/vpga.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vpga_bench-3a1a7f35ea5a51e3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libvpga_bench-3a1a7f35ea5a51e3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libvpga_bench-3a1a7f35ea5a51e3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vpga_bench-3c1a5293290b1cc2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/vpga_bench-3c1a5293290b1cc2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vpga_compact-a02e4485c61e81a5.d: crates/compact/src/lib.rs
+
+/root/repo/target/debug/deps/vpga_compact-a02e4485c61e81a5: crates/compact/src/lib.rs
+
+crates/compact/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vpga_compact-d7e087ad136eb231.d: crates/compact/src/lib.rs
+
+/root/repo/target/debug/deps/libvpga_compact-d7e087ad136eb231.rlib: crates/compact/src/lib.rs
+
+/root/repo/target/debug/deps/libvpga_compact-d7e087ad136eb231.rmeta: crates/compact/src/lib.rs
+
+crates/compact/src/lib.rs:

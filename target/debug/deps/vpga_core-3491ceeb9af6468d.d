@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vpga_core-3491ceeb9af6468d.d: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/matcher.rs crates/core/src/params.rs crates/core/src/plb.rs
+
+/root/repo/target/debug/deps/vpga_core-3491ceeb9af6468d: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/matcher.rs crates/core/src/params.rs crates/core/src/plb.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arch.rs:
+crates/core/src/config.rs:
+crates/core/src/matcher.rs:
+crates/core/src/params.rs:
+crates/core/src/plb.rs:

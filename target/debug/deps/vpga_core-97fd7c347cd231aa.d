@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vpga_core-97fd7c347cd231aa.d: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/matcher.rs crates/core/src/params.rs crates/core/src/plb.rs
+
+/root/repo/target/debug/deps/libvpga_core-97fd7c347cd231aa.rlib: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/matcher.rs crates/core/src/params.rs crates/core/src/plb.rs
+
+/root/repo/target/debug/deps/libvpga_core-97fd7c347cd231aa.rmeta: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/matcher.rs crates/core/src/params.rs crates/core/src/plb.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arch.rs:
+crates/core/src/config.rs:
+crates/core/src/matcher.rs:
+crates/core/src/params.rs:
+crates/core/src/plb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vpga_designs-1fc70aece3c4c1f8.d: crates/designs/src/lib.rs crates/designs/src/arith.rs crates/designs/src/blocks.rs crates/designs/src/designer.rs crates/designs/src/designs.rs
+
+/root/repo/target/debug/deps/vpga_designs-1fc70aece3c4c1f8: crates/designs/src/lib.rs crates/designs/src/arith.rs crates/designs/src/blocks.rs crates/designs/src/designer.rs crates/designs/src/designs.rs
+
+crates/designs/src/lib.rs:
+crates/designs/src/arith.rs:
+crates/designs/src/blocks.rs:
+crates/designs/src/designer.rs:
+crates/designs/src/designs.rs:

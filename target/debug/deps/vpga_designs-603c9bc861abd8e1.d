@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vpga_designs-603c9bc861abd8e1.d: crates/designs/src/lib.rs crates/designs/src/arith.rs crates/designs/src/blocks.rs crates/designs/src/designer.rs crates/designs/src/designs.rs
+
+/root/repo/target/debug/deps/libvpga_designs-603c9bc861abd8e1.rlib: crates/designs/src/lib.rs crates/designs/src/arith.rs crates/designs/src/blocks.rs crates/designs/src/designer.rs crates/designs/src/designs.rs
+
+/root/repo/target/debug/deps/libvpga_designs-603c9bc861abd8e1.rmeta: crates/designs/src/lib.rs crates/designs/src/arith.rs crates/designs/src/blocks.rs crates/designs/src/designer.rs crates/designs/src/designs.rs
+
+crates/designs/src/lib.rs:
+crates/designs/src/arith.rs:
+crates/designs/src/blocks.rs:
+crates/designs/src/designer.rs:
+crates/designs/src/designs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vpga_fabric-1c107177dd992e42.d: crates/fabric/src/lib.rs crates/fabric/src/program.rs crates/fabric/src/via.rs
+
+/root/repo/target/debug/deps/vpga_fabric-1c107177dd992e42: crates/fabric/src/lib.rs crates/fabric/src/program.rs crates/fabric/src/via.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/program.rs:
+crates/fabric/src/via.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vpga_fabric-2b4c750d2c39b39f.d: crates/fabric/src/lib.rs crates/fabric/src/program.rs crates/fabric/src/via.rs
+
+/root/repo/target/debug/deps/libvpga_fabric-2b4c750d2c39b39f.rlib: crates/fabric/src/lib.rs crates/fabric/src/program.rs crates/fabric/src/via.rs
+
+/root/repo/target/debug/deps/libvpga_fabric-2b4c750d2c39b39f.rmeta: crates/fabric/src/lib.rs crates/fabric/src/program.rs crates/fabric/src/via.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/program.rs:
+crates/fabric/src/via.rs:

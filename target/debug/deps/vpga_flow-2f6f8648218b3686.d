@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vpga_flow-2f6f8648218b3686.d: crates/flow/src/lib.rs crates/flow/src/exec.rs crates/flow/src/pipeline.rs crates/flow/src/report.rs crates/flow/src/stats.rs
+
+/root/repo/target/debug/deps/vpga_flow-2f6f8648218b3686: crates/flow/src/lib.rs crates/flow/src/exec.rs crates/flow/src/pipeline.rs crates/flow/src/report.rs crates/flow/src/stats.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/exec.rs:
+crates/flow/src/pipeline.rs:
+crates/flow/src/report.rs:
+crates/flow/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vpga_flow-e01f80c1a84bcdf4.d: crates/flow/src/lib.rs crates/flow/src/exec.rs crates/flow/src/pipeline.rs crates/flow/src/report.rs crates/flow/src/stats.rs
+
+/root/repo/target/debug/deps/libvpga_flow-e01f80c1a84bcdf4.rlib: crates/flow/src/lib.rs crates/flow/src/exec.rs crates/flow/src/pipeline.rs crates/flow/src/report.rs crates/flow/src/stats.rs
+
+/root/repo/target/debug/deps/libvpga_flow-e01f80c1a84bcdf4.rmeta: crates/flow/src/lib.rs crates/flow/src/exec.rs crates/flow/src/pipeline.rs crates/flow/src/report.rs crates/flow/src/stats.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/exec.rs:
+crates/flow/src/pipeline.rs:
+crates/flow/src/report.rs:
+crates/flow/src/stats.rs:

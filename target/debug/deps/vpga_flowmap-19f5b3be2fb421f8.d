@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vpga_flowmap-19f5b3be2fb421f8.d: crates/flowmap/src/lib.rs crates/flowmap/src/dag.rs crates/flowmap/src/flow.rs crates/flowmap/src/label.rs
+
+/root/repo/target/debug/deps/vpga_flowmap-19f5b3be2fb421f8: crates/flowmap/src/lib.rs crates/flowmap/src/dag.rs crates/flowmap/src/flow.rs crates/flowmap/src/label.rs
+
+crates/flowmap/src/lib.rs:
+crates/flowmap/src/dag.rs:
+crates/flowmap/src/flow.rs:
+crates/flowmap/src/label.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vpga_flowmap-5c189f765e82ebc9.d: crates/flowmap/src/lib.rs crates/flowmap/src/dag.rs crates/flowmap/src/flow.rs crates/flowmap/src/label.rs
+
+/root/repo/target/debug/deps/libvpga_flowmap-5c189f765e82ebc9.rlib: crates/flowmap/src/lib.rs crates/flowmap/src/dag.rs crates/flowmap/src/flow.rs crates/flowmap/src/label.rs
+
+/root/repo/target/debug/deps/libvpga_flowmap-5c189f765e82ebc9.rmeta: crates/flowmap/src/lib.rs crates/flowmap/src/dag.rs crates/flowmap/src/flow.rs crates/flowmap/src/label.rs
+
+crates/flowmap/src/lib.rs:
+crates/flowmap/src/dag.rs:
+crates/flowmap/src/flow.rs:
+crates/flowmap/src/label.rs:

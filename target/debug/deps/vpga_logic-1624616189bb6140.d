@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vpga_logic-1624616189bb6140.d: crates/logic/src/lib.rs crates/logic/src/adder.rs crates/logic/src/cells.rs crates/logic/src/error.rs crates/logic/src/lut.rs crates/logic/src/npn.rs crates/logic/src/s3.rs crates/logic/src/sets.rs crates/logic/src/tt.rs crates/logic/src/tt3.rs
+
+/root/repo/target/debug/deps/vpga_logic-1624616189bb6140: crates/logic/src/lib.rs crates/logic/src/adder.rs crates/logic/src/cells.rs crates/logic/src/error.rs crates/logic/src/lut.rs crates/logic/src/npn.rs crates/logic/src/s3.rs crates/logic/src/sets.rs crates/logic/src/tt.rs crates/logic/src/tt3.rs
+
+crates/logic/src/lib.rs:
+crates/logic/src/adder.rs:
+crates/logic/src/cells.rs:
+crates/logic/src/error.rs:
+crates/logic/src/lut.rs:
+crates/logic/src/npn.rs:
+crates/logic/src/s3.rs:
+crates/logic/src/sets.rs:
+crates/logic/src/tt.rs:
+crates/logic/src/tt3.rs:

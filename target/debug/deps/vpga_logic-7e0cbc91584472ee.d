@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/vpga_logic-7e0cbc91584472ee.d: crates/logic/src/lib.rs crates/logic/src/adder.rs crates/logic/src/cells.rs crates/logic/src/error.rs crates/logic/src/lut.rs crates/logic/src/npn.rs crates/logic/src/s3.rs crates/logic/src/sets.rs crates/logic/src/tt.rs crates/logic/src/tt3.rs
+
+/root/repo/target/debug/deps/libvpga_logic-7e0cbc91584472ee.rlib: crates/logic/src/lib.rs crates/logic/src/adder.rs crates/logic/src/cells.rs crates/logic/src/error.rs crates/logic/src/lut.rs crates/logic/src/npn.rs crates/logic/src/s3.rs crates/logic/src/sets.rs crates/logic/src/tt.rs crates/logic/src/tt3.rs
+
+/root/repo/target/debug/deps/libvpga_logic-7e0cbc91584472ee.rmeta: crates/logic/src/lib.rs crates/logic/src/adder.rs crates/logic/src/cells.rs crates/logic/src/error.rs crates/logic/src/lut.rs crates/logic/src/npn.rs crates/logic/src/s3.rs crates/logic/src/sets.rs crates/logic/src/tt.rs crates/logic/src/tt3.rs
+
+crates/logic/src/lib.rs:
+crates/logic/src/adder.rs:
+crates/logic/src/cells.rs:
+crates/logic/src/error.rs:
+crates/logic/src/lut.rs:
+crates/logic/src/npn.rs:
+crates/logic/src/s3.rs:
+crates/logic/src/sets.rs:
+crates/logic/src/tt.rs:
+crates/logic/src/tt3.rs:

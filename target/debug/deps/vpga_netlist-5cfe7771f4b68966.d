@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/vpga_netlist-5cfe7771f4b68966.d: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/ids.rs crates/netlist/src/io.rs crates/netlist/src/library.rs crates/netlist/src/netlist.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs
+
+/root/repo/target/debug/deps/libvpga_netlist-5cfe7771f4b68966.rlib: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/ids.rs crates/netlist/src/io.rs crates/netlist/src/library.rs crates/netlist/src/netlist.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs
+
+/root/repo/target/debug/deps/libvpga_netlist-5cfe7771f4b68966.rmeta: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/ids.rs crates/netlist/src/io.rs crates/netlist/src/library.rs crates/netlist/src/netlist.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/graph.rs:
+crates/netlist/src/ids.rs:
+crates/netlist/src/io.rs:
+crates/netlist/src/library.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vpga_pack-93c239aade709b7c.d: crates/pack/src/lib.rs crates/pack/src/array.rs crates/pack/src/quadrisect.rs crates/pack/src/swap.rs
+
+/root/repo/target/debug/deps/libvpga_pack-93c239aade709b7c.rlib: crates/pack/src/lib.rs crates/pack/src/array.rs crates/pack/src/quadrisect.rs crates/pack/src/swap.rs
+
+/root/repo/target/debug/deps/libvpga_pack-93c239aade709b7c.rmeta: crates/pack/src/lib.rs crates/pack/src/array.rs crates/pack/src/quadrisect.rs crates/pack/src/swap.rs
+
+crates/pack/src/lib.rs:
+crates/pack/src/array.rs:
+crates/pack/src/quadrisect.rs:
+crates/pack/src/swap.rs:

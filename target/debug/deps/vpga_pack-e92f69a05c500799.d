@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vpga_pack-e92f69a05c500799.d: crates/pack/src/lib.rs crates/pack/src/array.rs crates/pack/src/quadrisect.rs crates/pack/src/swap.rs
+
+/root/repo/target/debug/deps/vpga_pack-e92f69a05c500799: crates/pack/src/lib.rs crates/pack/src/array.rs crates/pack/src/quadrisect.rs crates/pack/src/swap.rs
+
+crates/pack/src/lib.rs:
+crates/pack/src/array.rs:
+crates/pack/src/quadrisect.rs:
+crates/pack/src/swap.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vpga_place-d4b6ff93edfbdae4.d: crates/place/src/lib.rs crates/place/src/anneal.rs crates/place/src/buffers.rs crates/place/src/grid.rs
+
+/root/repo/target/debug/deps/libvpga_place-d4b6ff93edfbdae4.rlib: crates/place/src/lib.rs crates/place/src/anneal.rs crates/place/src/buffers.rs crates/place/src/grid.rs
+
+/root/repo/target/debug/deps/libvpga_place-d4b6ff93edfbdae4.rmeta: crates/place/src/lib.rs crates/place/src/anneal.rs crates/place/src/buffers.rs crates/place/src/grid.rs
+
+crates/place/src/lib.rs:
+crates/place/src/anneal.rs:
+crates/place/src/buffers.rs:
+crates/place/src/grid.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vpga_place-da9ab6460bb9c436.d: crates/place/src/lib.rs crates/place/src/anneal.rs crates/place/src/buffers.rs crates/place/src/grid.rs
+
+/root/repo/target/debug/deps/vpga_place-da9ab6460bb9c436: crates/place/src/lib.rs crates/place/src/anneal.rs crates/place/src/buffers.rs crates/place/src/grid.rs
+
+crates/place/src/lib.rs:
+crates/place/src/anneal.rs:
+crates/place/src/buffers.rs:
+crates/place/src/grid.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vpga_route-161ebaacbe395dfb.d: crates/route/src/lib.rs
+
+/root/repo/target/debug/deps/libvpga_route-161ebaacbe395dfb.rlib: crates/route/src/lib.rs
+
+/root/repo/target/debug/deps/libvpga_route-161ebaacbe395dfb.rmeta: crates/route/src/lib.rs
+
+crates/route/src/lib.rs:

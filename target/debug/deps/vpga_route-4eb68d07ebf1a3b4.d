@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vpga_route-4eb68d07ebf1a3b4.d: crates/route/src/lib.rs
+
+/root/repo/target/debug/deps/vpga_route-4eb68d07ebf1a3b4: crates/route/src/lib.rs
+
+crates/route/src/lib.rs:

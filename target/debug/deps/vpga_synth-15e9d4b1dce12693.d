@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vpga_synth-15e9d4b1dce12693.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/error.rs crates/synth/src/map.rs crates/synth/src/rewrite.rs
+
+/root/repo/target/debug/deps/libvpga_synth-15e9d4b1dce12693.rlib: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/error.rs crates/synth/src/map.rs crates/synth/src/rewrite.rs
+
+/root/repo/target/debug/deps/libvpga_synth-15e9d4b1dce12693.rmeta: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/error.rs crates/synth/src/map.rs crates/synth/src/rewrite.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/cuts.rs:
+crates/synth/src/error.rs:
+crates/synth/src/map.rs:
+crates/synth/src/rewrite.rs:

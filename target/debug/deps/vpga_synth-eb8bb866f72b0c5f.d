@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vpga_synth-eb8bb866f72b0c5f.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/error.rs crates/synth/src/map.rs crates/synth/src/rewrite.rs
+
+/root/repo/target/debug/deps/vpga_synth-eb8bb866f72b0c5f: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/error.rs crates/synth/src/map.rs crates/synth/src/rewrite.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/cuts.rs:
+crates/synth/src/error.rs:
+crates/synth/src/map.rs:
+crates/synth/src/rewrite.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/vpga_timing-ba6e0101a226f3ca.d: crates/timing/src/lib.rs crates/timing/src/power.rs
+
+/root/repo/target/debug/deps/vpga_timing-ba6e0101a226f3ca: crates/timing/src/lib.rs crates/timing/src/power.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/power.rs:

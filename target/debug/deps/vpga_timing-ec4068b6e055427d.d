@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vpga_timing-ec4068b6e055427d.d: crates/timing/src/lib.rs crates/timing/src/power.rs
+
+/root/repo/target/debug/deps/libvpga_timing-ec4068b6e055427d.rlib: crates/timing/src/lib.rs crates/timing/src/power.rs
+
+/root/repo/target/debug/deps/libvpga_timing-ec4068b6e055427d.rmeta: crates/timing/src/lib.rs crates/timing/src/power.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/power.rs:

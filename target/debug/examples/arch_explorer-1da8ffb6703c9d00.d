@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/arch_explorer-1da8ffb6703c9d00.d: examples/arch_explorer.rs
+
+/root/repo/target/debug/examples/arch_explorer-1da8ffb6703c9d00: examples/arch_explorer.rs
+
+examples/arch_explorer.rs:

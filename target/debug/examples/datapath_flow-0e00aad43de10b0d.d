@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datapath_flow-0e00aad43de10b0d.d: examples/datapath_flow.rs
+
+/root/repo/target/debug/examples/datapath_flow-0e00aad43de10b0d: examples/datapath_flow.rs
+
+examples/datapath_flow.rs:

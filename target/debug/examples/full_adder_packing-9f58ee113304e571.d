@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_adder_packing-9f58ee113304e571.d: examples/full_adder_packing.rs
+
+/root/repo/target/debug/examples/full_adder_packing-9f58ee113304e571: examples/full_adder_packing.rs
+
+examples/full_adder_packing.rs:

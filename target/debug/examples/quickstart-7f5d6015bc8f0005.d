@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7f5d6015bc8f0005.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7f5d6015bc8f0005: examples/quickstart.rs
+
+examples/quickstart.rs:

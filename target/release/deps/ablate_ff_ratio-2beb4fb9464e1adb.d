@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_ff_ratio-2beb4fb9464e1adb.d: crates/bench/src/bin/ablate_ff_ratio.rs
+
+/root/repo/target/release/deps/ablate_ff_ratio-2beb4fb9464e1adb: crates/bench/src/bin/ablate_ff_ratio.rs
+
+crates/bench/src/bin/ablate_ff_ratio.rs:

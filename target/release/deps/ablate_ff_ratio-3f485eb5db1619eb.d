@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_ff_ratio-3f485eb5db1619eb.d: crates/bench/src/bin/ablate_ff_ratio.rs
+
+/root/repo/target/release/deps/ablate_ff_ratio-3f485eb5db1619eb: crates/bench/src/bin/ablate_ff_ratio.rs
+
+crates/bench/src/bin/ablate_ff_ratio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_ff_ratio-8e2faa18f7dec29d.d: crates/bench/src/bin/ablate_ff_ratio.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_ff_ratio-8e2faa18f7dec29d.rmeta: crates/bench/src/bin/ablate_ff_ratio.rs Cargo.toml
+
+crates/bench/src/bin/ablate_ff_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_granularity-5dd9a58a610c7dd8.d: crates/bench/src/bin/ablate_granularity.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_granularity-5dd9a58a610c7dd8.rmeta: crates/bench/src/bin/ablate_granularity.rs Cargo.toml
+
+crates/bench/src/bin/ablate_granularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_granularity-ac12bc454defef45.d: crates/bench/src/bin/ablate_granularity.rs
+
+/root/repo/target/release/deps/ablate_granularity-ac12bc454defef45: crates/bench/src/bin/ablate_granularity.rs
+
+crates/bench/src/bin/ablate_granularity.rs:

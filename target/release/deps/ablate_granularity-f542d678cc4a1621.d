@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_granularity-f542d678cc4a1621.d: crates/bench/src/bin/ablate_granularity.rs
+
+/root/repo/target/release/deps/ablate_granularity-f542d678cc4a1621: crates/bench/src/bin/ablate_granularity.rs
+
+crates/bench/src/bin/ablate_granularity.rs:

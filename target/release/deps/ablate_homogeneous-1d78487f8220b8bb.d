@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_homogeneous-1d78487f8220b8bb.d: crates/bench/src/bin/ablate_homogeneous.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_homogeneous-1d78487f8220b8bb.rmeta: crates/bench/src/bin/ablate_homogeneous.rs Cargo.toml
+
+crates/bench/src/bin/ablate_homogeneous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

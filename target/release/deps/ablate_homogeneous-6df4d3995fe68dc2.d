@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_homogeneous-6df4d3995fe68dc2.d: crates/bench/src/bin/ablate_homogeneous.rs
+
+/root/repo/target/release/deps/ablate_homogeneous-6df4d3995fe68dc2: crates/bench/src/bin/ablate_homogeneous.rs
+
+crates/bench/src/bin/ablate_homogeneous.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_homogeneous-906d28a8e7adbbcf.d: crates/bench/src/bin/ablate_homogeneous.rs
+
+/root/repo/target/release/deps/ablate_homogeneous-906d28a8e7adbbcf: crates/bench/src/bin/ablate_homogeneous.rs
+
+crates/bench/src/bin/ablate_homogeneous.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_homogeneous-fd60dc8396b8f765.d: crates/bench/src/bin/ablate_homogeneous.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_homogeneous-fd60dc8396b8f765.rmeta: crates/bench/src/bin/ablate_homogeneous.rs Cargo.toml
+
+crates/bench/src/bin/ablate_homogeneous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_iteration-0bfb858197852e52.d: crates/bench/src/bin/ablate_iteration.rs
+
+/root/repo/target/release/deps/ablate_iteration-0bfb858197852e52: crates/bench/src/bin/ablate_iteration.rs
+
+crates/bench/src/bin/ablate_iteration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_iteration-3eb4f592b53358bf.d: crates/bench/src/bin/ablate_iteration.rs
+
+/root/repo/target/release/deps/ablate_iteration-3eb4f592b53358bf: crates/bench/src/bin/ablate_iteration.rs
+
+crates/bench/src/bin/ablate_iteration.rs:

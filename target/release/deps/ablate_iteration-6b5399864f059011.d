@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_iteration-6b5399864f059011.d: crates/bench/src/bin/ablate_iteration.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_iteration-6b5399864f059011.rmeta: crates/bench/src/bin/ablate_iteration.rs Cargo.toml
+
+crates/bench/src/bin/ablate_iteration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

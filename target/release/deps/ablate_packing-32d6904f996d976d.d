@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_packing-32d6904f996d976d.d: crates/bench/src/bin/ablate_packing.rs
+
+/root/repo/target/release/deps/ablate_packing-32d6904f996d976d: crates/bench/src/bin/ablate_packing.rs
+
+crates/bench/src/bin/ablate_packing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_packing-89a4b3af43be9ab3.d: crates/bench/src/bin/ablate_packing.rs
+
+/root/repo/target/release/deps/ablate_packing-89a4b3af43be9ab3: crates/bench/src/bin/ablate_packing.rs
+
+crates/bench/src/bin/ablate_packing.rs:

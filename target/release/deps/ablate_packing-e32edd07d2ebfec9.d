@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_packing-e32edd07d2ebfec9.d: crates/bench/src/bin/ablate_packing.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_packing-e32edd07d2ebfec9.rmeta: crates/bench/src/bin/ablate_packing.rs Cargo.toml
+
+crates/bench/src/bin/ablate_packing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablate_packing-fa9137a6fe9d2316.d: crates/bench/src/bin/ablate_packing.rs Cargo.toml
+
+/root/repo/target/release/deps/libablate_packing-fa9137a6fe9d2316.rmeta: crates/bench/src/bin/ablate_packing.rs Cargo.toml
+
+crates/bench/src/bin/ablate_packing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cad_bench-6ea6aa2748531b03.d: crates/bench/benches/cad_bench.rs
+
+/root/repo/target/release/deps/cad_bench-6ea6aa2748531b03: crates/bench/benches/cad_bench.rs
+
+crates/bench/benches/cad_bench.rs:

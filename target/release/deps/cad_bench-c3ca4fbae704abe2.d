@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cad_bench-c3ca4fbae704abe2.d: crates/bench/benches/cad_bench.rs Cargo.toml
+
+/root/repo/target/release/deps/libcad_bench-c3ca4fbae704abe2.rmeta: crates/bench/benches/cad_bench.rs Cargo.toml
+
+crates/bench/benches/cad_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

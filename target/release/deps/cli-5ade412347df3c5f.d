@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-5ade412347df3c5f.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-5ade412347df3c5f: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_vpga=/root/repo/target/release/vpga

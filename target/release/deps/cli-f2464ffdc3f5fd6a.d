@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cli-f2464ffdc3f5fd6a.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libcli-f2464ffdc3f5fd6a.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_vpga=placeholder:vpga
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

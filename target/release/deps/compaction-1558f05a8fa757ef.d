@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/compaction-1558f05a8fa757ef.d: crates/bench/src/bin/compaction.rs Cargo.toml
+
+/root/repo/target/release/deps/libcompaction-1558f05a8fa757ef.rmeta: crates/bench/src/bin/compaction.rs Cargo.toml
+
+crates/bench/src/bin/compaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compaction-4b4516e11dbfa43f.d: crates/bench/src/bin/compaction.rs
+
+/root/repo/target/release/deps/compaction-4b4516e11dbfa43f: crates/bench/src/bin/compaction.rs
+
+crates/bench/src/bin/compaction.rs:

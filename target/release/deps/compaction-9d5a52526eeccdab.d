@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compaction-9d5a52526eeccdab.d: crates/bench/src/bin/compaction.rs
+
+/root/repo/target/release/deps/compaction-9d5a52526eeccdab: crates/bench/src/bin/compaction.rs
+
+crates/bench/src/bin/compaction.rs:

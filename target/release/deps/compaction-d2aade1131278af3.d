@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/compaction-d2aade1131278af3.d: crates/bench/src/bin/compaction.rs Cargo.toml
+
+/root/repo/target/release/deps/libcompaction-d2aade1131278af3.rmeta: crates/bench/src/bin/compaction.rs Cargo.toml
+
+crates/bench/src/bin/compaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

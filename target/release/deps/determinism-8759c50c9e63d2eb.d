@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-8759c50c9e63d2eb.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-8759c50c9e63d2eb: tests/determinism.rs
+
+tests/determinism.rs:

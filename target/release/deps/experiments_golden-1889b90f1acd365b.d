@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments_golden-1889b90f1acd365b.d: tests/experiments_golden.rs
+
+/root/repo/target/release/deps/experiments_golden-1889b90f1acd365b: tests/experiments_golden.rs
+
+tests/experiments_golden.rs:

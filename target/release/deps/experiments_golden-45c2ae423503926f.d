@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiments_golden-45c2ae423503926f.d: tests/experiments_golden.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments_golden-45c2ae423503926f.rmeta: tests/experiments_golden.rs Cargo.toml
+
+tests/experiments_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

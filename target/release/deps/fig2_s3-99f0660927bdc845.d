@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_s3-99f0660927bdc845.d: crates/bench/src/bin/fig2_s3.rs
+
+/root/repo/target/release/deps/fig2_s3-99f0660927bdc845: crates/bench/src/bin/fig2_s3.rs
+
+crates/bench/src/bin/fig2_s3.rs:

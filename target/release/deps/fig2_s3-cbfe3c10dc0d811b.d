@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig2_s3-cbfe3c10dc0d811b.d: crates/bench/src/bin/fig2_s3.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig2_s3-cbfe3c10dc0d811b.rmeta: crates/bench/src/bin/fig2_s3.rs Cargo.toml
+
+crates/bench/src/bin/fig2_s3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

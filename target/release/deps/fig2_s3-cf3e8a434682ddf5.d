@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_s3-cf3e8a434682ddf5.d: crates/bench/src/bin/fig2_s3.rs
+
+/root/repo/target/release/deps/fig2_s3-cf3e8a434682ddf5: crates/bench/src/bin/fig2_s3.rs
+
+crates/bench/src/bin/fig2_s3.rs:

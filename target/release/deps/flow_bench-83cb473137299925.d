@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flow_bench-83cb473137299925.d: crates/bench/benches/flow_bench.rs
+
+/root/repo/target/release/deps/flow_bench-83cb473137299925: crates/bench/benches/flow_bench.rs
+
+crates/bench/benches/flow_bench.rs:

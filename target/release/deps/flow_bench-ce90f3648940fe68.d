@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flow_bench-ce90f3648940fe68.d: crates/bench/benches/flow_bench.rs Cargo.toml
+
+/root/repo/target/release/deps/libflow_bench-ce90f3648940fe68.rmeta: crates/bench/benches/flow_bench.rs Cargo.toml
+
+crates/bench/benches/flow_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

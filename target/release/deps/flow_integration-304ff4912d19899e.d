@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flow_integration-304ff4912d19899e.d: tests/flow_integration.rs
+
+/root/repo/target/release/deps/flow_integration-304ff4912d19899e: tests/flow_integration.rs
+
+tests/flow_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flow_integration-5719595c44264d5d.d: tests/flow_integration.rs Cargo.toml
+
+/root/repo/target/release/deps/libflow_integration-5719595c44264d5d.rmeta: tests/flow_integration.rs Cargo.toml
+
+tests/flow_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_adder-8b0714ef918dcd00.d: crates/bench/src/bin/full_adder.rs
+
+/root/repo/target/release/deps/full_adder-8b0714ef918dcd00: crates/bench/src/bin/full_adder.rs
+
+crates/bench/src/bin/full_adder.rs:

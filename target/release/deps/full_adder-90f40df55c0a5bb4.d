@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_adder-90f40df55c0a5bb4.d: crates/bench/src/bin/full_adder.rs
+
+/root/repo/target/release/deps/full_adder-90f40df55c0a5bb4: crates/bench/src/bin/full_adder.rs
+
+crates/bench/src/bin/full_adder.rs:

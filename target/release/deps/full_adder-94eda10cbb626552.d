@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/full_adder-94eda10cbb626552.d: crates/bench/src/bin/full_adder.rs Cargo.toml
+
+/root/repo/target/release/deps/libfull_adder-94eda10cbb626552.rmeta: crates/bench/src/bin/full_adder.rs Cargo.toml
+
+crates/bench/src/bin/full_adder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kernel_bench-58ac5929e61b7adb.d: crates/bench/benches/kernel_bench.rs Cargo.toml
+
+/root/repo/target/release/deps/libkernel_bench-58ac5929e61b7adb.rmeta: crates/bench/benches/kernel_bench.rs Cargo.toml
+
+crates/bench/benches/kernel_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

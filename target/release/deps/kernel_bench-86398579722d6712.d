@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_bench-86398579722d6712.d: crates/bench/benches/kernel_bench.rs
+
+/root/repo/target/release/deps/kernel_bench-86398579722d6712: crates/bench/benches/kernel_bench.rs
+
+crates/bench/benches/kernel_bench.rs:

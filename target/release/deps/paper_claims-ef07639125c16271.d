@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-ef07639125c16271.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-ef07639125c16271: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plb_area-4c95fc2e82333730.d: crates/bench/src/bin/plb_area.rs
+
+/root/repo/target/release/deps/plb_area-4c95fc2e82333730: crates/bench/src/bin/plb_area.rs
+
+crates/bench/src/bin/plb_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plb_area-a6b65594f9d678bb.d: crates/bench/src/bin/plb_area.rs
+
+/root/repo/target/release/deps/plb_area-a6b65594f9d678bb: crates/bench/src/bin/plb_area.rs
+
+crates/bench/src/bin/plb_area.rs:

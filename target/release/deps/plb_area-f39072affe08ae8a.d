@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/plb_area-f39072affe08ae8a.d: crates/bench/src/bin/plb_area.rs Cargo.toml
+
+/root/repo/target/release/deps/libplb_area-f39072affe08ae8a.rmeta: crates/bench/src/bin/plb_area.rs Cargo.toml
+
+crates/bench/src/bin/plb_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/power-08d1766d6f399b17.d: crates/bench/src/bin/power.rs
+
+/root/repo/target/release/deps/power-08d1766d6f399b17: crates/bench/src/bin/power.rs
+
+crates/bench/src/bin/power.rs:

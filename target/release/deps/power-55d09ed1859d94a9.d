@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/power-55d09ed1859d94a9.d: crates/bench/src/bin/power.rs Cargo.toml
+
+/root/repo/target/release/deps/libpower-55d09ed1859d94a9.rmeta: crates/bench/src/bin/power.rs Cargo.toml
+
+crates/bench/src/bin/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/power-585804b7f2a6a1ad.d: crates/bench/src/bin/power.rs Cargo.toml
+
+/root/repo/target/release/deps/libpower-585804b7f2a6a1ad.rmeta: crates/bench/src/bin/power.rs Cargo.toml
+
+crates/bench/src/bin/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/power-f98f755e6d5c5a83.d: crates/bench/src/bin/power.rs
+
+/root/repo/target/release/deps/power-f98f755e6d5c5a83: crates/bench/src/bin/power.rs
+
+crates/bench/src/bin/power.rs:

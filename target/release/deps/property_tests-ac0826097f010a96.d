@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/property_tests-ac0826097f010a96.d: tests/property_tests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperty_tests-ac0826097f010a96.rmeta: tests/property_tests.rs Cargo.toml
+
+tests/property_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

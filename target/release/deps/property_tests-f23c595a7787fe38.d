@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_tests-f23c595a7787fe38.d: tests/property_tests.rs
+
+/root/repo/target/release/deps/property_tests-f23c595a7787fe38: tests/property_tests.rs
+
+tests/property_tests.rs:

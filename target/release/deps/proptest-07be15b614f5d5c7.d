@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/proptest-07be15b614f5d5c7.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-07be15b614f5d5c7.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/proptest-69707b1101e9bd94.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/proptest-69707b1101e9bd94: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

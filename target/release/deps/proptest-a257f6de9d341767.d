@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/proptest-a257f6de9d341767.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-a257f6de9d341767.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-a257f6de9d341767.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

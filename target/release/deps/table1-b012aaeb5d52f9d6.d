@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-b012aaeb5d52f9d6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-b012aaeb5d52f9d6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

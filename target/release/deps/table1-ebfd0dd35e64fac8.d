@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-ebfd0dd35e64fac8.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-ebfd0dd35e64fac8: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

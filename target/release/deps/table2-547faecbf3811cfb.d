@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-547faecbf3811cfb.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-547faecbf3811cfb: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

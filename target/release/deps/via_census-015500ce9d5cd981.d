@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/via_census-015500ce9d5cd981.d: crates/bench/src/bin/via_census.rs
+
+/root/repo/target/release/deps/via_census-015500ce9d5cd981: crates/bench/src/bin/via_census.rs
+
+crates/bench/src/bin/via_census.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/via_census-093e2bdcaa0f96ae.d: crates/bench/src/bin/via_census.rs Cargo.toml
+
+/root/repo/target/release/deps/libvia_census-093e2bdcaa0f96ae.rmeta: crates/bench/src/bin/via_census.rs Cargo.toml
+
+crates/bench/src/bin/via_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

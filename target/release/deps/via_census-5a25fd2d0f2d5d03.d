@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/via_census-5a25fd2d0f2d5d03.d: crates/bench/src/bin/via_census.rs Cargo.toml
+
+/root/repo/target/release/deps/libvia_census-5a25fd2d0f2d5d03.rmeta: crates/bench/src/bin/via_census.rs Cargo.toml
+
+crates/bench/src/bin/via_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/via_census-e0f0538c7d76576e.d: crates/bench/src/bin/via_census.rs
+
+/root/repo/target/release/deps/via_census-e0f0538c7d76576e: crates/bench/src/bin/via_census.rs
+
+crates/bench/src/bin/via_census.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vpga-109347171f8a0630.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga-109347171f8a0630.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vpga-3978f6ab2a062b18.d: src/bin/vpga.rs
+
+/root/repo/target/release/deps/vpga-3978f6ab2a062b18: src/bin/vpga.rs
+
+src/bin/vpga.rs:

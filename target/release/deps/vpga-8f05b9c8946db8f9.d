@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vpga-8f05b9c8946db8f9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga-8f05b9c8946db8f9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

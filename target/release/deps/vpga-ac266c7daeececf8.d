@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vpga-ac266c7daeececf8.d: src/bin/vpga.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga-ac266c7daeececf8.rmeta: src/bin/vpga.rs Cargo.toml
+
+src/bin/vpga.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

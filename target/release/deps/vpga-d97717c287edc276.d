@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vpga-d97717c287edc276.d: src/bin/vpga.rs
+
+/root/repo/target/release/deps/vpga-d97717c287edc276: src/bin/vpga.rs
+
+src/bin/vpga.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vpga-ee1207a47f0a310c.d: src/lib.rs
+
+/root/repo/target/release/deps/libvpga-ee1207a47f0a310c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libvpga-ee1207a47f0a310c.rmeta: src/lib.rs
+
+src/lib.rs:

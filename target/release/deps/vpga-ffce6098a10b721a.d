@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vpga-ffce6098a10b721a.d: src/lib.rs
+
+/root/repo/target/release/deps/vpga-ffce6098a10b721a: src/lib.rs
+
+src/lib.rs:

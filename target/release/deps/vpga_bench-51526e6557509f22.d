@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vpga_bench-51526e6557509f22.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_bench-51526e6557509f22.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vpga_bench-534fe0b462ae9cb1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/vpga_bench-534fe0b462ae9cb1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vpga_bench-ebee13a4cbf06879.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libvpga_bench-ebee13a4cbf06879.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libvpga_bench-ebee13a4cbf06879.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

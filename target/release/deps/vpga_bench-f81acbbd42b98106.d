@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vpga_bench-f81acbbd42b98106.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_bench-f81acbbd42b98106.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

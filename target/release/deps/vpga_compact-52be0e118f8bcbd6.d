@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vpga_compact-52be0e118f8bcbd6.d: crates/compact/src/lib.rs
+
+/root/repo/target/release/deps/libvpga_compact-52be0e118f8bcbd6.rlib: crates/compact/src/lib.rs
+
+/root/repo/target/release/deps/libvpga_compact-52be0e118f8bcbd6.rmeta: crates/compact/src/lib.rs
+
+crates/compact/src/lib.rs:

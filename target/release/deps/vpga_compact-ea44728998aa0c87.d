@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vpga_compact-ea44728998aa0c87.d: crates/compact/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_compact-ea44728998aa0c87.rmeta: crates/compact/src/lib.rs Cargo.toml
+
+crates/compact/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vpga_compact-f7255cad640499ca.d: crates/compact/src/lib.rs
+
+/root/repo/target/release/deps/vpga_compact-f7255cad640499ca: crates/compact/src/lib.rs
+
+crates/compact/src/lib.rs:

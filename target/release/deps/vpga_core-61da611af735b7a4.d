@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vpga_core-61da611af735b7a4.d: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/matcher.rs crates/core/src/params.rs crates/core/src/plb.rs
+
+/root/repo/target/release/deps/vpga_core-61da611af735b7a4: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/matcher.rs crates/core/src/params.rs crates/core/src/plb.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arch.rs:
+crates/core/src/config.rs:
+crates/core/src/matcher.rs:
+crates/core/src/params.rs:
+crates/core/src/plb.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/vpga_core-cc5b83e9ac47c4df.d: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/matcher.rs crates/core/src/params.rs crates/core/src/plb.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_core-cc5b83e9ac47c4df.rmeta: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/matcher.rs crates/core/src/params.rs crates/core/src/plb.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/arch.rs:
+crates/core/src/config.rs:
+crates/core/src/matcher.rs:
+crates/core/src/params.rs:
+crates/core/src/plb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vpga_core-ea324dc4c5295bbc.d: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/matcher.rs crates/core/src/params.rs crates/core/src/plb.rs
+
+/root/repo/target/release/deps/libvpga_core-ea324dc4c5295bbc.rlib: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/matcher.rs crates/core/src/params.rs crates/core/src/plb.rs
+
+/root/repo/target/release/deps/libvpga_core-ea324dc4c5295bbc.rmeta: crates/core/src/lib.rs crates/core/src/arch.rs crates/core/src/config.rs crates/core/src/matcher.rs crates/core/src/params.rs crates/core/src/plb.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arch.rs:
+crates/core/src/config.rs:
+crates/core/src/matcher.rs:
+crates/core/src/params.rs:
+crates/core/src/plb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vpga_designs-4f4a74b3dc382c53.d: crates/designs/src/lib.rs crates/designs/src/arith.rs crates/designs/src/blocks.rs crates/designs/src/designer.rs crates/designs/src/designs.rs
+
+/root/repo/target/release/deps/vpga_designs-4f4a74b3dc382c53: crates/designs/src/lib.rs crates/designs/src/arith.rs crates/designs/src/blocks.rs crates/designs/src/designer.rs crates/designs/src/designs.rs
+
+crates/designs/src/lib.rs:
+crates/designs/src/arith.rs:
+crates/designs/src/blocks.rs:
+crates/designs/src/designer.rs:
+crates/designs/src/designs.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/vpga_designs-a686932e22e0b704.d: crates/designs/src/lib.rs crates/designs/src/arith.rs crates/designs/src/blocks.rs crates/designs/src/designer.rs crates/designs/src/designs.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_designs-a686932e22e0b704.rmeta: crates/designs/src/lib.rs crates/designs/src/arith.rs crates/designs/src/blocks.rs crates/designs/src/designer.rs crates/designs/src/designs.rs Cargo.toml
+
+crates/designs/src/lib.rs:
+crates/designs/src/arith.rs:
+crates/designs/src/blocks.rs:
+crates/designs/src/designer.rs:
+crates/designs/src/designs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

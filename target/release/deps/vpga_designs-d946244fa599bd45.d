@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vpga_designs-d946244fa599bd45.d: crates/designs/src/lib.rs crates/designs/src/arith.rs crates/designs/src/blocks.rs crates/designs/src/designer.rs crates/designs/src/designs.rs
+
+/root/repo/target/release/deps/libvpga_designs-d946244fa599bd45.rlib: crates/designs/src/lib.rs crates/designs/src/arith.rs crates/designs/src/blocks.rs crates/designs/src/designer.rs crates/designs/src/designs.rs
+
+/root/repo/target/release/deps/libvpga_designs-d946244fa599bd45.rmeta: crates/designs/src/lib.rs crates/designs/src/arith.rs crates/designs/src/blocks.rs crates/designs/src/designer.rs crates/designs/src/designs.rs
+
+crates/designs/src/lib.rs:
+crates/designs/src/arith.rs:
+crates/designs/src/blocks.rs:
+crates/designs/src/designer.rs:
+crates/designs/src/designs.rs:

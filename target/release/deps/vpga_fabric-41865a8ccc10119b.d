@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vpga_fabric-41865a8ccc10119b.d: crates/fabric/src/lib.rs crates/fabric/src/program.rs crates/fabric/src/via.rs
+
+/root/repo/target/release/deps/libvpga_fabric-41865a8ccc10119b.rlib: crates/fabric/src/lib.rs crates/fabric/src/program.rs crates/fabric/src/via.rs
+
+/root/repo/target/release/deps/libvpga_fabric-41865a8ccc10119b.rmeta: crates/fabric/src/lib.rs crates/fabric/src/program.rs crates/fabric/src/via.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/program.rs:
+crates/fabric/src/via.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vpga_fabric-d181260e68b9b88f.d: crates/fabric/src/lib.rs crates/fabric/src/program.rs crates/fabric/src/via.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_fabric-d181260e68b9b88f.rmeta: crates/fabric/src/lib.rs crates/fabric/src/program.rs crates/fabric/src/via.rs Cargo.toml
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/program.rs:
+crates/fabric/src/via.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vpga_fabric-fd5d526aa0743479.d: crates/fabric/src/lib.rs crates/fabric/src/program.rs crates/fabric/src/via.rs
+
+/root/repo/target/release/deps/vpga_fabric-fd5d526aa0743479: crates/fabric/src/lib.rs crates/fabric/src/program.rs crates/fabric/src/via.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/program.rs:
+crates/fabric/src/via.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vpga_flow-097aaffd697c6f45.d: crates/flow/src/lib.rs crates/flow/src/exec.rs crates/flow/src/pipeline.rs crates/flow/src/report.rs crates/flow/src/stats.rs
+
+/root/repo/target/release/deps/vpga_flow-097aaffd697c6f45: crates/flow/src/lib.rs crates/flow/src/exec.rs crates/flow/src/pipeline.rs crates/flow/src/report.rs crates/flow/src/stats.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/exec.rs:
+crates/flow/src/pipeline.rs:
+crates/flow/src/report.rs:
+crates/flow/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vpga_flow-3074cd06c5cefe26.d: crates/flow/src/lib.rs crates/flow/src/exec.rs crates/flow/src/pipeline.rs crates/flow/src/report.rs crates/flow/src/stats.rs
+
+/root/repo/target/release/deps/libvpga_flow-3074cd06c5cefe26.rlib: crates/flow/src/lib.rs crates/flow/src/exec.rs crates/flow/src/pipeline.rs crates/flow/src/report.rs crates/flow/src/stats.rs
+
+/root/repo/target/release/deps/libvpga_flow-3074cd06c5cefe26.rmeta: crates/flow/src/lib.rs crates/flow/src/exec.rs crates/flow/src/pipeline.rs crates/flow/src/report.rs crates/flow/src/stats.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/exec.rs:
+crates/flow/src/pipeline.rs:
+crates/flow/src/report.rs:
+crates/flow/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/vpga_flow-4c593fdd82dc4210.d: crates/flow/src/lib.rs crates/flow/src/exec.rs crates/flow/src/pipeline.rs crates/flow/src/report.rs crates/flow/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_flow-4c593fdd82dc4210.rmeta: crates/flow/src/lib.rs crates/flow/src/exec.rs crates/flow/src/pipeline.rs crates/flow/src/report.rs crates/flow/src/stats.rs Cargo.toml
+
+crates/flow/src/lib.rs:
+crates/flow/src/exec.rs:
+crates/flow/src/pipeline.rs:
+crates/flow/src/report.rs:
+crates/flow/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

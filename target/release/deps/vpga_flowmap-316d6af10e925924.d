@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vpga_flowmap-316d6af10e925924.d: crates/flowmap/src/lib.rs crates/flowmap/src/dag.rs crates/flowmap/src/flow.rs crates/flowmap/src/label.rs
+
+/root/repo/target/release/deps/vpga_flowmap-316d6af10e925924: crates/flowmap/src/lib.rs crates/flowmap/src/dag.rs crates/flowmap/src/flow.rs crates/flowmap/src/label.rs
+
+crates/flowmap/src/lib.rs:
+crates/flowmap/src/dag.rs:
+crates/flowmap/src/flow.rs:
+crates/flowmap/src/label.rs:

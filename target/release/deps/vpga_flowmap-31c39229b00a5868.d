@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vpga_flowmap-31c39229b00a5868.d: crates/flowmap/src/lib.rs crates/flowmap/src/dag.rs crates/flowmap/src/flow.rs crates/flowmap/src/label.rs
+
+/root/repo/target/release/deps/libvpga_flowmap-31c39229b00a5868.rlib: crates/flowmap/src/lib.rs crates/flowmap/src/dag.rs crates/flowmap/src/flow.rs crates/flowmap/src/label.rs
+
+/root/repo/target/release/deps/libvpga_flowmap-31c39229b00a5868.rmeta: crates/flowmap/src/lib.rs crates/flowmap/src/dag.rs crates/flowmap/src/flow.rs crates/flowmap/src/label.rs
+
+crates/flowmap/src/lib.rs:
+crates/flowmap/src/dag.rs:
+crates/flowmap/src/flow.rs:
+crates/flowmap/src/label.rs:

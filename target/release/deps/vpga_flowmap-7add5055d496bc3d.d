@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vpga_flowmap-7add5055d496bc3d.d: crates/flowmap/src/lib.rs crates/flowmap/src/dag.rs crates/flowmap/src/flow.rs crates/flowmap/src/label.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_flowmap-7add5055d496bc3d.rmeta: crates/flowmap/src/lib.rs crates/flowmap/src/dag.rs crates/flowmap/src/flow.rs crates/flowmap/src/label.rs Cargo.toml
+
+crates/flowmap/src/lib.rs:
+crates/flowmap/src/dag.rs:
+crates/flowmap/src/flow.rs:
+crates/flowmap/src/label.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/vpga_logic-490dcbaccc2c83c8.d: crates/logic/src/lib.rs crates/logic/src/adder.rs crates/logic/src/cells.rs crates/logic/src/error.rs crates/logic/src/lut.rs crates/logic/src/npn.rs crates/logic/src/s3.rs crates/logic/src/sets.rs crates/logic/src/tt.rs crates/logic/src/tt3.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_logic-490dcbaccc2c83c8.rmeta: crates/logic/src/lib.rs crates/logic/src/adder.rs crates/logic/src/cells.rs crates/logic/src/error.rs crates/logic/src/lut.rs crates/logic/src/npn.rs crates/logic/src/s3.rs crates/logic/src/sets.rs crates/logic/src/tt.rs crates/logic/src/tt3.rs Cargo.toml
+
+crates/logic/src/lib.rs:
+crates/logic/src/adder.rs:
+crates/logic/src/cells.rs:
+crates/logic/src/error.rs:
+crates/logic/src/lut.rs:
+crates/logic/src/npn.rs:
+crates/logic/src/s3.rs:
+crates/logic/src/sets.rs:
+crates/logic/src/tt.rs:
+crates/logic/src/tt3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/vpga_netlist-1c60e22a7f75febf.d: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/ids.rs crates/netlist/src/io.rs crates/netlist/src/library.rs crates/netlist/src/netlist.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_netlist-1c60e22a7f75febf.rmeta: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/ids.rs crates/netlist/src/io.rs crates/netlist/src/library.rs crates/netlist/src/netlist.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/graph.rs:
+crates/netlist/src/ids.rs:
+crates/netlist/src/io.rs:
+crates/netlist/src/library.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

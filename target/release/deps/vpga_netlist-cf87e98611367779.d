@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/vpga_netlist-cf87e98611367779.d: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/ids.rs crates/netlist/src/io.rs crates/netlist/src/library.rs crates/netlist/src/netlist.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs
+
+/root/repo/target/release/deps/libvpga_netlist-cf87e98611367779.rlib: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/ids.rs crates/netlist/src/io.rs crates/netlist/src/library.rs crates/netlist/src/netlist.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs
+
+/root/repo/target/release/deps/libvpga_netlist-cf87e98611367779.rmeta: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/ids.rs crates/netlist/src/io.rs crates/netlist/src/library.rs crates/netlist/src/netlist.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/graph.rs:
+crates/netlist/src/ids.rs:
+crates/netlist/src/io.rs:
+crates/netlist/src/library.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vpga_pack-0cac60a2c11c9530.d: crates/pack/src/lib.rs crates/pack/src/array.rs crates/pack/src/quadrisect.rs crates/pack/src/swap.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_pack-0cac60a2c11c9530.rmeta: crates/pack/src/lib.rs crates/pack/src/array.rs crates/pack/src/quadrisect.rs crates/pack/src/swap.rs Cargo.toml
+
+crates/pack/src/lib.rs:
+crates/pack/src/array.rs:
+crates/pack/src/quadrisect.rs:
+crates/pack/src/swap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

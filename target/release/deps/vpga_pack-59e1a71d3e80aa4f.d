@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vpga_pack-59e1a71d3e80aa4f.d: crates/pack/src/lib.rs crates/pack/src/array.rs crates/pack/src/quadrisect.rs crates/pack/src/swap.rs
+
+/root/repo/target/release/deps/vpga_pack-59e1a71d3e80aa4f: crates/pack/src/lib.rs crates/pack/src/array.rs crates/pack/src/quadrisect.rs crates/pack/src/swap.rs
+
+crates/pack/src/lib.rs:
+crates/pack/src/array.rs:
+crates/pack/src/quadrisect.rs:
+crates/pack/src/swap.rs:

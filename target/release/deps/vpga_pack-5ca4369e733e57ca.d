@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vpga_pack-5ca4369e733e57ca.d: crates/pack/src/lib.rs crates/pack/src/array.rs crates/pack/src/quadrisect.rs crates/pack/src/swap.rs
+
+/root/repo/target/release/deps/libvpga_pack-5ca4369e733e57ca.rlib: crates/pack/src/lib.rs crates/pack/src/array.rs crates/pack/src/quadrisect.rs crates/pack/src/swap.rs
+
+/root/repo/target/release/deps/libvpga_pack-5ca4369e733e57ca.rmeta: crates/pack/src/lib.rs crates/pack/src/array.rs crates/pack/src/quadrisect.rs crates/pack/src/swap.rs
+
+crates/pack/src/lib.rs:
+crates/pack/src/array.rs:
+crates/pack/src/quadrisect.rs:
+crates/pack/src/swap.rs:

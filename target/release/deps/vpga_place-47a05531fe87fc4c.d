@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vpga_place-47a05531fe87fc4c.d: crates/place/src/lib.rs crates/place/src/anneal.rs crates/place/src/buffers.rs crates/place/src/grid.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_place-47a05531fe87fc4c.rmeta: crates/place/src/lib.rs crates/place/src/anneal.rs crates/place/src/buffers.rs crates/place/src/grid.rs Cargo.toml
+
+crates/place/src/lib.rs:
+crates/place/src/anneal.rs:
+crates/place/src/buffers.rs:
+crates/place/src/grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

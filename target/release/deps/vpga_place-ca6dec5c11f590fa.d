@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vpga_place-ca6dec5c11f590fa.d: crates/place/src/lib.rs crates/place/src/anneal.rs crates/place/src/buffers.rs crates/place/src/grid.rs
+
+/root/repo/target/release/deps/vpga_place-ca6dec5c11f590fa: crates/place/src/lib.rs crates/place/src/anneal.rs crates/place/src/buffers.rs crates/place/src/grid.rs
+
+crates/place/src/lib.rs:
+crates/place/src/anneal.rs:
+crates/place/src/buffers.rs:
+crates/place/src/grid.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vpga_place-d8405f3b1c5b39e0.d: crates/place/src/lib.rs crates/place/src/anneal.rs crates/place/src/buffers.rs crates/place/src/grid.rs
+
+/root/repo/target/release/deps/libvpga_place-d8405f3b1c5b39e0.rlib: crates/place/src/lib.rs crates/place/src/anneal.rs crates/place/src/buffers.rs crates/place/src/grid.rs
+
+/root/repo/target/release/deps/libvpga_place-d8405f3b1c5b39e0.rmeta: crates/place/src/lib.rs crates/place/src/anneal.rs crates/place/src/buffers.rs crates/place/src/grid.rs
+
+crates/place/src/lib.rs:
+crates/place/src/anneal.rs:
+crates/place/src/buffers.rs:
+crates/place/src/grid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vpga_route-3f9ca8b32e488631.d: crates/route/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_route-3f9ca8b32e488631.rmeta: crates/route/src/lib.rs Cargo.toml
+
+crates/route/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vpga_route-91abfff0966def9c.d: crates/route/src/lib.rs
+
+/root/repo/target/release/deps/vpga_route-91abfff0966def9c: crates/route/src/lib.rs
+
+crates/route/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vpga_route-ccf4fe9c78172aa6.d: crates/route/src/lib.rs
+
+/root/repo/target/release/deps/libvpga_route-ccf4fe9c78172aa6.rlib: crates/route/src/lib.rs
+
+/root/repo/target/release/deps/libvpga_route-ccf4fe9c78172aa6.rmeta: crates/route/src/lib.rs
+
+crates/route/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/vpga_synth-4e0f58d2e76e24a4.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/error.rs crates/synth/src/map.rs crates/synth/src/rewrite.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_synth-4e0f58d2e76e24a4.rmeta: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/error.rs crates/synth/src/map.rs crates/synth/src/rewrite.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/cuts.rs:
+crates/synth/src/error.rs:
+crates/synth/src/map.rs:
+crates/synth/src/rewrite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vpga_synth-8d679acd8ca0dcad.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/error.rs crates/synth/src/map.rs crates/synth/src/rewrite.rs
+
+/root/repo/target/release/deps/vpga_synth-8d679acd8ca0dcad: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/error.rs crates/synth/src/map.rs crates/synth/src/rewrite.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/cuts.rs:
+crates/synth/src/error.rs:
+crates/synth/src/map.rs:
+crates/synth/src/rewrite.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vpga_synth-cdf8dbe00b3a09aa.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/error.rs crates/synth/src/map.rs crates/synth/src/rewrite.rs
+
+/root/repo/target/release/deps/libvpga_synth-cdf8dbe00b3a09aa.rlib: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/error.rs crates/synth/src/map.rs crates/synth/src/rewrite.rs
+
+/root/repo/target/release/deps/libvpga_synth-cdf8dbe00b3a09aa.rmeta: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/error.rs crates/synth/src/map.rs crates/synth/src/rewrite.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/cuts.rs:
+crates/synth/src/error.rs:
+crates/synth/src/map.rs:
+crates/synth/src/rewrite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vpga_timing-306420c9c07d121f.d: crates/timing/src/lib.rs crates/timing/src/power.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_timing-306420c9c07d121f.rmeta: crates/timing/src/lib.rs crates/timing/src/power.rs Cargo.toml
+
+crates/timing/src/lib.rs:
+crates/timing/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

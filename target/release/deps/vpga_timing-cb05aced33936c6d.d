@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vpga_timing-cb05aced33936c6d.d: crates/timing/src/lib.rs crates/timing/src/power.rs
+
+/root/repo/target/release/deps/libvpga_timing-cb05aced33936c6d.rlib: crates/timing/src/lib.rs crates/timing/src/power.rs
+
+/root/repo/target/release/deps/libvpga_timing-cb05aced33936c6d.rmeta: crates/timing/src/lib.rs crates/timing/src/power.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/power.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vpga_timing-d8c5ec37ef6bdea5.d: crates/timing/src/lib.rs crates/timing/src/power.rs Cargo.toml
+
+/root/repo/target/release/deps/libvpga_timing-d8c5ec37ef6bdea5.rmeta: crates/timing/src/lib.rs crates/timing/src/power.rs Cargo.toml
+
+crates/timing/src/lib.rs:
+crates/timing/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

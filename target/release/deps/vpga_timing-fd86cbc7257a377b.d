@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/vpga_timing-fd86cbc7257a377b.d: crates/timing/src/lib.rs crates/timing/src/power.rs
+
+/root/repo/target/release/deps/vpga_timing-fd86cbc7257a377b: crates/timing/src/lib.rs crates/timing/src/power.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/arch_explorer-31ae5164fe2b5551.d: examples/arch_explorer.rs
+
+/root/repo/target/release/examples/arch_explorer-31ae5164fe2b5551: examples/arch_explorer.rs
+
+examples/arch_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/arch_explorer-82c0266c3121bd94.d: examples/arch_explorer.rs Cargo.toml
+
+/root/repo/target/release/examples/libarch_explorer-82c0266c3121bd94.rmeta: examples/arch_explorer.rs Cargo.toml
+
+examples/arch_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

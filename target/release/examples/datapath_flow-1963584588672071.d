@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/datapath_flow-1963584588672071.d: examples/datapath_flow.rs
+
+/root/repo/target/release/examples/datapath_flow-1963584588672071: examples/datapath_flow.rs
+
+examples/datapath_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/datapath_flow-68169c4b975eae04.d: examples/datapath_flow.rs Cargo.toml
+
+/root/repo/target/release/examples/libdatapath_flow-68169c4b975eae04.rmeta: examples/datapath_flow.rs Cargo.toml
+
+examples/datapath_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

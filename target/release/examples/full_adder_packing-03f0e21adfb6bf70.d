@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/full_adder_packing-03f0e21adfb6bf70.d: examples/full_adder_packing.rs Cargo.toml
+
+/root/repo/target/release/examples/libfull_adder_packing-03f0e21adfb6bf70.rmeta: examples/full_adder_packing.rs Cargo.toml
+
+examples/full_adder_packing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/full_adder_packing-acd07ca9e3cba059.d: examples/full_adder_packing.rs
+
+/root/repo/target/release/examples/full_adder_packing-acd07ca9e3cba059: examples/full_adder_packing.rs
+
+examples/full_adder_packing.rs:

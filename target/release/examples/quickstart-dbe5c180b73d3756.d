@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-dbe5c180b73d3756.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-dbe5c180b73d3756: examples/quickstart.rs
+
+examples/quickstart.rs:

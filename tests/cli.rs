@@ -35,7 +35,11 @@ fn gen_flow_program_roundtrip() {
         .arg(&design)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&design).expect("file written");
     assert!(text.contains("module alu"), "{text}");
 
@@ -46,7 +50,11 @@ fn gen_flow_program_roundtrip() {
         .args(["--arch", "granular"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("flow a"), "{text}");
     assert!(text.contains("flow b"), "{text}");
@@ -60,7 +68,11 @@ fn gen_flow_program_roundtrip() {
         .arg(&fabric)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&fabric).expect("file written");
     assert!(text.contains("plb "), "{text}");
     assert!(text.contains("vias="), "{text}");

@@ -1,0 +1,115 @@
+//! The parallel flow executor must be invisible in the results: the same
+//! matrix run with 1 worker or N workers — or run twice — produces
+//! bit-identical `FlowResult`s (pinned through `f64::to_bits`-based
+//! fingerprints that cover every metric and stage counter, but not wall
+//! times).
+
+use vpga::core::PlbArchitecture;
+use vpga::designs::{DesignParams, NamedDesign};
+use vpga::flow::report::Matrix;
+use vpga::flow::{run_design, Executor, FlowConfig, FlowJob, FlowMatrix, FlowVariant};
+
+#[test]
+fn full_matrix_is_bit_identical_for_any_worker_count() {
+    let params = DesignParams::tiny();
+    let config = FlowConfig::default();
+    let serial = Matrix::run_parallel(&params, &config, 1).expect("serial matrix");
+    let parallel = Matrix::run_parallel(&params, &config, 4).expect("parallel matrix");
+    assert_eq!(
+        serial.fingerprint(),
+        parallel.fingerprint(),
+        "jobs=1 and jobs=4 diverged"
+    );
+    // Field-level comparison too, so a regression names the culprit.
+    assert_eq!(serial.outcomes().len(), parallel.outcomes().len());
+    for (s, p) in serial.outcomes().iter().zip(parallel.outcomes()) {
+        assert_eq!(s.design, p.design);
+        assert_eq!(s.arch, p.arch);
+        for (a, b) in [(&s.flow_a, &p.flow_a), (&s.flow_b, &p.flow_b)] {
+            let name = format!("{} / {} / {}", s.design, s.arch, a.variant);
+            assert_eq!(a.die_area.to_bits(), b.die_area.to_bits(), "{name}: area");
+            assert_eq!(
+                a.avg_top10_slack.to_bits(),
+                b.avg_top10_slack.to_bits(),
+                "{name}: slack"
+            );
+            assert_eq!(
+                a.wirelength.to_bits(),
+                b.wirelength.to_bits(),
+                "{name}: wire"
+            );
+            assert_eq!(a.power_mw.to_bits(), b.power_mw.to_bits(), "{name}: power");
+            assert_eq!(a.cells, b.cells, "{name}: cells");
+            assert_eq!(a.array, b.array, "{name}: array");
+            assert_eq!(a.route_overflow, b.route_overflow, "{name}: overflow");
+        }
+    }
+    // The rendered tables — what the bench binaries print — match verbatim.
+    assert_eq!(serial.table1(), parallel.table1());
+    assert_eq!(serial.table2(), parallel.table2());
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let params = DesignParams::tiny();
+    let config = FlowConfig::default();
+    let jobs = vec![
+        FlowJob {
+            design: NamedDesign::Alu,
+            arch: PlbArchitecture::granular(),
+            variant: FlowVariant::A,
+        },
+        FlowJob {
+            design: NamedDesign::Alu,
+            arch: PlbArchitecture::granular(),
+            variant: FlowVariant::B,
+        },
+        FlowJob {
+            design: NamedDesign::Alu,
+            arch: PlbArchitecture::lut_based(),
+            variant: FlowVariant::B,
+        },
+    ];
+    let matrix = FlowMatrix::from_jobs(jobs);
+    let first = matrix
+        .run(&params, &config, &Executor::new(2))
+        .expect("first run");
+    let second = matrix
+        .run(&params, &config, &Executor::new(2))
+        .expect("second run");
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.result.fingerprint(), b.result.fingerprint());
+    }
+}
+
+#[test]
+fn executor_subset_matches_run_design() {
+    let params = DesignParams::tiny();
+    let config = FlowConfig::default();
+    let arch = PlbArchitecture::lut_based();
+    let jobs = vec![
+        FlowJob {
+            design: NamedDesign::NetworkSwitch,
+            arch: arch.clone(),
+            variant: FlowVariant::B,
+        },
+        FlowJob {
+            design: NamedDesign::NetworkSwitch,
+            arch: arch.clone(),
+            variant: FlowVariant::A,
+        },
+    ];
+    let out = FlowMatrix::from_jobs(jobs)
+        .run(&params, &config, &Executor::new(2))
+        .expect("subset run");
+    let whole = run_design(
+        &NamedDesign::NetworkSwitch.generate(&params),
+        &arch,
+        &config,
+    )
+    .expect("run_design");
+    assert_eq!(out[0].result.fingerprint(), whole.flow_b.fingerprint());
+    assert_eq!(out[1].result.fingerprint(), whole.flow_a.fingerprint());
+    assert_eq!(out[0].design, whole.design);
+}

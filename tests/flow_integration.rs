@@ -24,8 +24,8 @@ fn front_end_preserves_function_for_every_design_and_arch() {
             .map(|_| (0..golden.inputs().len()).map(|_| rng.gen()).collect())
             .collect();
         for arch in [PlbArchitecture::granular(), PlbArchitecture::lut_based()] {
-            let mut mapped = vpga::synth::map_netlist_fast(&golden, &src, &arch)
-                .expect("mapping succeeds");
+            let mut mapped =
+                vpga::synth::map_netlist_fast(&golden, &src, &arch).expect("mapping succeeds");
             vpga::compact::compact(&mut mapped, &arch).expect("compaction succeeds");
             mapped.validate(arch.library()).expect("valid netlist");
             let div = first_divergence(&golden, &src, &mapped, arch.library(), &vectors)

@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 use vpga::core::{matcher, PlbArchitecture};
-use vpga::logic::{npn, s3, Tt3, TruthTable, Var};
+use vpga::logic::{npn, s3, TruthTable, Tt3, Var};
 use vpga::netlist::library::generic;
-use vpga::netlist::{Netlist, NetId};
+use vpga::netlist::{NetId, Netlist};
 use vpga::synth::{map_netlist_fast, Aig};
 
 proptest! {
@@ -276,6 +276,138 @@ mod physical_properties {
             )
             .unwrap();
             prop_assert_eq!(div, None);
+        }
+    }
+}
+
+/// Properties of the parallel flow executor and its per-stage
+/// instrumentation (`vpga::flow::exec` / `vpga::flow::stats`).
+mod executor_properties {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+
+    use proptest::prelude::*;
+    use vpga::core::PlbArchitecture;
+    use vpga::designs::{DesignParams, NamedDesign};
+    use vpga::flow::{Executor, FlowConfig, FlowJob, FlowMatrix, FlowVariant, JobResult, Stage};
+
+    /// The full tiny-size matrix, computed once and shared across cases
+    /// (each case below only *reads* stage records, which is cheap).
+    fn tiny_matrix_results() -> &'static [JobResult] {
+        static CACHE: OnceLock<Vec<JobResult>> = OnceLock::new();
+        CACHE.get_or_init(|| {
+            FlowMatrix::full()
+                .run(
+                    &DesignParams::tiny(),
+                    &FlowConfig::default(),
+                    &Executor::new(2),
+                )
+                .expect("tiny matrix runs")
+        })
+    }
+
+    /// The four (variant × arch) jobs for one design.
+    fn alu_jobs() -> Vec<FlowJob> {
+        let mut jobs = Vec::new();
+        for arch in [PlbArchitecture::granular(), PlbArchitecture::lut_based()] {
+            for variant in [FlowVariant::A, FlowVariant::B] {
+                jobs.push(FlowJob {
+                    design: NamedDesign::Alu,
+                    arch: arch.clone(),
+                    variant,
+                });
+            }
+        }
+        jobs
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The executor invokes every job index exactly once and returns
+        /// results in input order, for any (n, workers) combination —
+        /// nothing dropped, nothing duplicated.
+        #[test]
+        fn executor_runs_each_job_exactly_once(n in 0usize..48, workers in 0usize..9) {
+            let exec = Executor::new(workers);
+            let calls: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let out = exec.run(n, |i| {
+                calls[i].fetch_add(1, Ordering::Relaxed);
+                i * 31 + 7
+            });
+            prop_assert_eq!(out.len(), n);
+            for (i, v) in out.iter().enumerate() {
+                prop_assert_eq!(calls[i].load(Ordering::Relaxed), 1, "job {} run count", i);
+                prop_assert_eq!(*v, i * 31 + 7);
+            }
+        }
+
+        /// Every stage record of every matrix run is internally
+        /// consistent: positive sizes, non-negative wall time, accepted ≤
+        /// attempted, finite costs, and cost-after ≤ cost-before for the
+        /// annealing stages (which restore their best/starting state).
+        #[test]
+        fn stage_stats_are_internally_consistent(pick in 0usize..16) {
+            let results = tiny_matrix_results();
+            let jr = &results[pick % results.len()];
+            for s in jr.front_stages.iter().chain(&jr.result.stages) {
+                prop_assert!(s.cells > 0, "{}: no cells", s.stage);
+                prop_assert!(s.nets > 0, "{}: no nets", s.stage);
+                prop_assert!(s.wall.as_secs_f64() >= 0.0);
+                if let (Some(att), Some(acc)) = (s.moves_attempted, s.moves_accepted) {
+                    prop_assert!(acc <= att, "{}: accepted {} > attempted {}", s.stage, acc, att);
+                }
+                if let (Some(before), Some(after)) = (s.cost_before, s.cost_after) {
+                    prop_assert!(before.is_finite() && after.is_finite());
+                    if matches!(s.stage, Stage::Place | Stage::PhysSynth | Stage::Swap) {
+                        prop_assert!(
+                            after <= before + 1e-9,
+                            "{}: cost worsened {} -> {}", s.stage, before, after
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Arbitrary job subsets (any order, duplicates allowed) complete
+        /// without panics, return one result per job in order, and every
+        /// result matches the full-matrix run of the same job bit for bit.
+        /// (Case count kept small: every case runs real flow jobs.)
+        #[test]
+        fn arbitrary_job_subsets_run_cleanly(mask in 1u16..4096, workers in 1usize..5) {
+            let pool = alu_jobs();
+            // Draw up to 12 job picks (2 bits each → 4 choices) from the
+            // mask so duplicates and arbitrary orders occur naturally.
+            let n_picks = 1 + (mask as usize % 5);
+            let jobs: Vec<FlowJob> = (0..n_picks)
+                .map(|k| pool[(mask as usize >> (2 * k)) % pool.len()].clone())
+                .collect();
+            let expect: Vec<u64> = jobs
+                .iter()
+                .map(|j| {
+                    tiny_matrix_results()
+                        .iter()
+                        .find(|r| {
+                            r.job.design == j.design
+                                && r.job.arch.name() == j.arch.name()
+                                && r.job.variant == j.variant
+                        })
+                        .expect("job is in the full matrix")
+                        .result
+                        .fingerprint()
+                })
+                .collect();
+            let out = FlowMatrix::from_jobs(jobs)
+                .run(&DesignParams::tiny(), &FlowConfig::default(), &Executor::new(workers))
+                .expect("subset runs");
+            prop_assert_eq!(out.len(), expect.len());
+            for (r, want) in out.iter().zip(&expect) {
+                prop_assert_eq!(r.result.fingerprint(), *want);
+            }
         }
     }
 }

@@ -1,0 +1,207 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! the API subset its property tests actually use: the [`proptest!`] macro
+//! (with `#![proptest_config(...)]`), `prop_assert!`/`prop_assert_eq!`,
+//! range and [`any`] strategies, `prop::sample::select`,
+//! `prop::collection::vec`, tuple strategies, and
+//! [`Strategy::prop_map`].
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! deterministically from the test name (no persistence file, fully
+//! reproducible runs), and failing cases are reported without shrinking —
+//! the panic message carries the case number so a failure can be replayed
+//! exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps the suite fast while still
+        // exercising the input space (every case is deterministic anyway).
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The standard strategy for a type: full-range uniform values.
+pub fn any<T: rand::StandardSample>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Deterministic per-test RNG: FNV-1a of the test name, mixed with the
+/// case index.
+pub fn rng_for(test_name: &str, case: u64) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    rand::rngs::SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Namespaced strategy constructors (`prop::sample`, `prop::collection`).
+pub mod prop {
+    /// Strategies drawing from explicit value sets.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// A strategy drawing uniformly from `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics at generation time if `options` is empty.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            Select { options }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// A strategy for `Vec`s with length drawn from `size` and
+        /// elements drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..u64::from(__config.cases) {
+                let mut __rng = $crate::rng_for(stringify!($name), __case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                )+
+                let __run = move || $body;
+                if let Err(payload) = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(__run),
+                ) {
+                    eprintln!(
+                        "proptest case {__case}/{} of {} failed",
+                        __config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u8..=255, y in 3usize..10) {
+            let _ = x;
+            prop_assert!((3..10).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            v in prop::collection::vec((prop::sample::select(vec![1, 2, 3]), any::<u64>()), 2..6)
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            for (tag, _) in v {
+                prop_assert!((1..=3).contains(&tag));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_is_honoured(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let s = (0u8..=255).prop_map(|b| u32::from(b) * 2);
+        let mut rng = crate::rng_for("prop_map_transforms", 0);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v % 2 == 0 && v <= 510);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = prop::collection::vec(any::<u64>(), 3..10);
+        let a = Strategy::generate(&s, &mut crate::rng_for("t", 5));
+        let b = Strategy::generate(&s, &mut crate::rng_for("t", 5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,123 @@
+//! The [`Strategy`] trait and the strategy combinators this workspace uses.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleRange, StandardSample};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of [`Strategy::Value`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy yielding a constant value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-range uniform values of `T` (see [`crate::any`]).
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: StandardSample> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Uniform draw from a value set (see [`crate::prop::sample::select`]).
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    pub(crate) options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        assert!(!self.options.is_empty(), "select over an empty set");
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// `Vec` strategy (see [`crate::prop::collection::vec`]).
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
