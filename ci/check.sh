@@ -2,10 +2,12 @@
 # Offline CI gate for the VPGA workspace.
 #
 # Runs the same checks a PR must pass, in order of increasing cost:
-#   1. cargo fmt --check          (formatting)
-#   2. cargo clippy -D warnings   (lints; skipped if clippy is not installed)
-#   3. cargo build --release      (whole workspace, all targets)
-#   4. cargo test                 (whole workspace)
+#   1. tracked-artifact guard     (nothing under target/ in the index)
+#   2. cargo fmt --check          (formatting)
+#   3. cargo clippy -D warnings   (lints; skipped if clippy is not installed)
+#   4. cargo build --release      (whole workspace, all targets)
+#   5. cargo test                 (whole workspace)
+#   6. cargo bench, smoke mode    (one sample per bench, catches bit-rot)
 #
 # The workspace has no network dependencies: rand/proptest/criterion are
 # vendored as path crates under vendor/, so every step works offline.
@@ -13,6 +15,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 step() { printf '\n== %s\n' "$*"; }
+
+step "no build artifacts tracked"
+if git ls-files -- target/ | grep -q .; then
+    echo "error: build artifacts are tracked under target/ — run: git rm -r --cached target/" >&2
+    git ls-files -- target/ | head >&2
+    exit 1
+fi
 
 step "cargo fmt --check"
 cargo fmt --all --check
@@ -29,5 +38,8 @@ cargo build --release --workspace --all-targets
 
 step "cargo test --workspace"
 cargo test --workspace -q
+
+step "cargo bench (smoke mode, 1 sample per bench)"
+CRITERION_SMOKE=1 cargo bench --workspace
 
 printf '\nall checks passed\n'

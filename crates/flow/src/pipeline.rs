@@ -343,6 +343,10 @@ pub(crate) fn front_end(
         .with_moves(
             place_stats.moves_attempted + refine_stats.moves_attempted,
             place_stats.moves_accepted + refine_stats.moves_accepted,
+        )
+        .with_bbox_updates(
+            place_stats.bbox_incremental + refine_stats.bbox_incremental,
+            place_stats.bbox_full + refine_stats.bbox_full,
         ),
     );
 
@@ -369,7 +373,8 @@ pub(crate) fn front_end(
         .with_moves(
             legalize_stats.moves_attempted,
             legalize_stats.moves_accepted,
-        ),
+        )
+        .with_bbox_updates(legalize_stats.bbox_incremental, legalize_stats.bbox_full),
     );
 
     let cells = lib_cells(&netlist);
@@ -402,7 +407,12 @@ pub(crate) fn run_variant(
         FlowVariant::A => {
             let t = Instant::now();
             let routing = vpga_route::route(netlist, lib, &front.placement, &config.route);
-            stages.push(StageStats::new(Stage::Route, t.elapsed(), cells, n_nets));
+            stages.push(
+                StageStats::new(Stage::Route, t.elapsed(), cells, n_nets).with_reroutes(
+                    routing.total_reroutes() as u64,
+                    routing.nets_routed() as u64,
+                ),
+            );
             let t = Instant::now();
             let sta = vpga_timing::analyze(
                 netlist,
@@ -492,7 +502,12 @@ pub(crate) fn run_variant(
                 ..config.route.clone()
             };
             let routing = vpga_route::route(netlist, lib, &b_placement, &route_cfg);
-            stages.push(StageStats::new(Stage::Route, t.elapsed(), cells, n_nets));
+            stages.push(
+                StageStats::new(Stage::Route, t.elapsed(), cells, n_nets).with_reroutes(
+                    routing.total_reroutes() as u64,
+                    routing.nets_routed() as u64,
+                ),
+            );
             let t = Instant::now();
             let sta =
                 vpga_timing::analyze(netlist, lib, &b_placement, Some(&routing), &config.timing);

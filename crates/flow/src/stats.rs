@@ -76,6 +76,15 @@ pub struct StageStats {
     pub moves_attempted: Option<u64>,
     /// Accepted moves/relocations.
     pub moves_accepted: Option<u64>,
+    /// O(1) incremental bounding-box updates (annealing stages).
+    pub bbox_incremental: Option<u64>,
+    /// Full bounding-box rescans forced by a boundary pin moving inward.
+    pub bbox_full: Option<u64>,
+    /// Net routings summed over all negotiation iterations (routing
+    /// stages); full rip-up pays `nets × iterations`, dirty-net far less.
+    pub nets_rerouted: Option<u64>,
+    /// Routable nets the stage handled (routing stages).
+    pub nets_total: Option<u64>,
 }
 
 impl StageStats {
@@ -90,6 +99,10 @@ impl StageStats {
             cost_after: None,
             moves_attempted: None,
             moves_accepted: None,
+            bbox_incremental: None,
+            bbox_full: None,
+            nets_rerouted: None,
+            nets_total: None,
         }
     }
 
@@ -106,6 +119,23 @@ impl StageStats {
     pub fn with_moves(mut self, attempted: u64, accepted: u64) -> StageStats {
         self.moves_attempted = Some(attempted);
         self.moves_accepted = Some(accepted);
+        self
+    }
+
+    /// Attaches the incremental-vs-full bounding-box update counters of an
+    /// annealing stage.
+    #[must_use]
+    pub fn with_bbox_updates(mut self, incremental: u64, full: u64) -> StageStats {
+        self.bbox_incremental = Some(incremental);
+        self.bbox_full = Some(full);
+        self
+    }
+
+    /// Attaches the re-route work counters of a routing stage.
+    #[must_use]
+    pub fn with_reroutes(mut self, rerouted: u64, total: u64) -> StageStats {
+        self.nets_rerouted = Some(rerouted);
+        self.nets_total = Some(total);
         self
     }
 
@@ -126,6 +156,10 @@ impl StageStats {
         mix(self.cost_after.map_or(0, f64::to_bits));
         mix(self.moves_attempted.unwrap_or(0));
         mix(self.moves_accepted.unwrap_or(0));
+        mix(self.bbox_incremental.unwrap_or(0));
+        mix(self.bbox_full.unwrap_or(0));
+        mix(self.nets_rerouted.unwrap_or(0));
+        mix(self.nets_total.unwrap_or(0));
     }
 }
 
@@ -144,6 +178,12 @@ impl fmt::Display for StageStats {
         }
         if let (Some(att), Some(acc)) = (self.moves_attempted, self.moves_accepted) {
             write!(f, "  moves {acc}/{att}")?;
+        }
+        if let (Some(incr), Some(full)) = (self.bbox_incremental, self.bbox_full) {
+            write!(f, "  bbox {incr}i/{full}f")?;
+        }
+        if let (Some(rr), Some(total)) = (self.nets_rerouted, self.nets_total) {
+            write!(f, "  reroutes {rr}/{total} nets")?;
         }
         Ok(())
     }
@@ -194,6 +234,27 @@ mod tests {
         a.fold_fingerprint(&mut ha);
         b.fold_fingerprint(&mut hb);
         assert_ne!(ha, hb);
+    }
+
+    #[test]
+    fn fingerprint_sees_incremental_counters() {
+        let base = StageStats::new(Stage::Place, Duration::ZERO, 10, 20);
+        let a = base.clone().with_bbox_updates(100, 5);
+        let b = base.clone().with_bbox_updates(100, 6);
+        let (mut ha, mut hb) = (0u64, 0u64);
+        a.fold_fingerprint(&mut ha);
+        b.fold_fingerprint(&mut hb);
+        assert_ne!(ha, hb);
+        let r = StageStats::new(Stage::Route, Duration::ZERO, 10, 20);
+        let c = r.clone().with_reroutes(36, 30);
+        let d = r.clone().with_reroutes(42, 30);
+        let (mut hc, mut hd) = (0u64, 0u64);
+        c.fold_fingerprint(&mut hc);
+        d.fold_fingerprint(&mut hd);
+        assert_ne!(hc, hd);
+        // Display carries the counters for `--stats`.
+        assert!(a.to_string().contains("bbox 100i/5f"));
+        assert!(c.to_string().contains("reroutes 36/30 nets"));
     }
 
     #[test]

@@ -158,7 +158,13 @@ pub fn pack_with_stats(
             }
         }
     }
-    for (_, mut item) in group_items {
+    // HashMap iteration order is per-process random; the item list seeds
+    // every downstream tie-break (quadrisection bucket order, swap
+    // schedule), so drain the groups in GroupId order to keep packing
+    // bit-identical across runs and worker counts.
+    let mut grouped: Vec<(GroupId, Item)> = group_items.into_iter().collect();
+    grouped.sort_unstable_by_key(|&(g, _)| g);
+    for (_, mut item) in grouped {
         let n = item.cells.len() as f64;
         item.gx /= n;
         item.gy /= n;

@@ -2,14 +2,27 @@
 //! detailed routing on the regular array of PLBs" of §3.1.
 //!
 //! A negotiated-congestion (PathFinder-style) router over a uniform tile
-//! grid: every net is ripped up and re-routed each iteration with edge
-//! costs that combine a base cost, a present-congestion penalty, and an
-//! accumulated history penalty, until no edge exceeds its channel capacity.
-//! Per-net routed wirelengths feed the Elmore wire delays of `vpga-timing`;
-//! this is the post-layout extraction step of the paper's flow.
+//! grid: edge costs combine a base cost, a present-congestion penalty, and
+//! an accumulated history penalty, iterated until no edge exceeds its
+//! channel capacity. Per-net routed wirelengths feed the Elmore wire
+//! delays of `vpga-timing`; this is the post-layout extraction step of the
+//! paper's flow.
 //!
 //! Two-pin connections are A*-routed driver→sink with free reuse of the
-//! net's own earlier branches, so multi-fanout nets form Steiner-like trees.
+//! net's own earlier branches, so multi-fanout nets form Steiner-like
+//! trees.
+//!
+//! Negotiation is *incremental* by default: the first iteration routes
+//! every net, and later iterations rip up and re-route only the *dirty*
+//! nets — those whose current path crosses an over-capacity edge. Clean
+//! nets keep both their routes and their occupancy contribution, so each
+//! re-route negotiates against the full congestion picture (strictly more
+//! context than a fresh full rip-up gives). Net order is fixed by the job
+//! list, no randomness is involved, and the A* scratch state is
+//! epoch-invalidated rather than reallocated, so results are bit-for-bit
+//! reproducible across runs and worker counts. Set
+//! [`RouteConfig::incremental`] to `false` for the classic
+//! full-rip-up-every-iteration schedule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +51,11 @@ pub struct RouteConfig {
     /// Retain the per-net tile paths in the result (costs memory on large
     /// designs; needed for physical hand-off and route inspection).
     pub keep_routes: bool,
+    /// Dirty-net negotiation: after the first iteration, rip up and
+    /// re-route only nets crossing over-capacity edges (`true`, default).
+    /// `false` restores the textbook full rip-up of every net each
+    /// iteration.
+    pub incremental: bool,
 }
 
 impl Default for RouteConfig {
@@ -50,6 +68,7 @@ impl Default for RouteConfig {
             present_factor: 0.6,
             history_increment: 0.4,
             keep_routes: false,
+            incremental: true,
         }
     }
 }
@@ -64,6 +83,8 @@ pub struct RoutingResult {
     max_edge_load: u32,
     tile_size: f64,
     grid_dims: (usize, usize),
+    nets_routed: usize,
+    reroutes_per_iter: Vec<usize>,
     routes: Option<std::collections::HashMap<NetId, Vec<RouteSegment>>>,
 }
 
@@ -106,9 +127,28 @@ impl RoutingResult {
         self.grid_dims
     }
 
+    /// Routable nets (≥2 placed pins spanning ≥2 tiles).
+    pub fn nets_routed(&self) -> usize {
+        self.nets_routed
+    }
+
+    /// Nets (re)routed in each negotiation iteration. The first entry is
+    /// always [`RoutingResult::nets_routed`]; with dirty-net negotiation
+    /// the later entries shrink to just the congested subset.
+    pub fn reroutes_per_iteration(&self) -> &[usize] {
+        &self.reroutes_per_iter
+    }
+
+    /// Total net routings summed over all iterations — the work the
+    /// negotiation actually performed (full rip-up pays
+    /// `nets × iterations`).
+    pub fn total_reroutes(&self) -> usize {
+        self.reroutes_per_iter.iter().sum()
+    }
+
     /// The routed tile-to-tile segments of a net, if
-    /// [`RouteConfig::keep_routes`] was set. Segments are unordered; each
-    /// is a pair of adjacent `(col, row)` tiles.
+    /// [`RouteConfig::keep_routes`] was set. Segments are in discovery
+    /// order; each is a pair of adjacent `(col, row)` tiles.
     pub fn net_route(&self, net: NetId) -> Option<&[RouteSegment]> {
         self.routes.as_ref()?.get(&net).map(Vec::as_slice)
     }
@@ -199,6 +239,41 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Reusable A* state: per-tile cost/parent tables and the per-net edge
+/// ownership marks, all invalidated by bumping an epoch counter instead of
+/// clearing — one allocation per routing run, none per search.
+struct Scratch {
+    /// Best-known cost per tile, valid only where `stamp == epoch`.
+    best: Vec<f64>,
+    /// Parent tile + incoming edge per tile, valid where `stamp == epoch`.
+    from: Vec<((usize, usize), usize)>,
+    /// Per-tile epoch stamp for `best`/`from`.
+    stamp: Vec<u64>,
+    /// Per-edge epoch mark: `own_mark[e] == net_epoch` ⇔ edge `e` belongs
+    /// to the net currently being routed.
+    own_mark: Vec<u64>,
+    /// Search epoch (bumped per A* call).
+    epoch: u64,
+    /// Ownership epoch (bumped per net).
+    net_epoch: u64,
+    /// The search frontier, drained empty by every call.
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl Scratch {
+    fn new(n_tiles: usize, n_edges: usize) -> Scratch {
+        Scratch {
+            best: vec![f64::INFINITY; n_tiles],
+            from: vec![((0, 0), 0); n_tiles],
+            stamp: vec![0; n_tiles],
+            own_mark: vec![0; n_edges],
+            epoch: 0,
+            net_epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
 /// Routes every multi-tile net of the placed netlist.
 ///
 /// # Panics
@@ -235,6 +310,7 @@ pub fn route(
     }
     let mut jobs: Vec<Job> = Vec::new();
     let mut net_length = vec![0.0f64; netlist.net_capacity()];
+    let mut seen_sinks: HashSet<(usize, usize)> = HashSet::new();
     for net in netlist.nets() {
         let Some(driver) = netlist.driver(net) else {
             continue;
@@ -249,11 +325,14 @@ pub fn route(
             continue;
         };
         let source = grid.tile_of(dx, dy);
+        // Deduplicate sink tiles in first-occurrence order; set-based
+        // membership keeps this O(fanout) instead of O(fanout²).
+        seen_sinks.clear();
         let mut sinks: Vec<(usize, usize)> = Vec::new();
         for &(cell, _) in netlist.sinks(net) {
             if let Some((x, y)) = placement.position(cell) {
                 let t = grid.tile_of(x, y);
-                if t != source && !sinks.contains(&t) {
+                if t != source && seen_sinks.insert(t) {
                     sinks.push(t);
                 }
             }
@@ -262,26 +341,50 @@ pub fn route(
             jobs.push(Job { net, source, sinks });
         }
     }
-    // Negotiated congestion loop.
+    // Negotiated congestion loop. Iteration 1 routes everything; later
+    // iterations rip up only the dirty nets (paths crossing over-capacity
+    // edges) unless `config.incremental` is off.
     let n_edges = grid.num_edges();
     let mut history = vec![0.0f64; n_edges];
     let mut occupancy = vec![0u32; n_edges];
-    let mut net_edges: Vec<HashSet<usize>> = Vec::new();
+    let mut net_edges: Vec<Vec<usize>> = (0..jobs.len()).map(|_| Vec::new()).collect();
+    let mut scratch = Scratch::new(grid.cols * grid.rows, n_edges);
+    let mut own: Vec<usize> = Vec::new();
+    let mut dirty: Vec<usize> = (0..jobs.len()).collect();
+    let mut reroutes_per_iter: Vec<usize> = Vec::new();
     let mut iterations_used = 0;
     for iter in 0..config.max_iterations.max(1) {
         iterations_used = iter + 1;
-        occupancy.iter_mut().for_each(|o| *o = 0);
-        net_edges = Vec::with_capacity(jobs.len());
-        for job in &jobs {
-            let mut own: HashSet<usize> = HashSet::new();
+        reroutes_per_iter.push(dirty.len());
+        // Rip up every dirty net first, then re-route them in job order,
+        // so each search negotiates against all retained routes plus the
+        // dirty nets already re-routed this pass.
+        for &ji in &dirty {
+            for &e in &net_edges[ji] {
+                occupancy[e] -= 1;
+            }
+        }
+        for &ji in &dirty {
+            let job = &jobs[ji];
+            scratch.net_epoch += 1;
+            own.clear();
             for &sink in &job.sinks {
-                let path = astar(&grid, job.source, sink, &occupancy, &history, &own, config);
-                own.extend(path);
+                astar(
+                    &grid,
+                    job.source,
+                    sink,
+                    &occupancy,
+                    &history,
+                    &mut scratch,
+                    &mut own,
+                    config,
+                );
             }
             for &e in &own {
                 occupancy[e] += 1;
             }
-            net_edges.push(own);
+            net_edges[ji].clear();
+            net_edges[ji].extend_from_slice(&own);
         }
         // Overflow check and history update.
         let mut overflow = 0usize;
@@ -293,6 +396,20 @@ pub fn route(
         }
         if overflow == 0 {
             break;
+        }
+        if config.incremental {
+            dirty = (0..jobs.len())
+                .filter(|&ji| {
+                    net_edges[ji]
+                        .iter()
+                        .any(|&e| occupancy[e] > config.channel_capacity)
+                })
+                .collect();
+            if dirty.is_empty() {
+                break;
+            }
+        } else {
+            dirty = (0..jobs.len()).collect();
         }
     }
     // Final statistics.
@@ -320,12 +437,16 @@ pub fn route(
         max_edge_load: occupancy.iter().copied().max().unwrap_or(0),
         tile_size: grid.tile,
         grid_dims: (grid.cols, grid.rows),
+        nets_routed: jobs.len(),
+        reroutes_per_iter,
         routes,
     }
 }
 
 /// A* from any tile already owned by the net (starting at `source`) to
-/// `sink`; returns the path's edge set.
+/// `sink`; appends the path's new edges to `own` and marks them owned.
+/// All search state lives in `scratch`, invalidated by epoch bump —
+/// no per-call allocation.
 #[allow(clippy::too_many_arguments)]
 fn astar(
     grid: &Grid,
@@ -333,31 +454,32 @@ fn astar(
     sink: (usize, usize),
     occupancy: &[u32],
     history: &[f64],
-    own: &HashSet<usize>,
+    scratch: &mut Scratch,
+    own: &mut Vec<usize>,
     config: &RouteConfig,
-) -> Vec<usize> {
+) {
     let idx = |(c, r): (usize, usize)| r * grid.cols + c;
-    let n = grid.cols * grid.rows;
-    let mut best = vec![f64::INFINITY; n];
-    let mut from: Vec<Option<((usize, usize), usize)>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
+    scratch.epoch += 1;
+    let epoch = scratch.epoch;
+    scratch.heap.clear();
     let h = |(c, r): (usize, usize)| -> f64 { (c.abs_diff(sink.0) + r.abs_diff(sink.1)) as f64 };
-    best[idx(source)] = 0.0;
-    heap.push(HeapEntry {
+    scratch.best[idx(source)] = 0.0;
+    scratch.stamp[idx(source)] = epoch;
+    scratch.heap.push(HeapEntry {
         priority: h(source),
         cost: 0.0,
         tile: source,
     });
-    while let Some(entry) = heap.pop() {
+    while let Some(entry) = scratch.heap.pop() {
         let (c, r) = entry.tile;
-        if entry.cost > best[idx(entry.tile)] {
+        if entry.cost > scratch.best[idx(entry.tile)] {
             continue;
         }
         if entry.tile == sink {
             break;
         }
         for (nc, nr, edge) in grid.neighbors(c, r) {
-            let edge_cost = if own.contains(&edge) {
+            let edge_cost = if scratch.own_mark[edge] == scratch.net_epoch {
                 0.0 // reuse of the net's own tree is free
             } else {
                 let over = occupancy[edge] as f64 + 1.0 - config.channel_capacity as f64;
@@ -365,10 +487,11 @@ fn astar(
             };
             let cost = entry.cost + edge_cost;
             let t = (nc, nr);
-            if cost < best[idx(t)] {
-                best[idx(t)] = cost;
-                from[idx(t)] = Some(((c, r), edge));
-                heap.push(HeapEntry {
+            if scratch.stamp[idx(t)] != epoch || cost < scratch.best[idx(t)] {
+                scratch.best[idx(t)] = cost;
+                scratch.stamp[idx(t)] = epoch;
+                scratch.from[idx(t)] = ((c, r), edge);
+                scratch.heap.push(HeapEntry {
                     priority: cost + h(t),
                     cost,
                     tile: t,
@@ -376,17 +499,19 @@ fn astar(
             }
         }
     }
-    // Walk back and collect the path edges.
-    let mut path = Vec::new();
+    // Walk back and collect the path's new edges into the net's tree.
     let mut cur = sink;
     while cur != source {
-        let Some((prev, edge)) = from[idx(cur)] else {
+        if scratch.stamp[idx(cur)] != epoch {
             break;
-        };
-        path.push(edge);
+        }
+        let (prev, edge) = scratch.from[idx(cur)];
+        if scratch.own_mark[edge] != scratch.net_epoch {
+            scratch.own_mark[edge] = scratch.net_epoch;
+            own.push(edge);
+        }
         cur = prev;
     }
-    path
 }
 
 #[cfg(test)]
@@ -450,18 +575,14 @@ mod tests {
         );
     }
 
-    #[test]
-    fn congestion_negotiation_resolves_conflicts() {
-        // Many nets forced through a 2-tile-wide corridor with capacity 1:
-        // the router must spread or accept history-guided detours and end
-        // legal (or at least reduce overflow drastically).
+    /// A deliberately congested instance: one input fanning out to many
+    /// cells over a coarse grid with capacity 1.
+    fn congested() -> (Netlist, Placement, RouteConfig) {
         let lib = generic::library();
         let mut nl = Netlist::new("cong");
         let a = nl.add_input("a");
-        let mut sinks = Vec::new();
         for i in 0..6 {
             let g = nl.add_lib_cell(format!("g{i}"), &lib, "INV", &[a]).unwrap();
-            sinks.push(g);
             nl.add_output(format!("y{i}"), g);
         }
         let p = vpga_place::place(&nl, &lib, &PlaceConfig::default());
@@ -471,6 +592,16 @@ mod tests {
             tile_size: Some(p.die().width() / 6.0),
             ..RouteConfig::default()
         };
+        (nl, p, tight)
+    }
+
+    #[test]
+    fn congestion_negotiation_resolves_conflicts() {
+        // Many nets forced through a 2-tile-wide corridor with capacity 1:
+        // the router must spread or accept history-guided detours and end
+        // legal (or at least reduce overflow drastically).
+        let (nl, p, tight) = congested();
+        let lib = generic::library();
         let r = route(&nl, &lib, &p, &tight);
         assert!(
             r.overflow_edges() <= 1,
@@ -507,6 +638,77 @@ mod tests {
         assert!(r.max_edge_load() >= 1);
         assert!(r.iterations_used() >= 1);
         assert!(r.tile_size() > 0.0);
+    }
+
+    /// When iteration 1 is already legal no rip-up happens, so the
+    /// dirty-net and full-rip-up schedules are the same single pass and
+    /// must agree bit-for-bit.
+    #[test]
+    fn incremental_matches_full_ripup_when_uncongested() {
+        let lib = generic::library();
+        let (nl, r_inc) = routed_chain(30, &RouteConfig::default());
+        let p = vpga_place::place(&nl, &lib, &PlaceConfig::default());
+        let full_ripup = RouteConfig {
+            incremental: false,
+            ..RouteConfig::default()
+        };
+        let r_full = route(&nl, &lib, &p, &full_ripup);
+        assert_eq!(r_inc.overflow_edges(), r_full.overflow_edges());
+        assert_eq!(
+            r_inc.total_length().to_bits(),
+            r_full.total_length().to_bits(),
+            "uncongested routes must be identical"
+        );
+        assert_eq!(r_inc.iterations_used(), 1);
+        // Accounting: one full pass, nothing re-routed.
+        assert_eq!(r_inc.reroutes_per_iteration(), &[r_inc.nets_routed()]);
+    }
+
+    /// Under real congestion both schedules must converge to the same
+    /// overflow, with comparable wirelength, while the dirty-net schedule
+    /// does strictly less re-routing work.
+    #[test]
+    fn incremental_converges_like_full_ripup_under_congestion() {
+        let (nl, p, tight) = congested();
+        let lib = generic::library();
+        let r_inc = route(&nl, &lib, &p, &tight);
+        let full = RouteConfig {
+            incremental: false,
+            ..tight.clone()
+        };
+        let r_full = route(&nl, &lib, &p, &full);
+        assert_eq!(
+            r_inc.overflow_edges(),
+            r_full.overflow_edges(),
+            "dirty-net negotiation must reach the same legality"
+        );
+        let (a, b) = (r_inc.total_length(), r_full.total_length());
+        assert!(
+            (a - b).abs() <= 0.25 * b.max(1.0),
+            "wirelengths diverged: incremental {a} vs full {b}"
+        );
+        if r_inc.iterations_used() > 1 {
+            assert!(
+                r_inc.total_reroutes() < r_full.total_reroutes(),
+                "dirty-net should re-route fewer nets: {} vs {}",
+                r_inc.total_reroutes(),
+                r_full.total_reroutes()
+            );
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_across_runs() {
+        let (nl, p, tight) = congested();
+        let lib = generic::library();
+        let r1 = route(&nl, &lib, &p, &tight);
+        let r2 = route(&nl, &lib, &p, &tight);
+        assert_eq!(r1.total_length().to_bits(), r2.total_length().to_bits());
+        assert_eq!(r1.overflow_edges(), r2.overflow_edges());
+        assert_eq!(r1.reroutes_per_iteration(), r2.reroutes_per_iteration());
+        for net in nl.nets() {
+            assert_eq!(r1.net_length(net).to_bits(), r2.net_length(net).to_bits());
+        }
     }
 }
 

@@ -10,6 +10,10 @@
 //! sample of wall-clock timings with mean/min/max reported to stdout. It
 //! is not statistically rigorous like upstream criterion, but gives stable
 //! relative numbers for the micro/flow benchmarks in `vpga-bench`.
+//!
+//! Setting `CRITERION_SMOKE=1` in the environment caps every benchmark at
+//! a single timed sample, regardless of configured sample sizes — CI uses
+//! this to catch bench bit-rot without paying for real measurements.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +22,15 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// The sample count actually used: `requested`, unless `CRITERION_SMOKE`
+/// is set to anything but `0`/empty, in which case one sample.
+fn effective_sample_size(requested: usize) -> usize {
+    match std::env::var_os("CRITERION_SMOKE") {
+        Some(v) if !v.is_empty() && v != "0" => 1,
+        _ => requested.max(1),
+    }
+}
 
 /// Top-level benchmark driver.
 pub struct Criterion {
@@ -112,7 +125,7 @@ impl Criterion {
         let mut samples = Vec::new();
         f(&mut Bencher {
             samples: &mut samples,
-            sample_size: self.sample_size,
+            sample_size: effective_sample_size(self.sample_size),
         });
         report(label, &samples);
         self
@@ -153,7 +166,7 @@ impl BenchmarkGroup<'_> {
         f(
             &mut Bencher {
                 samples: &mut samples,
-                sample_size: self.sample_size,
+                sample_size: effective_sample_size(self.sample_size),
             },
             input,
         );
@@ -170,7 +183,7 @@ impl BenchmarkGroup<'_> {
         let mut samples = Vec::new();
         f(&mut Bencher {
             samples: &mut samples,
-            sample_size: self.sample_size,
+            sample_size: effective_sample_size(self.sample_size),
         });
         report(&format!("{}/{label}", self.name), &samples);
         self
@@ -216,6 +229,16 @@ mod tests {
     fn bench_function_collects_samples() {
         let mut c = Criterion::default();
         c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn smoke_env_caps_samples() {
+        assert_eq!(effective_sample_size(10), 10);
+        std::env::set_var("CRITERION_SMOKE", "1");
+        assert_eq!(effective_sample_size(10), 1);
+        std::env::set_var("CRITERION_SMOKE", "0");
+        assert_eq!(effective_sample_size(10), 10);
+        std::env::remove_var("CRITERION_SMOKE");
     }
 
     #[test]
