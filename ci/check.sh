@@ -7,7 +7,9 @@
 #   3. cargo clippy -D warnings   (lints; skipped if clippy is not installed)
 #   4. cargo build --release      (whole workspace, all targets)
 #   5. cargo test                 (whole workspace)
-#   6. cargo bench, smoke mode    (one sample per bench, catches bit-rot)
+#   6. cargo test --features fault-inject   (fault-injection harness)
+#   7. audited tiny matrix        (debug assertions + inter-stage auditors)
+#   8. cargo bench, smoke mode    (one sample per bench, catches bit-rot)
 #
 # The workspace has no network dependencies: rand/proptest/criterion are
 # vendored as path crates under vendor/, so every step works offline.
@@ -38,6 +40,12 @@ cargo build --release --workspace --all-targets
 
 step "cargo test --workspace"
 cargo test --workspace -q
+
+step "cargo test --features fault-inject (fault-injection harness)"
+cargo test --features fault-inject -q
+
+step "audited matrix run (debug assertions + inter-stage auditors)"
+cargo run -q --bin vpga -- matrix --size tiny --jobs 2 --audit >/dev/null
 
 step "cargo bench (smoke mode, 1 sample per bench)"
 CRITERION_SMOKE=1 cargo bench --workspace

@@ -13,8 +13,18 @@
 //! the paper's evaluation matrix and runs them in two waves: the shared
 //! front-ends (synthesis → physical synthesis, one per (design, arch)
 //! pair), then every variant back-end against its immutable front-end.
+//!
+//! Jobs are panic-isolated: each front-end and back-end runs under
+//! [`std::panic::catch_unwind`], so a poisoned job yields a failed matrix
+//! cell ([`FlowError::StagePanic`], attributed to the stage the worker
+//! had reached) instead of a dead process, and every other cell still
+//! completes — bit-identical to an uninjured run. Back-ends whose shared
+//! front-end failed are never run; the first such cell (in job order)
+//! carries the front-end error itself and the rest are marked
+//! [`FlowError::Skipped`] with the cause.
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -22,8 +32,20 @@ use vpga_core::PlbArchitecture;
 use vpga_designs::{DesignParams, NamedDesign};
 
 use crate::pipeline::{front_end, run_variant, FrontEnd};
-use crate::stats::StageStats;
+use crate::stats::{clear_stage, current_stage, StageStats};
 use crate::{FlowConfig, FlowError, FlowResult, FlowVariant};
+
+/// Renders a trapped panic payload (almost always a `String` or `&str`
+/// from `panic!`/`assert!`) for [`FlowError::StagePanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_owned(),
+            Err(_) => "non-string panic payload".to_owned(),
+        },
+    }
+}
 
 /// A bounded, order-preserving worker pool.
 #[derive(Clone, Copy, Debug)]
@@ -161,7 +183,8 @@ impl FlowMatrix {
         &self.jobs
     }
 
-    /// Runs every job on `executor`, returning results in job order.
+    /// Runs every job on `executor`, returning per-cell results in job
+    /// order — one `Result` per job, never fewer.
     ///
     /// Work is scheduled in two waves so a front-end shared by both
     /// variants of a (design, arch) pair is computed once: first the
@@ -170,15 +193,16 @@ impl FlowMatrix {
     /// use the same index-ordered queue, so the result vector — and every
     /// bit inside it — is independent of the worker count.
     ///
-    /// # Errors
-    ///
-    /// Returns the first error in job order, if any job fails.
-    pub fn run(
+    /// Each job runs under `catch_unwind`: a panic (or error) in one cell
+    /// never stops the others. A pair whose front-end failed contributes
+    /// the front-end error to its first job (in job order) and
+    /// [`FlowError::Skipped`] to the rest.
+    pub fn run_cells(
         &self,
         params: &DesignParams,
         config: &FlowConfig,
         executor: &Executor,
-    ) -> Result<Vec<JobResult>, FlowError> {
+    ) -> Vec<Result<JobResult, FlowError>> {
         // Wave 1: distinct (design, arch) front-ends, keyed by first use.
         let mut pair_keys: Vec<(NamedDesign, String)> = Vec::new();
         let mut pair_arch: Vec<&PlbArchitecture> = Vec::new();
@@ -196,30 +220,112 @@ impl FlowMatrix {
             pair_of_job.push(ix);
         }
         let fronts: Vec<Result<FrontEnd, FlowError>> = executor.run(pair_keys.len(), |ix| {
+            clear_stage();
             let (design, _) = &pair_keys[ix];
-            let netlist = design.generate(params);
-            front_end(&netlist, pair_arch[ix], config)
-        });
-        let mut front_ok: Vec<FrontEnd> = Vec::with_capacity(fronts.len());
-        for front in fronts {
-            front_ok.push(front?);
-        }
-
-        // Wave 2: variant back-ends against the shared front-ends.
-        let results: Vec<Result<JobResult, FlowError>> = executor.run(self.jobs.len(), |i| {
-            let job = &self.jobs[i];
-            let front = &front_ok[pair_of_job[i]];
-            let result = run_variant(front, &job.arch, config, job.variant)?;
-            Ok(JobResult {
-                job: job.clone(),
-                design: front.design.clone(),
-                gates_nand2: front.gates_nand2,
-                compaction: front.compaction.clone(),
-                front_stages: front.stages.clone(),
-                result,
+            let arch = pair_arch[ix];
+            catch_unwind(AssertUnwindSafe(|| {
+                let netlist = design.generate(params);
+                front_end(&netlist, arch, config)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(FlowError::StagePanic {
+                    stage: current_stage(),
+                    design: format!("{}/{}", design.name(), arch.name()),
+                    payload: panic_message(payload),
+                })
             })
         });
-        results.into_iter().collect()
+
+        // Wave 2: variant back-ends against the healthy front-ends; cells
+        // over a failed front-end are not run (filled in below).
+        let results: Vec<Option<Result<JobResult, FlowError>>> =
+            executor.run(self.jobs.len(), |i| {
+                let job = &self.jobs[i];
+                let front = fronts[pair_of_job[i]].as_ref().ok()?;
+                clear_stage();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_variant(front, &job.arch, config, job.variant)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(FlowError::StagePanic {
+                        stage: current_stage(),
+                        design: format!(
+                            "{}/{}/{}",
+                            front.design,
+                            job.arch.name(),
+                            match job.variant {
+                                FlowVariant::A => "a",
+                                FlowVariant::B => "b",
+                            }
+                        ),
+                        payload: panic_message(payload),
+                    })
+                });
+                Some(outcome.map(|result| JobResult {
+                    job: job.clone(),
+                    design: front.design.clone(),
+                    gates_nand2: front.gates_nand2,
+                    compaction: front.compaction.clone(),
+                    front_stages: front.stages.clone(),
+                    result,
+                }))
+            });
+
+        // A failed front-end poisons its dependents: the pair's first job
+        // carries the error itself, later jobs are marked skipped with the
+        // cause so nothing silently vanishes from the result vector.
+        let causes: Vec<Option<String>> = fronts
+            .iter()
+            .map(|r| r.as_ref().err().map(ToString::to_string))
+            .collect();
+        let mut front_errors: Vec<Option<FlowError>> =
+            fronts.into_iter().map(Result::err).collect();
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                if let Some(cell) = cell {
+                    return cell;
+                }
+                let pair = pair_of_job[i];
+                match front_errors[pair].take() {
+                    Some(e) => Err(e),
+                    None => {
+                        let job = &self.jobs[i];
+                        Err(FlowError::Skipped {
+                            design: format!(
+                                "{}/{}/{}",
+                                job.design.name(),
+                                job.arch.name(),
+                                match job.variant {
+                                    FlowVariant::A => "a",
+                                    FlowVariant::B => "b",
+                                }
+                            ),
+                            cause: causes[pair].clone().unwrap_or_default(),
+                        })
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Runs every job on `executor`, returning results in job order, or
+    /// the first failed cell's error. See [`FlowMatrix::run_cells`] for
+    /// the tolerant per-cell form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in job order, if any job fails.
+    pub fn run(
+        &self,
+        params: &DesignParams,
+        config: &FlowConfig,
+        executor: &Executor,
+    ) -> Result<Vec<JobResult>, FlowError> {
+        self.run_cells(params, config, executor)
+            .into_iter()
+            .collect()
     }
 }
 

@@ -19,15 +19,29 @@
 //! The [`stats`] module carries per-stage instrumentation — wall time,
 //! netlist sizes, optimizer cost movement, and mover/acceptance counters —
 //! through every stage of the pipeline.
+//!
+//! The flow is fault-tolerant: worker panics are trapped at job
+//! boundaries ([`FlowError::StagePanic`]), the [`audit`] module re-checks
+//! inter-stage contracts, stochastic stages can retry with
+//! deterministically derived reseeds ([`FlowConfig::retries`]), and the
+//! [`faultpoint`] harness (behind the `fault-inject` feature) injects
+//! deterministic failures to prove all of the above actually fires.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod exec;
+pub mod faultpoint;
 mod pipeline;
 pub mod report;
 pub mod stats;
 
+pub use audit::AuditError;
 pub use exec::{Executor, FlowJob, FlowMatrix, JobResult};
-pub use pipeline::{run_design, DesignOutcome, FlowConfig, FlowError, FlowResult, FlowVariant};
+pub use faultpoint::FaultKind;
+pub use pipeline::{
+    derive_seed, run_design, DesignOutcome, FlowConfig, FlowError, FlowResult, FlowVariant,
+};
+pub use report::{CellFailure, Claims, Matrix};
 pub use stats::{Stage, StageStats};

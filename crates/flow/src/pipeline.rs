@@ -2,19 +2,21 @@
 
 use std::error::Error;
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vpga_compact::CompactionReport;
 use vpga_core::PlbArchitecture;
 use vpga_netlist::library::generic;
 use vpga_netlist::{Netlist, NetlistError};
 use vpga_pack::{PackConfig, PackError};
-use vpga_place::{PlaceConfig, Placement};
-use vpga_route::RouteConfig;
+use vpga_place::{PlaceConfig, PlaceError, Placement};
+use vpga_route::{RouteConfig, RouteError};
 use vpga_synth::SynthError;
-use vpga_timing::TimingConfig;
+use vpga_timing::{TimingConfig, TimingError};
 
-use crate::stats::{Stage, StageStats};
+use crate::audit::{self, AuditError};
+use crate::faultpoint;
+use crate::stats::{note_stage, Stage, StageStats};
 
 /// Which flow of §3.2 to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -57,6 +59,23 @@ pub struct FlowConfig {
     pub buffer_max_fanout: usize,
     /// Buffer-insertion length bound as a fraction of the die side.
     pub buffer_max_length_frac: f64,
+    /// Run the inter-stage auditors of [`crate::audit`] after every stage.
+    /// Defaults to on in debug builds and off in release (`--audit`
+    /// enables it there). Auditing reads stage outputs only — metrics and
+    /// fingerprints are identical with it on or off.
+    pub audit: bool,
+    /// Retry budget for the stochastic stages (place, pack, route): on a
+    /// recoverable stage error, up to this many further attempts run with
+    /// deterministically derived reseeds (see [`derive_seed`]). Consumed
+    /// retries are recorded in [`StageStats::retries`], so a recovered
+    /// run's fingerprint is reproducible but distinct from a first-try
+    /// run's.
+    pub retries: usize,
+    /// Wall-clock budget per pipeline invocation (the shared front-end and
+    /// each variant back-end each get the full budget). Checked at stage
+    /// boundaries and between retry attempts; exceeding it fails the job
+    /// with [`FlowError::DeadlineExceeded`] instead of running on.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for FlowConfig {
@@ -71,11 +90,62 @@ impl Default for FlowConfig {
             pack_criticality: true,
             buffer_max_fanout: 12,
             buffer_max_length_frac: 0.5,
+            audit: cfg!(debug_assertions),
+            retries: 0,
+            deadline: None,
         }
     }
 }
 
+/// The deterministically derived seed for retry `attempt` of a stochastic
+/// stage: attempt 0 is the configured seed itself, and each further
+/// attempt folds the attempt index in through a golden-ratio multiply.
+/// Pure function of `(seed, attempt)` — reruns with the same retry budget
+/// reproduce the same recovery sequence bit for bit.
+pub fn derive_seed(seed: u64, attempt: usize) -> u64 {
+    seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Wall-clock budget tracker for one pipeline invocation.
+struct JobClock {
+    start: Instant,
+    budget: Option<Duration>,
+}
+
+impl JobClock {
+    fn new(budget: Option<Duration>) -> JobClock {
+        JobClock {
+            start: Instant::now(),
+            budget,
+        }
+    }
+
+    /// Fails the job cleanly once the budget is spent (checked at stage
+    /// boundaries and between retry attempts).
+    fn check(&self, stage: Stage, design: &str) -> Result<(), FlowError> {
+        let Some(budget) = self.budget else {
+            return Ok(());
+        };
+        let elapsed = self.start.elapsed();
+        if elapsed > budget {
+            return Err(FlowError::DeadlineExceeded {
+                stage,
+                design: design.to_owned(),
+                elapsed,
+                budget,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Errors from the end-to-end flow.
+///
+/// The leaf variants wrap the typed error of the stage library that
+/// failed; [`FlowError::Stage`] adds the stage and design context the
+/// matrix report needs; [`FlowError::StagePanic`] is how a trapped worker
+/// panic surfaces (see [`crate::exec`]); [`FlowError::Skipped`] marks a
+/// back-end job whose shared front-end already failed.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum FlowError {
@@ -83,8 +153,91 @@ pub enum FlowError {
     Synth(SynthError),
     /// A netlist invariant broke mid-flow.
     Netlist(NetlistError),
+    /// Placement (or the legalizing refinement) failed.
+    Place(PlaceError),
     /// Packing into the PLB array failed.
     Pack(PackError),
+    /// Routing failed (a net could not reach a sink).
+    Route(RouteError),
+    /// Static timing analysis failed (combinational cycle).
+    Timing(TimingError),
+    /// An inter-stage auditor found a broken invariant.
+    Audit(AuditError),
+    /// A worker thread panicked mid-stage; the panic was trapped at the
+    /// job boundary and the rest of the matrix kept running.
+    StagePanic {
+        /// The stage the thread had noted when it panicked, if any.
+        stage: Option<Stage>,
+        /// The job context (`design/arch` or `design/arch/variant`).
+        design: String,
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
+    /// A back-end job was never run because its shared front-end failed.
+    Skipped {
+        /// The job context of the skipped back-end.
+        design: String,
+        /// The front-end failure, rendered.
+        cause: String,
+    },
+    /// The job ran past its `--deadline` wall-clock budget.
+    DeadlineExceeded {
+        /// The stage about to run when the budget check failed.
+        stage: Stage,
+        /// The job context.
+        design: String,
+        /// Wall time spent when the check fired.
+        elapsed: Duration,
+        /// The configured budget.
+        budget: Duration,
+    },
+    /// A stage error with job context attached.
+    Stage {
+        /// The stage that failed.
+        stage: Stage,
+        /// The job context (`design/arch` or `design/arch/variant`).
+        design: String,
+        /// The underlying failure.
+        source: Box<FlowError>,
+    },
+}
+
+impl FlowError {
+    /// Wraps `self` with stage and design context, unless it already
+    /// carries its own (contextual variants pass through unchanged).
+    #[must_use]
+    pub(crate) fn in_stage(self, stage: Stage, design: &str) -> FlowError {
+        match self {
+            FlowError::Stage { .. }
+            | FlowError::StagePanic { .. }
+            | FlowError::Skipped { .. }
+            | FlowError::DeadlineExceeded { .. } => self,
+            other => FlowError::Stage {
+                stage,
+                design: design.to_owned(),
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The stage this error is attributed to, when known.
+    pub fn stage(&self) -> Option<Stage> {
+        match self {
+            FlowError::Stage { stage, .. } | FlowError::DeadlineExceeded { stage, .. } => {
+                Some(*stage)
+            }
+            FlowError::StagePanic { stage, .. } => *stage,
+            _ => None,
+        }
+    }
+
+    /// The innermost error, unwrapping any [`FlowError::Stage`] context.
+    pub fn root(&self) -> &FlowError {
+        match self {
+            FlowError::Stage { source, .. } => source.root(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for FlowError {
@@ -92,7 +245,38 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Synth(e) => write!(f, "synthesis failed: {e}"),
             FlowError::Netlist(e) => write!(f, "netlist error: {e}"),
+            FlowError::Place(e) => write!(f, "placement failed: {e}"),
             FlowError::Pack(e) => write!(f, "packing failed: {e}"),
+            FlowError::Route(e) => write!(f, "routing failed: {e}"),
+            FlowError::Timing(e) => write!(f, "timing analysis failed: {e}"),
+            FlowError::Audit(e) => write!(f, "audit failed: {e}"),
+            FlowError::StagePanic {
+                stage,
+                design,
+                payload,
+            } => match stage {
+                Some(s) => write!(f, "panic in {s} for {design}: {payload}"),
+                None => write!(f, "panic for {design}: {payload}"),
+            },
+            FlowError::Skipped { design, cause } => {
+                write!(f, "{design} skipped: front-end failed ({cause})")
+            }
+            FlowError::DeadlineExceeded {
+                stage,
+                design,
+                elapsed,
+                budget,
+            } => write!(
+                f,
+                "{design} exceeded deadline at {stage}: {:.1}s elapsed, {:.1}s budget",
+                elapsed.as_secs_f64(),
+                budget.as_secs_f64()
+            ),
+            FlowError::Stage {
+                stage,
+                design,
+                source,
+            } => write!(f, "{design}: {stage}: {source}"),
         }
     }
 }
@@ -102,7 +286,15 @@ impl Error for FlowError {
         match self {
             FlowError::Synth(e) => Some(e),
             FlowError::Netlist(e) => Some(e),
+            FlowError::Place(e) => Some(e),
             FlowError::Pack(e) => Some(e),
+            FlowError::Route(e) => Some(e),
+            FlowError::Timing(e) => Some(e),
+            FlowError::Audit(e) => Some(e),
+            FlowError::Stage { source, .. } => Some(source.as_ref()),
+            FlowError::StagePanic { .. }
+            | FlowError::Skipped { .. }
+            | FlowError::DeadlineExceeded { .. } => None,
         }
     }
 }
@@ -119,9 +311,33 @@ impl From<NetlistError> for FlowError {
     }
 }
 
+impl From<PlaceError> for FlowError {
+    fn from(e: PlaceError) -> FlowError {
+        FlowError::Place(e)
+    }
+}
+
 impl From<PackError> for FlowError {
     fn from(e: PackError) -> FlowError {
         FlowError::Pack(e)
+    }
+}
+
+impl From<RouteError> for FlowError {
+    fn from(e: RouteError) -> FlowError {
+        FlowError::Route(e)
+    }
+}
+
+impl From<TimingError> for FlowError {
+    fn from(e: TimingError) -> FlowError {
+        FlowError::Timing(e)
+    }
+}
+
+impl From<AuditError> for FlowError {
+    fn from(e: AuditError) -> FlowError {
+        FlowError::Audit(e)
     }
 }
 
@@ -268,6 +484,13 @@ fn nets(netlist: &Netlist) -> usize {
     netlist.nets().count()
 }
 
+/// True if the error should consume a retry rather than fail the job: a
+/// blown deadline is terminal, everything else from a stochastic stage is
+/// worth another (reseeded) attempt.
+fn retryable(e: &FlowError) -> bool {
+    !matches!(e, FlowError::DeadlineExceeded { .. })
+}
+
 /// Runs synthesis, compaction, timing-driven placement, and physical
 /// synthesis for one (design, architecture) pair.
 pub(crate) fn front_end(
@@ -275,18 +498,28 @@ pub(crate) fn front_end(
     arch: &PlbArchitecture,
     config: &FlowConfig,
 ) -> Result<FrontEnd, FlowError> {
+    let ctx = format!("{}/{}", design.name(), arch.name());
+    let clock = JobClock::new(config.deadline);
     let src = generic::library();
     let gates_nand2 = vpga_netlist::stats::NetlistStats::compute(design, &src)
         .nand2_equivalent(generic::NAND2_AREA);
     let mut stages = Vec::new();
 
     // 1. Synthesis / technology mapping onto the component library.
+    note_stage(Stage::Synth);
+    clock.check(Stage::Synth, &ctx)?;
+    faultpoint::fire("synth", &ctx).map_err(|e| e.in_stage(Stage::Synth, &ctx))?;
     let t = Instant::now();
     let mut netlist = if config.cut_based_mapper {
-        vpga_synth::map_netlist(design, &src, arch)?
+        vpga_synth::map_netlist(design, &src, arch)
     } else {
-        vpga_synth::map_netlist_fast(design, &src, arch)?
-    };
+        vpga_synth::map_netlist_fast(design, &src, arch)
+    }
+    .map_err(|e| FlowError::from(e).in_stage(Stage::Synth, &ctx))?;
+    if config.audit {
+        audit::audit_netlist(&netlist, arch.library())
+            .map_err(|e| FlowError::from(e).in_stage(Stage::Synth, &ctx))?;
+    }
     stages.push(StageStats::new(
         Stage::Synth,
         t.elapsed(),
@@ -296,9 +529,17 @@ pub(crate) fn front_end(
 
     // 2. Regularity-driven logic compaction.
     let compaction = if config.compaction {
+        note_stage(Stage::Compact);
+        clock.check(Stage::Compact, &ctx)?;
+        faultpoint::fire("compact", &ctx).map_err(|e| e.in_stage(Stage::Compact, &ctx))?;
         let t = Instant::now();
         let cells_before = lib_cells(&netlist) as f64;
-        let report = vpga_compact::compact(&mut netlist, arch)?;
+        let report = vpga_compact::compact(&mut netlist, arch)
+            .map_err(|e| FlowError::from(e).in_stage(Stage::Compact, &ctx))?;
+        if config.audit {
+            audit::audit_netlist(&netlist, arch.library())
+                .map_err(|e| FlowError::from(e).in_stage(Stage::Compact, &ctx))?;
+        }
         stages.push(
             StageStats::new(
                 Stage::Compact,
@@ -314,11 +555,32 @@ pub(crate) fn front_end(
     };
 
     // 3. Timing-driven placement: wirelength-driven start, then one
-    //    criticality-weighted refinement.
+    //    criticality-weighted refinement. On a recoverable placement
+    //    failure, retry with a deterministically reseeded config.
     let lib = arch.library();
+    note_stage(Stage::Place);
+    clock.check(Stage::Place, &ctx)?;
     let t = Instant::now();
-    let (mut placement, place_stats) = vpga_place::place_with_stats(&netlist, lib, &config.place);
-    let pre = vpga_timing::analyze(&netlist, lib, &placement, None, &config.timing);
+    let mut attempt = 0usize;
+    let (mut placement, place_stats, place_cfg) = loop {
+        let seeded = PlaceConfig {
+            seed: derive_seed(config.place.seed, attempt),
+            ..config.place.clone()
+        };
+        let outcome = faultpoint::fire("place", &ctx).and_then(|()| {
+            vpga_place::try_place_with_stats(&netlist, lib, &seeded).map_err(FlowError::from)
+        });
+        match outcome {
+            Ok((p, s)) => break (p, s, seeded),
+            Err(e) if attempt < config.retries && retryable(&e) => {
+                attempt += 1;
+                clock.check(Stage::Place, &ctx)?;
+            }
+            Err(e) => return Err(e.in_stage(Stage::Place, &ctx)),
+        }
+    };
+    let pre = vpga_timing::try_analyze(&netlist, lib, &placement, None, &config.timing)
+        .map_err(|e| FlowError::from(e).in_stage(Stage::Place, &ctx))?;
     let weights: Vec<f64> = pre
         .net_criticalities()
         .iter()
@@ -326,9 +588,15 @@ pub(crate) fn front_end(
         .collect();
     let weighted = PlaceConfig {
         net_weights: Some(weights),
-        ..config.place.clone()
+        ..place_cfg
     };
-    let refine_stats = vpga_place::refine_with_stats(&netlist, lib, &mut placement, &weighted, 0.6);
+    let refine_stats =
+        vpga_place::try_refine_with_stats(&netlist, lib, &mut placement, &weighted, 0.6)
+            .map_err(|e| FlowError::from(e).in_stage(Stage::Place, &ctx))?;
+    if config.audit {
+        audit::audit_placement(&netlist, &placement)
+            .map_err(|e| FlowError::from(e).in_stage(Stage::Place, &ctx))?;
+    }
     // Cost fields cover the wirelength-driven anneal (its own cost
     // function); the criticality-weighted refinement optimizes a different
     // (weighted) cost, so it contributes to the move counters only.
@@ -347,10 +615,14 @@ pub(crate) fn front_end(
         .with_bbox_updates(
             place_stats.bbox_incremental + refine_stats.bbox_incremental,
             place_stats.bbox_full + refine_stats.bbox_full,
-        ),
+        )
+        .with_retries(attempt as u32),
     );
 
     // 4. Physical synthesis: buffer insertion, then legalizing refinement.
+    note_stage(Stage::PhysSynth);
+    clock.check(Stage::PhysSynth, &ctx)?;
+    faultpoint::fire("physsynth", &ctx).map_err(|e| e.in_stage(Stage::PhysSynth, &ctx))?;
     let t = Instant::now();
     let max_len = placement.die().width() * config.buffer_max_length_frac;
     vpga_place::insert_buffers(
@@ -359,9 +631,17 @@ pub(crate) fn front_end(
         &mut placement,
         config.buffer_max_fanout,
         max_len,
-    )?;
+    )
+    .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
     let legalize_stats =
-        vpga_place::refine_with_stats(&netlist, lib, &mut placement, &weighted, 0.2);
+        vpga_place::try_refine_with_stats(&netlist, lib, &mut placement, &weighted, 0.2)
+            .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
+    if config.audit {
+        audit::audit_netlist(&netlist, lib)
+            .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
+        audit::audit_placement(&netlist, &placement)
+            .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
+    }
     stages.push(
         StageStats::new(
             Stage::PhysSynth,
@@ -389,6 +669,39 @@ pub(crate) fn front_end(
     })
 }
 
+/// Routes with the retry loop: on a recoverable routing failure, retry
+/// with a doubled negotiation-iteration budget (deterministic — no
+/// reseeding; the router is seedless). Returns the result plus the
+/// retries consumed.
+fn route_with_retries(
+    netlist: &Netlist,
+    lib: &vpga_netlist::Library,
+    placement: &Placement,
+    base: &RouteConfig,
+    config: &FlowConfig,
+    clock: &JobClock,
+    ctx: &str,
+) -> Result<(vpga_route::RoutingResult, usize), FlowError> {
+    let mut attempt = 0usize;
+    loop {
+        let cfg = RouteConfig {
+            max_iterations: base.max_iterations.saturating_mul(1 << attempt.min(16)),
+            ..base.clone()
+        };
+        let outcome = faultpoint::fire("route", ctx).and_then(|()| {
+            vpga_route::try_route(netlist, lib, placement, &cfg).map_err(FlowError::from)
+        });
+        match outcome {
+            Ok(r) => return Ok((r, attempt)),
+            Err(e) if attempt < config.retries && retryable(&e) => {
+                attempt += 1;
+                clock.check(Stage::Route, ctx)?;
+            }
+            Err(e) => return Err(e.in_stage(Stage::Route, ctx)),
+        }
+    }
+}
+
 /// Runs one back-end variant over a (shared, immutable) front-end.
 pub(crate) fn run_variant(
     front: &FrontEnd,
@@ -396,31 +709,77 @@ pub(crate) fn run_variant(
     config: &FlowConfig,
     variant: FlowVariant,
 ) -> Result<FlowResult, FlowError> {
+    let ctx = format!(
+        "{}/{}/{}",
+        front.design,
+        arch.name(),
+        match variant {
+            FlowVariant::A => "a",
+            FlowVariant::B => "b",
+        }
+    );
+    let clock = JobClock::new(config.deadline);
     let lib = arch.library();
     let netlist = &front.netlist;
     let cells = front.cells;
     let n_nets = nets(netlist);
     let mut stages = Vec::new();
+    // Auditing the router needs the per-net tile paths retained; the
+    // routes themselves never enter a fingerprint, so this cannot perturb
+    // determinism checks.
+    let base_route = RouteConfig {
+        keep_routes: config.route.keep_routes || config.audit,
+        ..config.route.clone()
+    };
 
     match variant {
         // Flow a: route + post-layout STA on the ASIC-style placement.
         FlowVariant::A => {
+            note_stage(Stage::Route);
+            clock.check(Stage::Route, &ctx)?;
             let t = Instant::now();
-            let routing = vpga_route::route(netlist, lib, &front.placement, &config.route);
+            let (routing, route_retries) = route_with_retries(
+                netlist,
+                lib,
+                &front.placement,
+                &base_route,
+                config,
+                &clock,
+                &ctx,
+            )?;
+            if config.audit {
+                audit::audit_route(
+                    netlist,
+                    &front.placement,
+                    &routing,
+                    base_route.channel_capacity,
+                )
+                .map_err(|e| FlowError::from(e).in_stage(Stage::Route, &ctx))?;
+            }
             stages.push(
-                StageStats::new(Stage::Route, t.elapsed(), cells, n_nets).with_reroutes(
-                    routing.total_reroutes() as u64,
-                    routing.nets_routed() as u64,
-                ),
+                StageStats::new(Stage::Route, t.elapsed(), cells, n_nets)
+                    .with_reroutes(
+                        routing.total_reroutes() as u64,
+                        routing.nets_routed() as u64,
+                    )
+                    .with_retries(route_retries as u32),
             );
+            note_stage(Stage::Timing);
+            clock.check(Stage::Timing, &ctx)?;
+            faultpoint::fire("sta", &ctx).map_err(|e| e.in_stage(Stage::Timing, &ctx))?;
+            if config.audit {
+                audit::audit_sta_ready(netlist, lib)
+                    .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
+            }
             let t = Instant::now();
-            let sta = vpga_timing::analyze(
+            let sta = vpga_timing::try_analyze(
                 netlist,
                 lib,
                 &front.placement,
                 Some(&routing),
                 &config.timing,
-            );
+            )
+            .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
             let power = vpga_timing::power::estimate(
                 netlist,
                 lib,
@@ -446,34 +805,67 @@ pub(crate) fn run_variant(
         // Flow b: pack into the PLB array (criticality-aware, iterated
         // with placement), then route + STA on the array.
         FlowVariant::B => {
+            note_stage(Stage::Pack);
+            clock.check(Stage::Pack, &ctx)?;
             let t = Instant::now();
-            let sta = vpga_timing::analyze(netlist, lib, &front.placement, None, &config.timing);
+            let sta =
+                vpga_timing::try_analyze(netlist, lib, &front.placement, None, &config.timing)
+                    .map_err(|e| FlowError::from(e).in_stage(Stage::Pack, &ctx))?;
             let pack_cfg = PackConfig {
                 criticality: config
                     .pack_criticality
                     .then(|| sta.cell_criticalities(netlist)),
                 ..config.pack.clone()
             };
-            let mut b_placement = front.placement.clone();
-            let hpwl_before = b_placement.total_hpwl(netlist);
-            let (mut array, pack_stats) = vpga_pack::pack_iterative_with_stats(
-                netlist,
-                arch,
-                &mut b_placement,
-                &config.place,
-                &pack_cfg,
-            )?;
+            // Packing iterates with the (stochastic) placement refiner, so
+            // a recoverable failure retries with a reseeded place config
+            // on a fresh copy of the front-end placement.
+            let mut attempt = 0usize;
+            let (mut array, pack_stats, mut b_placement, hpwl_before) = loop {
+                let mut b_placement = front.placement.clone();
+                let hpwl_before = b_placement.total_hpwl(netlist);
+                let seeded = PlaceConfig {
+                    seed: derive_seed(config.place.seed, attempt),
+                    ..config.place.clone()
+                };
+                let outcome = faultpoint::fire("pack", &ctx).and_then(|()| {
+                    vpga_pack::pack_iterative_with_stats(
+                        netlist,
+                        arch,
+                        &mut b_placement,
+                        &seeded,
+                        &pack_cfg,
+                    )
+                    .map_err(FlowError::from)
+                });
+                match outcome {
+                    Ok((array, stats)) => break (array, stats, b_placement, hpwl_before),
+                    Err(e) if attempt < config.retries && retryable(&e) => {
+                        attempt += 1;
+                        clock.check(Stage::Pack, &ctx)?;
+                    }
+                    Err(e) => return Err(e.in_stage(Stage::Pack, &ctx)),
+                }
+            };
+            if config.audit {
+                audit::audit_pack(netlist, arch, &array)
+                    .map_err(|e| FlowError::from(e).in_stage(Stage::Pack, &ctx))?;
+            }
             stages.push(
                 StageStats::new(Stage::Pack, t.elapsed(), cells, n_nets)
                     .with_cost(hpwl_before, b_placement.total_hpwl(netlist))
                     .with_moves(
                         pack_stats.relocations + pack_stats.spilled,
                         pack_stats.relocations,
-                    ),
+                    )
+                    .with_retries(attempt as u32),
             );
             // PLB-level detailed placement: anneal whole-PLB swaps to
             // recover the wirelength the quantization cost, weighting
             // critical nets.
+            note_stage(Stage::Swap);
+            clock.check(Stage::Swap, &ctx)?;
+            faultpoint::fire("swap", &ctx).map_err(|e| e.in_stage(Stage::Swap, &ctx))?;
             let t = Instant::now();
             let swap_cfg = vpga_pack::SwapConfig {
                 net_weights: Some(
@@ -490,27 +882,53 @@ pub(crate) fn run_variant(
                 &mut b_placement,
                 &swap_cfg,
             );
+            if config.audit {
+                audit::audit_pack(netlist, arch, &array)
+                    .map_err(|e| FlowError::from(e).in_stage(Stage::Swap, &ctx))?;
+            }
             stages.push(
                 StageStats::new(Stage::Swap, t.elapsed(), cells, n_nets)
                     .with_cost(swap_stats.cost_initial, swap_stats.cost_final)
                     .with_moves(swap_stats.moves_attempted, swap_stats.moves_accepted),
             );
             // Route over the PLB grid: one tile per PLB.
+            note_stage(Stage::Route);
+            clock.check(Stage::Route, &ctx)?;
             let t = Instant::now();
             let route_cfg = RouteConfig {
                 tile_size: Some(array.plb_pitch()),
-                ..config.route.clone()
+                ..base_route.clone()
             };
-            let routing = vpga_route::route(netlist, lib, &b_placement, &route_cfg);
+            let (routing, route_retries) =
+                route_with_retries(netlist, lib, &b_placement, &route_cfg, config, &clock, &ctx)?;
+            if config.audit {
+                audit::audit_route(netlist, &b_placement, &routing, route_cfg.channel_capacity)
+                    .map_err(|e| FlowError::from(e).in_stage(Stage::Route, &ctx))?;
+            }
             stages.push(
-                StageStats::new(Stage::Route, t.elapsed(), cells, n_nets).with_reroutes(
-                    routing.total_reroutes() as u64,
-                    routing.nets_routed() as u64,
-                ),
+                StageStats::new(Stage::Route, t.elapsed(), cells, n_nets)
+                    .with_reroutes(
+                        routing.total_reroutes() as u64,
+                        routing.nets_routed() as u64,
+                    )
+                    .with_retries(route_retries as u32),
             );
+            note_stage(Stage::Timing);
+            clock.check(Stage::Timing, &ctx)?;
+            faultpoint::fire("sta", &ctx).map_err(|e| e.in_stage(Stage::Timing, &ctx))?;
+            if config.audit {
+                audit::audit_sta_ready(netlist, lib)
+                    .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
+            }
             let t = Instant::now();
-            let sta =
-                vpga_timing::analyze(netlist, lib, &b_placement, Some(&routing), &config.timing);
+            let sta = vpga_timing::try_analyze(
+                netlist,
+                lib,
+                &b_placement,
+                Some(&routing),
+                &config.timing,
+            )
+            .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
             let power = vpga_timing::power::estimate(
                 netlist,
                 lib,

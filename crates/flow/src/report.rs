@@ -6,10 +6,38 @@ use crate::exec::{Executor, FlowMatrix};
 use crate::pipeline::{DesignOutcome, FlowConfig, FlowError, FlowVariant};
 use crate::stats::render_stages;
 
-/// All outcomes for the 4 designs × 2 architectures evaluation matrix.
+/// One failed cell of the evaluation matrix: which job died and why.
+/// The error is kept rendered so the matrix stays cheap to clone.
+#[derive(Clone, Debug)]
+pub struct CellFailure {
+    /// Design display name.
+    pub design: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Flow variant of the failed cell.
+    pub variant: FlowVariant,
+    /// The rendered [`FlowError`].
+    pub error: String,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} ({}): {}",
+            self.design, self.arch, self.variant, self.error
+        )
+    }
+}
+
+/// All outcomes for the 4 designs × 2 architectures evaluation matrix,
+/// plus any cells that failed (a [`Matrix::run_resilient`] matrix keeps
+/// running when a cell panics or errors; the strict constructors return
+/// the first error instead).
 #[derive(Clone, Debug)]
 pub struct Matrix {
     outcomes: Vec<DesignOutcome>,
+    failures: Vec<CellFailure>,
 }
 
 impl Matrix {
@@ -57,17 +85,84 @@ impl Matrix {
                 flow_b: b.result,
             });
         }
-        Ok(Matrix { outcomes })
+        Ok(Matrix {
+            outcomes,
+            failures: Vec::new(),
+        })
+    }
+
+    /// Runs the full evaluation matrix across `jobs` workers, keeping
+    /// going when cells fail: a panicking or erroring job becomes a
+    /// [`CellFailure`] (and drops its (design, arch) pair from the
+    /// tables), while every healthy cell completes bit-identical to a
+    /// fully healthy run. This is the `matrix` command's default
+    /// constructor; [`Matrix::run_parallel`] is the strict form.
+    pub fn run_resilient(params: &DesignParams, config: &FlowConfig, jobs: usize) -> Matrix {
+        let executor = Executor::new(jobs);
+        let flow_matrix = FlowMatrix::full();
+        let cells = flow_matrix.run_cells(params, config, &executor);
+        let mut outcomes = Vec::new();
+        let mut failures = Vec::new();
+        let mut pairs = flow_matrix.jobs().iter().zip(cells);
+        while let (Some((ja, ca)), Some((jb, cb))) = (pairs.next(), pairs.next()) {
+            debug_assert_eq!(ja.variant, FlowVariant::A);
+            debug_assert_eq!(jb.variant, FlowVariant::B);
+            match (ca, cb) {
+                (Ok(a), Ok(b)) => outcomes.push(DesignOutcome {
+                    design: a.design,
+                    arch: ja.arch.name().to_owned(),
+                    gates_nand2: a.gates_nand2,
+                    compaction: a.compaction,
+                    front_stages: a.front_stages,
+                    flow_a: a.result,
+                    flow_b: b.result,
+                }),
+                (ca, cb) => {
+                    for (job, cell) in [(ja, ca), (jb, cb)] {
+                        if let Err(e) = cell {
+                            failures.push(CellFailure {
+                                design: job.design.name().to_owned(),
+                                arch: job.arch.name().to_owned(),
+                                variant: job.variant,
+                                error: e.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Matrix { outcomes, failures }
     }
 
     /// Wraps externally computed outcomes (e.g. from custom architectures).
     pub fn from_outcomes(outcomes: Vec<DesignOutcome>) -> Matrix {
-        Matrix { outcomes }
+        Matrix {
+            outcomes,
+            failures: Vec::new(),
+        }
     }
 
     /// All outcomes.
     pub fn outcomes(&self) -> &[DesignOutcome] {
         &self.outcomes
+    }
+
+    /// The cells that failed (empty for a strict or fully healthy run).
+    pub fn failures(&self) -> &[CellFailure] {
+        &self.failures
+    }
+
+    /// Renders the failed cells, one per line; empty string when none.
+    pub fn failures_report(&self) -> String {
+        use std::fmt::Write as _;
+        if self.failures.is_empty() {
+            return String::new();
+        }
+        let mut s = String::from("Failed cells:\n");
+        for failure in &self.failures {
+            let _ = writeln!(s, "  {failure}");
+        }
+        s
     }
 
     /// The outcome for a design/architecture pair.
@@ -163,7 +258,21 @@ impl Matrix {
         h
     }
 
+    /// The §3.2 derived claims, if every (design, arch) outcome the
+    /// formulas need is present; `None` when failed cells left holes.
+    pub fn try_claims(&self) -> Option<Claims> {
+        let complete = NamedDesign::ALL
+            .iter()
+            .all(|&d| self.get(d, "granular").is_some() && self.get(d, "lut").is_some());
+        complete.then(|| self.claims())
+    }
+
     /// The §3.2 derived claims.
+    ///
+    /// # Panics
+    ///
+    /// If any (design, arch) outcome is missing — use
+    /// [`Matrix::try_claims`] on a resilient matrix.
     pub fn claims(&self) -> Claims {
         let pair = |d: NamedDesign| {
             (
@@ -331,6 +440,16 @@ impl std::fmt::Display for Claims {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn resilient_run_matches_strict_when_healthy() {
+        let strict = Matrix::run(&DesignParams::tiny(), &FlowConfig::default()).unwrap();
+        let resilient = Matrix::run_resilient(&DesignParams::tiny(), &FlowConfig::default(), 2);
+        assert!(resilient.failures().is_empty());
+        assert!(resilient.failures_report().is_empty());
+        assert_eq!(resilient.fingerprint(), strict.fingerprint());
+        assert!(resilient.try_claims().is_some());
+    }
 
     #[test]
     fn matrix_runs_and_formats_at_tiny_scale() {

@@ -9,8 +9,31 @@
 //! else is bit-identical across runs and across worker counts, which the
 //! determinism tests pin via [`StageStats::fingerprint`].
 
+use std::cell::Cell;
 use std::fmt;
 use std::time::Duration;
+
+thread_local! {
+    /// The stage the current worker thread is executing, for panic
+    /// attribution: the pipeline notes each stage as it starts, and the
+    /// executor reads the note when `catch_unwind` traps a worker panic.
+    static CURRENT_STAGE: Cell<Option<Stage>> = const { Cell::new(None) };
+}
+
+/// Records `stage` as the one the calling thread is executing.
+pub(crate) fn note_stage(stage: Stage) {
+    CURRENT_STAGE.with(|s| s.set(Some(stage)));
+}
+
+/// Clears the calling thread's stage note (job boundary).
+pub(crate) fn clear_stage() {
+    CURRENT_STAGE.with(|s| s.set(None));
+}
+
+/// The stage the calling thread last noted, if any.
+pub(crate) fn current_stage() -> Option<Stage> {
+    CURRENT_STAGE.with(Cell::get)
+}
 
 /// A stage of the Figure 6 flow.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -36,6 +59,18 @@ pub enum Stage {
 }
 
 impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Synth,
+        Stage::Compact,
+        Stage::Place,
+        Stage::PhysSynth,
+        Stage::Pack,
+        Stage::Swap,
+        Stage::Route,
+        Stage::Timing,
+    ];
+
     /// The stage's display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -85,6 +120,10 @@ pub struct StageStats {
     pub nets_rerouted: Option<u64>,
     /// Routable nets the stage handled (routing stages).
     pub nets_total: Option<u64>,
+    /// Recovery retries the stage consumed before succeeding (stochastic
+    /// stages under `--retries`; recorded so reseeded runs fingerprint
+    /// differently from first-try runs).
+    pub retries: Option<u32>,
 }
 
 impl StageStats {
@@ -103,6 +142,7 @@ impl StageStats {
             bbox_full: None,
             nets_rerouted: None,
             nets_total: None,
+            retries: None,
         }
     }
 
@@ -139,6 +179,16 @@ impl StageStats {
         self
     }
 
+    /// Attaches the recovery-retry count (only recorded when non-zero, so
+    /// untouched runs keep their fingerprints).
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> StageStats {
+        if retries > 0 {
+            self.retries = Some(retries);
+        }
+        self
+    }
+
     /// Folds every deterministic field (everything but `wall`) into `h`
     /// with an FNV-1a step, so result fingerprints also pin the
     /// instrumentation.
@@ -160,6 +210,7 @@ impl StageStats {
         mix(self.bbox_full.unwrap_or(0));
         mix(self.nets_rerouted.unwrap_or(0));
         mix(self.nets_total.unwrap_or(0));
+        mix(u64::from(self.retries.unwrap_or(0)));
     }
 }
 
@@ -184,6 +235,9 @@ impl fmt::Display for StageStats {
         }
         if let (Some(rr), Some(total)) = (self.nets_rerouted, self.nets_total) {
             write!(f, "  reroutes {rr}/{total} nets")?;
+        }
+        if let Some(r) = self.retries {
+            write!(f, "  retries {r}")?;
         }
         Ok(())
     }

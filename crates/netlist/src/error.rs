@@ -42,6 +42,16 @@ pub enum NetlistError {
         /// The rejected function.
         function: vpga_logic::Tt3,
     },
+    /// Malformed interchange text (structural Verilog) at the given
+    /// position; 1-based line, 1-based column.
+    Parse {
+        /// Line of the offending text (1-based).
+        line: usize,
+        /// Column of the offending token (1-based).
+        col: usize,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -71,6 +81,9 @@ impl fmt::Display for NetlistError {
                 f,
                 "cell {cell:?} cannot be via-programmed to function {function}"
             ),
+            NetlistError::Parse { line, col, message } => {
+                write!(f, "parse error at line {line}, column {col}: {message}")
+            }
         }
     }
 }

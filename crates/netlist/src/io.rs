@@ -162,30 +162,52 @@ pub fn write_verilog(netlist: &Netlist, lib: &Library) -> Result<String, Netlist
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::UnknownLibCell`] for unknown cell types and
-/// other [`NetlistError`]s for malformed structure. Syntax errors are
-/// reported as [`NetlistError::DuplicateCellName`]-free parse failures via
-/// [`NetlistError::UnknownLibCell`] with the offending token.
+/// Returns [`NetlistError::UnknownLibCell`] for unknown cell types,
+/// [`NetlistError::Parse`] (with 1-based line/column) for malformed text,
+/// and other [`NetlistError`]s for structurally invalid netlists. The
+/// parser never panics, whatever the input: truncated, duplicated, or
+/// corrupted text comes back as an `Err`.
 pub fn read_verilog(text: &str, lib: &Library) -> Result<Netlist, NetlistError> {
+    let perr =
+        |line: usize, col: usize, message: String| NetlistError::Parse { line, col, message };
     let mut netlist: Option<Netlist> = None;
     let mut outputs: Vec<(String, String)> = Vec::new(); // (port, source net)
     let mut nets: HashMap<String, NetId> = HashMap::new();
-    let mut pending_outputs: Vec<String> = Vec::new();
+    let mut pending_outputs: Vec<(String, usize, usize)> = Vec::new();
     // Instances whose pins may reference nets defined later.
     struct Inst {
         lib_name: String,
         name: String,
         cfg: Option<Tt3>,
         pins: Vec<(String, String)>,
+        line: usize,
+        col: usize,
     }
     let mut instances: Vec<Inst> = Vec::new();
-    let mut assigns: Vec<(String, String)> = Vec::new();
-    for raw in text.lines() {
+    let mut assigns: Vec<(String, String, usize, usize)> = Vec::new();
+    let mut saw_endmodule = false;
+    for (lix, raw) in text.lines().enumerate() {
+        let lno = lix + 1;
         let line = raw.trim();
-        if line.is_empty() || line.starts_with("//") || line == "endmodule" {
+        // Column of the first significant character, 1-based.
+        let col = raw.len() - raw.trim_start().len() + 1;
+        if line.is_empty() || line.starts_with("//") {
             continue;
         }
+        if line == "endmodule" {
+            if netlist.is_none() {
+                return Err(perr(lno, col, "endmodule before module header".into()));
+            }
+            saw_endmodule = true;
+            continue;
+        }
+        if saw_endmodule {
+            return Err(perr(lno, col, "statement after endmodule".into()));
+        }
         if let Some(rest) = line.strip_prefix("module ") {
+            if netlist.is_some() {
+                return Err(perr(lno, col, "second module header".into()));
+            }
             let name = rest.split_whitespace().next().unwrap_or("top");
             let name = name.trim_start_matches('\\').trim_end_matches('(');
             netlist = Some(Netlist::new(name.trim()));
@@ -193,13 +215,23 @@ pub fn read_verilog(text: &str, lib: &Library) -> Result<Netlist, NetlistError> 
         }
         let n = netlist
             .as_mut()
-            .ok_or_else(|| NetlistError::UnknownLibCell("module header missing".into()))?;
+            .ok_or_else(|| perr(lno, col, "statement before module header".into()))?;
         if let Some(rest) = line.strip_prefix("input ") {
             let name = parse_ident(rest);
+            if name.is_empty() {
+                return Err(perr(lno, col, "input declaration without a name".into()));
+            }
+            if n.cell_by_name(&name).is_some() {
+                return Err(perr(lno, col, format!("duplicate port name {name:?}")));
+            }
             let net = n.add_input(name.clone());
             nets.insert(name, net);
         } else if let Some(rest) = line.strip_prefix("output ") {
-            pending_outputs.push(parse_ident(rest));
+            let name = parse_ident(rest);
+            if name.is_empty() {
+                return Err(perr(lno, col, "output declaration without a name".into()));
+            }
+            pending_outputs.push((name, lno, col));
         } else if let Some(rest) = line.strip_prefix("wire ") {
             let name = parse_ident(rest);
             // Net created lazily when driven; remember the name.
@@ -207,40 +239,60 @@ pub fn read_verilog(text: &str, lib: &Library) -> Result<Netlist, NetlistError> 
         } else if let Some(rest) = line.strip_prefix("assign ") {
             let (lhs, rhs) = rest
                 .split_once('=')
-                .ok_or_else(|| NetlistError::UnknownLibCell(format!("bad assign: {line}")))?;
+                .ok_or_else(|| perr(lno, col, format!("assign without '=': {line}")))?;
             let lhs = parse_ident(lhs);
+            if lhs.is_empty() {
+                return Err(perr(lno, col, "assign without a target".into()));
+            }
             let rhs = rhs.trim().trim_end_matches(';').trim();
             if let Some(bit) = rhs.strip_prefix("1'b") {
                 let value = bit.starts_with('1');
                 let net = n.constant(value);
                 nets.insert(lhs, net);
             } else {
-                assigns.push((lhs, parse_ident(rhs)));
+                let src = parse_ident(rhs);
+                if src.is_empty() {
+                    return Err(perr(lno, col, "assign without a source".into()));
+                }
+                assigns.push((lhs, src, lno, col));
             }
         } else {
             // Instance line: CELL [#(.CFG(8'hXX))] name (.pin(net), ...);
             let inst = parse_instance(line)
-                .ok_or_else(|| NetlistError::UnknownLibCell(format!("bad instance: {line}")))?;
+                .ok_or_else(|| perr(lno, col, format!("malformed instance: {line}")))?;
             instances.push(Inst {
                 lib_name: inst.0,
                 name: inst.1,
                 cfg: inst.2,
                 pins: inst.3,
+                line: lno,
+                col,
             });
         }
     }
-    let mut n = netlist.ok_or_else(|| NetlistError::UnknownLibCell("no module found".into()))?;
+    let mut n = netlist.ok_or_else(|| perr(1, 1, "no module header found".into()))?;
+    if !saw_endmodule {
+        let last = text.lines().count().max(1);
+        return Err(perr(last, 1, "missing endmodule".into()));
+    }
     // Create instances with placeholder inputs, record their output nets,
     // then rewire (instances may reference each other in any order).
     let placeholder = n.constant(false);
-    let mut fixups: Vec<(crate::ids::CellId, Vec<(usize, String)>)> = Vec::new();
+    // (cell, pending (pin, net) rewires, source line, source column)
+    type Fixup = (crate::ids::CellId, Vec<(usize, String)>, usize, usize);
+    let mut fixups: Vec<Fixup> = Vec::new();
     for inst in &instances {
         let lc = lib
             .cell_by_name(&inst.lib_name)
             .ok_or_else(|| NetlistError::UnknownLibCell(inst.lib_name.clone()))?;
+        if inst.name.is_empty() {
+            return Err(perr(inst.line, inst.col, "instance without a name".into()));
+        }
         let pins = vec![placeholder; lc.arity()];
         let out_net = n.add_lib_cell(inst.name.clone(), lib, &inst.lib_name, &pins)?;
-        let cell = n.driver(out_net).expect("instance drives");
+        let cell = n
+            .driver(out_net)
+            .ok_or_else(|| perr(inst.line, inst.col, "instance output has no driver".into()))?;
         if let Some(cfg) = inst.cfg {
             n.set_config(cell, lib, Some(cfg))?;
         }
@@ -253,34 +305,41 @@ pub fn read_verilog(text: &str, lib: &Library) -> Result<Netlist, NetlistError> 
             } else if let Some(ix) = pin.strip_prefix('i').and_then(|s| s.parse().ok()) {
                 inputs.push((ix, net.clone()));
             } else {
-                return Err(NetlistError::UnknownLibCell(format!(
-                    "unknown pin {pin} on {}",
-                    inst.lib_name
-                )));
+                return Err(perr(
+                    inst.line,
+                    inst.col,
+                    format!("unknown pin {pin} on {}", inst.lib_name),
+                ));
             }
         }
-        fixups.push((cell, inputs));
+        fixups.push((cell, inputs, inst.line, inst.col));
     }
-    for (cell, inputs) in fixups {
+    for (cell, inputs, lno, col) in fixups {
         for (pin, net_name) in inputs {
             let net = *nets
                 .get(&net_name)
-                .ok_or_else(|| NetlistError::UnknownLibCell(format!("undriven {net_name}")))?;
+                .ok_or_else(|| perr(lno, col, format!("undriven net {net_name:?}")))?;
             n.connect_pin(cell, pin, net)?;
         }
     }
-    for (port, src) in assigns {
+    for (port, src, lno, col) in assigns {
+        if outputs.iter().any(|(p, _)| *p == port) {
+            return Err(perr(lno, col, format!("duplicate assign to {port:?}")));
+        }
         outputs.push((port, src));
     }
-    for port in pending_outputs {
+    for (port, lno, col) in pending_outputs {
         let src = outputs
             .iter()
             .find(|(p, _)| *p == port)
             .map(|(_, s)| s.clone())
-            .ok_or_else(|| NetlistError::UnknownLibCell(format!("output {port} unassigned")))?;
+            .ok_or_else(|| perr(lno, col, format!("output {port:?} never assigned")))?;
         let net = *nets
             .get(&src)
-            .ok_or_else(|| NetlistError::UnknownLibCell(format!("undriven {src}")))?;
+            .ok_or_else(|| perr(lno, col, format!("undriven net {src:?}")))?;
+        if n.cell_by_name(&port).is_some() {
+            return Err(perr(lno, col, format!("duplicate port name {port:?}")));
+        }
         n.add_output(port, net);
     }
     n.validate(lib)?;
@@ -321,7 +380,9 @@ fn parse_instance(line: &str) -> Option<ParsedInstance> {
     let mut cfg = None;
     let mut head_clean = head.clone();
     if let Some(ix) = head.find("#(.CFG(8'h") {
-        let hex = &head[ix + 10..ix + 12];
+        // `get` rather than slicing: a truncated parameter must fail the
+        // parse, not abort the process.
+        let hex = head.get(ix + 10..ix + 12)?;
         cfg = Some(Tt3::new(u8::from_str_radix(hex, 16).ok()?));
         head_clean = format!(
             "{} {}",

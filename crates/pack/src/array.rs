@@ -31,6 +31,15 @@ pub enum PackError {
         /// Items left unseated in the final attempt.
         leftover: usize,
     },
+    /// `target_fill` outside `(0, 1]` — the array-sizing bound is
+    /// undefined.
+    InvalidTargetFill(f64),
+    /// The netlist references a library cell the architecture's library
+    /// does not contain (netlist mapped against a different library).
+    ForeignCell {
+        /// The offending netlist cell's name.
+        cell: String,
+    },
 }
 
 impl fmt::Display for PackError {
@@ -50,6 +59,13 @@ impl fmt::Display for PackError {
             PackError::Unpackable { leftover } => {
                 write!(f, "{leftover} items could not be seated in the array")
             }
+            PackError::InvalidTargetFill(t) => {
+                write!(f, "target_fill {t} outside (0, 1]")
+            }
+            PackError::ForeignCell { cell } => write!(
+                f,
+                "cell {cell:?} references a library cell outside the architecture's library"
+            ),
         }
     }
 }

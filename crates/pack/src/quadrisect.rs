@@ -76,13 +76,13 @@ pub struct PackStats {
 ///
 /// # Errors
 ///
+/// * [`PackError::InvalidTargetFill`] if `config.target_fill` is outside
+///   `(0, 1]`,
+/// * [`PackError::ForeignCell`] if the netlist was mapped against a
+///   different library,
 /// * [`PackError::GroupTooLarge`] if a compaction group exceeds one PLB,
 /// * [`PackError::Unpackable`] if the design cannot be seated even after
 ///   growing the array `config.growth_retries` times.
-///
-/// # Panics
-///
-/// Panics if `config.target_fill` is not in `(0, 1]`.
 pub fn pack(
     netlist: &Netlist,
     arch: &PlbArchitecture,
@@ -97,20 +97,15 @@ pub fn pack(
 /// # Errors
 ///
 /// Propagates [`pack`] errors.
-///
-/// # Panics
-///
-/// Panics if `config.target_fill` is not in `(0, 1]`.
 pub fn pack_with_stats(
     netlist: &Netlist,
     arch: &PlbArchitecture,
     placement: &Placement,
     config: &PackConfig,
 ) -> Result<(PlbArray, PackStats), PackError> {
-    assert!(
-        config.target_fill > 0.0 && config.target_fill <= 1.0,
-        "target_fill must be in (0, 1]"
-    );
+    if !(config.target_fill > 0.0 && config.target_fill <= 1.0) {
+        return Err(PackError::InvalidTargetFill(config.target_fill));
+    }
     let lib = arch.library();
     // Collect items: groups first, then singleton cells.
     let mut group_items: HashMap<GroupId, Item> = HashMap::new();
@@ -126,7 +121,9 @@ pub fn pack_with_stats(
         let CellKind::Lib(lib_id) = cell.kind() else {
             continue;
         };
-        let lc = lib.cell(lib_id).expect("lib cell");
+        let lc = lib.cell(lib_id).ok_or_else(|| PackError::ForeignCell {
+            cell: cell.name().to_owned(),
+        })?;
         let class = lc.class();
         let function = netlist.instance_function(id, lib);
         let (x, y) = placement.position(id).unwrap_or((0.0, 0.0));

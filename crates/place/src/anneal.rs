@@ -19,6 +19,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vpga_netlist::{CellId, CellKind, Library, NetId, Netlist};
 
+use crate::error::PlaceError;
 use crate::grid::Placement;
 #[cfg(test)]
 use crate::grid::Rect;
@@ -88,15 +89,36 @@ pub fn place_with_stats(
     lib: &Library,
     config: &PlaceConfig,
 ) -> (Placement, PlaceStats) {
+    try_place_with_stats(netlist, lib, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`place_with_stats`]: configuration and feasibility
+/// problems come back as a [`PlaceError`] instead of aborting the worker.
+///
+/// # Errors
+///
+/// * [`PlaceError::InvalidUtilization`] if `config.utilization` is outside
+///   `(0, 1]`,
+/// * [`PlaceError::GridTooSmall`] if the site grid cannot seat every
+///   movable cell.
+pub fn try_place_with_stats(
+    netlist: &Netlist,
+    lib: &Library,
+    config: &PlaceConfig,
+) -> Result<(Placement, PlaceStats), PlaceError> {
+    if !(config.utilization > 0.0 && config.utilization <= 1.0) {
+        return Err(PlaceError::InvalidUtilization(config.utilization));
+    }
     let mut placement = Placement::initial(netlist, lib, config.utilization);
     let stats = {
         let mut engine = Engine::new(netlist, lib, &mut placement, config);
+        engine.check_capacity()?;
         engine.scatter();
         engine.anneal(1.0);
         engine.commit();
         engine.stats
     };
-    (placement, stats)
+    Ok((placement, stats))
 }
 
 /// Refines an existing placement at reduced temperature, honouring fixed
@@ -132,12 +154,37 @@ pub fn refine_with_stats(
     config: &PlaceConfig,
     heat: f64,
 ) -> PlaceStats {
-    assert!(heat > 0.0 && heat <= 1.0, "heat must be in (0, 1]");
+    try_refine_with_stats(netlist, lib, placement, config, heat).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`refine_with_stats`].
+///
+/// # Errors
+///
+/// * [`PlaceError::InvalidHeat`] if `heat` is outside `(0, 1]`,
+/// * [`PlaceError::InvalidUtilization`] if `config.utilization` is outside
+///   `(0, 1]`,
+/// * [`PlaceError::GridTooSmall`] if the site grid cannot seat every
+///   movable cell.
+pub fn try_refine_with_stats(
+    netlist: &Netlist,
+    lib: &Library,
+    placement: &mut Placement,
+    config: &PlaceConfig,
+    heat: f64,
+) -> Result<PlaceStats, PlaceError> {
+    if !(heat > 0.0 && heat <= 1.0) {
+        return Err(PlaceError::InvalidHeat(heat));
+    }
+    if !(config.utilization > 0.0 && config.utilization <= 1.0) {
+        return Err(PlaceError::InvalidUtilization(config.utilization));
+    }
     let mut engine = Engine::new(netlist, lib, placement, config);
+    engine.check_capacity()?;
     engine.scatter_unplaced_only();
     engine.anneal(heat);
     engine.commit();
-    engine.stats
+    Ok(engine.stats)
 }
 
 /// A net's cached bounding box: exact extent plus the number of placed
@@ -538,6 +585,20 @@ impl<'a> Engine<'a> {
             scratch_costs: Vec::new(),
             scratch_boxes: Vec::new(),
         }
+    }
+
+    /// Verifies the site grid can seat every movable cell; the scatter
+    /// passes rely on this (their free-site probes otherwise spin forever
+    /// or silently leave cells unseated).
+    fn check_capacity(&self) -> Result<(), PlaceError> {
+        let sites = self.cols * self.rows;
+        if sites < self.movable.len() {
+            return Err(PlaceError::GridTooSmall {
+                cells: self.movable.len(),
+                sites,
+            });
+        }
+        Ok(())
     }
 
     fn site_xy(&self, site: usize) -> (f64, f64) {

@@ -1,0 +1,43 @@
+//! Typed errors for placement configuration and feasibility.
+
+use std::error::Error;
+use std::fmt;
+
+/// Recoverable placement failures surfaced by [`crate::try_place_with_stats`]
+/// and [`crate::try_refine_with_stats`]. The panicking entry points
+/// ([`crate::place`], [`crate::refine`]) are thin wrappers that abort on
+/// these same conditions.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum PlaceError {
+    /// `utilization` outside `(0, 1]` — the die cannot be sized.
+    InvalidUtilization(f64),
+    /// `heat` outside `(0, 1]` — the refinement schedule is undefined.
+    InvalidHeat(f64),
+    /// The site grid cannot seat every movable cell (infeasible start).
+    GridTooSmall {
+        /// Movable library cells needing a site.
+        cells: usize,
+        /// Sites the grid provides.
+        sites: usize,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::InvalidUtilization(u) => {
+                write!(f, "utilization {u} outside (0, 1]")
+            }
+            PlaceError::InvalidHeat(h) => write!(f, "refinement heat {h} outside (0, 1]"),
+            PlaceError::GridTooSmall { cells, sites } => {
+                write!(
+                    f,
+                    "site grid too small: {cells} movable cells, {sites} sites"
+                )
+            }
+        }
+    }
+}
+
+impl Error for PlaceError {}

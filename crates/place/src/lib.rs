@@ -22,8 +22,13 @@
 
 mod anneal;
 mod buffers;
+mod error;
 mod grid;
 
-pub use anneal::{place, place_with_stats, refine, refine_with_stats, PlaceConfig, PlaceStats};
+pub use anneal::{
+    place, place_with_stats, refine, refine_with_stats, try_place_with_stats,
+    try_refine_with_stats, PlaceConfig, PlaceStats,
+};
 pub use buffers::{insert_buffers, BufferReport};
+pub use error::PlaceError;
 pub use grid::{Placement, Rect};

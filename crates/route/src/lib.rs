@@ -32,6 +32,36 @@ use std::collections::{BinaryHeap, HashSet};
 use vpga_netlist::{CellKind, Library, NetId, Netlist};
 use vpga_place::Placement;
 
+/// Recoverable routing failures surfaced by [`try_route`]. The panicking
+/// [`route`] entry point is a thin wrapper that aborts on these.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// `channel_capacity` of zero — no net can ever be legal.
+    InvalidCapacity,
+    /// A net's sink tile was unreachable from its source (disconnected
+    /// routing graph).
+    Unroutable {
+        /// The net that failed.
+        net: NetId,
+        /// The unreachable sink tile `(col, row)`.
+        sink: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::InvalidCapacity => write!(f, "channel capacity must be positive"),
+            RouteError::Unroutable { net, sink } => {
+                write!(f, "net {net} cannot reach sink tile {sink:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// Router tunables.
 #[derive(Clone, Debug)]
 pub struct RouteConfig {
@@ -286,7 +316,25 @@ pub fn route(
     placement: &Placement,
     config: &RouteConfig,
 ) -> RoutingResult {
-    assert!(config.channel_capacity > 0, "capacity must be positive");
+    try_route(netlist, lib, placement, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`route`]: degenerate configs and unreachable sinks come
+/// back as a [`RouteError`] instead of aborting the worker.
+///
+/// # Errors
+///
+/// * [`RouteError::InvalidCapacity`] if `config.channel_capacity` is zero,
+/// * [`RouteError::Unroutable`] if a sink tile cannot be reached.
+pub fn try_route(
+    netlist: &Netlist,
+    lib: &Library,
+    placement: &Placement,
+    config: &RouteConfig,
+) -> Result<RoutingResult, RouteError> {
+    if config.channel_capacity == 0 {
+        return Err(RouteError::InvalidCapacity);
+    }
     let _ = lib;
     let die = placement.die();
     let tile = config.tile_size.unwrap_or_else(|| {
@@ -369,7 +417,7 @@ pub fn route(
             scratch.net_epoch += 1;
             own.clear();
             for &sink in &job.sinks {
-                astar(
+                let reached = astar(
                     &grid,
                     job.source,
                     sink,
@@ -379,6 +427,9 @@ pub fn route(
                     &mut own,
                     config,
                 );
+                if !reached {
+                    return Err(RouteError::Unroutable { net: job.net, sink });
+                }
             }
             for &e in &own {
                 occupancy[e] += 1;
@@ -429,7 +480,7 @@ pub fn route(
         .iter()
         .filter(|&&o| o > config.channel_capacity)
         .count();
-    RoutingResult {
+    Ok(RoutingResult {
         net_length,
         total_length: total,
         overflow_edges,
@@ -440,13 +491,14 @@ pub fn route(
         nets_routed: jobs.len(),
         reroutes_per_iter,
         routes,
-    }
+    })
 }
 
 /// A* from any tile already owned by the net (starting at `source`) to
 /// `sink`; appends the path's new edges to `own` and marks them owned.
 /// All search state lives in `scratch`, invalidated by epoch bump —
-/// no per-call allocation.
+/// no per-call allocation. Returns `false` if the sink was unreachable
+/// (the net's tree is left unchanged in that case).
 #[allow(clippy::too_many_arguments)]
 fn astar(
     grid: &Grid,
@@ -457,7 +509,7 @@ fn astar(
     scratch: &mut Scratch,
     own: &mut Vec<usize>,
     config: &RouteConfig,
-) {
+) -> bool {
     let idx = |(c, r): (usize, usize)| r * grid.cols + c;
     scratch.epoch += 1;
     let epoch = scratch.epoch;
@@ -499,6 +551,12 @@ fn astar(
             }
         }
     }
+    // An unvisited sink means the search exhausted the frontier without
+    // reaching it: report failure rather than silently keeping a partial
+    // tree (the caller surfaces this as `RouteError::Unroutable`).
+    if sink != source && scratch.stamp[idx(sink)] != epoch {
+        return false;
+    }
     // Walk back and collect the path's new edges into the net's tree.
     let mut cur = sink;
     while cur != source {
@@ -512,6 +570,7 @@ fn astar(
         }
         cur = prev;
     }
+    true
 }
 
 #[cfg(test)]

@@ -208,6 +208,32 @@ impl std::fmt::Display for TimingReport {
     }
 }
 
+/// STA failures surfaced by [`try_analyze`]. The panicking [`analyze`]
+/// entry point is a thin wrapper that aborts on these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimingError {
+    /// The combinational part of the netlist is cyclic; levelized arrival
+    /// propagation is undefined.
+    Cyclic(vpga_netlist::NetlistError),
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimingError::Cyclic(e) => write!(f, "cannot levelize netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TimingError::Cyclic(e) => Some(e),
+        }
+    }
+}
+
 /// Runs static timing analysis.
 ///
 /// `routing` supplies exact routed wirelengths; without it, wire parasitics
@@ -224,8 +250,25 @@ pub fn analyze(
     routing: Option<&RoutingResult>,
     config: &TimingConfig,
 ) -> TimingReport {
+    try_analyze(netlist, lib, placement, routing, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`analyze`]: a cyclic netlist comes back as a
+/// [`TimingError`] instead of aborting the worker.
+///
+/// # Errors
+///
+/// [`TimingError::Cyclic`] if the combinational part of the netlist has a
+/// cycle.
+pub fn try_analyze(
+    netlist: &Netlist,
+    lib: &Library,
+    placement: &Placement,
+    routing: Option<&RoutingResult>,
+    config: &TimingConfig,
+) -> Result<TimingReport, TimingError> {
     let order =
-        vpga_netlist::graph::combinational_topo_order(netlist, lib).expect("netlist is acyclic");
+        vpga_netlist::graph::combinational_topo_order(netlist, lib).map_err(TimingError::Cyclic)?;
     let mut arrival = vec![0.0f64; netlist.net_capacity()];
 
     // Wire parasitics per net.
@@ -349,13 +392,13 @@ pub fn analyze(
         .collect();
     endpoints.sort_by(|a, b| a.slack.total_cmp(&b.slack));
     let worst_arrival = endpoints.iter().map(|e| e.arrival).fold(0.0f64, f64::max);
-    TimingReport {
+    Ok(TimingReport {
         arrival,
         slack,
         endpoints,
         worst_arrival,
         config: *config,
-    }
+    })
 }
 
 #[cfg(test)]

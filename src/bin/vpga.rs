@@ -3,7 +3,9 @@
 //! ```text
 //! vpga gen <alu|fpu|switch|firewire> [--size tiny|small|medium|paper] [-o design.v]
 //! vpga flow <design.v> [--arch granular|lut|homogeneous] [--no-compaction] [--stats]
+//!           [--audit] [--retries N] [--deadline SECS]
 //! vpga matrix [--size tiny|small|medium|paper] [--jobs N] [--stats]
+//!           [--audit] [--retries N] [--deadline SECS]
 //! vpga program <design.v> [--arch granular|lut] [-o design.fabric]
 //! vpga arch [granular|lut|homogeneous]
 //! ```
@@ -31,6 +33,10 @@ use vpga::netlist::{io, Netlist};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = arm_faults_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::from(1);
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -38,6 +44,25 @@ fn main() -> ExitCode {
             ExitCode::from(1)
         }
     }
+}
+
+/// Arms the fault-injection harness from `VPGA_FAULT`
+/// (`point[@ctx]=panic|error|timeout[,...]`) when the binary is built with
+/// the `fault-inject` feature.
+#[cfg(feature = "fault-inject")]
+fn arm_faults_from_env() -> Result<(), String> {
+    match std::env::var("VPGA_FAULT") {
+        Ok(spec) => vpga::flow::faultpoint::arm_from_spec(&spec),
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn arm_faults_from_env() -> Result<(), String> {
+    if std::env::var_os("VPGA_FAULT").is_some() {
+        eprintln!("warning: VPGA_FAULT set but this build lacks the fault-inject feature");
+    }
+    Ok(())
 }
 
 fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
@@ -73,7 +98,11 @@ fn print_usage() {
          architectures A: granular | lut | homogeneous (default granular)\n\
          --jobs N: worker threads (0 = one per CPU; default 1) — results are\n\
          \x20         bit-identical for any N\n\
-         --stats : print per-stage wall time, sizes, cost and move counters"
+         --stats : print per-stage wall time, sizes, cost and move counters\n\n\
+         robustness (flow and matrix):\n\
+         --audit        : run the inter-stage invariant auditors (always on in debug builds)\n\
+         --retries N    : retry stochastic stages up to N times with derived reseeds\n\
+         --deadline SECS: per-job wall-clock budget; over-budget jobs fail cleanly"
     );
 }
 
@@ -82,6 +111,36 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Applies the shared robustness flags (`--audit`, `--retries N`,
+/// `--deadline SECS`) on top of `config`.
+fn apply_robustness_flags(
+    mut config: FlowConfig,
+    args: &[String],
+) -> Result<FlowConfig, Box<dyn Error>> {
+    if args.iter().any(|a| a == "--audit") {
+        config.audit = true;
+    }
+    if let Some(v) = flag_value(args, "--retries") {
+        config.retries = v
+            .parse()
+            .map_err(|_| format!("bad --retries value {v:?}"))?;
+    } else if args.iter().any(|a| a == "--retries") {
+        return Err("--retries needs a value".into());
+    }
+    if let Some(v) = flag_value(args, "--deadline") {
+        let secs: f64 = v
+            .parse()
+            .map_err(|_| format!("bad --deadline value {v:?}"))?;
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(format!("--deadline must be positive, got {v}").into());
+        }
+        config.deadline = Some(std::time::Duration::from_secs_f64(secs));
+    } else if args.iter().any(|a| a == "--deadline") {
+        return Err("--deadline needs a value".into());
+    }
+    Ok(config)
 }
 
 fn parse_size(args: &[String]) -> Result<DesignParams, Box<dyn Error>> {
@@ -156,10 +215,13 @@ fn cmd_flow(args: &[String]) -> Result<(), Box<dyn Error>> {
     let path = args.first().ok_or("flow requires a Verilog file")?;
     let design = load_design(path)?;
     let arch = parse_arch(args)?;
-    let config = FlowConfig {
-        compaction: !args.iter().any(|a| a == "--no-compaction"),
-        ..FlowConfig::default()
-    };
+    let config = apply_robustness_flags(
+        FlowConfig {
+            compaction: !args.iter().any(|a| a == "--no-compaction"),
+            ..FlowConfig::default()
+        },
+        args,
+    )?;
     eprintln!(
         "running flows a and b on {:?} for {arch} ...",
         design.name()
@@ -217,25 +279,41 @@ fn cmd_matrix(args: &[String]) -> Result<(), Box<dyn Error>> {
         None if args.iter().any(|a| a == "--jobs") => return Err("--jobs needs a value".into()),
         None => 1,
     };
-    let config = FlowConfig {
-        compaction: !args.iter().any(|a| a == "--no-compaction"),
-        ..FlowConfig::default()
-    };
+    let config = apply_robustness_flags(
+        FlowConfig {
+            compaction: !args.iter().any(|a| a == "--no-compaction"),
+            ..FlowConfig::default()
+        },
+        args,
+    )?;
     eprintln!(
         "running the 4 designs × 2 architectures matrix on {} worker(s) ...",
         vpga::flow::Executor::new(jobs).workers()
     );
-    let matrix = Matrix::run_parallel(&params, &config, jobs)?;
+    // Resilient by default: a failed cell is reported (and drops its pair
+    // from the tables) while every other cell completes bit-identically.
+    let matrix = Matrix::run_resilient(&params, &config, jobs);
     print!("{}", matrix.table1());
     println!();
     print!("{}", matrix.table2());
     println!();
-    print!("{}", matrix.claims());
+    match matrix.try_claims() {
+        Some(claims) => print!("{claims}"),
+        None => println!("§3.2 claims unavailable: failed cells left holes in the matrix"),
+    }
+    if !matrix.failures().is_empty() {
+        println!();
+        print!("{}", matrix.failures_report());
+    }
     if args.iter().any(|a| a == "--stats") {
         println!();
         print!("{}", matrix.stats_report());
     }
-    Ok(())
+    if matrix.failures().is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} matrix cell(s) failed", matrix.failures().len()).into())
+    }
 }
 
 fn cmd_program(args: &[String]) -> Result<(), Box<dyn Error>> {

@@ -1,0 +1,203 @@
+//! Fault-injection matrix tests (only built with `--features fault-inject`).
+//!
+//! Each test arms named fault points in the `flow::faultpoint` harness and
+//! checks that the flow's recovery machinery does exactly what the design
+//! promises: typed errors surface as the right [`FlowError`] variant with
+//! stage attribution, injected panics are trapped at the job boundary and
+//! poison only their own matrix cell, retries recover with derived
+//! reseeds, and a clean rerun is bit-identical to an uninjected golden
+//! run.
+//!
+//! The fault registry is process-global, so every test serializes on
+//! [`LOCK`] and starts from a disarmed registry.
+
+#![cfg(feature = "fault-inject")]
+
+use std::sync::Mutex;
+
+use vpga::core::PlbArchitecture;
+use vpga::designs::{DesignParams, NamedDesign};
+use vpga::flow::faultpoint::{self, FaultKind};
+use vpga::flow::{run_design, Executor, FlowConfig, FlowError, FlowMatrix, FlowVariant, Stage};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    faultpoint::disarm_all();
+    guard
+}
+
+fn tiny_alu() -> vpga::netlist::Netlist {
+    NamedDesign::Alu.generate(&DesignParams::tiny())
+}
+
+#[test]
+fn every_armed_error_point_surfaces_its_stage_taxonomy() {
+    let _guard = locked();
+    let design = tiny_alu();
+    let arch = PlbArchitecture::granular();
+    let config = FlowConfig::default();
+    let expectations = [
+        ("synth", Stage::Synth),
+        ("compact", Stage::Compact),
+        ("place", Stage::Place),
+        ("physsynth", Stage::PhysSynth),
+        ("pack", Stage::Pack),
+        ("swap", Stage::Swap),
+        ("route", Stage::Route),
+        ("sta", Stage::Timing),
+    ];
+    for (point, stage) in expectations {
+        faultpoint::disarm_all();
+        faultpoint::arm(point, None, FaultKind::Error);
+        let err = run_design(&design, &arch, &config)
+            .err()
+            .unwrap_or_else(|| panic!("armed {point} fault did not fail the flow"));
+        assert_eq!(err.stage(), Some(stage), "{point}: {err}");
+        let root = err.root();
+        let variant_ok = match stage {
+            Stage::Synth => matches!(root, FlowError::Synth(_)),
+            Stage::Compact => matches!(root, FlowError::Netlist(_)),
+            Stage::Place | Stage::PhysSynth => matches!(root, FlowError::Place(_)),
+            Stage::Pack | Stage::Swap => matches!(root, FlowError::Pack(_)),
+            Stage::Route => matches!(root, FlowError::Route(_)),
+            Stage::Timing => matches!(root, FlowError::Timing(_)),
+            _ => false,
+        };
+        assert!(variant_ok, "{point} produced the wrong variant: {root:?}");
+        assert!(!faultpoint::any_armed(), "{point} fault should be one-shot");
+    }
+}
+
+#[test]
+fn timeout_fault_reports_deadline_exceeded() {
+    let _guard = locked();
+    faultpoint::arm("route", None, FaultKind::Timeout);
+    let err = run_design(
+        &tiny_alu(),
+        &PlbArchitecture::granular(),
+        &FlowConfig::default(),
+    )
+    .expect_err("timeout fault must fail the flow");
+    assert!(
+        matches!(
+            err,
+            FlowError::DeadlineExceeded {
+                stage: Stage::Route,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn retries_recover_from_one_shot_stage_errors() {
+    let _guard = locked();
+    let design = tiny_alu();
+    let arch = PlbArchitecture::granular();
+    let config = FlowConfig {
+        retries: 2,
+        ..FlowConfig::default()
+    };
+    // The injected error consumes the first attempt; the reseeded retry
+    // succeeds and the consumed retry is recorded in the stage stats.
+    for (point, stage) in [("place", Stage::Place), ("pack", Stage::Pack)] {
+        faultpoint::disarm_all();
+        faultpoint::arm(point, None, FaultKind::Error);
+        let out = run_design(&design, &arch, &config)
+            .unwrap_or_else(|e| panic!("retry did not recover from {point}: {e}"));
+        let stages: Vec<_> = out
+            .front_stages
+            .iter()
+            .chain(&out.flow_a.stages)
+            .chain(&out.flow_b.stages)
+            .collect();
+        let retried = stages
+            .iter()
+            .find(|s| s.stage == stage && s.retries == Some(1));
+        assert!(
+            retried.is_some(),
+            "{point}: no stage recorded the consumed retry: {stages:?}"
+        );
+    }
+}
+
+#[test]
+fn injected_panic_poisons_one_cell_and_leaves_the_rest_bit_identical() {
+    let _guard = locked();
+    let params = DesignParams::tiny();
+    let config = FlowConfig::default();
+    let matrix = FlowMatrix::full();
+    let executor = Executor::new(4);
+
+    let golden = matrix.run_cells(&params, &config, &executor);
+    let golden_prints: Vec<u64> = golden
+        .iter()
+        .map(|c| {
+            c.as_ref()
+                .expect("clean run has no failures")
+                .result
+                .fingerprint()
+        })
+        .collect();
+
+    // Poison exactly the (ALU, granular, flow b) back-end; silence the
+    // default panic hook while the injected panic unwinds.
+    faultpoint::arm("pack", Some("alu/granular/b"), FaultKind::Panic);
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let injected = matrix.run_cells(&params, &config, &executor);
+    std::panic::set_hook(prev_hook);
+
+    assert_eq!(injected.len(), golden.len());
+    for (i, (job, cell)) in matrix.jobs().iter().zip(&injected).enumerate() {
+        let poisoned = job.design == NamedDesign::Alu
+            && job.arch.name() == "granular"
+            && job.variant == FlowVariant::B;
+        match cell {
+            Err(e) if poisoned => {
+                assert!(
+                    matches!(
+                        e,
+                        FlowError::StagePanic {
+                            stage: Some(Stage::Pack),
+                            ..
+                        }
+                    ),
+                    "poisoned cell reported {e:?}"
+                );
+                assert!(e.to_string().contains("injected fault"), "{e}");
+            }
+            Ok(result) if !poisoned => assert_eq!(
+                result.result.fingerprint(),
+                golden_prints[i],
+                "healthy cell {i} diverged from the golden run"
+            ),
+            other => panic!("cell {i}: unexpected outcome {other:?}"),
+        }
+    }
+
+    // With the one-shot fault consumed, a rerun is fully healthy and
+    // bit-identical to the golden run.
+    assert!(!faultpoint::any_armed());
+    let rerun = matrix.run_cells(&params, &config, &executor);
+    for (i, cell) in rerun.iter().enumerate() {
+        assert_eq!(
+            cell.as_ref().expect("rerun is clean").result.fingerprint(),
+            golden_prints[i]
+        );
+    }
+}
+
+#[test]
+fn fault_specs_parse_and_reject_garbage() {
+    let _guard = locked();
+    faultpoint::arm_from_spec("route=error, sta@alu/granular=timeout").unwrap();
+    assert!(faultpoint::any_armed());
+    faultpoint::disarm_all();
+    assert!(faultpoint::arm_from_spec("route").is_err());
+    assert!(faultpoint::arm_from_spec("route=explode").is_err());
+    assert!(!faultpoint::any_armed());
+}

@@ -1,0 +1,102 @@
+//! Parser robustness: `read_verilog` must never panic, no matter how the
+//! input is truncated or corrupted — every malformed text is a typed
+//! [`NetlistError`] (usually `Parse { line, col, .. }`), every intact text
+//! still round-trips.
+
+use proptest::prelude::*;
+use vpga::designs::{DesignParams, NamedDesign};
+use vpga::netlist::library::generic;
+use vpga::netlist::{io, NetlistError};
+
+/// A real structural-Verilog text to corrupt: the tiny ALU, written by the
+/// crate's own emitter.
+fn sample_text() -> String {
+    let design = NamedDesign::Alu.generate(&DesignParams::tiny());
+    io::write_verilog(&design, &generic::library()).expect("emitter is total on valid netlists")
+}
+
+/// Floors `i` to a char boundary of `s`.
+fn char_floor(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncating the text at any point parses to Ok or Err — never a
+    /// panic, and never an `Ok` for a text cut inside the module body.
+    #[test]
+    fn truncated_text_never_panics(permille in 0usize..1000) {
+        let text = sample_text();
+        let cut = char_floor(&text, text.len() * permille / 1000);
+        let _ = io::read_verilog(&text[..cut], &generic::library());
+    }
+
+    /// Deleting, duplicating, or swapping whole lines never panics.
+    #[test]
+    fn line_shuffled_text_never_panics(a in 0usize..400, b in 0usize..400, op in 0usize..3) {
+        let text = sample_text();
+        let lines: Vec<&str> = text.lines().collect();
+        let (a, b) = (a % lines.len(), b % lines.len());
+        let mutated: Vec<&str> = match op {
+            // delete line a
+            0 => lines
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != a)
+                .map(|(_, l)| *l)
+                .collect(),
+            // duplicate line a after itself
+            1 => {
+                let mut v = lines.clone();
+                v.insert(a, lines[a]);
+                v
+            }
+            // swap lines a and b
+            _ => {
+                let mut v = lines.clone();
+                v.swap(a, b);
+                v
+            }
+        };
+        let _ = io::read_verilog(&mutated.join("\n"), &generic::library());
+    }
+
+    /// Splicing a junk token into any line never panics, and when the
+    /// parse fails the error is positioned (or names an unknown cell).
+    #[test]
+    fn token_spliced_text_fails_with_position(line_pick in 0usize..400, junk in 0usize..6) {
+        let text = sample_text();
+        let token = ["wire", "assign", ");", "X1 (", "\u{fffd}", ".Y(nowhere)"][junk];
+        let lines: Vec<&str> = text.lines().collect();
+        let pick = line_pick % lines.len();
+        let mut mutated: Vec<String> = lines.iter().map(|l| (*l).to_owned()).collect();
+        mutated[pick] = format!("{token} {}", lines[pick]);
+        match io::read_verilog(&mutated.join("\n"), &generic::library()) {
+            Ok(_) => {}
+            Err(NetlistError::Parse { line, .. }) => {
+                prop_assert!(line >= 1 && line <= lines.len() + 1, "line {line} out of range");
+            }
+            Err(_) => {} // other typed variants (unknown cell, arity, ...)
+        }
+    }
+}
+
+#[test]
+fn empty_and_garbage_inputs_are_typed_errors() {
+    let lib = generic::library();
+    assert!(io::read_verilog("", &lib).is_err());
+    assert!(io::read_verilog("endmodule", &lib).is_err());
+    assert!(io::read_verilog("module m (;\u{0});", &lib).is_err());
+    let err = io::read_verilog(
+        "module m ();\n  wire w;\n  NAND9 g (.A(w));\nendmodule",
+        &lib,
+    )
+    .expect_err("unknown cell must not parse");
+    let rendered = err.to_string();
+    assert!(rendered.contains("NAND9"), "{rendered}");
+}
