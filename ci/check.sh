@@ -48,6 +48,8 @@ step "audited matrix run (debug assertions + inter-stage auditors)"
 cargo run -q --bin vpga -- matrix --size tiny --jobs 2 --audit >/dev/null
 
 step "cargo bench (smoke mode, 1 sample per bench)"
+# --workspace picks up every [[bench]] target in crates/bench, including
+# timing_bench (the incremental-STA baselines behind BENCH_timing.json).
 CRITERION_SMOKE=1 cargo bench --workspace
 
 printf '\nall checks passed\n'

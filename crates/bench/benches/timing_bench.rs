@@ -1,0 +1,164 @@
+//! Criterion benchmarks for the STA hot path: from-scratch analysis vs
+//! the incremental event-driven engine, on the network switch (the
+//! largest Table 1 design) at the `small` scale.
+//!
+//! Four shapes matter to the flow:
+//!
+//! * `sta/full_netswitch` — `try_analyze` from scratch: re-levelize,
+//!   re-extract, re-propagate. This is what every repeated-STA call site
+//!   paid before the incremental engine.
+//! * `sta/graph_full_reuse` — a full pass over the prebuilt
+//!   [`vpga_timing::TimingGraph`] (no re-levelization, interned arc
+//!   parameters). What the post-route call sites pay now.
+//! * `sta/incremental_single_move` and `sta/incremental_move_1pct` —
+//!   steady-state event-driven updates after moving one cell / 1% of
+//!   cells (each iteration toggles the cells out and back: two updates,
+//!   no allocation). What the refinement loops pay per delta now.
+//! * `sta/incremental_buffer_insert` — replaying a buffer-insertion edit
+//!   trace onto a cloned engine (the clone is part of the measured cost;
+//!   the flow itself patches in place and pays only the propagation).
+//!
+//! `BENCH_timing.json` in the repo root records the tracked baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vpga_core::PlbArchitecture;
+use vpga_designs::{DesignParams, NamedDesign};
+use vpga_netlist::library::generic;
+use vpga_netlist::{CellId, Netlist};
+use vpga_synth::map_netlist_fast;
+use vpga_timing::{try_analyze, IncrementalSta, TimingConfig};
+
+fn network_switch() -> (Netlist, PlbArchitecture) {
+    let params = DesignParams::small();
+    let src = generic::library();
+    let arch = PlbArchitecture::granular();
+    let mut mapped = map_netlist_fast(&NamedDesign::NetworkSwitch.generate(&params), &src, &arch)
+        .expect("network switch maps");
+    vpga_compact::compact(&mut mapped, &arch).expect("compaction succeeds");
+    (mapped, arch)
+}
+
+fn movable_cells(netlist: &Netlist) -> Vec<CellId> {
+    netlist
+        .cells()
+        .filter(|(_, c)| c.lib_id().is_some())
+        .map(|(id, _)| id)
+        .collect()
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let (netlist, arch) = network_switch();
+    let lib = arch.library();
+    let config = TimingConfig::default();
+    let mut placement = vpga_place::place(&netlist, lib, &vpga_place::PlaceConfig::default());
+
+    println!(
+        "sta: network switch small/granular — {} cells, {} nets",
+        netlist.num_cells(),
+        netlist.num_nets()
+    );
+
+    // From-scratch analysis: the old cost of every repeated call site.
+    c.bench_function("sta/full_netswitch", |b| {
+        b.iter(|| try_analyze(black_box(&netlist), lib, &placement, None, &config).unwrap())
+    });
+
+    // Full pass over the prebuilt graph (post-route call sites).
+    let mut sta = IncrementalSta::new(&netlist, lib, &config).unwrap();
+    sta.full_analyze(&netlist, &placement, None);
+    c.bench_function("sta/graph_full_reuse", |b| {
+        b.iter(|| {
+            sta.graph()
+                .analyze(black_box(&netlist), &placement, None, &config)
+        })
+    });
+
+    // Steady-state single-cell move: toggle the cell out and back so every
+    // iteration performs two real event-driven updates.
+    let pool = movable_cells(&netlist);
+    let victim = pool[pool.len() / 2];
+    let (vx, vy) = placement.position(victim).expect("placed cell");
+    let before = sta.counters();
+    c.bench_function("sta/incremental_single_move", |b| {
+        b.iter(|| {
+            placement.set_position(victim, vx + 75.0, vy + 75.0);
+            sta.update_moved_cells(&netlist, &placement, None, &[victim]);
+            placement.set_position(victim, vx, vy);
+            sta.update_moved_cells(&netlist, &placement, None, &[victim]);
+            black_box(sta.worst_slack())
+        })
+    });
+    let single = sta.counters().since(before);
+    println!(
+        "sta/incremental_single_move: {} nodes touched over {} updates ({:.1} nodes/update)",
+        single.nodes_touched,
+        single.incremental,
+        single.nodes_touched as f64 / single.incremental.max(1) as f64
+    );
+
+    // 1% of cells per delta (at least one cell).
+    let pct: Vec<CellId> = pool
+        .iter()
+        .step_by(pool.len().div_ceil(pool.len().div_ceil(100).max(1)).max(1))
+        .copied()
+        .take(pool.len().div_ceil(100).max(1))
+        .collect();
+    let homes: Vec<(CellId, f64, f64)> = pct
+        .iter()
+        .map(|&id| {
+            let (x, y) = placement.position(id).expect("placed cell");
+            (id, x, y)
+        })
+        .collect();
+    let before = sta.counters();
+    c.bench_function("sta/incremental_move_1pct", |b| {
+        b.iter(|| {
+            for &(id, x, y) in &homes {
+                placement.set_position(id, x + 75.0, y + 75.0);
+            }
+            sta.update_moved_cells(&netlist, &placement, None, &pct);
+            for &(id, x, y) in &homes {
+                placement.set_position(id, x, y);
+            }
+            sta.update_moved_cells(&netlist, &placement, None, &pct);
+            black_box(sta.worst_slack())
+        })
+    });
+    let pct_work = sta.counters().since(before);
+    println!(
+        "sta/incremental_move_1pct: {} cells per delta, {:.1} nodes/update",
+        pct.len(),
+        pct_work.nodes_touched as f64 / pct_work.incremental.max(1) as f64
+    );
+
+    // Clone-only baseline: the vendored criterion has no `iter_batched`,
+    // so the buffer bench below clones the engine each iteration — this
+    // measures that overhead alone so it can be subtracted.
+    c.bench_function("sta/engine_clone", |b| b.iter(|| black_box(sta.clone())));
+
+    // Buffer-insertion replay: the structural delta, on a cloned engine.
+    let mut buf_netlist = netlist.clone();
+    let mut buf_placement = placement.clone();
+    let (report, edits) =
+        vpga_place::insert_buffers_traced(&mut buf_netlist, lib, &mut buf_placement, 8, 40.0)
+            .expect("buffering succeeds");
+    println!(
+        "sta/incremental_buffer_insert: replaying {} edits ({} buffers)",
+        edits.len(),
+        report.total()
+    );
+    c.bench_function("sta/incremental_buffer_insert", |b| {
+        b.iter(|| {
+            let mut fresh = sta.clone();
+            fresh.apply_buffers(&buf_netlist, lib, &buf_placement, None, &edits);
+            black_box(fresh.worst_slack())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sta
+}
+criterion_main!(benches);

@@ -7,12 +7,12 @@ use std::time::{Duration, Instant};
 use vpga_compact::CompactionReport;
 use vpga_core::PlbArchitecture;
 use vpga_netlist::library::generic;
-use vpga_netlist::{Netlist, NetlistError};
+use vpga_netlist::{CellId, Netlist, NetlistError};
 use vpga_pack::{PackConfig, PackError};
 use vpga_place::{PlaceConfig, PlaceError, Placement};
 use vpga_route::{RouteConfig, RouteError};
 use vpga_synth::SynthError;
-use vpga_timing::{TimingConfig, TimingError};
+use vpga_timing::{IncrementalSta, TimingConfig, TimingError};
 
 use crate::audit::{self, AuditError};
 use crate::faultpoint;
@@ -469,8 +469,28 @@ pub(crate) struct FrontEnd {
     pub compaction: Option<CompactionReport>,
     pub netlist: Netlist,
     pub placement: Placement,
+    /// The incremental timer, left in the post-physical-synthesis state:
+    /// its report equals a fresh STA of `netlist` on `placement` (HPWL
+    /// geometry), and its prebuilt graph serves the post-route analyses.
+    pub sta: IncrementalSta,
     pub cells: usize,
     pub stages: Vec<StageStats>,
+}
+
+/// Cells whose position differs (bitwise) between two placements — the
+/// delta a refinement pass hands the incremental timer.
+fn moved_cells(netlist: &Netlist, before: &Placement, after: &Placement) -> Vec<CellId> {
+    netlist
+        .cells()
+        .filter(|&(id, _)| match (before.position(id), after.position(id)) {
+            (Some((ax, ay)), Some((bx, by))) => {
+                ax.to_bits() != bx.to_bits() || ay.to_bits() != by.to_bits()
+            }
+            (None, None) => false,
+            _ => true,
+        })
+        .map(|(id, _)| id)
+        .collect()
 }
 
 fn lib_cells(netlist: &Netlist) -> usize {
@@ -579,20 +599,30 @@ pub(crate) fn front_end(
             Err(e) => return Err(e.in_stage(Stage::Place, &ctx)),
         }
     };
-    let pre = vpga_timing::try_analyze(&netlist, lib, &placement, None, &config.timing)
+    // The incremental timer is seeded once here; every later STA consumer
+    // (refinements, physical synthesis, the packer, the annealer weights)
+    // feeds it deltas instead of re-analyzing from scratch.
+    let mut sta = IncrementalSta::new(&netlist, lib, &config.timing)
         .map_err(|e| FlowError::from(e).in_stage(Stage::Place, &ctx))?;
-    let weights: Vec<f64> = pre
-        .net_criticalities()
-        .iter()
-        .map(|&c| 1.0 + 8.0 * c * c)
-        .collect();
+    sta.full_analyze(&netlist, &placement, None);
+    let mut crit_buf = Vec::new();
+    sta.net_criticalities_into(&mut crit_buf);
+    let weights: Vec<f64> = crit_buf.iter().map(|&c| 1.0 + 8.0 * c * c).collect();
     let weighted = PlaceConfig {
         net_weights: Some(weights),
         ..place_cfg
     };
+    let pre_refine = placement.clone();
     let refine_stats =
         vpga_place::try_refine_with_stats(&netlist, lib, &mut placement, &weighted, 0.6)
             .map_err(|e| FlowError::from(e).in_stage(Stage::Place, &ctx))?;
+    sta.update_moved_cells(
+        &netlist,
+        &placement,
+        None,
+        &moved_cells(&netlist, &pre_refine, &placement),
+    );
+    let place_sta = sta.counters();
     if config.audit {
         audit::audit_placement(&netlist, &placement)
             .map_err(|e| FlowError::from(e).in_stage(Stage::Place, &ctx))?;
@@ -616,6 +646,11 @@ pub(crate) fn front_end(
             place_stats.bbox_incremental + refine_stats.bbox_incremental,
             place_stats.bbox_full + refine_stats.bbox_full,
         )
+        .with_sta(
+            place_sta.full,
+            place_sta.incremental,
+            place_sta.nodes_touched,
+        )
         .with_retries(attempt as u32),
     );
 
@@ -625,7 +660,7 @@ pub(crate) fn front_end(
     faultpoint::fire("physsynth", &ctx).map_err(|e| e.in_stage(Stage::PhysSynth, &ctx))?;
     let t = Instant::now();
     let max_len = placement.die().width() * config.buffer_max_length_frac;
-    vpga_place::insert_buffers(
+    let (_, buffer_edits) = vpga_place::insert_buffers_traced(
         &mut netlist,
         lib,
         &mut placement,
@@ -633,14 +668,37 @@ pub(crate) fn front_end(
         max_len,
     )
     .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
+    // The timer replays the structural edits instead of rebuilding; the
+    // fault point covers its event-driven propagation loop.
+    faultpoint::fire("sta_incremental", &ctx).map_err(|e| e.in_stage(Stage::PhysSynth, &ctx))?;
+    sta.apply_buffers(&netlist, lib, &placement, None, &buffer_edits);
+    let pre_legalize = placement.clone();
     let legalize_stats =
         vpga_place::try_refine_with_stats(&netlist, lib, &mut placement, &weighted, 0.2)
             .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
+    sta.update_moved_cells(
+        &netlist,
+        &placement,
+        None,
+        &moved_cells(&netlist, &pre_legalize, &placement),
+    );
+    let physsynth_sta = sta.counters().since(place_sta);
     if config.audit {
         audit::audit_netlist(&netlist, lib)
             .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
         audit::audit_placement(&netlist, &placement)
             .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
+        // Cross-validate the incremental state against the from-scratch
+        // oracle at the front-end boundary.
+        audit::audit_sta_equivalence(
+            &netlist,
+            lib,
+            &placement,
+            None,
+            &config.timing,
+            &sta.report(&netlist),
+        )
+        .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
     }
     stages.push(
         StageStats::new(
@@ -654,7 +712,12 @@ pub(crate) fn front_end(
             legalize_stats.moves_attempted,
             legalize_stats.moves_accepted,
         )
-        .with_bbox_updates(legalize_stats.bbox_incremental, legalize_stats.bbox_full),
+        .with_bbox_updates(legalize_stats.bbox_incremental, legalize_stats.bbox_full)
+        .with_sta(
+            physsynth_sta.full,
+            physsynth_sta.incremental,
+            physsynth_sta.nodes_touched,
+        ),
     );
 
     let cells = lib_cells(&netlist);
@@ -664,6 +727,7 @@ pub(crate) fn front_end(
         compaction,
         netlist,
         placement,
+        sta,
         cells,
         stages,
     })
@@ -772,14 +836,26 @@ pub(crate) fn run_variant(
                     .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
             }
             let t = Instant::now();
-            let sta = vpga_timing::try_analyze(
+            // Post-route analysis reuses the front-end's prebuilt timing
+            // graph (no re-levelization); the routed geometry replaces the
+            // HPWL estimates wholesale, so this is a full pass.
+            let sta = front.sta.graph().analyze(
                 netlist,
-                lib,
                 &front.placement,
                 Some(&routing),
                 &config.timing,
-            )
-            .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
+            );
+            if config.audit {
+                audit::audit_sta_equivalence(
+                    netlist,
+                    lib,
+                    &front.placement,
+                    Some(&routing),
+                    &config.timing,
+                    &sta,
+                )
+                .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
+            }
             let power = vpga_timing::power::estimate(
                 netlist,
                 lib,
@@ -787,7 +863,8 @@ pub(crate) fn run_variant(
                 Some(&routing),
                 &vpga_timing::power::PowerConfig::default(),
             );
-            stages.push(StageStats::new(Stage::Timing, t.elapsed(), cells, n_nets));
+            stages
+                .push(StageStats::new(Stage::Timing, t.elapsed(), cells, n_nets).with_sta(1, 0, 0));
             Ok(FlowResult {
                 variant: FlowVariant::A,
                 die_area: front.placement.die().area(),
@@ -808,9 +885,21 @@ pub(crate) fn run_variant(
             note_stage(Stage::Pack);
             clock.check(Stage::Pack, &ctx)?;
             let t = Instant::now();
-            let sta =
-                vpga_timing::try_analyze(netlist, lib, &front.placement, None, &config.timing)
-                    .map_err(|e| FlowError::from(e).in_stage(Stage::Pack, &ctx))?;
+            // The front-end's incremental timer already holds this exact
+            // analysis (netlist on the buffered placement, HPWL geometry);
+            // serve the report from its state instead of re-analyzing.
+            let sta = front.sta.report(netlist);
+            if config.audit {
+                audit::audit_sta_equivalence(
+                    netlist,
+                    lib,
+                    &front.placement,
+                    None,
+                    &config.timing,
+                    &sta,
+                )
+                .map_err(|e| FlowError::from(e).in_stage(Stage::Pack, &ctx))?;
+            }
             let pack_cfg = PackConfig {
                 criticality: config
                     .pack_criticality
@@ -858,6 +947,7 @@ pub(crate) fn run_variant(
                         pack_stats.relocations + pack_stats.spilled,
                         pack_stats.relocations,
                     )
+                    .with_sta(0, 1, 0)
                     .with_retries(attempt as u32),
             );
             // PLB-level detailed placement: anneal whole-PLB swaps to
@@ -921,14 +1011,24 @@ pub(crate) fn run_variant(
                     .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
             }
             let t = Instant::now();
-            let sta = vpga_timing::try_analyze(
-                netlist,
-                lib,
-                &b_placement,
-                Some(&routing),
-                &config.timing,
-            )
-            .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
+            // Same graph reuse as flow a, over the packed placement and
+            // the PLB-grid routing.
+            let sta =
+                front
+                    .sta
+                    .graph()
+                    .analyze(netlist, &b_placement, Some(&routing), &config.timing);
+            if config.audit {
+                audit::audit_sta_equivalence(
+                    netlist,
+                    lib,
+                    &b_placement,
+                    Some(&routing),
+                    &config.timing,
+                    &sta,
+                )
+                .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
+            }
             let power = vpga_timing::power::estimate(
                 netlist,
                 lib,
@@ -936,7 +1036,8 @@ pub(crate) fn run_variant(
                 Some(&routing),
                 &vpga_timing::power::PowerConfig::default(),
             );
-            stages.push(StageStats::new(Stage::Timing, t.elapsed(), cells, n_nets));
+            stages
+                .push(StageStats::new(Stage::Timing, t.elapsed(), cells, n_nets).with_sta(1, 0, 0));
             Ok(FlowResult {
                 variant: FlowVariant::B,
                 die_area: array.die_area(),

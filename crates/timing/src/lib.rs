@@ -20,7 +20,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod incremental;
 pub mod power;
+
+pub use incremental::{IncrementalSta, StaCounters, TimingGraph};
 
 use vpga_core::params;
 use vpga_netlist::{CellId, CellKind, Library, NetId, Netlist};
@@ -118,21 +121,37 @@ impl TimingReport {
     /// Per-net criticality in `[0, 1]` (1 = on the critical path), for the
     /// timing-driven placement weights.
     pub fn net_criticalities(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.net_criticalities_into(&mut out);
+        out
+    }
+
+    /// [`TimingReport::net_criticalities`] into a caller-provided buffer —
+    /// the hot-path variant that amortizes the allocation across repeated
+    /// queries.
+    pub fn net_criticalities_into(&self, out: &mut Vec<f64>) {
         let d = self.worst_arrival.max(1e-9);
-        self.slack
-            .iter()
-            .map(|&s| {
-                let c = 1.0 - s.max(0.0) / (d + self.config.clock_period - d).max(d);
-                c.clamp(0.0, 1.0)
-            })
-            .collect()
+        out.clear();
+        out.extend(self.slack.iter().map(|&s| {
+            let c = 1.0 - s.max(0.0) / (d + self.config.clock_period - d).max(d);
+            c.clamp(0.0, 1.0)
+        }));
     }
 
     /// Per-cell criticality (the maximum criticality over the nets a cell
     /// touches), for the packer's relocation cost.
     pub fn cell_criticalities(&self, netlist: &Netlist) -> Vec<f64> {
-        let nets = self.net_criticalities();
-        let mut out = vec![0.0f64; netlist.cell_capacity()];
+        let mut out = Vec::new();
+        self.cell_criticalities_into(netlist, &mut out);
+        out
+    }
+
+    /// [`TimingReport::cell_criticalities`] into a caller-provided buffer.
+    pub fn cell_criticalities_into(&self, netlist: &Netlist, out: &mut Vec<f64>) {
+        let mut nets = Vec::new();
+        self.net_criticalities_into(&mut nets);
+        out.clear();
+        out.resize(netlist.cell_capacity(), 0.0);
         for net in netlist.nets() {
             let c = nets[net.index()];
             if let Some(d) = netlist.driver(net) {
@@ -142,7 +161,6 @@ impl TimingReport {
                 out[sink.index()] = out[sink.index()].max(c);
             }
         }
-        out
     }
 
     /// The analysis configuration.

@@ -1,0 +1,225 @@
+//! Property-based equivalence: the incremental STA engine must match a
+//! from-scratch [`vpga_timing::try_analyze`] **bit for bit** — arrivals,
+//! slacks, endpoint order and values, worst slack, and the derived
+//! criticalities — on random netlists under random delta sequences
+//! (cell moves and buffer-insertion edits). This is the oracle contract
+//! the flow's `audit_sta_equivalence` enforces at run time, hammered over
+//! the input space.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vpga_netlist::library::generic;
+use vpga_netlist::{CellId, Library, NetId, Netlist};
+use vpga_place::{PlaceConfig, Placement};
+use vpga_timing::{try_analyze, IncrementalSta, TimingConfig, TimingReport};
+
+/// Combinational/sequential cell menu with pin arities.
+const MENU: &[(&str, usize)] = &[
+    ("INV", 1),
+    ("BUF", 1),
+    ("NAND2", 2),
+    ("XOR2", 2),
+    ("AND3", 3),
+    ("MAJ3", 3),
+    ("DFF", 1),
+];
+
+/// Builds a random layered DAG netlist: primary inputs, then layers of
+/// random cells reading random earlier nets (always acyclic), then a few
+/// primary outputs over random nets.
+fn random_netlist(rng: &mut SmallRng, lib: &Library) -> Netlist {
+    let mut n = Netlist::new("rand");
+    let n_inputs = rng.gen_range(2usize..6);
+    let n_cells = rng.gen_range(5usize..40);
+    let n_outputs = rng.gen_range(1usize..5);
+    let mut nets: Vec<NetId> = (0..n_inputs)
+        .map(|i| n.add_input(format!("i{i}")))
+        .collect();
+    for c in 0..n_cells {
+        let (name, arity) = MENU[rng.gen_range(0usize..MENU.len())];
+        let ins: Vec<NetId> = (0..arity)
+            .map(|_| nets[rng.gen_range(0usize..nets.len())])
+            .collect();
+        let out = n
+            .add_lib_cell(format!("c{c}"), lib, name, &ins)
+            .expect("menu cells exist");
+        nets.push(out);
+    }
+    for o in 0..n_outputs {
+        let net = nets[rng.gen_range(0usize..nets.len())];
+        n.add_output(format!("y{o}"), net);
+    }
+    n
+}
+
+/// Asserts two reports are bit-identical everywhere the engine promises.
+fn assert_bit_identical(netlist: &Netlist, inc: &TimingReport, oracle: &TimingReport, step: &str) {
+    for net in netlist.nets() {
+        assert_eq!(
+            inc.net_arrival(net).to_bits(),
+            oracle.net_arrival(net).to_bits(),
+            "{step}: arrival of {net}"
+        );
+        assert_eq!(
+            inc.net_slack(net).to_bits(),
+            oracle.net_slack(net).to_bits(),
+            "{step}: slack of {net}"
+        );
+    }
+    assert_eq!(
+        inc.endpoints().len(),
+        oracle.endpoints().len(),
+        "{step}: endpoint count"
+    );
+    for (a, b) in inc.endpoints().iter().zip(oracle.endpoints()) {
+        assert_eq!(a.name, b.name, "{step}: endpoint order");
+        assert_eq!(a.net, b.net, "{step}: endpoint net");
+        assert_eq!(
+            a.arrival.to_bits(),
+            b.arrival.to_bits(),
+            "{step}: endpoint arrival of {}",
+            a.name
+        );
+        assert_eq!(
+            a.slack.to_bits(),
+            b.slack.to_bits(),
+            "{step}: endpoint slack of {}",
+            a.name
+        );
+    }
+    assert_eq!(
+        inc.worst_slack().to_bits(),
+        oracle.worst_slack().to_bits(),
+        "{step}: worst slack"
+    );
+    assert_eq!(
+        inc.critical_delay().to_bits(),
+        oracle.critical_delay().to_bits(),
+        "{step}: critical delay"
+    );
+    let (ci, co) = (inc.net_criticalities(), oracle.net_criticalities());
+    assert_eq!(ci.len(), co.len(), "{step}: criticality length");
+    for (i, (a, b)) in ci.iter().zip(&co).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{step}: criticality of net {i}");
+    }
+}
+
+/// Movable (library) cells of a netlist.
+fn movable(netlist: &Netlist) -> Vec<CellId> {
+    netlist
+        .cells()
+        .filter(|(_, c)| c.lib_id().is_some())
+        .map(|(id, _)| id)
+        .collect()
+}
+
+fn jitter_cells(
+    rng: &mut SmallRng,
+    placement: &mut Placement,
+    pool: &[CellId],
+    count: usize,
+) -> Vec<CellId> {
+    let mut moved = Vec::new();
+    for _ in 0..count.min(pool.len()) {
+        let cell = pool[rng.gen_range(0usize..pool.len())];
+        if let Some((x, y)) = placement.position(cell) {
+            let dx = rng.gen_range(-300i64..300) as f64 / 10.0;
+            let dy = rng.gen_range(-300i64..300) as f64 / 10.0;
+            placement.set_position(cell, x + dx, y + dy);
+            moved.push(cell);
+        }
+    }
+    moved
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random netlist + random sequence of cell-move deltas: every
+    /// checkpoint matches the from-scratch oracle bit for bit.
+    #[test]
+    fn move_sequences_match_the_oracle(seed in 0u64..1_000_000, steps in 1usize..6) {
+        let lib = generic::library();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let netlist = random_netlist(&mut rng, &lib);
+        let mut placement = vpga_place::place(&netlist, &lib, &PlaceConfig::default());
+        let config = TimingConfig::default();
+        let mut sta = IncrementalSta::new(&netlist, &lib, &config).unwrap();
+        sta.full_analyze(&netlist, &placement, None);
+        let pool = movable(&netlist);
+        for step in 0..steps {
+            let count = rng.gen_range(1usize..4);
+            let moved = jitter_cells(&mut rng, &mut placement, &pool, count);
+            sta.update_moved_cells(&netlist, &placement, None, &moved);
+            let oracle = try_analyze(&netlist, &lib, &placement, None, &config).unwrap();
+            assert_bit_identical(&netlist, &sta.report(&netlist), &oracle, &format!("step {step}"));
+        }
+    }
+
+    /// Random netlist + interleaved buffer-insertion and move deltas: the
+    /// structural graph patches stay exact too.
+    #[test]
+    fn buffer_and_move_sequences_match_the_oracle(seed in 0u64..1_000_000) {
+        let lib = generic::library();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut netlist = random_netlist(&mut rng, &lib);
+        let mut placement = vpga_place::place(&netlist, &lib, &PlaceConfig::default());
+        let config = TimingConfig::default();
+        let mut sta = IncrementalSta::new(&netlist, &lib, &config).unwrap();
+        sta.full_analyze(&netlist, &placement, None);
+        // Aggressive thresholds force structural edits on most netlists.
+        let (_, edits) =
+            vpga_place::insert_buffers_traced(&mut netlist, &lib, &mut placement, 2, 40.0)
+                .unwrap();
+        sta.apply_buffers(&netlist, &lib, &placement, None, &edits);
+        let oracle = try_analyze(&netlist, &lib, &placement, None, &config).unwrap();
+        assert_bit_identical(&netlist, &sta.report(&netlist), &oracle, "post-buffer");
+        // Moves over the edited netlist (including the fresh buffers).
+        let pool = movable(&netlist);
+        let moved = jitter_cells(&mut rng, &mut placement, &pool, 3);
+        sta.update_moved_cells(&netlist, &placement, None, &moved);
+        let oracle = try_analyze(&netlist, &lib, &placement, None, &config).unwrap();
+        assert_bit_identical(&netlist, &sta.report(&netlist), &oracle, "post-buffer-move");
+        // A second round of buffering on the already-patched graph.
+        let (_, edits) =
+            vpga_place::insert_buffers_traced(&mut netlist, &lib, &mut placement, 2, 25.0)
+                .unwrap();
+        sta.apply_buffers(&netlist, &lib, &placement, None, &edits);
+        let oracle = try_analyze(&netlist, &lib, &placement, None, &config).unwrap();
+        assert_bit_identical(&netlist, &sta.report(&netlist), &oracle, "second-buffer");
+    }
+
+    /// The criticality cache never drifts from a fresh computation, and
+    /// the caller-buffer variants agree with the allocating ones.
+    #[test]
+    fn criticality_cache_matches_wrappers(seed in 0u64..1_000_000) {
+        let lib = generic::library();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
+        let netlist = random_netlist(&mut rng, &lib);
+        let mut placement = vpga_place::place(&netlist, &lib, &PlaceConfig::default());
+        let config = TimingConfig::default();
+        let mut sta = IncrementalSta::new(&netlist, &lib, &config).unwrap();
+        sta.full_analyze(&netlist, &placement, None);
+        let pool = movable(&netlist);
+        for _ in 0..3 {
+            let moved = jitter_cells(&mut rng, &mut placement, &pool, 2);
+            sta.update_moved_cells(&netlist, &placement, None, &moved);
+            let oracle = try_analyze(&netlist, &lib, &placement, None, &config).unwrap();
+            let mut cached = Vec::new();
+            sta.net_criticalities_into(&mut cached);
+            let mut fresh = Vec::new();
+            oracle.net_criticalities_into(&mut fresh);
+            prop_assert_eq!(&oracle.net_criticalities(), &fresh, "wrapper vs into");
+            for (i, (a, b)) in cached.iter().zip(&fresh).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "criticality of net {}", i);
+            }
+            let mut cells_cached = Vec::new();
+            sta.cell_criticalities_into(&netlist, &mut cells_cached);
+            let cells_fresh = oracle.cell_criticalities(&netlist);
+            for (i, (a, b)) in cells_cached.iter().zip(&cells_fresh).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "criticality of cell {}", i);
+            }
+        }
+    }
+}
