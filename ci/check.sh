@@ -9,7 +9,8 @@
 #   5. cargo test                 (whole workspace)
 #   6. cargo test --features fault-inject   (fault-injection harness)
 #   7. audited tiny matrix        (debug assertions + inter-stage auditors)
-#   8. cargo bench, smoke mode    (one sample per bench, catches bit-rot)
+#   8. kill-and-resume smoke      (interrupted checkpointed matrix resumes bit-identical)
+#   9. cargo bench, smoke mode    (one sample per bench, catches bit-rot)
 #
 # The workspace has no network dependencies: rand/proptest/criterion are
 # vendored as path crates under vendor/, so every step works offline.
@@ -31,6 +32,10 @@ cargo fmt --all --check
 if cargo clippy --version >/dev/null 2>&1; then
     step "cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets --release -- -D warnings
+    # The stage graph (flow/src/stages/) and checkpoint code gate extra
+    # paths behind fault-inject; lint them with the feature on too.
+    step "cargo clippy -p vpga -p vpga-flow --features fault-inject -- -D warnings"
+    cargo clippy -p vpga -p vpga-flow --all-targets --features fault-inject --release -- -D warnings
 else
     step "clippy not installed; skipping lint step"
 fi
@@ -46,6 +51,28 @@ cargo test --features fault-inject -q
 
 step "audited matrix run (debug assertions + inter-stage auditors)"
 cargo run -q --bin vpga -- matrix --size tiny --jobs 2 --audit >/dev/null
+
+step "kill-and-resume smoke (interrupted checkpointed matrix resumes bit-identical)"
+CKPT=$(mktemp -d)
+trap 'rm -rf "$CKPT"' EXIT
+baseline=$(cargo run -q --bin vpga -- matrix --size tiny --jobs 2 \
+    | grep '^matrix fingerprint:')
+# Interrupt: an injected panic kills one cell mid-matrix while every
+# completed stage persists to the checkpoint directory...
+if VPGA_FAULT="route@alu/granular/a=panic" \
+    cargo run -q --features fault-inject --bin vpga -- \
+    matrix --size tiny --jobs 2 --checkpoint-dir "$CKPT" >/dev/null 2>&1; then
+    echo "error: fault-injected matrix run unexpectedly succeeded" >&2
+    exit 1
+fi
+# ...and the resumed run must land on the uninterrupted fingerprint.
+resumed=$(cargo run -q --features fault-inject --bin vpga -- \
+    matrix --size tiny --jobs 2 --checkpoint-dir "$CKPT" --resume \
+    | grep '^matrix fingerprint:')
+if [ "$baseline" != "$resumed" ]; then
+    echo "error: resumed matrix diverged: '$resumed' != '$baseline'" >&2
+    exit 1
+fi
 
 step "cargo bench (smoke mode, 1 sample per bench)"
 # --workspace picks up every [[bench]] target in crates/bench, including

@@ -252,8 +252,8 @@ mod tests {
         d.output_bus("y", &xs);
         let n = d.finish();
         assert_eq!(n.inputs().len(), 4);
-        assert_eq!(n.cell(n.inputs()[0]).unwrap().name(), "x[0]");
-        assert_eq!(n.cell(n.outputs()[3]).unwrap().name(), "y[3]");
+        assert_eq!(n.cell_name(n.inputs()[0]), "x[0]");
+        assert_eq!(n.cell_name(n.outputs()[3]), "y[3]");
     }
 
     #[test]

@@ -609,7 +609,7 @@ mod tests {
         let out_index = |name: &str| {
             n.outputs()
                 .iter()
-                .position(|&po| n.cell(po).unwrap().name() == name)
+                .position(|&po| n.cell_name(po) == name)
                 .unwrap_or_else(|| panic!("no output {name}"))
         };
         let idle_ix = out_index("state_idle");

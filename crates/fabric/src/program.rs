@@ -157,7 +157,7 @@ impl FabricProgram {
             let assignment = if lc.is_sequential() {
                 SlotAssignment {
                     cell: id,
-                    cell_name: cell.name().to_owned(),
+                    cell_name: netlist.cell_name(id).to_owned(),
                     slot_class,
                     slot_cell: slot_cell.name().to_owned(),
                     pins: vec![strap(cell.inputs()[0])],
@@ -174,7 +174,7 @@ impl FabricProgram {
                 let leaves = cell.inputs().len();
                 let m = match_cell(slot_cell, function, leaves).ok_or_else(|| {
                     FabricError::Unexpressible {
-                        cell: cell.name().to_owned(),
+                        cell: netlist.cell_name(id).to_owned(),
                         slot_cell: slot_cell.name().to_owned(),
                         function,
                     }
@@ -189,7 +189,7 @@ impl FabricProgram {
                     .collect();
                 let vias = encode(slot_cell.name(), m.config).ok_or_else(|| {
                     FabricError::Unexpressible {
-                        cell: cell.name().to_owned(),
+                        cell: netlist.cell_name(id).to_owned(),
                         slot_cell: slot_cell.name().to_owned(),
                         function: m.config,
                     }
@@ -197,7 +197,7 @@ impl FabricProgram {
                 vias_used += vias.count_ones() as usize;
                 SlotAssignment {
                     cell: id,
-                    cell_name: cell.name().to_owned(),
+                    cell_name: netlist.cell_name(id).to_owned(),
                     slot_class,
                     slot_cell: slot_cell.name().to_owned(),
                     pins,
@@ -273,7 +273,7 @@ impl FabricProgram {
         for &pi in interface.inputs() {
             let cell = interface.cell(pi).expect("live PI");
             let src_net = cell.output().expect("PI net");
-            let net = out.add_input(cell.name().to_owned());
+            let net = out.add_input(interface.cell_name(pi).to_owned());
             net_map.insert(src_net, net);
         }
         // Create every slot's cell with a placeholder input, then rewire
@@ -324,7 +324,7 @@ impl FabricProgram {
             let net = *net_map
                 .get(&src_net)
                 .ok_or(FabricError::Netlist(NetlistError::UnknownNet(src_net)))?;
-            out.add_output(cell.name().to_owned(), net);
+            out.add_output(interface.cell_name(po).to_owned(), net);
         }
         out.validate(lib)?;
         Ok(out)

@@ -209,7 +209,7 @@ pub fn audit_placement(netlist: &Netlist, placement: &Placement) -> Result<(), A
         }
         let Some((x, y)) = placement.position(id) else {
             return Err(AuditError::UnplacedCell {
-                cell: cell.name().to_owned(),
+                cell: netlist.cell_name(id).to_owned(),
             });
         };
         if x < die.x0 - GEOMETRY_EPS
@@ -218,7 +218,7 @@ pub fn audit_placement(netlist: &Netlist, placement: &Placement) -> Result<(), A
             || y > die.y1 + GEOMETRY_EPS
         {
             return Err(AuditError::OutsideDie {
-                cell: cell.name().to_owned(),
+                cell: netlist.cell_name(id).to_owned(),
                 x,
                 y,
             });
@@ -230,7 +230,7 @@ pub fn audit_placement(netlist: &Netlist, placement: &Placement) -> Result<(), A
                 || y > region.y1 + GEOMETRY_EPS
             {
                 return Err(AuditError::RegionViolation {
-                    cell: cell.name().to_owned(),
+                    cell: netlist.cell_name(id).to_owned(),
                 });
             }
         }
@@ -256,14 +256,14 @@ pub fn audit_pack(
         }
         let Some(plb) = array.plb_of(id) else {
             return Err(AuditError::UnassignedCell {
-                cell: cell.name().to_owned(),
+                cell: netlist.cell_name(id).to_owned(),
             });
         };
         if let Some(group) = cell.group() {
             let home = *group_home.entry(group).or_insert(plb);
             if home != plb {
                 return Err(AuditError::GroupSplit {
-                    cell: cell.name().to_owned(),
+                    cell: netlist.cell_name(id).to_owned(),
                 });
             }
         }

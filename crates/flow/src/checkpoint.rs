@@ -1,0 +1,578 @@
+//! Disk checkpointing for the stage graph (`--checkpoint-dir` /
+//! `--resume`).
+//!
+//! Each (design, architecture) front-end and each (design, architecture,
+//! variant) back-end result persists to its own file, rewritten after
+//! every completed stage via a write-to-temp-then-rename so a kill mid
+//! write can never leave a torn file behind. Every file carries:
+//!
+//! * a magic/version tag,
+//! * a fingerprint of the flow configuration and design parameters that
+//!   produced it (a checkpoint from a different config silently misses),
+//! * the payload, snapshot-encoded via [`vpga_netlist::wire`] with exact
+//!   `f64` bit patterns,
+//! * an FNV-1a digest of the payload bytes.
+//!
+//! Loads validate all of it and answer `None` on any mismatch — resuming
+//! against a stale, corrupt, truncated, or foreign checkpoint degrades to
+//! recomputing the stage, never to wrong results. The incremental-STA
+//! state is deliberately *not* serialized: the flow audits that its state
+//! after every front-end stage is bit-identical to a fresh full analysis
+//! of the snapshotted netlist and placement, so a restore rebuilds it
+//! from those — which is what makes resumed fingerprints byte-identical
+//! to uninterrupted runs.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use vpga_core::PlbArchitecture;
+use vpga_designs::DesignParams;
+use vpga_netlist::wire::{Reader, Writer};
+use vpga_netlist::Netlist;
+use vpga_place::{BufferEdit, PlaceConfig, Placement};
+use vpga_timing::IncrementalSta;
+
+use crate::config::{FlowConfig, FlowVariant};
+use crate::pipeline::FlowResult;
+use crate::stages::FrontArtifacts;
+use crate::stats::{StageId, StageStats};
+
+const MAGIC: &[u8; 8] = b"VPGACKP1";
+const KIND_FRONT: u8 = 0;
+const KIND_RESULT: u8 = 1;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A fingerprint of everything that determines a run's artifacts: the
+/// flow configuration (normalized — audit, deadlines, and route-keeping
+/// change no artifact bits) and the design parameters. A checkpoint
+/// recorded under a different fingerprint never restores.
+fn config_fingerprint(config: &FlowConfig, params: &DesignParams) -> u64 {
+    let normalized = FlowConfig {
+        audit: false,
+        deadline: None,
+        route: vpga_route::RouteConfig {
+            keep_routes: false,
+            ..config.route.clone()
+        },
+        ..config.clone()
+    };
+    let mut h = fnv1a(format!("{normalized:?}").as_bytes());
+    h ^= fnv1a(format!("{params:?}").as_bytes());
+    h
+}
+
+fn encode_stats(w: &mut Writer, s: &StageStats) {
+    let stage = StageId::ALL
+        .iter()
+        .position(|&id| id == s.stage)
+        .expect("stage is in ALL") as u8;
+    w.u8(stage);
+    w.u64(s.wall.as_nanos() as u64);
+    w.usize(s.cells);
+    w.usize(s.nets);
+    w.opt(s.cost_before, Writer::f64);
+    w.opt(s.cost_after, Writer::f64);
+    w.opt(s.moves_attempted, Writer::u64);
+    w.opt(s.moves_accepted, Writer::u64);
+    w.opt(s.bbox_incremental, Writer::u64);
+    w.opt(s.bbox_full, Writer::u64);
+    w.opt(s.nets_rerouted, Writer::u64);
+    w.opt(s.nets_total, Writer::u64);
+    w.opt(s.retries, Writer::u32);
+    w.opt(s.sta_full, Writer::u64);
+    w.opt(s.sta_incremental, Writer::u64);
+    w.opt(s.sta_nodes_touched, Writer::u64);
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Option<StageStats> {
+    let stage = *StageId::ALL.get(r.u8()? as usize)?;
+    let wall = std::time::Duration::from_nanos(r.u64()?);
+    let cells = r.usize()?;
+    let nets = r.usize()?;
+    let mut s = StageStats::new(stage, wall, cells, nets);
+    s.cost_before = r.opt(Reader::f64)?;
+    s.cost_after = r.opt(Reader::f64)?;
+    s.moves_attempted = r.opt(Reader::u64)?;
+    s.moves_accepted = r.opt(Reader::u64)?;
+    s.bbox_incremental = r.opt(Reader::u64)?;
+    s.bbox_full = r.opt(Reader::u64)?;
+    s.nets_rerouted = r.opt(Reader::u64)?;
+    s.nets_total = r.opt(Reader::u64)?;
+    s.retries = r.opt(Reader::u32)?;
+    s.sta_full = r.opt(Reader::u64)?;
+    s.sta_incremental = r.opt(Reader::u64)?;
+    s.sta_nodes_touched = r.opt(Reader::u64)?;
+    Some(s)
+}
+
+fn encode_stats_list(w: &mut Writer, stages: &[StageStats]) {
+    w.usize(stages.len());
+    for s in stages {
+        encode_stats(w, s);
+    }
+}
+
+fn decode_stats_list(r: &mut Reader<'_>) -> Option<Vec<StageStats>> {
+    let n = r.usize()?;
+    let mut out = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        out.push(decode_stats(r)?);
+    }
+    Some(out)
+}
+
+fn encode_front(w: &mut Writer, store: &FrontArtifacts, stages: &[StageStats]) {
+    w.str(&store.design);
+    w.f64(store.gates_nand2);
+    w.opt(store.compaction.as_ref(), |w, c| {
+        w.usize(c.cells_before);
+        w.usize(c.cells_after);
+        w.f64(c.area_before);
+        w.f64(c.area_after);
+        w.usize(c.rewrites_by_config.len());
+        for (name, count) in &c.rewrites_by_config {
+            w.str(name);
+            w.usize(*count);
+        }
+    });
+    w.opt(store.netlist.as_ref(), |w, n| n.encode_snapshot(w));
+    w.opt(store.placement.as_ref(), |w, p| p.encode_snapshot(w));
+    w.opt(store.weighted.as_ref(), |w, cfg| {
+        w.f64(cfg.utilization);
+        w.u64(cfg.seed);
+        w.usize(cfg.moves_per_cell);
+        w.opt(cfg.net_weights.as_ref(), |w, ws| {
+            w.usize(ws.len());
+            for &x in ws {
+                w.f64(x);
+            }
+        });
+    });
+    w.opt(store.buffer_trace.as_ref(), |w, edits| {
+        w.usize(edits.len());
+        for e in edits {
+            w.u32(e.net.index() as u32);
+            w.u32(e.buffer.index() as u32);
+            w.u32(e.buffer_net.index() as u32);
+            w.usize(e.moved_sinks.len());
+            for &(c, pin) in &e.moved_sinks {
+                w.u32(c.index() as u32);
+                w.usize(pin);
+            }
+        }
+    });
+    encode_stats_list(w, stages);
+}
+
+fn decode_front(r: &mut Reader<'_>) -> Option<(FrontArtifacts, Vec<StageStats>)> {
+    let design = r.str()?;
+    let mut store = FrontArtifacts::new(&design);
+    store.gates_nand2 = r.f64()?;
+    store.compaction = r.opt(|r| {
+        let cells_before = r.usize()?;
+        let cells_after = r.usize()?;
+        let area_before = r.f64()?;
+        let area_after = r.f64()?;
+        let n = r.usize()?;
+        let mut rewrites_by_config = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let name = r.str()?;
+            let count = r.usize()?;
+            rewrites_by_config.insert(name, count);
+        }
+        Some(vpga_compact::CompactionReport {
+            cells_before,
+            cells_after,
+            area_before,
+            area_after,
+            rewrites_by_config,
+        })
+    })?;
+    store.netlist = r.opt(Netlist::decode_snapshot)?;
+    store.placement = r.opt(Placement::decode_snapshot)?;
+    store.weighted = r.opt(|r| {
+        let utilization = r.f64()?;
+        let seed = r.u64()?;
+        let moves_per_cell = r.usize()?;
+        let net_weights = r.opt(|r| {
+            let n = r.usize()?;
+            let mut ws = Vec::with_capacity(n.min(1 << 24));
+            for _ in 0..n {
+                ws.push(r.f64()?);
+            }
+            Some(ws)
+        })?;
+        Some(PlaceConfig {
+            utilization,
+            seed,
+            moves_per_cell,
+            net_weights,
+        })
+    })?;
+    store.buffer_trace = r.opt(|r| {
+        let n = r.usize()?;
+        let mut edits = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let net = vpga_netlist::NetId::from_index(r.u32()? as usize);
+            let buffer = vpga_netlist::CellId::from_index(r.u32()? as usize);
+            let buffer_net = vpga_netlist::NetId::from_index(r.u32()? as usize);
+            let m = r.usize()?;
+            let mut moved_sinks = Vec::with_capacity(m.min(1 << 16));
+            for _ in 0..m {
+                let c = vpga_netlist::CellId::from_index(r.u32()? as usize);
+                let pin = r.usize()?;
+                moved_sinks.push((c, pin));
+            }
+            edits.push(BufferEdit {
+                net,
+                buffer,
+                buffer_net,
+                moved_sinks,
+            });
+        }
+        Some(edits)
+    })?;
+    let stages = decode_stats_list(r)?;
+    Some((store, stages))
+}
+
+fn encode_result(w: &mut Writer, result: &FlowResult) {
+    w.u8(match result.variant {
+        FlowVariant::A => 0,
+        FlowVariant::B => 1,
+    });
+    w.f64(result.die_area);
+    w.f64(result.avg_top10_slack);
+    w.f64(result.worst_slack);
+    w.f64(result.critical_delay);
+    w.f64(result.wirelength);
+    w.f64(result.power_mw);
+    w.usize(result.cells);
+    w.opt(result.array, |w, (c, rows, used)| {
+        w.usize(c);
+        w.usize(rows);
+        w.usize(used);
+    });
+    w.usize(result.route_overflow);
+    encode_stats_list(w, &result.stages);
+}
+
+fn decode_result(r: &mut Reader<'_>) -> Option<FlowResult> {
+    let variant = match r.u8()? {
+        0 => FlowVariant::A,
+        1 => FlowVariant::B,
+        _ => return None,
+    };
+    Some(FlowResult {
+        variant,
+        die_area: r.f64()?,
+        avg_top10_slack: r.f64()?,
+        worst_slack: r.f64()?,
+        critical_delay: r.f64()?,
+        wirelength: r.f64()?,
+        power_mw: r.f64()?,
+        cells: r.usize()?,
+        array: r.opt(|r| Some((r.usize()?, r.usize()?, r.usize()?)))?,
+        route_overflow: r.usize()?,
+        stages: decode_stats_list(r)?,
+    })
+}
+
+/// A directory of stage-graph checkpoints.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    resume: bool,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory. With `resume`
+    /// set, later runs read back validated checkpoints and skip completed
+    /// stages; without it the directory is write-only.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::Error`] if the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>, resume: bool) -> io::Result<CheckpointStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir, resume })
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether this store reads checkpoints back on load.
+    pub fn resume(&self) -> bool {
+        self.resume
+    }
+
+    fn front_path(&self, design: &str, arch: &str) -> PathBuf {
+        self.dir.join(format!("front-{design}-{arch}.ckpt"))
+    }
+
+    fn result_path(&self, design: &str, arch: &str, variant: FlowVariant) -> PathBuf {
+        self.dir
+            .join(format!("result-{design}-{arch}-{}.ckpt", variant.key()))
+    }
+
+    /// Frames `payload` with the magic, kind, completed count, config
+    /// fingerprint, and payload digest, then writes it atomically
+    /// (temp file + rename). Best-effort: IO failures warn and continue —
+    /// a run must never die because its checkpoint disk filled up.
+    fn write_file(&self, path: &Path, kind: u8, completed: u8, config_fp: u64, payload: &[u8]) {
+        let mut framed = Vec::with_capacity(payload.len() + 34);
+        framed.extend_from_slice(MAGIC);
+        framed.push(kind);
+        framed.push(completed);
+        framed.extend_from_slice(&config_fp.to_le_bytes());
+        framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        framed.extend_from_slice(payload);
+        framed.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        let tmp = path.with_extension("ckpt.tmp");
+        let outcome = std::fs::write(&tmp, &framed).and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = outcome {
+            eprintln!(
+                "warning: failed to write checkpoint {}: {e}",
+                path.display()
+            );
+        }
+    }
+
+    /// Reads and validates a framed checkpoint, returning the completed
+    /// count and payload bytes.
+    fn read_file(&self, path: &Path, kind: u8, config_fp: u64) -> Option<(u8, Vec<u8>)> {
+        let bytes = std::fs::read(path).ok()?;
+        let mut r = Reader::new(&bytes);
+        let mut magic = [0u8; 8];
+        for slot in &mut magic {
+            *slot = r.u8()?;
+        }
+        if magic != *MAGIC || r.u8()? != kind {
+            return None;
+        }
+        let completed = r.u8()?;
+        if r.u64()? != config_fp {
+            return None;
+        }
+        let len = r.usize()?;
+        let start: usize = 8 + 1 + 1 + 8 + 8;
+        let payload = bytes.get(start..start.checked_add(len)?)?;
+        let digest = u64::from_le_bytes(bytes.get(start + len..start + len + 8)?.try_into().ok()?);
+        if fnv1a(payload) != digest {
+            return None;
+        }
+        Some((completed, payload.to_vec()))
+    }
+
+    /// Loads the deepest valid front-end checkpoint for `(design, arch)`,
+    /// returning the restored artifact store, its stage records, and the
+    /// number of completed plan steps. `None` (recompute from scratch)
+    /// unless resuming, the file validates, and the config fingerprint
+    /// matches. The incremental-STA state is rebuilt from the restored
+    /// netlist and placement — bit-identical to the checkpointed state by
+    /// the flow's audited STA-equivalence invariant.
+    pub(crate) fn load_front(
+        &self,
+        design: &str,
+        arch: &PlbArchitecture,
+        config: &FlowConfig,
+        params: &DesignParams,
+        plan_len: usize,
+    ) -> Option<(FrontArtifacts, Vec<StageStats>, usize)> {
+        if !self.resume {
+            return None;
+        }
+        let fp = config_fingerprint(config, params);
+        let path = self.front_path(design, arch.name());
+        let (completed, payload) = self.read_file(&path, KIND_FRONT, fp)?;
+        let completed = completed as usize;
+        if completed == 0 || completed > plan_len {
+            return None;
+        }
+        let mut r = Reader::new(&payload);
+        let (mut store, stages) = decode_front(&mut r)?;
+        if !r.done() || store.design != design || stages.len() != completed {
+            return None;
+        }
+        if let (Some(netlist), Some(placement)) = (&store.netlist, &store.placement) {
+            let mut sta = IncrementalSta::new(netlist, arch.library(), &config.timing).ok()?;
+            sta.full_analyze(netlist, placement, None);
+            store.sta = Some(sta);
+        }
+        Some((store, stages, completed))
+    }
+
+    /// Persists the front-end store after `completed` plan steps
+    /// (overwrites any shallower checkpoint). Best-effort: IO failures
+    /// warn and continue.
+    pub(crate) fn save_front(
+        &self,
+        arch: &PlbArchitecture,
+        config: &FlowConfig,
+        params: &DesignParams,
+        store: &FrontArtifacts,
+        stages: &[StageStats],
+        completed: usize,
+    ) {
+        let mut w = Writer::new();
+        encode_front(&mut w, store, stages);
+        self.write_file(
+            &self.front_path(&store.design, arch.name()),
+            KIND_FRONT,
+            completed as u8,
+            config_fingerprint(config, params),
+            &w.into_bytes(),
+        );
+    }
+
+    /// Loads a completed back-end result for `(design, arch, variant)`,
+    /// if resuming and a valid checkpoint exists.
+    pub(crate) fn load_result(
+        &self,
+        design: &str,
+        arch: &str,
+        variant: FlowVariant,
+        config: &FlowConfig,
+        params: &DesignParams,
+    ) -> Option<FlowResult> {
+        if !self.resume {
+            return None;
+        }
+        let fp = config_fingerprint(config, params);
+        let path = self.result_path(design, arch, variant);
+        let (_, payload) = self.read_file(&path, KIND_RESULT, fp)?;
+        let mut r = Reader::new(&payload);
+        let result = decode_result(&mut r)?;
+        if !r.done() || result.variant != variant {
+            return None;
+        }
+        Some(result)
+    }
+
+    /// Persists a completed back-end result. Best-effort.
+    pub(crate) fn save_result(
+        &self,
+        design: &str,
+        arch: &str,
+        config: &FlowConfig,
+        params: &DesignParams,
+        result: &FlowResult,
+    ) {
+        let mut w = Writer::new();
+        encode_result(&mut w, result);
+        self.write_file(
+            &self.result_path(design, arch, result.variant),
+            KIND_RESULT,
+            0,
+            config_fingerprint(config, params),
+            &w.into_bytes(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_round_trip_exactly() {
+        let s = StageStats::new(StageId::Place, std::time::Duration::from_millis(7), 10, 20)
+            .with_cost(3.5, 1.25)
+            .with_moves(100, 40)
+            .with_retries(2)
+            .with_sta(1, 9, 123);
+        let mut w = Writer::new();
+        encode_stats(&mut w, &s);
+        let bytes = w.into_bytes();
+        let back = decode_stats(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn result_round_trip_exactly() {
+        let result = FlowResult {
+            variant: FlowVariant::B,
+            die_area: 123.456,
+            avg_top10_slack: -1.5,
+            worst_slack: -3.25,
+            critical_delay: 450.0,
+            wirelength: 9876.5,
+            power_mw: 1.75,
+            cells: 321,
+            array: Some((4, 5, 17)),
+            route_overflow: 0,
+            stages: vec![StageStats::new(
+                StageId::Route,
+                std::time::Duration::ZERO,
+                1,
+                2,
+            )],
+        };
+        let mut w = Writer::new();
+        encode_result(&mut w, &result);
+        let bytes = w.into_bytes();
+        let back = decode_result(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.fingerprint(), result.fingerprint());
+        assert_eq!(back.array, result.array);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_files_fail_closed() {
+        let dir = std::env::temp_dir().join(format!("vpga-ckpt-test-{}", std::process::id()));
+        let store = CheckpointStore::new(&dir, true).unwrap();
+        let params = DesignParams::tiny();
+        let config = FlowConfig::default();
+        // Nothing on disk.
+        assert!(store
+            .load_result("alu", "granular", FlowVariant::A, &config, &params)
+            .is_none());
+        // A valid write loads back...
+        let result = FlowResult {
+            variant: FlowVariant::A,
+            die_area: 1.0,
+            avg_top10_slack: 0.0,
+            worst_slack: 0.0,
+            critical_delay: 0.0,
+            wirelength: 0.0,
+            power_mw: 0.0,
+            cells: 1,
+            array: None,
+            route_overflow: 0,
+            stages: Vec::new(),
+        };
+        store.save_result("alu", "granular", &config, &params, &result);
+        assert!(store
+            .load_result("alu", "granular", FlowVariant::A, &config, &params)
+            .is_some());
+        // ...but not under different design parameters (config mismatch)...
+        assert!(store
+            .load_result(
+                "alu",
+                "granular",
+                FlowVariant::A,
+                &config,
+                &DesignParams::small()
+            )
+            .is_none());
+        // ...and not once the payload is corrupted.
+        let path = store.result_path("alu", "granular", FlowVariant::A);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store
+            .load_result("alu", "granular", FlowVariant::A, &config, &params)
+            .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,100 @@
+//! Flow-wide configuration.
+
+use std::fmt;
+use std::time::Duration;
+
+use vpga_pack::PackConfig;
+use vpga_place::PlaceConfig;
+use vpga_route::RouteConfig;
+use vpga_timing::TimingConfig;
+
+/// Which flow of §3.2 to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlowVariant {
+    /// ASIC-style flow with the component-cell library (no packing).
+    A,
+    /// Full VPGA flow with packing into the regular PLB array.
+    B,
+}
+
+impl FlowVariant {
+    /// The one-letter key used in job context strings and checkpoint file
+    /// names (`"a"` / `"b"`).
+    pub fn key(self) -> &'static str {
+        match self {
+            FlowVariant::A => "a",
+            FlowVariant::B => "b",
+        }
+    }
+}
+
+impl fmt::Display for FlowVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FlowVariant::A => "flow a",
+            FlowVariant::B => "flow b",
+        })
+    }
+}
+
+/// Flow-wide settings.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Placement settings.
+    pub place: PlaceConfig,
+    /// Packing settings (flow b).
+    pub pack: PackConfig,
+    /// Routing settings.
+    pub route: RouteConfig,
+    /// Timing settings (0.5 ns clock by default).
+    pub timing: TimingConfig,
+    /// Run the regularity-driven logic compaction step.
+    pub compaction: bool,
+    /// Use the global cut-based mapper instead of the per-gate translator
+    /// (an ablation; the paper's flow corresponds to `false`).
+    pub cut_based_mapper: bool,
+    /// Feed STA cell criticalities into the packer's relocation cost
+    /// (§3.1); disable for the A2 ablation.
+    pub pack_criticality: bool,
+    /// Buffer-insertion fanout bound.
+    pub buffer_max_fanout: usize,
+    /// Buffer-insertion length bound as a fraction of the die side.
+    pub buffer_max_length_frac: f64,
+    /// Run the inter-stage auditors of [`crate::audit`] after every stage.
+    /// Defaults to on in debug builds and off in release (`--audit`
+    /// enables it there). Auditing reads stage outputs only — metrics and
+    /// fingerprints are identical with it on or off.
+    pub audit: bool,
+    /// Retry budget for the stochastic stages (place, pack, route): on a
+    /// recoverable stage error, up to this many further attempts run with
+    /// deterministically derived reseeds (see [`crate::derive_seed`]).
+    /// Consumed retries are recorded in
+    /// [`crate::StageStats::retries`], so a recovered run's fingerprint is
+    /// reproducible but distinct from a first-try run's.
+    pub retries: usize,
+    /// Wall-clock budget per pipeline invocation (the shared front-end and
+    /// each variant back-end each get the full budget). Checked by the
+    /// stage runner before every stage and between retry attempts;
+    /// exceeding it fails the job with
+    /// [`crate::FlowError::DeadlineExceeded`] instead of running on.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for FlowConfig {
+    fn default() -> FlowConfig {
+        FlowConfig {
+            place: PlaceConfig::default(),
+            pack: PackConfig::default(),
+            route: RouteConfig::default(),
+            timing: TimingConfig::default(),
+            compaction: true,
+            cut_based_mapper: false,
+            pack_criticality: true,
+            buffer_max_fanout: 12,
+            buffer_max_length_frac: 0.5,
+            audit: cfg!(debug_assertions),
+            retries: 0,
+            deadline: None,
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The flow's error taxonomy.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use vpga_netlist::NetlistError;
+use vpga_pack::PackError;
+use vpga_place::PlaceError;
+use vpga_route::RouteError;
+use vpga_synth::SynthError;
+use vpga_timing::TimingError;
+
+use crate::audit::AuditError;
+use crate::stats::StageId;
+
+/// Errors from the end-to-end flow.
+///
+/// The leaf variants wrap the typed error of the stage library that
+/// failed; [`FlowError::Stage`] adds the stage and design context the
+/// matrix report needs; [`FlowError::StagePanic`] is how a trapped worker
+/// panic surfaces (see [`crate::exec`]); [`FlowError::Skipped`] marks a
+/// back-end job whose shared front-end already failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Synthesis / technology mapping failed.
+    Synth(SynthError),
+    /// A netlist invariant broke mid-flow.
+    Netlist(NetlistError),
+    /// Placement (or the legalizing refinement) failed.
+    Place(PlaceError),
+    /// Packing into the PLB array failed.
+    Pack(PackError),
+    /// Routing failed (a net could not reach a sink).
+    Route(RouteError),
+    /// Static timing analysis failed (combinational cycle).
+    Timing(TimingError),
+    /// An inter-stage auditor found a broken invariant.
+    Audit(AuditError),
+    /// A worker thread panicked mid-stage; the panic was trapped at the
+    /// job boundary and the rest of the matrix kept running.
+    StagePanic {
+        /// The stage the thread had noted when it panicked, if any.
+        stage: Option<StageId>,
+        /// The job context (`design/arch` or `design/arch/variant`).
+        design: String,
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
+    /// A back-end job was never run because its shared front-end failed.
+    Skipped {
+        /// The job context of the skipped back-end.
+        design: String,
+        /// The front-end failure, rendered.
+        cause: String,
+    },
+    /// The job ran past its `--deadline` wall-clock budget.
+    DeadlineExceeded {
+        /// The stage about to run when the budget check failed.
+        stage: StageId,
+        /// The job context.
+        design: String,
+        /// Wall time spent when the check fired.
+        elapsed: Duration,
+        /// The configured budget.
+        budget: Duration,
+    },
+    /// A stage error with job context attached.
+    Stage {
+        /// The stage that failed.
+        stage: StageId,
+        /// The job context (`design/arch` or `design/arch/variant`).
+        design: String,
+        /// The underlying failure.
+        source: Box<FlowError>,
+    },
+}
+
+impl FlowError {
+    /// Wraps `self` with stage and design context, unless it already
+    /// carries its own (contextual variants pass through unchanged).
+    #[must_use]
+    pub(crate) fn in_stage(self, stage: StageId, design: &str) -> FlowError {
+        match self {
+            FlowError::Stage { .. }
+            | FlowError::StagePanic { .. }
+            | FlowError::Skipped { .. }
+            | FlowError::DeadlineExceeded { .. } => self,
+            other => FlowError::Stage {
+                stage,
+                design: design.to_owned(),
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The stage this error is attributed to, when known.
+    pub fn stage(&self) -> Option<StageId> {
+        match self {
+            FlowError::Stage { stage, .. } | FlowError::DeadlineExceeded { stage, .. } => {
+                Some(*stage)
+            }
+            FlowError::StagePanic { stage, .. } => *stage,
+            _ => None,
+        }
+    }
+
+    /// The innermost error, unwrapping any [`FlowError::Stage`] context.
+    pub fn root(&self) -> &FlowError {
+        match self {
+            FlowError::Stage { source, .. } => source.root(),
+            other => other,
+        }
+    }
+}
+
+/// True if the error should consume a retry rather than fail the job: a
+/// blown deadline is terminal, everything else from a stochastic stage is
+/// worth another (reseeded) attempt.
+pub(crate) fn retryable(e: &FlowError) -> bool {
+    !matches!(e, FlowError::DeadlineExceeded { .. })
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Synth(e) => write!(f, "synthesis failed: {e}"),
+            FlowError::Netlist(e) => write!(f, "netlist error: {e}"),
+            FlowError::Place(e) => write!(f, "placement failed: {e}"),
+            FlowError::Pack(e) => write!(f, "packing failed: {e}"),
+            FlowError::Route(e) => write!(f, "routing failed: {e}"),
+            FlowError::Timing(e) => write!(f, "timing analysis failed: {e}"),
+            FlowError::Audit(e) => write!(f, "audit failed: {e}"),
+            FlowError::StagePanic {
+                stage,
+                design,
+                payload,
+            } => match stage {
+                Some(s) => write!(f, "panic in {s} for {design}: {payload}"),
+                None => write!(f, "panic for {design}: {payload}"),
+            },
+            FlowError::Skipped { design, cause } => {
+                write!(f, "{design} skipped: front-end failed ({cause})")
+            }
+            FlowError::DeadlineExceeded {
+                stage,
+                design,
+                elapsed,
+                budget,
+            } => write!(
+                f,
+                "{design} exceeded deadline at {stage}: {:.1}s elapsed, {:.1}s budget",
+                elapsed.as_secs_f64(),
+                budget.as_secs_f64()
+            ),
+            FlowError::Stage {
+                stage,
+                design,
+                source,
+            } => write!(f, "{design}: {stage}: {source}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Synth(e) => Some(e),
+            FlowError::Netlist(e) => Some(e),
+            FlowError::Place(e) => Some(e),
+            FlowError::Pack(e) => Some(e),
+            FlowError::Route(e) => Some(e),
+            FlowError::Timing(e) => Some(e),
+            FlowError::Audit(e) => Some(e),
+            FlowError::Stage { source, .. } => Some(source.as_ref()),
+            FlowError::StagePanic { .. }
+            | FlowError::Skipped { .. }
+            | FlowError::DeadlineExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<SynthError> for FlowError {
+    fn from(e: SynthError) -> FlowError {
+        FlowError::Synth(e)
+    }
+}
+
+impl From<NetlistError> for FlowError {
+    fn from(e: NetlistError) -> FlowError {
+        FlowError::Netlist(e)
+    }
+}
+
+impl From<PlaceError> for FlowError {
+    fn from(e: PlaceError) -> FlowError {
+        FlowError::Place(e)
+    }
+}
+
+impl From<PackError> for FlowError {
+    fn from(e: PackError) -> FlowError {
+        FlowError::Pack(e)
+    }
+}
+
+impl From<RouteError> for FlowError {
+    fn from(e: RouteError) -> FlowError {
+        FlowError::Route(e)
+    }
+}
+
+impl From<TimingError> for FlowError {
+    fn from(e: TimingError) -> FlowError {
+        FlowError::Timing(e)
+    }
+}
+
+impl From<AuditError> for FlowError {
+    fn from(e: AuditError) -> FlowError {
+        FlowError::Audit(e)
+    }
+}

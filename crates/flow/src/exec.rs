@@ -1,20 +1,23 @@
 //! Parallel, deterministic flow execution.
 //!
 //! [`Executor`] is a bounded worker pool over [`std::thread::scope`] (no
-//! external crates): `n` jobs are pulled off an atomic counter by
-//! `min(workers, n)` scoped threads, and results land in their input slot,
-//! so the output order never depends on scheduling. Every job is a pure
-//! function of its index — each flow job derives all randomness from the
+//! external crates). [`Executor::run`] races an index-ordered queue of
+//! independent jobs; [`Executor::run_dag`] schedules a dependency DAG of
+//! tasks, dispatching ready tasks lowest-index-first. Every flow job is a
+//! pure function of its index — each derives all randomness from the
 //! seeds in its own `FlowConfig`, shares nothing mutable, and therefore
 //! produces bit-identical results whether run on 1 worker or 16 (the
 //! determinism tests pin this via [`crate::FlowResult::fingerprint`]).
 //!
 //! [`FlowMatrix`] names the (design, architecture, flow-variant) jobs of
-//! the paper's evaluation matrix and runs them in two waves: the shared
-//! front-ends (synthesis → physical synthesis, one per (design, arch)
-//! pair), then every variant back-end against its immutable front-end.
+//! the paper's evaluation matrix and schedules them at *stage*
+//! granularity: every stage of every cell is one DAG task, chained per
+//! cell, with each shared front-end's last stage fanning out to both
+//! variant back-ends by reference. Independent stages of different cells
+//! interleave freely across the pool; the per-cell chains keep every
+//! result bit-identical to a serial run.
 //!
-//! Jobs are panic-isolated: each front-end and back-end runs under
+//! Jobs are panic-isolated: each stage task runs under
 //! [`std::panic::catch_unwind`], so a poisoned job yields a failed matrix
 //! cell ([`FlowError::StagePanic`], attributed to the stage the worker
 //! had reached) instead of a dead process, and every other cell still
@@ -22,16 +25,29 @@
 //! front-end failed are never run; the first such cell (in job order)
 //! carries the front-end error itself and the rest are marked
 //! [`FlowError::Skipped`] with the cause.
+//!
+//! With a [`CheckpointStore`], each completed stage is persisted and a
+//! resumed run restores the deepest valid checkpoint per cell, skipping
+//! completed work; resumed results are bit-identical to uninterrupted
+//! ones.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::num::NonZeroUsize;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex, OnceLock};
 
 use vpga_core::PlbArchitecture;
 use vpga_designs::{DesignParams, NamedDesign};
+use vpga_netlist::Netlist;
 
-use crate::pipeline::{front_end, run_variant, FrontEnd};
+use crate::checkpoint::CheckpointStore;
+use crate::clock::JobClock;
+use crate::pipeline::{front_ctx, job_ctx, FrontEnd};
+use crate::stages::{
+    back_plan, front_plan, run_back_stage, run_front_stage, BackArtifacts, FrontArtifacts, StageEnv,
+};
 use crate::stats::{clear_stage, current_stage, StageStats};
 use crate::{FlowConfig, FlowError, FlowResult, FlowVariant};
 
@@ -114,6 +130,99 @@ impl Executor {
             })
             .collect()
     }
+
+    /// Executes a task dependency DAG: `dependents[t]` lists the tasks
+    /// unlocked by `t`, `indegree[t]` counts the tasks `t` still waits
+    /// on. Ready tasks dispatch lowest-index-first, so a single worker
+    /// visits tasks in exactly the order a serial nested loop would —
+    /// the determinism anchor the flow's one-shot fault points rely on.
+    /// With multiple workers, ready tasks of *different* chains run
+    /// concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first task panic after the in-flight tasks settle
+    /// (tasks left unreachable by the panic are skipped). Panics if the
+    /// graph has a cycle (some task never becomes ready).
+    pub(crate) fn run_dag<F>(&self, dependents: &[Vec<usize>], mut indegree: Vec<usize>, task: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let n = dependents.len();
+        assert_eq!(indegree.len(), n);
+        let mut ready: BinaryHeap<Reverse<usize>> =
+            (0..n).filter(|&t| indegree[t] == 0).map(Reverse).collect();
+        let workers = self.workers.min(n.max(1));
+        if workers <= 1 {
+            let mut done = 0usize;
+            while let Some(Reverse(t)) = ready.pop() {
+                task(t);
+                done += 1;
+                for &d in &dependents[t] {
+                    indegree[d] -= 1;
+                    if indegree[d] == 0 {
+                        ready.push(Reverse(d));
+                    }
+                }
+            }
+            assert_eq!(done, n, "task graph has a cycle");
+            return;
+        }
+        struct DagState {
+            ready: BinaryHeap<Reverse<usize>>,
+            indegree: Vec<usize>,
+            remaining: usize,
+        }
+        let state = Mutex::new(DagState {
+            ready,
+            indegree,
+            remaining: n,
+        });
+        let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let cv = Condvar::new();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                    let t = loop {
+                        if st.remaining == 0 {
+                            return;
+                        }
+                        match st.ready.pop() {
+                            Some(Reverse(t)) => break t,
+                            None => st = cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                        }
+                    };
+                    drop(st);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| task(t)));
+                    let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                    match outcome {
+                        Ok(()) => {
+                            st.remaining -= 1;
+                            for &d in &dependents[t] {
+                                st.indegree[d] -= 1;
+                                if st.indegree[d] == 0 {
+                                    st.ready.push(Reverse(d));
+                                }
+                            }
+                        }
+                        Err(payload) => {
+                            // Wind the scheduler down and re-raise after
+                            // the scope joins.
+                            st.remaining = 0;
+                            let mut slot = panicked.lock().unwrap_or_else(|e| e.into_inner());
+                            slot.get_or_insert(payload);
+                        }
+                    }
+                    drop(st);
+                    cv.notify_all();
+                });
+            }
+        });
+        if let Some(payload) = panicked.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            resume_unwind(payload);
+        }
+    }
 }
 
 /// One cell of the evaluation matrix.
@@ -145,6 +254,29 @@ pub struct JobResult {
     pub front_stages: Vec<StageStats>,
     /// The variant's metrics and back-end stage instrumentation.
     pub result: FlowResult,
+}
+
+/// Per-pair scheduler state while the shared front-end's stage chain is
+/// in flight. Sealed into an immutable [`FrontEnd`] when the last stage
+/// completes.
+struct PairState {
+    source: Option<Netlist>,
+    store: FrontArtifacts,
+    stages: Vec<StageStats>,
+    clock: Option<JobClock>,
+    /// Plan steps restored from a checkpoint (skipped, not re-run).
+    restored: usize,
+    error: Option<FlowError>,
+}
+
+/// Per-job scheduler state while a variant back-end's stage chain is in
+/// flight.
+struct BackState<'f> {
+    store: Option<BackArtifacts<'f>>,
+    stages: Vec<StageStats>,
+    clock: Option<JobClock>,
+    result: Option<FlowResult>,
+    error: Option<FlowError>,
 }
 
 /// A set of (design, architecture, flow-variant) jobs.
@@ -184,26 +316,47 @@ impl FlowMatrix {
     }
 
     /// Runs every job on `executor`, returning per-cell results in job
-    /// order — one `Result` per job, never fewer.
-    ///
-    /// Work is scheduled in two waves so a front-end shared by both
-    /// variants of a (design, arch) pair is computed once: first the
-    /// distinct front-ends fan out across the pool, then every variant
-    /// back-end runs against its (now immutable) front-end. Both waves
-    /// use the same index-ordered queue, so the result vector — and every
-    /// bit inside it — is independent of the worker count.
-    ///
-    /// Each job runs under `catch_unwind`: a panic (or error) in one cell
-    /// never stops the others. A pair whose front-end failed contributes
-    /// the front-end error to its first job (in job order) and
-    /// [`FlowError::Skipped`] to the rest.
+    /// order — one `Result` per job, never fewer. See
+    /// [`FlowMatrix::run_cells_checkpointed`] for the scheduling and
+    /// isolation contract.
     pub fn run_cells(
         &self,
         params: &DesignParams,
         config: &FlowConfig,
         executor: &Executor,
     ) -> Vec<Result<JobResult, FlowError>> {
-        // Wave 1: distinct (design, arch) front-ends, keyed by first use.
+        self.run_cells_checkpointed(params, config, executor, None)
+    }
+
+    /// Runs every job on `executor` at stage granularity, returning
+    /// per-cell results in job order — one `Result` per job, never
+    /// fewer.
+    ///
+    /// Work is scheduled as a stage-level dependency DAG: each front-end
+    /// stage of each distinct (design, arch) pair and each back-end stage
+    /// of each job is one task, chained in plan order, with the last
+    /// front-end stage fanning out to every dependent back-end. A
+    /// front-end shared by both variants of a pair is computed once and
+    /// read by reference. Ready tasks dispatch lowest-index-first, so the
+    /// result vector — and every bit inside it — is independent of the
+    /// worker count.
+    ///
+    /// Each stage task runs under `catch_unwind`: a panic (or error) in
+    /// one cell never stops the others. A pair whose front-end failed
+    /// contributes the front-end error to its first job (in job order)
+    /// and [`FlowError::Skipped`] to the rest.
+    ///
+    /// With `checkpoints`, every completed stage is persisted; a resuming
+    /// store restores the deepest valid checkpoint per cell and skips the
+    /// completed stages, bit-identically.
+    pub fn run_cells_checkpointed(
+        &self,
+        params: &DesignParams,
+        config: &FlowConfig,
+        executor: &Executor,
+        checkpoints: Option<&CheckpointStore>,
+    ) -> Vec<Result<JobResult, FlowError>> {
+        // Distinct (design, arch) front-ends, keyed by first use.
         let mut pair_keys: Vec<(NamedDesign, String)> = Vec::new();
         let mut pair_arch: Vec<&PlbArchitecture> = Vec::new();
         let mut pair_of_job: Vec<usize> = Vec::with_capacity(self.jobs.len());
@@ -219,92 +372,262 @@ impl FlowMatrix {
             };
             pair_of_job.push(ix);
         }
-        let fronts: Vec<Result<FrontEnd, FlowError>> = executor.run(pair_keys.len(), |ix| {
-            clear_stage();
-            let (design, _) = &pair_keys[ix];
-            let arch = pair_arch[ix];
-            catch_unwind(AssertUnwindSafe(|| {
-                let netlist = design.generate(params);
-                front_end(&netlist, arch, config)
-            }))
-            .unwrap_or_else(|payload| {
-                Err(FlowError::StagePanic {
-                    stage: current_stage(),
-                    design: format!("{}/{}", design.name(), arch.name()),
-                    payload: panic_message(payload),
+
+        // Task numbering: front tasks first (pair-major, then plan step),
+        // back tasks after (job-major, then plan step) — so the serial
+        // lowest-index-first dispatch visits stages in exactly the order
+        // the old two-wave schedule did.
+        let plan = front_plan(config);
+        let f = plan.len();
+        let npairs = pair_keys.len();
+        let mut job_base: Vec<usize> = Vec::with_capacity(self.jobs.len());
+        let mut total = npairs * f;
+        for job in &self.jobs {
+            job_base.push(total);
+            total += back_plan(job.variant).len();
+        }
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); total];
+        let mut indegree: Vec<usize> = vec![0; total];
+        for p in 0..npairs {
+            for s in 1..f {
+                dependents[p * f + s - 1].push(p * f + s);
+                indegree[p * f + s] = 1;
+            }
+        }
+        for (j, job) in self.jobs.iter().enumerate() {
+            let first = job_base[j];
+            dependents[pair_of_job[j] * f + f - 1].push(first);
+            indegree[first] = 1;
+            for s in 1..back_plan(job.variant).len() {
+                dependents[first + s - 1].push(first + s);
+                indegree[first + s] = 1;
+            }
+        }
+
+        let fronts: Vec<OnceLock<FrontEnd>> = (0..npairs).map(|_| OnceLock::new()).collect();
+        let pair_states: Vec<Mutex<PairState>> = (0..npairs)
+            .map(|_| {
+                Mutex::new(PairState {
+                    source: None,
+                    store: FrontArtifacts::new(""),
+                    stages: Vec::new(),
+                    clock: None,
+                    restored: 0,
+                    error: None,
                 })
             })
-        });
+            .collect();
+        let back_states: Vec<Mutex<BackState<'_>>> = (0..self.jobs.len())
+            .map(|_| {
+                Mutex::new(BackState {
+                    store: None,
+                    stages: Vec::new(),
+                    clock: None,
+                    result: None,
+                    error: None,
+                })
+            })
+            .collect();
 
-        // Wave 2: variant back-ends against the healthy front-ends; cells
-        // over a failed front-end are not run (filled in below).
-        let results: Vec<Option<Result<JobResult, FlowError>>> =
-            executor.run(self.jobs.len(), |i| {
-                let job = &self.jobs[i];
-                let front = fronts[pair_of_job[i]].as_ref().ok()?;
-                clear_stage();
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_variant(front, &job.arch, config, job.variant)
-                }))
-                .unwrap_or_else(|payload| {
-                    Err(FlowError::StagePanic {
+        let front_task = |p: usize, s: usize| {
+            let mut guard = pair_states[p].lock().unwrap_or_else(|e| e.into_inner());
+            let st = &mut *guard;
+            if st.error.is_some() {
+                return;
+            }
+            let (named, _) = &pair_keys[p];
+            let arch = pair_arch[p];
+            clear_stage();
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), FlowError> {
+                if s == 0 {
+                    st.clock = Some(JobClock::new(config.deadline));
+                    let source = named.generate(params);
+                    st.store = FrontArtifacts::new(source.name());
+                    if let Some(ck) = checkpoints {
+                        if let Some((store, stages, completed)) =
+                            ck.load_front(source.name(), arch, config, params, f)
+                        {
+                            st.store = store;
+                            st.stages = stages;
+                            st.restored = completed;
+                        }
+                    }
+                    st.source = Some(source);
+                }
+                if s < st.restored {
+                    return Ok(());
+                }
+                let ctx = front_ctx(&st.store.design, arch);
+                let PairState {
+                    source,
+                    store,
+                    stages,
+                    clock,
+                    ..
+                } = st;
+                let env = StageEnv {
+                    config,
+                    arch,
+                    job: &ctx,
+                    clock: clock.as_ref().expect("step 0 started the clock"),
+                };
+                run_front_stage(plan[s], source.as_ref(), &env, store, stages)?;
+                if let Some(ck) = checkpoints {
+                    ck.save_front(arch, config, params, store, stages, s + 1);
+                }
+                Ok(())
+            }));
+            match outcome {
+                Ok(Ok(())) => {
+                    if s + 1 == f {
+                        let store = std::mem::replace(&mut st.store, FrontArtifacts::new(""));
+                        let stages = std::mem::take(&mut st.stages);
+                        let _ = fronts[p].set(store.into_front_end(stages));
+                    }
+                }
+                Ok(Err(e)) => st.error = Some(e),
+                Err(payload) => {
+                    st.error = Some(FlowError::StagePanic {
                         stage: current_stage(),
-                        design: format!(
-                            "{}/{}/{}",
-                            front.design,
-                            job.arch.name(),
-                            match job.variant {
-                                FlowVariant::A => "a",
-                                FlowVariant::B => "b",
-                            }
-                        ),
+                        design: format!("{}/{}", named.name(), arch.name()),
                         payload: panic_message(payload),
-                    })
-                });
-                Some(outcome.map(|result| JobResult {
-                    job: job.clone(),
-                    design: front.design.clone(),
-                    gates_nand2: front.gates_nand2,
-                    compaction: front.compaction.clone(),
-                    front_stages: front.stages.clone(),
-                    result,
-                }))
-            });
+                    });
+                }
+            }
+        };
+
+        let back_task = |j: usize, s: usize| {
+            let job = &self.jobs[j];
+            let p = pair_of_job[j];
+            let bplan = back_plan(job.variant);
+            let mut guard = back_states[j].lock().unwrap_or_else(|e| e.into_inner());
+            let st = &mut *guard;
+            if st.error.is_some() || st.result.is_some() {
+                return;
+            }
+            clear_stage();
+            if s == 0 {
+                let Some(front) = fronts[p].get() else {
+                    // Front-end failed; the collection pass attributes it.
+                    return;
+                };
+                st.clock = Some(JobClock::new(config.deadline));
+                if let Some(ck) = checkpoints {
+                    if let Some(result) =
+                        ck.load_result(&front.design, job.arch.name(), job.variant, config, params)
+                    {
+                        st.result = Some(result);
+                        return;
+                    }
+                }
+                st.store = Some(BackArtifacts::new(front));
+            }
+            if st.store.is_none() {
+                // Front-end failed at step 0; later steps stay inert.
+                return;
+            }
+            let ctx = job_ctx(
+                &st.store.as_ref().expect("checked above").front.design,
+                &job.arch,
+                job.variant,
+            );
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), FlowError> {
+                let BackState {
+                    store,
+                    stages,
+                    clock,
+                    ..
+                } = st;
+                let store = store.as_mut().expect("checked above");
+                let env = StageEnv {
+                    config,
+                    arch: &job.arch,
+                    job: &ctx,
+                    clock: clock.as_ref().expect("step 0 started the clock"),
+                };
+                run_back_stage(bplan[s], job.variant, &env, store, stages)
+            }));
+            match outcome {
+                Ok(Ok(())) => {
+                    if s + 1 == bplan.len() {
+                        let store = st.store.take().expect("checked above");
+                        let stages = std::mem::take(&mut st.stages);
+                        let design = store.front.design.clone();
+                        let result = store.into_result(job.variant, stages);
+                        if let Some(ck) = checkpoints {
+                            ck.save_result(&design, job.arch.name(), config, params, &result);
+                        }
+                        st.result = Some(result);
+                    }
+                }
+                Ok(Err(e)) => st.error = Some(e),
+                Err(payload) => {
+                    st.error = Some(FlowError::StagePanic {
+                        stage: current_stage(),
+                        design: ctx,
+                        payload: panic_message(payload),
+                    });
+                }
+            }
+        };
+
+        executor.run_dag(&dependents, indegree, |t| {
+            if t < npairs * f {
+                front_task(t / f, t % f);
+            } else {
+                let j = match job_base.binary_search(&t) {
+                    Ok(j) => j,
+                    Err(next) => next - 1,
+                };
+                back_task(j, t - job_base[j]);
+            }
+        });
 
         // A failed front-end poisons its dependents: the pair's first job
         // carries the error itself, later jobs are marked skipped with the
         // cause so nothing silently vanishes from the result vector.
-        let causes: Vec<Option<String>> = fronts
-            .iter()
-            .map(|r| r.as_ref().err().map(ToString::to_string))
-            .collect();
-        let mut front_errors: Vec<Option<FlowError>> =
-            fronts.into_iter().map(Result::err).collect();
-        results
+        let mut front_errors: Vec<Option<FlowError>> = pair_states
             .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()).error)
+            .collect();
+        let causes: Vec<Option<String>> = front_errors
+            .iter()
+            .map(|e| e.as_ref().map(ToString::to_string))
+            .collect();
+        self.jobs
+            .iter()
+            .zip(back_states)
             .enumerate()
-            .map(|(i, cell)| {
-                if let Some(cell) = cell {
-                    return cell;
+            .map(|(j, (job, state))| {
+                let st = state.into_inner().unwrap_or_else(|e| e.into_inner());
+                if let Some(result) = st.result {
+                    let front = fronts[pair_of_job[j]]
+                        .get()
+                        .expect("a back-end result implies its front-end completed");
+                    return Ok(JobResult {
+                        job: job.clone(),
+                        design: front.design.clone(),
+                        gates_nand2: front.gates_nand2,
+                        compaction: front.compaction.clone(),
+                        front_stages: front.stages.clone(),
+                        result,
+                    });
                 }
-                let pair = pair_of_job[i];
+                if let Some(e) = st.error {
+                    return Err(e);
+                }
+                let pair = pair_of_job[j];
                 match front_errors[pair].take() {
                     Some(e) => Err(e),
-                    None => {
-                        let job = &self.jobs[i];
-                        Err(FlowError::Skipped {
-                            design: format!(
-                                "{}/{}/{}",
-                                job.design.name(),
-                                job.arch.name(),
-                                match job.variant {
-                                    FlowVariant::A => "a",
-                                    FlowVariant::B => "b",
-                                }
-                            ),
-                            cause: causes[pair].clone().unwrap_or_default(),
-                        })
-                    }
+                    None => Err(FlowError::Skipped {
+                        design: format!(
+                            "{}/{}/{}",
+                            job.design.name(),
+                            job.arch.name(),
+                            job.variant.key()
+                        ),
+                        cause: causes[pair].clone().unwrap_or_default(),
+                    }),
                 }
             })
             .collect()
@@ -353,6 +676,32 @@ mod tests {
         let exec = Executor::new(4);
         assert!(exec.run(0, |_| 0u8).is_empty());
         assert_eq!(exec.run(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn dag_executes_chains_in_dependency_order() {
+        // Two chains (0 → 1 → 2, 3 → 4) plus a join task 5 waiting on
+        // both chain heads.
+        let dependents = vec![vec![1], vec![2], vec![5], vec![4], vec![5], vec![]];
+        let indegree = vec![0, 1, 1, 0, 1, 2];
+        for workers in [1, 2, 4] {
+            let order = Mutex::new(Vec::new());
+            Executor::new(workers).run_dag(&dependents, indegree.clone(), |t| {
+                order.lock().unwrap().push(t);
+            });
+            let order = order.into_inner().unwrap();
+            assert_eq!(order.len(), 6, "workers={workers}");
+            let pos = |t: usize| order.iter().position(|&x| x == t).unwrap();
+            assert!(pos(0) < pos(1) && pos(1) < pos(2), "workers={workers}");
+            assert!(pos(3) < pos(4), "workers={workers}");
+            assert!(pos(2) < pos(5) && pos(4) < pos(5), "workers={workers}");
+        }
+        // A single worker visits ready tasks lowest-index-first.
+        let order = Mutex::new(Vec::new());
+        Executor::new(1).run_dag(&dependents, indegree, |t| {
+            order.lock().unwrap().push(t);
+        });
+        assert_eq!(order.into_inner().unwrap(), vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! panic, a stage-representative typed error, or a deadline timeout —
 //! proving the panic-isolation, retry, and report paths actually fire.
 //!
-//! Point names are the stage names of [`crate::Stage`] (`"synth"`,
+//! Point names are the stage names of [`crate::StageId`] (`"synth"`,
 //! `"compact"`, `"place"`, `"physsynth"`, `"pack"`, `"swap"`, `"route"`,
 //! `"sta"`), plus `"sta_incremental"` inside physical synthesis, where the
 //! incremental timer's propagation loop runs. An armed fault can carry a
@@ -97,7 +97,7 @@ fn take(point: &str, ctx: &str) -> Option<FaultKind> {
 /// exactly the taxonomy the report surfaces.
 #[cfg(feature = "fault-inject")]
 fn representative_error(point: &str, ctx: &str) -> FlowError {
-    use crate::Stage;
+    use crate::StageId;
     match point {
         "synth" => FlowError::Synth(vpga_synth::SynthError::Unmappable {
             function: vpga_logic::Tt3::MAJ3,
@@ -125,7 +125,7 @@ fn representative_error(point: &str, ctx: &str) -> FlowError {
             vpga_netlist::NetlistError::CombinationalCycle(vpga_netlist::CellId::from_index(0)),
         )),
         other => FlowError::StagePanic {
-            stage: Stage::ALL.iter().copied().find(|s| s.name() == other),
+            stage: StageId::ALL.iter().copied().find(|s| s.name() == other),
             design: ctx.to_owned(),
             payload: format!("unknown fault point {other:?}"),
         },
@@ -141,17 +141,17 @@ fn representative_error(point: &str, ctx: &str) -> FlowError {
 /// The armed fault's error, when one fires.
 #[cfg(feature = "fault-inject")]
 pub(crate) fn fire(point: &str, ctx: &str) -> Result<(), FlowError> {
-    use crate::Stage;
+    use crate::StageId;
     match take(point, ctx) {
         None => Ok(()),
         Some(FaultKind::Panic) => panic!("injected fault at {point} ({ctx})"),
         Some(FaultKind::Error) => Err(representative_error(point, ctx)),
         Some(FaultKind::Timeout) => Err(FlowError::DeadlineExceeded {
-            stage: Stage::ALL
+            stage: StageId::ALL
                 .iter()
                 .copied()
                 .find(|s| s.name() == point)
-                .unwrap_or(Stage::Synth),
+                .unwrap_or(StageId::Synth),
             design: ctx.to_owned(),
             elapsed: std::time::Duration::ZERO,
             budget: std::time::Duration::ZERO,

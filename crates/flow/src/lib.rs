@@ -9,16 +9,22 @@
 //!   into the regular PLB array by recursive quadrisection (iterated with
 //!   physical synthesis), with routing and timing re-run on the array.
 //!
-//! [`run_design`] runs both variants over a shared front-end and returns a
-//! [`DesignOutcome`]; [`report`] assembles the paper's Table 1 (die area)
-//! and Table 2 (top-10 path slack) plus the derived §3.2 claims.
+//! The pipeline is a typed stage graph: each of the eight stages is a
+//! [`stages::Stage`] over a typed artifact store, and one generic stage
+//! runner applies the deadline, audit, faultpoint, retry, and stats
+//! middleware uniformly. [`run_design`] drives the graph serially and
+//! returns a [`DesignOutcome`]; [`report`] assembles the paper's Table 1
+//! (die area) and Table 2 (top-10 path slack) plus the derived §3.2
+//! claims.
 //!
-//! The [`exec`] module runs many (design, architecture, flow-variant)
-//! jobs across a bounded [`Executor`] pool, deterministically: results are
-//! bit-identical to a serial run (pinned by [`FlowResult::fingerprint`]).
-//! The [`stats`] module carries per-stage instrumentation — wall time,
-//! netlist sizes, optimizer cost movement, and mover/acceptance counters —
-//! through every stage of the pipeline.
+//! The [`exec`] module schedules many (design, architecture,
+//! flow-variant) jobs as a stage-level dependency DAG across a bounded
+//! [`Executor`] pool, deterministically: results are bit-identical to a
+//! serial run (pinned by [`FlowResult::fingerprint`]). The [`checkpoint`]
+//! module persists completed stages to disk so a killed matrix run can
+//! resume bit-identically. The [`stats`] module carries per-stage
+//! instrumentation — wall time, netlist sizes, optimizer cost movement,
+//! and mover/acceptance counters — through every stage of the pipeline.
 //!
 //! The flow is fault-tolerant: worker panics are trapped at job
 //! boundaries ([`FlowError::StagePanic`]), the [`audit`] module re-checks
@@ -31,17 +37,28 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod checkpoint;
+mod clock;
+mod config;
+mod error;
 pub mod exec;
 pub mod faultpoint;
 mod pipeline;
 pub mod report;
+pub mod stages;
 pub mod stats;
 
 pub use audit::AuditError;
+pub use checkpoint::CheckpointStore;
+pub use clock::derive_seed;
+pub use config::{FlowConfig, FlowVariant};
+pub use error::FlowError;
 pub use exec::{Executor, FlowJob, FlowMatrix, JobResult};
 pub use faultpoint::FaultKind;
-pub use pipeline::{
-    derive_seed, run_design, DesignOutcome, FlowConfig, FlowError, FlowResult, FlowVariant,
-};
+pub use pipeline::{run_design, DesignOutcome, FlowResult};
 pub use report::{CellFailure, Claims, Matrix};
-pub use stats::{Stage, StageStats};
+pub use stats::{StageId, StageStats};
+
+/// Backwards-compatible alias: the stage enum was renamed to
+/// [`StageId`] when the `Stage` *trait* took the primary name.
+pub use stats::StageId as Stage;

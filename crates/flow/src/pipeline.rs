@@ -1,345 +1,21 @@
-//! Flow orchestration.
-
-use std::error::Error;
-use std::fmt;
-use std::time::{Duration, Instant};
+//! Flow orchestration: drives the typed stage graph of [`crate::stages`]
+//! through the front-end and back-end stage plans. All per-stage
+//! middleware (deadline, audit, faultpoint, retries, stats) lives in the
+//! stage runner, not here.
 
 use vpga_compact::CompactionReport;
 use vpga_core::PlbArchitecture;
-use vpga_netlist::library::generic;
-use vpga_netlist::{CellId, Netlist, NetlistError};
-use vpga_pack::{PackConfig, PackError};
-use vpga_place::{PlaceConfig, PlaceError, Placement};
-use vpga_route::{RouteConfig, RouteError};
-use vpga_synth::SynthError;
-use vpga_timing::{IncrementalSta, TimingConfig, TimingError};
+use vpga_netlist::Netlist;
+use vpga_place::Placement;
+use vpga_timing::IncrementalSta;
 
-use crate::audit::{self, AuditError};
-use crate::faultpoint;
-use crate::stats::{note_stage, Stage, StageStats};
-
-/// Which flow of §3.2 to run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum FlowVariant {
-    /// ASIC-style flow with the component-cell library (no packing).
-    A,
-    /// Full VPGA flow with packing into the regular PLB array.
-    B,
-}
-
-impl fmt::Display for FlowVariant {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            FlowVariant::A => "flow a",
-            FlowVariant::B => "flow b",
-        })
-    }
-}
-
-/// Flow-wide settings.
-#[derive(Clone, Debug)]
-pub struct FlowConfig {
-    /// Placement settings.
-    pub place: PlaceConfig,
-    /// Packing settings (flow b).
-    pub pack: PackConfig,
-    /// Routing settings.
-    pub route: RouteConfig,
-    /// Timing settings (0.5 ns clock by default).
-    pub timing: TimingConfig,
-    /// Run the regularity-driven logic compaction step.
-    pub compaction: bool,
-    /// Use the global cut-based mapper instead of the per-gate translator
-    /// (an ablation; the paper's flow corresponds to `false`).
-    pub cut_based_mapper: bool,
-    /// Feed STA cell criticalities into the packer's relocation cost
-    /// (§3.1); disable for the A2 ablation.
-    pub pack_criticality: bool,
-    /// Buffer-insertion fanout bound.
-    pub buffer_max_fanout: usize,
-    /// Buffer-insertion length bound as a fraction of the die side.
-    pub buffer_max_length_frac: f64,
-    /// Run the inter-stage auditors of [`crate::audit`] after every stage.
-    /// Defaults to on in debug builds and off in release (`--audit`
-    /// enables it there). Auditing reads stage outputs only — metrics and
-    /// fingerprints are identical with it on or off.
-    pub audit: bool,
-    /// Retry budget for the stochastic stages (place, pack, route): on a
-    /// recoverable stage error, up to this many further attempts run with
-    /// deterministically derived reseeds (see [`derive_seed`]). Consumed
-    /// retries are recorded in [`StageStats::retries`], so a recovered
-    /// run's fingerprint is reproducible but distinct from a first-try
-    /// run's.
-    pub retries: usize,
-    /// Wall-clock budget per pipeline invocation (the shared front-end and
-    /// each variant back-end each get the full budget). Checked at stage
-    /// boundaries and between retry attempts; exceeding it fails the job
-    /// with [`FlowError::DeadlineExceeded`] instead of running on.
-    pub deadline: Option<Duration>,
-}
-
-impl Default for FlowConfig {
-    fn default() -> FlowConfig {
-        FlowConfig {
-            place: PlaceConfig::default(),
-            pack: PackConfig::default(),
-            route: RouteConfig::default(),
-            timing: TimingConfig::default(),
-            compaction: true,
-            cut_based_mapper: false,
-            pack_criticality: true,
-            buffer_max_fanout: 12,
-            buffer_max_length_frac: 0.5,
-            audit: cfg!(debug_assertions),
-            retries: 0,
-            deadline: None,
-        }
-    }
-}
-
-/// The deterministically derived seed for retry `attempt` of a stochastic
-/// stage: attempt 0 is the configured seed itself, and each further
-/// attempt folds the attempt index in through a golden-ratio multiply.
-/// Pure function of `(seed, attempt)` — reruns with the same retry budget
-/// reproduce the same recovery sequence bit for bit.
-pub fn derive_seed(seed: u64, attempt: usize) -> u64 {
-    seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
-
-/// Wall-clock budget tracker for one pipeline invocation.
-struct JobClock {
-    start: Instant,
-    budget: Option<Duration>,
-}
-
-impl JobClock {
-    fn new(budget: Option<Duration>) -> JobClock {
-        JobClock {
-            start: Instant::now(),
-            budget,
-        }
-    }
-
-    /// Fails the job cleanly once the budget is spent (checked at stage
-    /// boundaries and between retry attempts).
-    fn check(&self, stage: Stage, design: &str) -> Result<(), FlowError> {
-        let Some(budget) = self.budget else {
-            return Ok(());
-        };
-        let elapsed = self.start.elapsed();
-        if elapsed > budget {
-            return Err(FlowError::DeadlineExceeded {
-                stage,
-                design: design.to_owned(),
-                elapsed,
-                budget,
-            });
-        }
-        Ok(())
-    }
-}
-
-/// Errors from the end-to-end flow.
-///
-/// The leaf variants wrap the typed error of the stage library that
-/// failed; [`FlowError::Stage`] adds the stage and design context the
-/// matrix report needs; [`FlowError::StagePanic`] is how a trapped worker
-/// panic surfaces (see [`crate::exec`]); [`FlowError::Skipped`] marks a
-/// back-end job whose shared front-end already failed.
-#[derive(Debug)]
-#[non_exhaustive]
-pub enum FlowError {
-    /// Synthesis / technology mapping failed.
-    Synth(SynthError),
-    /// A netlist invariant broke mid-flow.
-    Netlist(NetlistError),
-    /// Placement (or the legalizing refinement) failed.
-    Place(PlaceError),
-    /// Packing into the PLB array failed.
-    Pack(PackError),
-    /// Routing failed (a net could not reach a sink).
-    Route(RouteError),
-    /// Static timing analysis failed (combinational cycle).
-    Timing(TimingError),
-    /// An inter-stage auditor found a broken invariant.
-    Audit(AuditError),
-    /// A worker thread panicked mid-stage; the panic was trapped at the
-    /// job boundary and the rest of the matrix kept running.
-    StagePanic {
-        /// The stage the thread had noted when it panicked, if any.
-        stage: Option<Stage>,
-        /// The job context (`design/arch` or `design/arch/variant`).
-        design: String,
-        /// The panic payload, rendered to a string.
-        payload: String,
-    },
-    /// A back-end job was never run because its shared front-end failed.
-    Skipped {
-        /// The job context of the skipped back-end.
-        design: String,
-        /// The front-end failure, rendered.
-        cause: String,
-    },
-    /// The job ran past its `--deadline` wall-clock budget.
-    DeadlineExceeded {
-        /// The stage about to run when the budget check failed.
-        stage: Stage,
-        /// The job context.
-        design: String,
-        /// Wall time spent when the check fired.
-        elapsed: Duration,
-        /// The configured budget.
-        budget: Duration,
-    },
-    /// A stage error with job context attached.
-    Stage {
-        /// The stage that failed.
-        stage: Stage,
-        /// The job context (`design/arch` or `design/arch/variant`).
-        design: String,
-        /// The underlying failure.
-        source: Box<FlowError>,
-    },
-}
-
-impl FlowError {
-    /// Wraps `self` with stage and design context, unless it already
-    /// carries its own (contextual variants pass through unchanged).
-    #[must_use]
-    pub(crate) fn in_stage(self, stage: Stage, design: &str) -> FlowError {
-        match self {
-            FlowError::Stage { .. }
-            | FlowError::StagePanic { .. }
-            | FlowError::Skipped { .. }
-            | FlowError::DeadlineExceeded { .. } => self,
-            other => FlowError::Stage {
-                stage,
-                design: design.to_owned(),
-                source: Box::new(other),
-            },
-        }
-    }
-
-    /// The stage this error is attributed to, when known.
-    pub fn stage(&self) -> Option<Stage> {
-        match self {
-            FlowError::Stage { stage, .. } | FlowError::DeadlineExceeded { stage, .. } => {
-                Some(*stage)
-            }
-            FlowError::StagePanic { stage, .. } => *stage,
-            _ => None,
-        }
-    }
-
-    /// The innermost error, unwrapping any [`FlowError::Stage`] context.
-    pub fn root(&self) -> &FlowError {
-        match self {
-            FlowError::Stage { source, .. } => source.root(),
-            other => other,
-        }
-    }
-}
-
-impl fmt::Display for FlowError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FlowError::Synth(e) => write!(f, "synthesis failed: {e}"),
-            FlowError::Netlist(e) => write!(f, "netlist error: {e}"),
-            FlowError::Place(e) => write!(f, "placement failed: {e}"),
-            FlowError::Pack(e) => write!(f, "packing failed: {e}"),
-            FlowError::Route(e) => write!(f, "routing failed: {e}"),
-            FlowError::Timing(e) => write!(f, "timing analysis failed: {e}"),
-            FlowError::Audit(e) => write!(f, "audit failed: {e}"),
-            FlowError::StagePanic {
-                stage,
-                design,
-                payload,
-            } => match stage {
-                Some(s) => write!(f, "panic in {s} for {design}: {payload}"),
-                None => write!(f, "panic for {design}: {payload}"),
-            },
-            FlowError::Skipped { design, cause } => {
-                write!(f, "{design} skipped: front-end failed ({cause})")
-            }
-            FlowError::DeadlineExceeded {
-                stage,
-                design,
-                elapsed,
-                budget,
-            } => write!(
-                f,
-                "{design} exceeded deadline at {stage}: {:.1}s elapsed, {:.1}s budget",
-                elapsed.as_secs_f64(),
-                budget.as_secs_f64()
-            ),
-            FlowError::Stage {
-                stage,
-                design,
-                source,
-            } => write!(f, "{design}: {stage}: {source}"),
-        }
-    }
-}
-
-impl Error for FlowError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            FlowError::Synth(e) => Some(e),
-            FlowError::Netlist(e) => Some(e),
-            FlowError::Place(e) => Some(e),
-            FlowError::Pack(e) => Some(e),
-            FlowError::Route(e) => Some(e),
-            FlowError::Timing(e) => Some(e),
-            FlowError::Audit(e) => Some(e),
-            FlowError::Stage { source, .. } => Some(source.as_ref()),
-            FlowError::StagePanic { .. }
-            | FlowError::Skipped { .. }
-            | FlowError::DeadlineExceeded { .. } => None,
-        }
-    }
-}
-
-impl From<SynthError> for FlowError {
-    fn from(e: SynthError) -> FlowError {
-        FlowError::Synth(e)
-    }
-}
-
-impl From<NetlistError> for FlowError {
-    fn from(e: NetlistError) -> FlowError {
-        FlowError::Netlist(e)
-    }
-}
-
-impl From<PlaceError> for FlowError {
-    fn from(e: PlaceError) -> FlowError {
-        FlowError::Place(e)
-    }
-}
-
-impl From<PackError> for FlowError {
-    fn from(e: PackError) -> FlowError {
-        FlowError::Pack(e)
-    }
-}
-
-impl From<RouteError> for FlowError {
-    fn from(e: RouteError) -> FlowError {
-        FlowError::Route(e)
-    }
-}
-
-impl From<TimingError> for FlowError {
-    fn from(e: TimingError) -> FlowError {
-        FlowError::Timing(e)
-    }
-}
-
-impl From<AuditError> for FlowError {
-    fn from(e: AuditError) -> FlowError {
-        FlowError::Audit(e)
-    }
-}
+use crate::clock::JobClock;
+use crate::config::{FlowConfig, FlowVariant};
+use crate::error::FlowError;
+use crate::stages::{
+    back_plan, front_plan, run_back_stage, run_front_stage, BackArtifacts, FrontArtifacts, StageEnv,
+};
+use crate::stats::StageStats;
 
 /// The metrics of one flow run — one cell of Table 1 plus one of Table 2.
 #[derive(Clone, Debug)]
@@ -477,38 +153,14 @@ pub(crate) struct FrontEnd {
     pub stages: Vec<StageStats>,
 }
 
-/// Cells whose position differs (bitwise) between two placements — the
-/// delta a refinement pass hands the incremental timer.
-fn moved_cells(netlist: &Netlist, before: &Placement, after: &Placement) -> Vec<CellId> {
-    netlist
-        .cells()
-        .filter(|&(id, _)| match (before.position(id), after.position(id)) {
-            (Some((ax, ay)), Some((bx, by))) => {
-                ax.to_bits() != bx.to_bits() || ay.to_bits() != by.to_bits()
-            }
-            (None, None) => false,
-            _ => true,
-        })
-        .map(|(id, _)| id)
-        .collect()
+/// The job context string for a shared front-end.
+pub(crate) fn front_ctx(design: &str, arch: &PlbArchitecture) -> String {
+    format!("{design}/{}", arch.name())
 }
 
-fn lib_cells(netlist: &Netlist) -> usize {
-    netlist
-        .cells()
-        .filter(|(_, c)| c.lib_id().is_some())
-        .count()
-}
-
-fn nets(netlist: &Netlist) -> usize {
-    netlist.nets().count()
-}
-
-/// True if the error should consume a retry rather than fail the job: a
-/// blown deadline is terminal, everything else from a stochastic stage is
-/// worth another (reseeded) attempt.
-fn retryable(e: &FlowError) -> bool {
-    !matches!(e, FlowError::DeadlineExceeded { .. })
+/// The job context string for a variant back-end.
+pub(crate) fn job_ctx(design: &str, arch: &PlbArchitecture, variant: FlowVariant) -> String {
+    format!("{design}/{}/{}", arch.name(), variant.key())
 }
 
 /// Runs synthesis, compaction, timing-driven placement, and physical
@@ -518,252 +170,20 @@ pub(crate) fn front_end(
     arch: &PlbArchitecture,
     config: &FlowConfig,
 ) -> Result<FrontEnd, FlowError> {
-    let ctx = format!("{}/{}", design.name(), arch.name());
+    let ctx = front_ctx(design.name(), arch);
     let clock = JobClock::new(config.deadline);
-    let src = generic::library();
-    let gates_nand2 = vpga_netlist::stats::NetlistStats::compute(design, &src)
-        .nand2_equivalent(generic::NAND2_AREA);
+    let env = StageEnv {
+        config,
+        arch,
+        job: &ctx,
+        clock: &clock,
+    };
+    let mut store = FrontArtifacts::new(design.name());
     let mut stages = Vec::new();
-
-    // 1. Synthesis / technology mapping onto the component library.
-    note_stage(Stage::Synth);
-    clock.check(Stage::Synth, &ctx)?;
-    faultpoint::fire("synth", &ctx).map_err(|e| e.in_stage(Stage::Synth, &ctx))?;
-    let t = Instant::now();
-    let mut netlist = if config.cut_based_mapper {
-        vpga_synth::map_netlist(design, &src, arch)
-    } else {
-        vpga_synth::map_netlist_fast(design, &src, arch)
+    for id in front_plan(config) {
+        run_front_stage(id, Some(design), &env, &mut store, &mut stages)?;
     }
-    .map_err(|e| FlowError::from(e).in_stage(Stage::Synth, &ctx))?;
-    if config.audit {
-        audit::audit_netlist(&netlist, arch.library())
-            .map_err(|e| FlowError::from(e).in_stage(Stage::Synth, &ctx))?;
-    }
-    stages.push(StageStats::new(
-        Stage::Synth,
-        t.elapsed(),
-        lib_cells(&netlist),
-        nets(&netlist),
-    ));
-
-    // 2. Regularity-driven logic compaction.
-    let compaction = if config.compaction {
-        note_stage(Stage::Compact);
-        clock.check(Stage::Compact, &ctx)?;
-        faultpoint::fire("compact", &ctx).map_err(|e| e.in_stage(Stage::Compact, &ctx))?;
-        let t = Instant::now();
-        let cells_before = lib_cells(&netlist) as f64;
-        let report = vpga_compact::compact(&mut netlist, arch)
-            .map_err(|e| FlowError::from(e).in_stage(Stage::Compact, &ctx))?;
-        if config.audit {
-            audit::audit_netlist(&netlist, arch.library())
-                .map_err(|e| FlowError::from(e).in_stage(Stage::Compact, &ctx))?;
-        }
-        stages.push(
-            StageStats::new(
-                Stage::Compact,
-                t.elapsed(),
-                lib_cells(&netlist),
-                nets(&netlist),
-            )
-            .with_cost(cells_before, lib_cells(&netlist) as f64),
-        );
-        Some(report)
-    } else {
-        None
-    };
-
-    // 3. Timing-driven placement: wirelength-driven start, then one
-    //    criticality-weighted refinement. On a recoverable placement
-    //    failure, retry with a deterministically reseeded config.
-    let lib = arch.library();
-    note_stage(Stage::Place);
-    clock.check(Stage::Place, &ctx)?;
-    let t = Instant::now();
-    let mut attempt = 0usize;
-    let (mut placement, place_stats, place_cfg) = loop {
-        let seeded = PlaceConfig {
-            seed: derive_seed(config.place.seed, attempt),
-            ..config.place.clone()
-        };
-        let outcome = faultpoint::fire("place", &ctx).and_then(|()| {
-            vpga_place::try_place_with_stats(&netlist, lib, &seeded).map_err(FlowError::from)
-        });
-        match outcome {
-            Ok((p, s)) => break (p, s, seeded),
-            Err(e) if attempt < config.retries && retryable(&e) => {
-                attempt += 1;
-                clock.check(Stage::Place, &ctx)?;
-            }
-            Err(e) => return Err(e.in_stage(Stage::Place, &ctx)),
-        }
-    };
-    // The incremental timer is seeded once here; every later STA consumer
-    // (refinements, physical synthesis, the packer, the annealer weights)
-    // feeds it deltas instead of re-analyzing from scratch.
-    let mut sta = IncrementalSta::new(&netlist, lib, &config.timing)
-        .map_err(|e| FlowError::from(e).in_stage(Stage::Place, &ctx))?;
-    sta.full_analyze(&netlist, &placement, None);
-    let mut crit_buf = Vec::new();
-    sta.net_criticalities_into(&mut crit_buf);
-    let weights: Vec<f64> = crit_buf.iter().map(|&c| 1.0 + 8.0 * c * c).collect();
-    let weighted = PlaceConfig {
-        net_weights: Some(weights),
-        ..place_cfg
-    };
-    let pre_refine = placement.clone();
-    let refine_stats =
-        vpga_place::try_refine_with_stats(&netlist, lib, &mut placement, &weighted, 0.6)
-            .map_err(|e| FlowError::from(e).in_stage(Stage::Place, &ctx))?;
-    sta.update_moved_cells(
-        &netlist,
-        &placement,
-        None,
-        &moved_cells(&netlist, &pre_refine, &placement),
-    );
-    let place_sta = sta.counters();
-    if config.audit {
-        audit::audit_placement(&netlist, &placement)
-            .map_err(|e| FlowError::from(e).in_stage(Stage::Place, &ctx))?;
-    }
-    // Cost fields cover the wirelength-driven anneal (its own cost
-    // function); the criticality-weighted refinement optimizes a different
-    // (weighted) cost, so it contributes to the move counters only.
-    stages.push(
-        StageStats::new(
-            Stage::Place,
-            t.elapsed(),
-            lib_cells(&netlist),
-            nets(&netlist),
-        )
-        .with_cost(place_stats.cost_initial, place_stats.cost_final)
-        .with_moves(
-            place_stats.moves_attempted + refine_stats.moves_attempted,
-            place_stats.moves_accepted + refine_stats.moves_accepted,
-        )
-        .with_bbox_updates(
-            place_stats.bbox_incremental + refine_stats.bbox_incremental,
-            place_stats.bbox_full + refine_stats.bbox_full,
-        )
-        .with_sta(
-            place_sta.full,
-            place_sta.incremental,
-            place_sta.nodes_touched,
-        )
-        .with_retries(attempt as u32),
-    );
-
-    // 4. Physical synthesis: buffer insertion, then legalizing refinement.
-    note_stage(Stage::PhysSynth);
-    clock.check(Stage::PhysSynth, &ctx)?;
-    faultpoint::fire("physsynth", &ctx).map_err(|e| e.in_stage(Stage::PhysSynth, &ctx))?;
-    let t = Instant::now();
-    let max_len = placement.die().width() * config.buffer_max_length_frac;
-    let (_, buffer_edits) = vpga_place::insert_buffers_traced(
-        &mut netlist,
-        lib,
-        &mut placement,
-        config.buffer_max_fanout,
-        max_len,
-    )
-    .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
-    // The timer replays the structural edits instead of rebuilding; the
-    // fault point covers its event-driven propagation loop.
-    faultpoint::fire("sta_incremental", &ctx).map_err(|e| e.in_stage(Stage::PhysSynth, &ctx))?;
-    sta.apply_buffers(&netlist, lib, &placement, None, &buffer_edits);
-    let pre_legalize = placement.clone();
-    let legalize_stats =
-        vpga_place::try_refine_with_stats(&netlist, lib, &mut placement, &weighted, 0.2)
-            .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
-    sta.update_moved_cells(
-        &netlist,
-        &placement,
-        None,
-        &moved_cells(&netlist, &pre_legalize, &placement),
-    );
-    let physsynth_sta = sta.counters().since(place_sta);
-    if config.audit {
-        audit::audit_netlist(&netlist, lib)
-            .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
-        audit::audit_placement(&netlist, &placement)
-            .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
-        // Cross-validate the incremental state against the from-scratch
-        // oracle at the front-end boundary.
-        audit::audit_sta_equivalence(
-            &netlist,
-            lib,
-            &placement,
-            None,
-            &config.timing,
-            &sta.report(&netlist),
-        )
-        .map_err(|e| FlowError::from(e).in_stage(Stage::PhysSynth, &ctx))?;
-    }
-    stages.push(
-        StageStats::new(
-            Stage::PhysSynth,
-            t.elapsed(),
-            lib_cells(&netlist),
-            nets(&netlist),
-        )
-        .with_cost(legalize_stats.cost_initial, legalize_stats.cost_final)
-        .with_moves(
-            legalize_stats.moves_attempted,
-            legalize_stats.moves_accepted,
-        )
-        .with_bbox_updates(legalize_stats.bbox_incremental, legalize_stats.bbox_full)
-        .with_sta(
-            physsynth_sta.full,
-            physsynth_sta.incremental,
-            physsynth_sta.nodes_touched,
-        ),
-    );
-
-    let cells = lib_cells(&netlist);
-    Ok(FrontEnd {
-        design: design.name().to_owned(),
-        gates_nand2,
-        compaction,
-        netlist,
-        placement,
-        sta,
-        cells,
-        stages,
-    })
-}
-
-/// Routes with the retry loop: on a recoverable routing failure, retry
-/// with a doubled negotiation-iteration budget (deterministic — no
-/// reseeding; the router is seedless). Returns the result plus the
-/// retries consumed.
-fn route_with_retries(
-    netlist: &Netlist,
-    lib: &vpga_netlist::Library,
-    placement: &Placement,
-    base: &RouteConfig,
-    config: &FlowConfig,
-    clock: &JobClock,
-    ctx: &str,
-) -> Result<(vpga_route::RoutingResult, usize), FlowError> {
-    let mut attempt = 0usize;
-    loop {
-        let cfg = RouteConfig {
-            max_iterations: base.max_iterations.saturating_mul(1 << attempt.min(16)),
-            ..base.clone()
-        };
-        let outcome = faultpoint::fire("route", ctx).and_then(|()| {
-            vpga_route::try_route(netlist, lib, placement, &cfg).map_err(FlowError::from)
-        });
-        match outcome {
-            Ok(r) => return Ok((r, attempt)),
-            Err(e) if attempt < config.retries && retryable(&e) => {
-                attempt += 1;
-                clock.check(Stage::Route, ctx)?;
-            }
-            Err(e) => return Err(e.in_stage(Stage::Route, ctx)),
-        }
-    }
+    Ok(store.into_front_end(stages))
 }
 
 /// Runs one back-end variant over a (shared, immutable) front-end.
@@ -773,286 +193,20 @@ pub(crate) fn run_variant(
     config: &FlowConfig,
     variant: FlowVariant,
 ) -> Result<FlowResult, FlowError> {
-    let ctx = format!(
-        "{}/{}/{}",
-        front.design,
-        arch.name(),
-        match variant {
-            FlowVariant::A => "a",
-            FlowVariant::B => "b",
-        }
-    );
+    let ctx = job_ctx(&front.design, arch, variant);
     let clock = JobClock::new(config.deadline);
-    let lib = arch.library();
-    let netlist = &front.netlist;
-    let cells = front.cells;
-    let n_nets = nets(netlist);
-    let mut stages = Vec::new();
-    // Auditing the router needs the per-net tile paths retained; the
-    // routes themselves never enter a fingerprint, so this cannot perturb
-    // determinism checks.
-    let base_route = RouteConfig {
-        keep_routes: config.route.keep_routes || config.audit,
-        ..config.route.clone()
+    let env = StageEnv {
+        config,
+        arch,
+        job: &ctx,
+        clock: &clock,
     };
-
-    match variant {
-        // Flow a: route + post-layout STA on the ASIC-style placement.
-        FlowVariant::A => {
-            note_stage(Stage::Route);
-            clock.check(Stage::Route, &ctx)?;
-            let t = Instant::now();
-            let (routing, route_retries) = route_with_retries(
-                netlist,
-                lib,
-                &front.placement,
-                &base_route,
-                config,
-                &clock,
-                &ctx,
-            )?;
-            if config.audit {
-                audit::audit_route(
-                    netlist,
-                    &front.placement,
-                    &routing,
-                    base_route.channel_capacity,
-                )
-                .map_err(|e| FlowError::from(e).in_stage(Stage::Route, &ctx))?;
-            }
-            stages.push(
-                StageStats::new(Stage::Route, t.elapsed(), cells, n_nets)
-                    .with_reroutes(
-                        routing.total_reroutes() as u64,
-                        routing.nets_routed() as u64,
-                    )
-                    .with_retries(route_retries as u32),
-            );
-            note_stage(Stage::Timing);
-            clock.check(Stage::Timing, &ctx)?;
-            faultpoint::fire("sta", &ctx).map_err(|e| e.in_stage(Stage::Timing, &ctx))?;
-            if config.audit {
-                audit::audit_sta_ready(netlist, lib)
-                    .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
-            }
-            let t = Instant::now();
-            // Post-route analysis reuses the front-end's prebuilt timing
-            // graph (no re-levelization); the routed geometry replaces the
-            // HPWL estimates wholesale, so this is a full pass.
-            let sta = front.sta.graph().analyze(
-                netlist,
-                &front.placement,
-                Some(&routing),
-                &config.timing,
-            );
-            if config.audit {
-                audit::audit_sta_equivalence(
-                    netlist,
-                    lib,
-                    &front.placement,
-                    Some(&routing),
-                    &config.timing,
-                    &sta,
-                )
-                .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
-            }
-            let power = vpga_timing::power::estimate(
-                netlist,
-                lib,
-                &front.placement,
-                Some(&routing),
-                &vpga_timing::power::PowerConfig::default(),
-            );
-            stages
-                .push(StageStats::new(Stage::Timing, t.elapsed(), cells, n_nets).with_sta(1, 0, 0));
-            Ok(FlowResult {
-                variant: FlowVariant::A,
-                die_area: front.placement.die().area(),
-                avg_top10_slack: sta.avg_top_slack(10),
-                worst_slack: sta.worst_slack(),
-                critical_delay: sta.critical_delay(),
-                wirelength: routing.total_length(),
-                power_mw: power.total() * 1e3,
-                cells,
-                array: None,
-                route_overflow: routing.overflow_edges(),
-                stages,
-            })
-        }
-        // Flow b: pack into the PLB array (criticality-aware, iterated
-        // with placement), then route + STA on the array.
-        FlowVariant::B => {
-            note_stage(Stage::Pack);
-            clock.check(Stage::Pack, &ctx)?;
-            let t = Instant::now();
-            // The front-end's incremental timer already holds this exact
-            // analysis (netlist on the buffered placement, HPWL geometry);
-            // serve the report from its state instead of re-analyzing.
-            let sta = front.sta.report(netlist);
-            if config.audit {
-                audit::audit_sta_equivalence(
-                    netlist,
-                    lib,
-                    &front.placement,
-                    None,
-                    &config.timing,
-                    &sta,
-                )
-                .map_err(|e| FlowError::from(e).in_stage(Stage::Pack, &ctx))?;
-            }
-            let pack_cfg = PackConfig {
-                criticality: config
-                    .pack_criticality
-                    .then(|| sta.cell_criticalities(netlist)),
-                ..config.pack.clone()
-            };
-            // Packing iterates with the (stochastic) placement refiner, so
-            // a recoverable failure retries with a reseeded place config
-            // on a fresh copy of the front-end placement.
-            let mut attempt = 0usize;
-            let (mut array, pack_stats, mut b_placement, hpwl_before) = loop {
-                let mut b_placement = front.placement.clone();
-                let hpwl_before = b_placement.total_hpwl(netlist);
-                let seeded = PlaceConfig {
-                    seed: derive_seed(config.place.seed, attempt),
-                    ..config.place.clone()
-                };
-                let outcome = faultpoint::fire("pack", &ctx).and_then(|()| {
-                    vpga_pack::pack_iterative_with_stats(
-                        netlist,
-                        arch,
-                        &mut b_placement,
-                        &seeded,
-                        &pack_cfg,
-                    )
-                    .map_err(FlowError::from)
-                });
-                match outcome {
-                    Ok((array, stats)) => break (array, stats, b_placement, hpwl_before),
-                    Err(e) if attempt < config.retries && retryable(&e) => {
-                        attempt += 1;
-                        clock.check(Stage::Pack, &ctx)?;
-                    }
-                    Err(e) => return Err(e.in_stage(Stage::Pack, &ctx)),
-                }
-            };
-            if config.audit {
-                audit::audit_pack(netlist, arch, &array)
-                    .map_err(|e| FlowError::from(e).in_stage(Stage::Pack, &ctx))?;
-            }
-            stages.push(
-                StageStats::new(Stage::Pack, t.elapsed(), cells, n_nets)
-                    .with_cost(hpwl_before, b_placement.total_hpwl(netlist))
-                    .with_moves(
-                        pack_stats.relocations + pack_stats.spilled,
-                        pack_stats.relocations,
-                    )
-                    .with_sta(0, 1, 0)
-                    .with_retries(attempt as u32),
-            );
-            // PLB-level detailed placement: anneal whole-PLB swaps to
-            // recover the wirelength the quantization cost, weighting
-            // critical nets.
-            note_stage(Stage::Swap);
-            clock.check(Stage::Swap, &ctx)?;
-            faultpoint::fire("swap", &ctx).map_err(|e| e.in_stage(Stage::Swap, &ctx))?;
-            let t = Instant::now();
-            let swap_cfg = vpga_pack::SwapConfig {
-                net_weights: Some(
-                    sta.net_criticalities()
-                        .iter()
-                        .map(|&c| 1.0 + 8.0 * c * c)
-                        .collect(),
-                ),
-                ..vpga_pack::SwapConfig::default()
-            };
-            let (_, swap_stats) = vpga_pack::swap_optimize_with_stats(
-                &mut array,
-                netlist,
-                &mut b_placement,
-                &swap_cfg,
-            );
-            if config.audit {
-                audit::audit_pack(netlist, arch, &array)
-                    .map_err(|e| FlowError::from(e).in_stage(Stage::Swap, &ctx))?;
-            }
-            stages.push(
-                StageStats::new(Stage::Swap, t.elapsed(), cells, n_nets)
-                    .with_cost(swap_stats.cost_initial, swap_stats.cost_final)
-                    .with_moves(swap_stats.moves_attempted, swap_stats.moves_accepted),
-            );
-            // Route over the PLB grid: one tile per PLB.
-            note_stage(Stage::Route);
-            clock.check(Stage::Route, &ctx)?;
-            let t = Instant::now();
-            let route_cfg = RouteConfig {
-                tile_size: Some(array.plb_pitch()),
-                ..base_route.clone()
-            };
-            let (routing, route_retries) =
-                route_with_retries(netlist, lib, &b_placement, &route_cfg, config, &clock, &ctx)?;
-            if config.audit {
-                audit::audit_route(netlist, &b_placement, &routing, route_cfg.channel_capacity)
-                    .map_err(|e| FlowError::from(e).in_stage(Stage::Route, &ctx))?;
-            }
-            stages.push(
-                StageStats::new(Stage::Route, t.elapsed(), cells, n_nets)
-                    .with_reroutes(
-                        routing.total_reroutes() as u64,
-                        routing.nets_routed() as u64,
-                    )
-                    .with_retries(route_retries as u32),
-            );
-            note_stage(Stage::Timing);
-            clock.check(Stage::Timing, &ctx)?;
-            faultpoint::fire("sta", &ctx).map_err(|e| e.in_stage(Stage::Timing, &ctx))?;
-            if config.audit {
-                audit::audit_sta_ready(netlist, lib)
-                    .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
-            }
-            let t = Instant::now();
-            // Same graph reuse as flow a, over the packed placement and
-            // the PLB-grid routing.
-            let sta =
-                front
-                    .sta
-                    .graph()
-                    .analyze(netlist, &b_placement, Some(&routing), &config.timing);
-            if config.audit {
-                audit::audit_sta_equivalence(
-                    netlist,
-                    lib,
-                    &b_placement,
-                    Some(&routing),
-                    &config.timing,
-                    &sta,
-                )
-                .map_err(|e| FlowError::from(e).in_stage(Stage::Timing, &ctx))?;
-            }
-            let power = vpga_timing::power::estimate(
-                netlist,
-                lib,
-                &b_placement,
-                Some(&routing),
-                &vpga_timing::power::PowerConfig::default(),
-            );
-            stages
-                .push(StageStats::new(Stage::Timing, t.elapsed(), cells, n_nets).with_sta(1, 0, 0));
-            Ok(FlowResult {
-                variant: FlowVariant::B,
-                die_area: array.die_area(),
-                avg_top10_slack: sta.avg_top_slack(10),
-                worst_slack: sta.worst_slack(),
-                critical_delay: sta.critical_delay(),
-                wirelength: routing.total_length(),
-                power_mw: power.total() * 1e3,
-                cells,
-                array: Some((array.cols(), array.rows(), array.plbs_used())),
-                route_overflow: routing.overflow_edges(),
-                stages,
-            })
-        }
+    let mut store = BackArtifacts::new(front);
+    let mut stages = Vec::new();
+    for &id in back_plan(variant) {
+        run_back_stage(id, variant, &env, &mut store, &mut stages)?;
     }
+    Ok(store.into_result(variant, stages))
 }
 
 /// Runs the complete flow (both variants) for one generic design netlist on
@@ -1083,6 +237,7 @@ pub fn run_design(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::StageId;
     use vpga_designs::{DesignParams, NamedDesign};
 
     #[test]
@@ -1145,19 +300,32 @@ mod tests {
         let design = NamedDesign::Alu.generate(&DesignParams::tiny());
         let arch = PlbArchitecture::granular();
         let out = run_design(&design, &arch, &FlowConfig::default()).unwrap();
-        let front: Vec<Stage> = out.front_stages.iter().map(|s| s.stage).collect();
+        let front: Vec<StageId> = out.front_stages.iter().map(|s| s.stage).collect();
         assert_eq!(
             front,
-            [Stage::Synth, Stage::Compact, Stage::Place, Stage::PhysSynth]
+            [
+                StageId::Synth,
+                StageId::Compact,
+                StageId::Place,
+                StageId::PhysSynth
+            ]
         );
-        let a: Vec<Stage> = out.flow_a.stages.iter().map(|s| s.stage).collect();
-        assert_eq!(a, [Stage::Route, Stage::Timing]);
-        let b: Vec<Stage> = out.flow_b.stages.iter().map(|s| s.stage).collect();
-        assert_eq!(b, [Stage::Pack, Stage::Swap, Stage::Route, Stage::Timing]);
+        let a: Vec<StageId> = out.flow_a.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(a, [StageId::Route, StageId::Timing]);
+        let b: Vec<StageId> = out.flow_b.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(
+            b,
+            [
+                StageId::Pack,
+                StageId::Swap,
+                StageId::Route,
+                StageId::Timing
+            ]
+        );
         // Annealing stages must not worsen their own cost.
         for s in out.front_stages.iter().chain(&out.flow_b.stages) {
             if let (Some(before), Some(after)) = (s.cost_before, s.cost_after) {
-                if matches!(s.stage, Stage::Place | Stage::PhysSynth | Stage::Swap) {
+                if matches!(s.stage, StageId::Place | StageId::PhysSynth | StageId::Swap) {
                     assert!(after <= before + 1e-6, "{}: {before} → {after}", s.stage);
                 }
             }

@@ -3,8 +3,9 @@
 use vpga_designs::{DesignParams, NamedDesign};
 
 use crate::exec::{Executor, FlowMatrix};
-use crate::pipeline::{DesignOutcome, FlowConfig, FlowError, FlowVariant};
+use crate::pipeline::DesignOutcome;
 use crate::stats::render_stages;
+use crate::{FlowConfig, FlowError, FlowVariant};
 
 /// One failed cell of the evaluation matrix: which job died and why.
 /// The error is kept rendered so the matrix stays cheap to clone.
@@ -98,9 +99,23 @@ impl Matrix {
     /// fully healthy run. This is the `matrix` command's default
     /// constructor; [`Matrix::run_parallel`] is the strict form.
     pub fn run_resilient(params: &DesignParams, config: &FlowConfig, jobs: usize) -> Matrix {
+        Matrix::run_resilient_checkpointed(params, config, jobs, None)
+    }
+
+    /// [`Matrix::run_resilient`] with optional disk checkpointing: with a
+    /// [`CheckpointStore`], every completed stage persists, and a
+    /// resuming store restores completed work instead of recomputing it —
+    /// bit-identical either way (a resumed matrix fingerprints the same
+    /// as an uninterrupted one).
+    pub fn run_resilient_checkpointed(
+        params: &DesignParams,
+        config: &FlowConfig,
+        jobs: usize,
+        checkpoints: Option<&crate::CheckpointStore>,
+    ) -> Matrix {
         let executor = Executor::new(jobs);
         let flow_matrix = FlowMatrix::full();
-        let cells = flow_matrix.run_cells(params, config, &executor);
+        let cells = flow_matrix.run_cells_checkpointed(params, config, &executor, checkpoints);
         let mut outcomes = Vec::new();
         let mut failures = Vec::new();
         let mut pairs = flow_matrix.jobs().iter().zip(cells);
@@ -449,6 +464,37 @@ mod tests {
         assert!(resilient.failures_report().is_empty());
         assert_eq!(resilient.fingerprint(), strict.fingerprint());
         assert!(resilient.try_claims().is_some());
+    }
+
+    /// Satellite regression for uniform deadline enforcement: an already
+    /// expired per-job budget must fail every cell cleanly through the
+    /// stage runner (never a panic or a hang), and the resilient matrix
+    /// must still report the partial state instead of aborting.
+    #[test]
+    fn expired_deadline_fails_every_cell_but_still_reports() {
+        let config = FlowConfig {
+            deadline: Some(std::time::Duration::ZERO),
+            ..FlowConfig::default()
+        };
+        let matrix = Matrix::run_resilient(&DesignParams::tiny(), &config, 2);
+        assert!(matrix.outcomes().is_empty());
+        assert_eq!(matrix.failures().len(), 16, "{}", matrix.failures_report());
+        for failure in matrix.failures() {
+            assert!(
+                failure.error.contains("deadline"),
+                "unexpected failure: {failure}"
+            );
+        }
+        // Partial reporting still works: the failure report names every
+        // cell, the tables render (empty), and claims are unavailable
+        // rather than wrong.
+        let report = matrix.failures_report();
+        for design in NamedDesign::ALL {
+            assert!(report.contains(design.name()), "{report}");
+        }
+        let _ = matrix.table1();
+        let _ = matrix.table2();
+        assert!(matrix.try_claims().is_none());
     }
 
     #[test]

@@ -17,11 +17,11 @@ thread_local! {
     /// The stage the current worker thread is executing, for panic
     /// attribution: the pipeline notes each stage as it starts, and the
     /// executor reads the note when `catch_unwind` traps a worker panic.
-    static CURRENT_STAGE: Cell<Option<Stage>> = const { Cell::new(None) };
+    static CURRENT_STAGE: Cell<Option<StageId>> = const { Cell::new(None) };
 }
 
 /// Records `stage` as the one the calling thread is executing.
-pub(crate) fn note_stage(stage: Stage) {
+pub(crate) fn note_stage(stage: StageId) {
     CURRENT_STAGE.with(|s| s.set(Some(stage)));
 }
 
@@ -31,14 +31,14 @@ pub(crate) fn clear_stage() {
 }
 
 /// The stage the calling thread last noted, if any.
-pub(crate) fn current_stage() -> Option<Stage> {
+pub(crate) fn current_stage() -> Option<StageId> {
     CURRENT_STAGE.with(Cell::get)
 }
 
 /// A stage of the Figure 6 flow.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[non_exhaustive]
-pub enum Stage {
+pub enum StageId {
     /// Technology mapping onto the component-cell library.
     Synth,
     /// Regularity-driven logic compaction.
@@ -58,45 +58,45 @@ pub enum Stage {
     Timing,
 }
 
-impl Stage {
+impl StageId {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 8] = [
-        Stage::Synth,
-        Stage::Compact,
-        Stage::Place,
-        Stage::PhysSynth,
-        Stage::Pack,
-        Stage::Swap,
-        Stage::Route,
-        Stage::Timing,
+    pub const ALL: [StageId; 8] = [
+        StageId::Synth,
+        StageId::Compact,
+        StageId::Place,
+        StageId::PhysSynth,
+        StageId::Pack,
+        StageId::Swap,
+        StageId::Route,
+        StageId::Timing,
     ];
 
     /// The stage's display name.
     pub fn name(self) -> &'static str {
         match self {
-            Stage::Synth => "synth",
-            Stage::Compact => "compact",
-            Stage::Place => "place",
-            Stage::PhysSynth => "physsynth",
-            Stage::Pack => "pack",
-            Stage::Swap => "swap",
-            Stage::Route => "route",
-            Stage::Timing => "sta",
+            StageId::Synth => "synth",
+            StageId::Compact => "compact",
+            StageId::Place => "place",
+            StageId::PhysSynth => "physsynth",
+            StageId::Pack => "pack",
+            StageId::Swap => "swap",
+            StageId::Route => "route",
+            StageId::Timing => "sta",
         }
     }
 }
 
-impl fmt::Display for Stage {
+impl fmt::Display for StageId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
 }
 
 /// One stage's record: timing, sizes, cost movement, and mover counters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StageStats {
     /// Which stage this describes.
-    pub stage: Stage,
+    pub stage: StageId,
     /// Wall-clock time spent in the stage (non-deterministic).
     pub wall: Duration,
     /// Library-cell count at the end of the stage.
@@ -135,7 +135,7 @@ pub struct StageStats {
 
 impl StageStats {
     /// A record with sizes only; costs and counters unset.
-    pub fn new(stage: Stage, wall: Duration, cells: usize, nets: usize) -> StageStats {
+    pub fn new(stage: StageId, wall: Duration, cells: usize, nets: usize) -> StageStats {
         StageStats {
             stage,
             wall,
@@ -297,7 +297,7 @@ mod tests {
 
     #[test]
     fn fingerprint_ignores_wall_time() {
-        let a = StageStats::new(Stage::Place, Duration::from_millis(5), 10, 20)
+        let a = StageStats::new(StageId::Place, Duration::from_millis(5), 10, 20)
             .with_cost(100.0, 50.0)
             .with_moves(1000, 440);
         let b = StageStats {
@@ -312,8 +312,8 @@ mod tests {
 
     #[test]
     fn fingerprint_sees_counters() {
-        let a = StageStats::new(Stage::Pack, Duration::ZERO, 10, 20).with_moves(5, 3);
-        let b = StageStats::new(Stage::Pack, Duration::ZERO, 10, 20).with_moves(5, 4);
+        let a = StageStats::new(StageId::Pack, Duration::ZERO, 10, 20).with_moves(5, 3);
+        let b = StageStats::new(StageId::Pack, Duration::ZERO, 10, 20).with_moves(5, 4);
         let (mut ha, mut hb) = (0u64, 0u64);
         a.fold_fingerprint(&mut ha);
         b.fold_fingerprint(&mut hb);
@@ -322,14 +322,14 @@ mod tests {
 
     #[test]
     fn fingerprint_sees_incremental_counters() {
-        let base = StageStats::new(Stage::Place, Duration::ZERO, 10, 20);
+        let base = StageStats::new(StageId::Place, Duration::ZERO, 10, 20);
         let a = base.clone().with_bbox_updates(100, 5);
         let b = base.clone().with_bbox_updates(100, 6);
         let (mut ha, mut hb) = (0u64, 0u64);
         a.fold_fingerprint(&mut ha);
         b.fold_fingerprint(&mut hb);
         assert_ne!(ha, hb);
-        let r = StageStats::new(Stage::Route, Duration::ZERO, 10, 20);
+        let r = StageStats::new(StageId::Route, Duration::ZERO, 10, 20);
         let c = r.clone().with_reroutes(36, 30);
         let d = r.clone().with_reroutes(42, 30);
         let (mut hc, mut hd) = (0u64, 0u64);
@@ -343,7 +343,7 @@ mod tests {
 
     #[test]
     fn sta_counters_show_but_do_not_refingerprint() {
-        let base = StageStats::new(Stage::PhysSynth, Duration::ZERO, 10, 20).with_cost(9.0, 7.0);
+        let base = StageStats::new(StageId::PhysSynth, Duration::ZERO, 10, 20).with_cost(9.0, 7.0);
         let with = base.clone().with_sta(1, 2, 345);
         // Visible in `--stats` output ...
         assert!(with.to_string().contains("sta 1full/2incr/345n"));
@@ -358,8 +358,8 @@ mod tests {
     #[test]
     fn render_includes_every_stage_and_total() {
         let stages = vec![
-            StageStats::new(Stage::Synth, Duration::from_millis(1), 5, 6),
-            StageStats::new(Stage::Route, Duration::from_millis(2), 5, 6),
+            StageStats::new(StageId::Synth, Duration::from_millis(1), 5, 6),
+            StageStats::new(StageId::Route, Duration::from_millis(2), 5, 6),
         ];
         let s = render_stages(&stages, "  ");
         assert!(s.contains("synth"));

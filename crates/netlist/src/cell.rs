@@ -4,7 +4,7 @@ use std::fmt;
 
 use vpga_logic::Tt3;
 
-use crate::ids::{GroupId, LibCellId, NetId};
+use crate::ids::{GroupId, LibCellId, NameId, NetId};
 
 /// What a netlist cell instance is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -45,7 +45,7 @@ impl fmt::Display for CellKind {
 /// together by a [`GroupId`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct Cell {
-    name: String,
+    name: NameId,
     kind: CellKind,
     inputs: Vec<NetId>,
     output: Option<NetId>,
@@ -55,7 +55,7 @@ pub struct Cell {
 
 impl Cell {
     pub(crate) fn new(
-        name: String,
+        name: NameId,
         kind: CellKind,
         inputs: Vec<NetId>,
         output: Option<NetId>,
@@ -70,9 +70,30 @@ impl Cell {
         }
     }
 
-    /// The instance name.
-    pub fn name(&self) -> &str {
-        &self.name
+    /// Reassembles a cell from snapshot-decoded state.
+    pub(crate) fn from_parts(
+        name: NameId,
+        kind: CellKind,
+        inputs: Vec<NetId>,
+        output: Option<NetId>,
+        group: Option<GroupId>,
+        config: Option<Tt3>,
+    ) -> Cell {
+        Cell {
+            name,
+            kind,
+            inputs,
+            output,
+            group,
+            config,
+        }
+    }
+
+    /// The interned instance name. Resolve the text (for reports and
+    /// error messages only) with [`crate::Netlist::cell_name`] or
+    /// [`crate::Netlist::name_text`].
+    pub fn name_id(&self) -> NameId {
+        self.name
     }
 
     /// What kind of cell this is.

@@ -51,6 +51,13 @@ id_type!(
     GroupId,
     "grp"
 );
+id_type!(
+    /// Identifier of an interned name string within a [`crate::Netlist`]'s
+    /// name table. Hot paths compare and hash these fixed-width ids; the
+    /// backing text is resolved only when rendering reports.
+    NameId,
+    "name"
+);
 
 #[cfg(test)]
 mod tests {

@@ -62,18 +62,18 @@ pub fn write_verilog(netlist: &Netlist, lib: &Library) -> Result<String, Netlist
     let mut net_name: HashMap<NetId, String> = HashMap::new();
     for &pi in netlist.inputs() {
         let cell = netlist.cell(pi).expect("live PI");
-        net_name.insert(cell.output().expect("PI net"), esc(cell.name()));
+        net_name.insert(cell.output().expect("PI net"), esc(netlist.cell_name(pi)));
     }
     let mut ports: Vec<String> = netlist
         .inputs()
         .iter()
-        .map(|&pi| esc(netlist.cell(pi).expect("live PI").name()))
+        .map(|&pi| esc(netlist.cell_name(pi)))
         .collect();
     ports.extend(
         netlist
             .outputs()
             .iter()
-            .map(|&po| esc(netlist.cell(po).expect("live PO").name())),
+            .map(|&po| esc(netlist.cell_name(po))),
     );
     let _ = writeln!(out, "// vpga structural netlist");
     let _ = writeln!(
@@ -83,18 +83,10 @@ pub fn write_verilog(netlist: &Netlist, lib: &Library) -> Result<String, Netlist
         ports.join(", ")
     );
     for &pi in netlist.inputs() {
-        let _ = writeln!(
-            out,
-            "  input {};",
-            esc(netlist.cell(pi).expect("live").name())
-        );
+        let _ = writeln!(out, "  input {};", esc(netlist.cell_name(pi)));
     }
     for &po in netlist.outputs() {
-        let _ = writeln!(
-            out,
-            "  output {};",
-            esc(netlist.cell(po).expect("live").name())
-        );
+        let _ = writeln!(out, "  output {};", esc(netlist.cell_name(po)));
     }
     // Wires for everything else.
     let mut wire_ix = 0usize;
@@ -140,7 +132,7 @@ pub fn write_verilog(netlist: &Netlist, lib: &Library) -> Result<String, Netlist
             "  {}{} {} ({});",
             lc.name(),
             params,
-            esc(cell.name()),
+            esc(netlist.cell_name(id)),
             pins.join(", ")
         );
     }
@@ -150,7 +142,7 @@ pub fn write_verilog(netlist: &Netlist, lib: &Library) -> Result<String, Netlist
         let _ = writeln!(
             out,
             "  assign {} = {};",
-            esc(cell.name()),
+            esc(netlist.cell_name(po)),
             net_name[&cell.inputs()[0]]
         );
     }

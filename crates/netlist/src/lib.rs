@@ -46,9 +46,10 @@ pub mod library;
 mod netlist;
 pub mod sim;
 pub mod stats;
+pub mod wire;
 
 pub use cell::{Cell, CellKind};
 pub use error::NetlistError;
-pub use ids::{CellId, GroupId, LibCellId, NetId};
+pub use ids::{CellId, GroupId, LibCellId, NameId, NetId};
 pub use library::{CellClass, LibCell, Library};
 pub use netlist::Netlist;

@@ -5,13 +5,51 @@ use std::fmt;
 
 use crate::cell::{Cell, CellKind};
 use crate::error::NetlistError;
-use crate::ids::{CellId, GroupId, NetId};
+use crate::ids::{CellId, GroupId, NameId, NetId};
 use crate::library::Library;
+
+/// An append-only intern table mapping name text to fixed-width
+/// [`NameId`]s. Cells and nets store `NameId`s; hot paths (the by-name
+/// index, fresh-name probing, snapshot round-trips) hash and compare the
+/// 4-byte ids instead of the strings, which are resolved back to text
+/// only for reports and error messages.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct NameTable {
+    texts: Vec<String>,
+    by_text: HashMap<String, NameId>,
+}
+
+impl NameTable {
+    /// The id for `text`, interning it on first use.
+    pub(crate) fn intern(&mut self, text: &str) -> NameId {
+        if let Some(&id) = self.by_text.get(text) {
+            return id;
+        }
+        let id = NameId::from_index(self.texts.len());
+        self.texts.push(text.to_owned());
+        self.by_text.insert(text.to_owned(), id);
+        id
+    }
+
+    /// The id for `text`, if it has ever been interned.
+    pub(crate) fn lookup(&self, text: &str) -> Option<NameId> {
+        self.by_text.get(text).copied()
+    }
+
+    /// The text behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this table.
+    pub(crate) fn resolve(&self, id: NameId) -> &str {
+        &self.texts[id.index()]
+    }
+}
 
 /// A net: one driver, any number of `(cell, pin)` sinks.
 #[derive(Clone, Debug, PartialEq)]
 struct Net {
-    name: String,
+    name: NameId,
     driver: Option<CellId>,
     sinks: Vec<(CellId, usize)>,
 }
@@ -44,9 +82,10 @@ struct Net {
 #[derive(Clone, Debug)]
 pub struct Netlist {
     name: String,
+    names: NameTable,
     cells: Vec<Option<Cell>>,
     nets: Vec<Option<Net>>,
-    by_name: HashMap<String, CellId>,
+    by_name: HashMap<NameId, CellId>,
     inputs: Vec<CellId>,
     outputs: Vec<CellId>,
     next_group: u32,
@@ -58,6 +97,7 @@ impl Netlist {
     pub fn new(name: impl Into<String>) -> Netlist {
         Netlist {
             name: name.into(),
+            names: NameTable::default(),
             cells: Vec::new(),
             nets: Vec::new(),
             by_name: HashMap::new(),
@@ -77,7 +117,7 @@ impl Netlist {
     // Construction
     // ------------------------------------------------------------------
 
-    fn alloc_net(&mut self, name: String) -> NetId {
+    fn alloc_net(&mut self, name: NameId) -> NetId {
         let id = NetId::from_index(self.nets.len());
         self.nets.push(Some(Net {
             name,
@@ -89,9 +129,16 @@ impl Netlist {
 
     fn alloc_cell(&mut self, cell: Cell) -> CellId {
         let id = CellId::from_index(self.cells.len());
-        self.by_name.insert(cell.name().to_owned(), id);
+        self.by_name.insert(cell.name_id(), id);
         self.cells.push(Some(cell));
         id
+    }
+
+    /// True if a live cell currently uses `name`.
+    fn name_in_use(&self, name: &str) -> bool {
+        self.names
+            .lookup(name)
+            .is_some_and(|id| self.by_name.contains_key(&id))
     }
 
     /// Adds a primary input and returns the net it drives.
@@ -101,11 +148,9 @@ impl Netlist {
     /// Panics if the name is already used by another cell.
     pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
         let name = name.into();
-        assert!(
-            !self.by_name.contains_key(&name),
-            "duplicate cell name {name:?}"
-        );
-        let net = self.alloc_net(name.clone());
+        assert!(!self.name_in_use(&name), "duplicate cell name {name:?}");
+        let name = self.names.intern(&name);
+        let net = self.alloc_net(name);
         let cell = Cell::new(name, CellKind::Input, Vec::new(), Some(net));
         let id = self.alloc_cell(cell);
         self.net_mut(net).driver = Some(id);
@@ -120,11 +165,9 @@ impl Netlist {
     /// Panics if the name is already used or `net` does not exist.
     pub fn add_output(&mut self, name: impl Into<String>, net: NetId) -> CellId {
         let name = name.into();
-        assert!(
-            !self.by_name.contains_key(&name),
-            "duplicate cell name {name:?}"
-        );
+        assert!(!self.name_in_use(&name), "duplicate cell name {name:?}");
         assert!(self.net_exists(net), "unknown net {net}");
+        let name = self.names.intern(&name);
         let cell = Cell::new(name, CellKind::Output, vec![net], None);
         let id = self.alloc_cell(cell);
         self.net_mut(net).sinks.push((id, 0));
@@ -137,8 +180,8 @@ impl Netlist {
         if let Some(net) = self.constants[value as usize] {
             return net;
         }
-        let name = format!("_tie{}", value as u8);
-        let net = self.alloc_net(name.clone());
+        let name = self.names.intern(&format!("_tie{}", value as u8));
+        let net = self.alloc_net(name);
         let cell = Cell::new(name, CellKind::Constant(value), Vec::new(), Some(net));
         let id = self.alloc_cell(cell);
         self.net_mut(net).driver = Some(id);
@@ -167,7 +210,7 @@ impl Netlist {
             .cell_id(lib_name)
             .ok_or_else(|| NetlistError::UnknownLibCell(lib_name.to_owned()))?;
         let name = name.into();
-        if self.by_name.contains_key(&name) {
+        if self.name_in_use(&name) {
             return Err(NetlistError::DuplicateCellName(name));
         }
         let lc = lib.cell(lib_id).expect("id from this library");
@@ -183,7 +226,8 @@ impl Netlist {
                 return Err(NetlistError::UnknownNet(n));
             }
         }
-        let net = self.alloc_net(name.clone());
+        let name = self.names.intern(&name);
+        let net = self.alloc_net(name);
         let cell = Cell::new(name, CellKind::Lib(lib_id), inputs.to_vec(), Some(net));
         let id = self.alloc_cell(cell);
         self.net_mut(net).driver = Some(id);
@@ -202,6 +246,26 @@ impl Netlist {
         self.cells.get(id.index()).and_then(|c| c.as_ref())
     }
 
+    /// The name text of a live cell (for reports and error messages; hot
+    /// paths should compare [`crate::NameId`]s instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live cell.
+    pub fn cell_name(&self, id: CellId) -> &str {
+        let cell = self.cell(id).expect("live cell");
+        self.names.resolve(cell.name_id())
+    }
+
+    /// Resolves an interned name id back to its text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not interned by this netlist.
+    pub fn name_text(&self, id: crate::NameId) -> &str {
+        self.names.resolve(id)
+    }
+
     /// True if the net id refers to a live net.
     pub fn net_exists(&self, id: NetId) -> bool {
         matches!(self.nets.get(id.index()), Some(Some(_)))
@@ -212,7 +276,7 @@ impl Netlist {
         self.nets
             .get(id.index())
             .and_then(|n| n.as_ref())
-            .map(|n| n.name.as_str())
+            .map(|n| self.names.resolve(n.name))
     }
 
     /// The cell driving `net`, if any.
@@ -234,7 +298,8 @@ impl Netlist {
 
     /// Looks up a cell by name.
     pub fn cell_by_name(&self, name: &str) -> Option<CellId> {
-        self.by_name.get(name).copied()
+        let id = self.names.lookup(name)?;
+        self.by_name.get(&id).copied()
     }
 
     /// Primary input cells, in insertion order.
@@ -318,7 +383,7 @@ impl Netlist {
         let old = {
             let c = self.cell(cell).ok_or(NetlistError::UnknownCell(cell))?;
             *c.inputs().get(pin).ok_or(NetlistError::PinCountMismatch {
-                cell: c.name().to_owned(),
+                cell: self.names.resolve(c.name_id()).to_owned(),
                 got: pin,
                 expected: c.inputs().len(),
             })?
@@ -371,7 +436,7 @@ impl Netlist {
             }
         }
         let inputs: Vec<NetId> = cell.inputs().to_vec();
-        let name = cell.name().to_owned();
+        let name = cell.name_id();
         for (pin, net) in inputs.into_iter().enumerate() {
             self.net_mut(net)
                 .sinks
@@ -429,7 +494,7 @@ impl Netlist {
         if let Some(f) = config {
             if !lc.allowed().contains(f) {
                 return Err(NetlistError::InvalidConfig {
-                    cell: c.name().to_owned(),
+                    cell: self.names.resolve(c.name_id()).to_owned(),
                     function: f,
                 });
             }
@@ -467,15 +532,17 @@ impl Netlist {
         Ok(())
     }
 
-    /// A fresh cell name derived from `stem` that is unused in this netlist.
+    /// A fresh cell name derived from `stem` that is unused in this
+    /// netlist. A name counts as used only while a live cell holds it
+    /// (the intern table itself is append-only).
     pub fn fresh_name(&self, stem: &str) -> String {
-        if !self.by_name.contains_key(stem) {
+        if !self.name_in_use(stem) {
             return stem.to_owned();
         }
         let mut i = 0usize;
         loop {
             let candidate = format!("{stem}_{i}");
-            if !self.by_name.contains_key(&candidate) {
+            if !self.name_in_use(&candidate) {
                 return candidate;
             }
             i += 1;
@@ -516,7 +583,7 @@ impl Netlist {
                 let lc = lib.cell(lib_id).ok_or(NetlistError::UnknownCell(id))?;
                 if cell.inputs().len() != lc.arity() {
                     return Err(NetlistError::PinCountMismatch {
-                        cell: cell.name().to_owned(),
+                        cell: self.names.resolve(cell.name_id()).to_owned(),
                         got: cell.inputs().len(),
                         expected: lc.arity(),
                     });
@@ -526,7 +593,7 @@ impl Netlist {
                 let lc = lib.cell(lib_id).ok_or(NetlistError::UnknownCell(id))?;
                 if !lc.allowed().contains(cfg) {
                     return Err(NetlistError::InvalidConfig {
-                        cell: cell.name().to_owned(),
+                        cell: self.names.resolve(cell.name_id()).to_owned(),
                         function: cfg,
                     });
                 }
@@ -538,6 +605,162 @@ impl Netlist {
             }
         }
         crate::graph::combinational_topo_order(self, lib).map(|_| ())
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots
+    // ------------------------------------------------------------------
+
+    /// Serializes the complete netlist state — intern table, tombstones,
+    /// group counter, everything — so that [`Netlist::decode_snapshot`]
+    /// reproduces a bit-identical netlist (ids, iteration order, and
+    /// fresh-name behavior included).
+    pub fn encode_snapshot(&self, w: &mut crate::wire::Writer) {
+        w.str(&self.name);
+        w.usize(self.names.texts.len());
+        for text in &self.names.texts {
+            w.str(text);
+        }
+        let encode_kind = |w: &mut crate::wire::Writer, kind: CellKind| match kind {
+            CellKind::Input => w.u8(0),
+            CellKind::Output => w.u8(1),
+            CellKind::Constant(v) => w.u8(2 + v as u8),
+            CellKind::Lib(id) => {
+                w.u8(4);
+                w.u32(id.index() as u32);
+            }
+        };
+        w.usize(self.cells.len());
+        for cell in &self.cells {
+            w.opt(cell.as_ref(), |w, cell| {
+                w.u32(cell.name_id().index() as u32);
+                encode_kind(w, cell.kind());
+                w.usize(cell.inputs().len());
+                for n in cell.inputs() {
+                    w.u32(n.index() as u32);
+                }
+                w.opt(cell.output(), |w, n| w.u32(n.index() as u32));
+                w.opt(cell.group(), |w, g| w.u32(g.index() as u32));
+                w.opt(cell.config(), |w, t| w.u8(t.bits()));
+            });
+        }
+        w.usize(self.nets.len());
+        for net in &self.nets {
+            w.opt(net.as_ref(), |w, net| {
+                w.u32(net.name.index() as u32);
+                w.opt(net.driver, |w, c| w.u32(c.index() as u32));
+                w.usize(net.sinks.len());
+                for &(c, pin) in &net.sinks {
+                    w.u32(c.index() as u32);
+                    w.usize(pin);
+                }
+            });
+        }
+        for list in [&self.inputs, &self.outputs] {
+            w.usize(list.len());
+            for &c in list {
+                w.u32(c.index() as u32);
+            }
+        }
+        w.u32(self.next_group);
+        for c in self.constants {
+            w.opt(c, |w, n| w.u32(n.index() as u32));
+        }
+    }
+
+    /// Rebuilds a netlist from [`Netlist::encode_snapshot`] bytes. The
+    /// by-name index is reconstructed from the live cells. Returns `None`
+    /// on truncated or malformed input.
+    pub fn decode_snapshot(r: &mut crate::wire::Reader<'_>) -> Option<Netlist> {
+        let name = r.str()?;
+        let mut names = NameTable::default();
+        let n_texts = r.usize()?;
+        for _ in 0..n_texts {
+            let text = r.str()?;
+            names.intern(&text);
+        }
+        let decode_kind = |r: &mut crate::wire::Reader<'_>| -> Option<CellKind> {
+            Some(match r.u8()? {
+                0 => CellKind::Input,
+                1 => CellKind::Output,
+                2 => CellKind::Constant(false),
+                3 => CellKind::Constant(true),
+                4 => CellKind::Lib(crate::LibCellId::from_index(r.u32()? as usize)),
+                _ => return None,
+            })
+        };
+        let n_cells = r.usize()?;
+        let mut cells: Vec<Option<Cell>> = Vec::with_capacity(n_cells.min(1 << 24));
+        for _ in 0..n_cells {
+            cells.push(r.opt(|r| {
+                let name = NameId::from_index(r.u32()? as usize);
+                if name.index() >= names.texts.len() {
+                    return None;
+                }
+                let kind = decode_kind(r)?;
+                let n_inputs = r.usize()?;
+                let mut inputs = Vec::with_capacity(n_inputs.min(1 << 16));
+                for _ in 0..n_inputs {
+                    inputs.push(NetId::from_index(r.u32()? as usize));
+                }
+                let output = r.opt(|r| Some(NetId::from_index(r.u32()? as usize)))?;
+                let group = r.opt(|r| Some(GroupId::from_index(r.u32()? as usize)))?;
+                let config = r.opt(|r| Some(vpga_logic::Tt3::new(r.u8()?)))?;
+                Some(Cell::from_parts(name, kind, inputs, output, group, config))
+            })?);
+        }
+        let n_nets = r.usize()?;
+        let mut nets: Vec<Option<Net>> = Vec::with_capacity(n_nets.min(1 << 24));
+        for _ in 0..n_nets {
+            nets.push(r.opt(|r| {
+                let name = NameId::from_index(r.u32()? as usize);
+                if name.index() >= names.texts.len() {
+                    return None;
+                }
+                let driver = r.opt(|r| Some(CellId::from_index(r.u32()? as usize)))?;
+                let n_sinks = r.usize()?;
+                let mut sinks = Vec::with_capacity(n_sinks.min(1 << 16));
+                for _ in 0..n_sinks {
+                    let c = CellId::from_index(r.u32()? as usize);
+                    let pin = r.usize()?;
+                    sinks.push((c, pin));
+                }
+                Some(Net {
+                    name,
+                    driver,
+                    sinks,
+                })
+            })?);
+        }
+        let mut lists: [Vec<CellId>; 2] = [Vec::new(), Vec::new()];
+        for list in &mut lists {
+            let n = r.usize()?;
+            for _ in 0..n {
+                list.push(CellId::from_index(r.u32()? as usize));
+            }
+        }
+        let [inputs, outputs] = lists;
+        let next_group = r.u32()?;
+        let mut constants = [None, None];
+        for c in &mut constants {
+            *c = r.opt(|r| Some(NetId::from_index(r.u32()? as usize)))?;
+        }
+        let by_name: HashMap<NameId, CellId> = cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (c.name_id(), CellId::from_index(i))))
+            .collect();
+        Some(Netlist {
+            name,
+            names,
+            cells,
+            nets,
+            by_name,
+            inputs,
+            outputs,
+            next_group,
+            constants,
+        })
     }
 }
 

@@ -1,0 +1,212 @@
+//! A minimal little-endian byte codec for snapshots and checkpoints.
+//!
+//! [`Writer`] appends fixed-width primitives to a growable buffer;
+//! [`Reader`] walks one back, returning `None` on any truncation or
+//! malformed length instead of panicking — a corrupt or stale checkpoint
+//! file must degrade to "recompute from scratch", never to a crash.
+//! Floating-point values round-trip via [`f64::to_bits`], so a decoded
+//! snapshot is bit-identical to the encoded state (the property the
+//! flow's resume-equals-rerun fingerprint checks rely on).
+
+/// Appends primitives to an owned byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` by its bit pattern (exact round-trip, NaN and
+    /// signed zero included).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends an `Option` presence flag followed by the value via `f`.
+    pub fn opt<T>(&mut self, v: Option<T>, f: impl FnOnce(&mut Writer, T)) {
+        match v {
+            Some(v) => {
+                self.bool(true);
+                f(self, v);
+            }
+            None => self.bool(false),
+        }
+    }
+}
+
+/// Walks a byte slice written by [`Writer`]. Every read returns `None`
+/// once the input is exhausted or inconsistent.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// True once every byte has been consumed.
+    pub fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    pub fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool; bytes other than 0/1 are malformed.
+    pub fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<String> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    /// Reads an `Option` flag and, when present, the value via `f`.
+    pub fn opt<T>(&mut self, f: impl FnOnce(&mut Reader<'a>) -> Option<T>) -> Option<Option<T>> {
+        if self.bool()? {
+            Some(Some(f(self)?))
+        } else {
+            Some(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(0xAB);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.usize(12345);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.bool(true);
+        w.str("héllo");
+        w.opt(Some(7u64), |w, v| w.u64(v));
+        w.opt(None::<u64>, |w, v| w.u64(v));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8(), Some(0xAB));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(u64::MAX - 1));
+        assert_eq!(r.usize(), Some(12345));
+        assert_eq!(r.f64().map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.bool(), Some(true));
+        assert_eq!(r.str().as_deref(), Some("héllo"));
+        assert_eq!(r.opt(|r| r.u64()), Some(Some(7)));
+        assert_eq!(r.opt(|r| r.u64()), Some(None));
+        assert!(r.done());
+    }
+
+    #[test]
+    fn truncation_and_garbage_fail_closed() {
+        let mut w = Writer::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..4]);
+        assert_eq!(r.u64(), None);
+        // A wild length prefix must not panic or allocate absurdly.
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes).str(), None);
+        // Non-boolean byte.
+        let mut r = Reader::new(&[2]);
+        assert_eq!(r.bool(), None);
+    }
+}

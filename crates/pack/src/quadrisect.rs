@@ -122,7 +122,7 @@ pub fn pack_with_stats(
             continue;
         };
         let lc = lib.cell(lib_id).ok_or_else(|| PackError::ForeignCell {
-            cell: cell.name().to_owned(),
+            cell: netlist.cell_name(id).to_owned(),
         })?;
         let class = lc.class();
         let function = netlist.instance_function(id, lib);

@@ -258,6 +258,69 @@ impl Placement {
             _ => true,
         })
     }
+
+    /// Serializes the complete placement state so that
+    /// [`Placement::decode_snapshot`] reproduces it bit-identically
+    /// (coordinates round-trip via [`f64::to_bits`]).
+    pub fn encode_snapshot(&self, w: &mut vpga_netlist::wire::Writer) {
+        let rect = |w: &mut vpga_netlist::wire::Writer, r: &Rect| {
+            w.f64(r.x0);
+            w.f64(r.y0);
+            w.f64(r.x1);
+            w.f64(r.y1);
+        };
+        w.usize(self.positions.len());
+        for p in &self.positions {
+            w.opt(*p, |w, (x, y)| {
+                w.f64(x);
+                w.f64(y);
+            });
+        }
+        for &f in &self.fixed {
+            w.bool(f);
+        }
+        for r in &self.region {
+            w.opt(r.as_ref(), rect);
+        }
+        rect(w, &self.die);
+        w.f64(self.site_pitch);
+    }
+
+    /// Rebuilds a placement from [`Placement::encode_snapshot`] bytes.
+    /// Returns `None` on truncated or malformed input.
+    pub fn decode_snapshot(r: &mut vpga_netlist::wire::Reader<'_>) -> Option<Placement> {
+        let rect = |r: &mut vpga_netlist::wire::Reader<'_>| -> Option<Rect> {
+            Some(Rect {
+                x0: r.f64()?,
+                y0: r.f64()?,
+                x1: r.f64()?,
+                y1: r.f64()?,
+            })
+        };
+        let n = r.usize()?;
+        let cap = n.min(1 << 24);
+        let mut positions = Vec::with_capacity(cap);
+        for _ in 0..n {
+            positions.push(r.opt(|r| Some((r.f64()?, r.f64()?)))?);
+        }
+        let mut fixed = Vec::with_capacity(cap);
+        for _ in 0..n {
+            fixed.push(r.bool()?);
+        }
+        let mut region = Vec::with_capacity(cap);
+        for _ in 0..n {
+            region.push(r.opt(rect)?);
+        }
+        let die = rect(r)?;
+        let site_pitch = r.f64()?;
+        Some(Placement {
+            positions,
+            fixed,
+            region,
+            die,
+            site_pitch,
+        })
+    }
 }
 
 #[cfg(test)]

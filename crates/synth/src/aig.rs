@@ -355,7 +355,7 @@ impl Aig {
         for &pi in netlist.inputs() {
             let cell = netlist.cell(pi).expect("live PI");
             let net = cell.output().expect("PI drives a net");
-            let lit = aig.named_pi(cell.name().to_owned());
+            let lit = aig.named_pi(netlist.cell_name(pi).to_owned());
             net2lit.insert(net, lit);
         }
         let mut dffs: Vec<CellId> = Vec::new();
@@ -369,7 +369,7 @@ impl Aig {
                     let lc = lib.cell(lib_id).expect("library cell");
                     if lc.is_sequential() {
                         let q = cell.output().expect("DFF drives Q");
-                        let lit = aig.named_pi(cell.name().to_owned());
+                        let lit = aig.named_pi(netlist.cell_name(id).to_owned());
                         net2lit.insert(q, lit);
                         dffs.push(id);
                     }
@@ -395,13 +395,13 @@ impl Aig {
             let cell = netlist.cell(po).expect("live PO");
             let net = cell.inputs()[0];
             let lit = *net2lit.get(&net).expect("PO net built");
-            aig.add_output(cell.name().to_owned(), lit, false);
+            aig.add_output(netlist.cell_name(po).to_owned(), lit, false);
         }
         for &ff in &dffs {
             let cell = netlist.cell(ff).expect("live DFF");
             let d = cell.inputs()[0];
             let lit = *net2lit.get(&d).expect("D net built");
-            aig.add_output(cell.name().to_owned(), lit, true);
+            aig.add_output(netlist.cell_name(ff).to_owned(), lit, true);
         }
         Ok((aig, dffs))
     }

@@ -237,7 +237,7 @@ pub fn map_netlist(
     // Flip-flops (placeholder D, rewired after mapping the cones).
     let mut dff_cells: Vec<CellId> = Vec::with_capacity(src_dffs.len());
     for (i, &src_ff) in src_dffs.iter().enumerate() {
-        let name = netlist.cell(src_ff).expect("src dff").name().to_owned();
+        let name = netlist.cell_name(src_ff).to_owned();
         let placeholder = out.constant(false);
         let q = out
             .add_lib_cell(name, arch.library(), "DFF", &[placeholder])
@@ -350,12 +350,12 @@ pub fn map_netlist_fast(
     for &pi in netlist.inputs() {
         let cell = netlist.cell(pi).expect("live PI");
         let src_net = cell.output().expect("PI net");
-        let net = out.add_input(cell.name().to_owned());
+        let net = out.add_input(netlist.cell_name(pi).to_owned());
         net_map.insert(src_net, net);
     }
     // Constants and flip-flops (placeholder D, rewired afterwards).
     let mut dff_fixups: Vec<(CellId, NetId)> = Vec::new(); // (new cell, src D net)
-    for (_, cell) in netlist.cells() {
+    for (id, cell) in netlist.cells() {
         match cell.kind() {
             vpga_netlist::CellKind::Constant(v) => {
                 let net = out.constant(v);
@@ -367,7 +367,7 @@ pub fn map_netlist_fast(
                 let placeholder = out.constant(false);
                 let q = out
                     .add_lib_cell(
-                        cell.name().to_owned(),
+                        netlist.cell_name(id).to_owned(),
                         arch.library(),
                         "DFF",
                         &[placeholder],
@@ -435,7 +435,7 @@ pub fn map_netlist_fast(
     for &po in netlist.outputs() {
         let cell = netlist.cell(po).expect("live PO");
         let net = *net_map.get(&cell.inputs()[0]).expect("PO net mapped");
-        out.add_output(cell.name().to_owned(), net);
+        out.add_output(netlist.cell_name(po).to_owned(), net);
     }
     for (new_cell, src_d) in dff_fixups {
         let net = *net_map.get(&src_d).expect("D net mapped");

@@ -405,7 +405,7 @@ impl TimingGraph {
             let req = self.ep_req(slot as u32, config);
             required[net.index()] = required[net.index()].min(req);
             endpoints.push(Endpoint {
-                name: cell.name().to_owned(),
+                name: netlist.cell_name(ep).to_owned(),
                 net,
                 arrival: arrival[net.index()],
                 slack: req - arrival[net.index()],
@@ -955,7 +955,7 @@ impl IncrementalSta {
             let net = self.graph.ep_net[slot];
             let req = self.graph.ep_req(slot as u32, &self.config);
             endpoints.push(Endpoint {
-                name: netlist.cell(cell).expect("live endpoint").name().to_owned(),
+                name: netlist.cell_name(cell).to_owned(),
                 net,
                 arrival: self.arrival[net.index()],
                 slack: req - self.arrival[net.index()],

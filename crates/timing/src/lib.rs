@@ -181,7 +181,7 @@ impl TimingReport {
         let mut net = endpoint.net;
         while let Some(driver) = netlist.driver(net) {
             let cell = netlist.cell(driver).expect("live driver");
-            path.push(cell.name().to_owned());
+            path.push(netlist.cell_name(driver).to_owned());
             let sequential = match cell.kind() {
                 CellKind::Lib(id) => lib.cell(id).is_some_and(|c| c.is_sequential()),
                 _ => true, // PI / constant: stop
@@ -364,7 +364,7 @@ pub fn try_analyze(
         let req = config.clock_period;
         required[net.index()] = required[net.index()].min(req);
         endpoints.push(Endpoint {
-            name: cell.name().to_owned(),
+            name: netlist.cell_name(po).to_owned(),
             net,
             arrival: arrival[net.index()],
             slack: req - arrival[net.index()],
@@ -376,7 +376,7 @@ pub fn try_analyze(
         let req = config.clock_period - config.setup;
         required[d.index()] = required[d.index()].min(req);
         endpoints.push(Endpoint {
-            name: cell.name().to_owned(),
+            name: netlist.cell_name(ff).to_owned(),
             net: d,
             arrival: arrival[d.index()],
             slack: req - arrival[d.index()],

@@ -1,0 +1,26 @@
+//! Prints the deterministic matrix fingerprints at tiny and small sizes —
+//! the baseline the checkpoint/resume goldens are pinned against.
+
+use vpga::designs::DesignParams;
+use vpga::flow::report::Matrix;
+use vpga::flow::FlowConfig;
+
+fn main() {
+    for (name, params) in [
+        ("tiny", DesignParams::tiny()),
+        ("small", DesignParams::small()),
+    ] {
+        let matrix = Matrix::run_parallel(&params, &FlowConfig::default(), 0).expect("matrix");
+        println!("{name}: {:#018x}", matrix.fingerprint());
+        for o in matrix.outcomes() {
+            println!(
+                "  {}/{}: {:#018x} (a {:#018x}, b {:#018x})",
+                o.design,
+                o.arch,
+                o.fingerprint(),
+                o.flow_a.fingerprint(),
+                o.flow_b.fingerprint()
+            );
+        }
+    }
+}

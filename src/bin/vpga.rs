@@ -6,6 +6,7 @@
 //!           [--audit] [--retries N] [--deadline SECS]
 //! vpga matrix [--size tiny|small|medium|paper] [--jobs N] [--stats]
 //!           [--audit] [--retries N] [--deadline SECS]
+//!           [--checkpoint-dir DIR] [--resume]
 //! vpga program <design.v> [--arch granular|lut] [-o design.fabric]
 //! vpga arch [granular|lut|homogeneous]
 //! ```
@@ -91,7 +92,8 @@ fn print_usage() {
          usage:\n\
          \x20 vpga gen <alu|fpu|switch|firewire> [--size S] [-o FILE]   generate a benchmark as Verilog\n\
          \x20 vpga flow <design.v> [--arch A] [--no-compaction] [--stats]  run flows a and b, print metrics\n\
-         \x20 vpga matrix [--size S] [--jobs N] [--stats]               run the full 4×2 evaluation matrix\n\
+         \x20 vpga matrix [--size S] [--jobs N] [--stats] [--checkpoint-dir DIR] [--resume]\n\
+         \x20                                                           run the full 4×2 evaluation matrix\n\
          \x20 vpga program <design.v> [--arch A] [-o FILE]              emit the packed via program\n\
          \x20 vpga arch [A]                                             print architecture summaries\n\n\
          sizes S: tiny | small | medium | paper (default small)\n\
@@ -102,7 +104,11 @@ fn print_usage() {
          robustness (flow and matrix):\n\
          --audit        : run the inter-stage invariant auditors (always on in debug builds)\n\
          --retries N    : retry stochastic stages up to N times with derived reseeds\n\
-         --deadline SECS: per-job wall-clock budget; over-budget jobs fail cleanly"
+         --deadline SECS: per-job wall-clock budget; over-budget jobs fail cleanly\n\n\
+         checkpointing (matrix only):\n\
+         --checkpoint-dir DIR: persist per-stage artifacts to DIR as stages complete\n\
+         --resume            : skip stages whose valid checkpoints are already in DIR;\n\
+         \x20                    an interrupted-then-resumed matrix is bit-identical"
     );
 }
 
@@ -286,13 +292,24 @@ fn cmd_matrix(args: &[String]) -> Result<(), Box<dyn Error>> {
         },
         args,
     )?;
+    let resume = args.iter().any(|a| a == "--resume");
+    let checkpoints = match flag_value(args, "--checkpoint-dir") {
+        Some(dir) => Some(vpga::flow::CheckpointStore::new(dir, resume)?),
+        None if args.iter().any(|a| a == "--checkpoint-dir") => {
+            return Err("--checkpoint-dir needs a value".into())
+        }
+        None if resume => return Err("--resume needs --checkpoint-dir".into()),
+        None => None,
+    };
     eprintln!(
         "running the 4 designs × 2 architectures matrix on {} worker(s) ...",
         vpga::flow::Executor::new(jobs).workers()
     );
     // Resilient by default: a failed cell is reported (and drops its pair
     // from the tables) while every other cell completes bit-identically.
-    let matrix = Matrix::run_resilient(&params, &config, jobs);
+    let matrix = Matrix::run_resilient_checkpointed(&params, &config, jobs, checkpoints.as_ref());
+    println!("matrix fingerprint: {:#018x}", matrix.fingerprint());
+    println!();
     print!("{}", matrix.table1());
     println!();
     print!("{}", matrix.table2());

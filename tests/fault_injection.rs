@@ -116,6 +116,31 @@ fn timeout_fault_reports_deadline_exceeded() {
 }
 
 #[test]
+fn mid_matrix_deadline_poisons_one_cell_and_reports_partial_results() {
+    let _guard = locked();
+    // A deadline blown in the middle of the matrix (route of the FPU /
+    // granular / flow-a cell) must surface as exactly one
+    // DeadlineExceeded cell failure through `run_resilient`, while the
+    // other seven pairs complete and the tables still render.
+    faultpoint::arm("route", Some("fpu/granular/a"), FaultKind::Timeout);
+    let matrix =
+        vpga::flow::report::Matrix::run_resilient(&DesignParams::tiny(), &FlowConfig::default(), 2);
+    assert_eq!(matrix.outcomes().len(), 7, "{}", matrix.failures_report());
+    assert_eq!(matrix.failures().len(), 1, "{}", matrix.failures_report());
+    let failure = &matrix.failures()[0];
+    assert_eq!(failure.design, "FPU");
+    assert_eq!(failure.arch, "granular");
+    assert_eq!(failure.variant, FlowVariant::A);
+    assert!(failure.error.contains("deadline"), "{failure}");
+    // Partial results still report: both tables render without the
+    // poisoned pair, and the aggregate claims are withheld, not wrong.
+    assert!(matrix.table1().contains(NamedDesign::Alu.name()));
+    assert!(!matrix.failures_report().is_empty());
+    assert!(matrix.try_claims().is_none());
+    assert!(!faultpoint::any_armed(), "timeout fault should be one-shot");
+}
+
+#[test]
 fn retries_recover_from_one_shot_stage_errors() {
     let _guard = locked();
     let design = tiny_alu();

@@ -64,9 +64,9 @@ fn packed_arrays_are_legal() {
                 if cell.lib_id().is_none() {
                     continue;
                 }
-                let plb = array
-                    .plb_of(id)
-                    .unwrap_or_else(|| panic!("{design}: unassigned cell {}", cell.name()));
+                let plb = array.plb_of(id).unwrap_or_else(|| {
+                    panic!("{design}: unassigned cell {}", mapped.cell_name(id))
+                });
                 if let Some(g) = cell.group() {
                     groups.entry(g).or_default().insert(plb);
                 }
