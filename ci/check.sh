@@ -10,7 +10,8 @@
 #   6. cargo test --features fault-inject   (fault-injection harness)
 #   7. audited tiny matrix        (debug assertions + inter-stage auditors)
 #   8. kill-and-resume smoke      (interrupted checkpointed matrix resumes bit-identical)
-#   9. cargo bench, smoke mode    (one sample per bench, catches bit-rot)
+#   9. interchange round-trip     (SDF/.vxdl emission verifies + checkpoints migrate)
+#  10. cargo bench, smoke mode    (one sample per bench, catches bit-rot)
 #
 # The workspace has no network dependencies: rand/proptest/criterion are
 # vendored as path crates under vendor/, so every step works offline.
@@ -73,6 +74,18 @@ if [ "$baseline" != "$resumed" ]; then
     echo "error: resumed matrix diverged: '$resumed' != '$baseline'" >&2
     exit 1
 fi
+
+step "interchange round-trip (emit SDF/.vxdl, verify fixpoints, migrate checkpoints)"
+# Golden-file byte diffs already ran under `cargo test` (tests/goldens/);
+# this exercises the full emit → reparse → re-emit path on fresh artifacts
+# and the binary-checkpoint → .vxdl migration with fingerprint equality.
+IVK=$(mktemp -d)
+trap 'rm -rf "$CKPT" "$IVK"' EXIT
+cargo run -q --bin vpga -- matrix --size tiny --jobs 2 \
+    --checkpoint-dir "$IVK/ckpt" --emit-sdf "$IVK/sdf" --emit-xdl "$IVK/xdl" >/dev/null
+cargo run -q --bin vpga -- verify-interchange "$IVK/sdf" >/dev/null
+cargo run -q --bin vpga -- verify-interchange "$IVK/xdl" >/dev/null
+cargo run -q --bin vpga -- migrate-checkpoints "$IVK/ckpt" --size tiny >/dev/null
 
 step "cargo bench (smoke mode, 1 sample per bench)"
 # --workspace picks up every [[bench]] target in crates/bench, including

@@ -32,10 +32,15 @@ use vpga_netlist::Netlist;
 use vpga_place::{BufferEdit, PlaceConfig, Placement};
 use vpga_timing::IncrementalSta;
 
-use crate::config::{FlowConfig, FlowVariant};
+use crate::config::{EmitConfig, FlowConfig, FlowVariant};
+use crate::error::FlowError;
 use crate::pipeline::FlowResult;
 use crate::stages::FrontArtifacts;
 use crate::stats::{StageId, StageStats};
+
+/// Size of the framed header preceding the payload: magic, kind,
+/// completed count, config fingerprint, payload length.
+const HEADER_LEN: usize = 8 + 1 + 1 + 8 + 8;
 
 const MAGIC: &[u8; 8] = b"VPGACKP1";
 const KIND_FRONT: u8 = 0;
@@ -51,13 +56,15 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// A fingerprint of everything that determines a run's artifacts: the
-/// flow configuration (normalized — audit, deadlines, and route-keeping
-/// change no artifact bits) and the design parameters. A checkpoint
-/// recorded under a different fingerprint never restores.
+/// flow configuration (normalized — audit, deadlines, route-keeping, and
+/// interchange emission change no artifact bits) and the design
+/// parameters. A checkpoint recorded under a different fingerprint never
+/// restores.
 fn config_fingerprint(config: &FlowConfig, params: &DesignParams) -> u64 {
     let normalized = FlowConfig {
         audit: false,
         deadline: None,
+        emit: EmitConfig::default(),
         route: vpga_route::RouteConfig {
             keep_routes: false,
             ..config.route.clone()
@@ -349,29 +356,62 @@ impl CheckpointStore {
     }
 
     /// Reads and validates a framed checkpoint, returning the completed
-    /// count and payload bytes.
-    fn read_file(&self, path: &Path, kind: u8, config_fp: u64) -> Option<(u8, Vec<u8>)> {
-        let bytes = std::fs::read(path).ok()?;
+    /// count and payload bytes. Every rejection is a
+    /// [`FlowError::Checkpoint`] carrying the file path and the byte
+    /// offset where validation first failed.
+    fn read_file_strict(
+        &self,
+        path: &Path,
+        kind: u8,
+        config_fp: u64,
+    ) -> Result<(u8, Vec<u8>), FlowError> {
+        let fail = |offset: usize, detail: &str| FlowError::Checkpoint {
+            path: path.to_path_buf(),
+            offset,
+            detail: detail.to_owned(),
+        };
+        let bytes = std::fs::read(path).map_err(|e| fail(0, &format!("read failed: {e}")))?;
         let mut r = Reader::new(&bytes);
         let mut magic = [0u8; 8];
         for slot in &mut magic {
-            *slot = r.u8()?;
+            *slot = r.u8().ok_or_else(|| fail(r.pos(), "truncated header"))?;
         }
-        if magic != *MAGIC || r.u8()? != kind {
-            return None;
+        if magic != *MAGIC {
+            return Err(fail(0, "bad magic (not a VPGACKP1 checkpoint)"));
         }
-        let completed = r.u8()?;
-        if r.u64()? != config_fp {
-            return None;
+        let got_kind = r.u8().ok_or_else(|| fail(r.pos(), "truncated header"))?;
+        if got_kind != kind {
+            return Err(fail(8, &format!("kind {got_kind}, expected {kind}")));
         }
-        let len = r.usize()?;
-        let start: usize = 8 + 1 + 1 + 8 + 8;
-        let payload = bytes.get(start..start.checked_add(len)?)?;
-        let digest = u64::from_le_bytes(bytes.get(start + len..start + len + 8)?.try_into().ok()?);
+        let completed = r.u8().ok_or_else(|| fail(r.pos(), "truncated header"))?;
+        let got_fp = r.u64().ok_or_else(|| fail(r.pos(), "truncated header"))?;
+        if got_fp != config_fp {
+            return Err(fail(
+                10,
+                &format!("config fingerprint {got_fp:#018x}, expected {config_fp:#018x}"),
+            ));
+        }
+        let len = r.usize().ok_or_else(|| fail(r.pos(), "truncated header"))?;
+        let payload = len
+            .checked_add(HEADER_LEN)
+            .and_then(|end| bytes.get(HEADER_LEN..end))
+            .ok_or_else(|| fail(HEADER_LEN, "payload shorter than header claims"))?;
+        let digest_at = HEADER_LEN + len;
+        let digest = bytes
+            .get(digest_at..digest_at + 8)
+            .and_then(|b| b.try_into().ok())
+            .map(u64::from_le_bytes)
+            .ok_or_else(|| fail(digest_at, "missing payload digest"))?;
         if fnv1a(payload) != digest {
-            return None;
+            return Err(fail(digest_at, "payload digest mismatch"));
         }
-        Some((completed, payload.to_vec()))
+        Ok((completed, payload.to_vec()))
+    }
+
+    /// [`Self::read_file_strict`] with rejections collapsed to `None` —
+    /// the resume path degrades to recomputation on any invalid file.
+    fn read_file(&self, path: &Path, kind: u8, config_fp: u64) -> Option<(u8, Vec<u8>)> {
+        self.read_file_strict(path, kind, config_fp).ok()
     }
 
     /// Loads the deepest valid front-end checkpoint for `(design, arch)`,
@@ -477,6 +517,117 @@ impl CheckpointStore {
             config_fingerprint(config, params),
             &w.into_bytes(),
         );
+    }
+
+    /// The `.vxdl` twin of a front-end checkpoint file.
+    fn front_text_path(&self, design: &str, arch: &str) -> PathBuf {
+        self.dir.join(format!("front-{design}-{arch}.vxdl"))
+    }
+
+    /// Migrates the binary front-end checkpoint for `(design, arch)` to
+    /// its `.vxdl` text twin, returning the written path and the snapshot
+    /// fingerprint of the exported state.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Checkpoint`] (with file path and byte offset) when
+    /// the binary checkpoint is unreadable, fails validation, has not yet
+    /// snapshotted a netlist and placement, or the text file cannot be
+    /// written.
+    pub fn export_front_text(
+        &self,
+        design: &str,
+        arch: &str,
+        config: &FlowConfig,
+        params: &DesignParams,
+    ) -> Result<(PathBuf, u64), FlowError> {
+        let bin_path = self.front_path(design, arch);
+        let fp = config_fingerprint(config, params);
+        let (_, payload) = self.read_file_strict(&bin_path, KIND_FRONT, fp)?;
+        let mut r = Reader::new(&payload);
+        let (store, _stages) = decode_front(&mut r).ok_or_else(|| FlowError::Checkpoint {
+            path: bin_path.clone(),
+            offset: HEADER_LEN + r.pos(),
+            detail: "front-end payload failed to decode".to_owned(),
+        })?;
+        let (Some(netlist), Some(placement)) = (&store.netlist, &store.placement) else {
+            return Err(FlowError::Checkpoint {
+                path: bin_path,
+                offset: HEADER_LEN,
+                detail: "checkpoint predates placement; nothing to export".to_owned(),
+            });
+        };
+        let text = vpga_interchange::vxdl::encode(netlist, placement, &[]);
+        let fingerprint = vpga_interchange::snapshot_fingerprint(netlist, placement);
+        let path = self.front_text_path(design, arch);
+        let tmp = path.with_extension("vxdl.tmp");
+        std::fs::write(&tmp, text.as_bytes())
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| FlowError::Checkpoint {
+                path: path.clone(),
+                offset: 0,
+                detail: format!("write failed: {e}"),
+            })?;
+        Ok((path, fingerprint))
+    }
+
+    /// Verifies the `.vxdl` twin of the front-end checkpoint for
+    /// `(design, arch)`: parses the text, re-fingerprints the decoded
+    /// netlist + placement, and requires the fingerprint to match the
+    /// binary checkpoint's state exactly. Returns the fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Checkpoint`] — with the text file's path and the
+    /// byte offset of the first offending character for parse failures —
+    /// when either file is unreadable or the fingerprints diverge.
+    pub fn verify_front_text(
+        &self,
+        design: &str,
+        arch: &str,
+        config: &FlowConfig,
+        params: &DesignParams,
+    ) -> Result<u64, FlowError> {
+        let path = self.front_text_path(design, arch);
+        let text = std::fs::read_to_string(&path).map_err(|e| FlowError::Checkpoint {
+            path: path.clone(),
+            offset: 0,
+            detail: format!("read failed: {e}"),
+        })?;
+        let doc = vpga_interchange::vxdl::parse(&text).map_err(|e| FlowError::Checkpoint {
+            path: path.clone(),
+            offset: e.byte_offset(&text).unwrap_or(0),
+            detail: e.to_string(),
+        })?;
+        let text_fp = vpga_interchange::snapshot_fingerprint(&doc.netlist, &doc.placement);
+        // Compare against the binary checkpoint's state.
+        let bin_path = self.front_path(design, arch);
+        let fp = config_fingerprint(config, params);
+        let (_, payload) = self.read_file_strict(&bin_path, KIND_FRONT, fp)?;
+        let mut r = Reader::new(&payload);
+        let (store, _stages) = decode_front(&mut r).ok_or_else(|| FlowError::Checkpoint {
+            path: bin_path.clone(),
+            offset: HEADER_LEN + r.pos(),
+            detail: "front-end payload failed to decode".to_owned(),
+        })?;
+        let (Some(netlist), Some(placement)) = (&store.netlist, &store.placement) else {
+            return Err(FlowError::Checkpoint {
+                path: bin_path,
+                offset: HEADER_LEN,
+                detail: "checkpoint predates placement; nothing to verify".to_owned(),
+            });
+        };
+        let bin_fp = vpga_interchange::snapshot_fingerprint(netlist, placement);
+        if text_fp != bin_fp {
+            return Err(FlowError::Checkpoint {
+                path,
+                offset: 0,
+                detail: format!(
+                    "text snapshot fingerprint {text_fp:#018x} != binary {bin_fp:#018x}"
+                ),
+            });
+        }
+        Ok(text_fp)
     }
 }
 

@@ -1,6 +1,7 @@
 //! Flow-wide configuration.
 
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use vpga_pack::PackConfig;
@@ -34,6 +35,29 @@ impl fmt::Display for FlowVariant {
             FlowVariant::A => "flow a",
             FlowVariant::B => "flow b",
         })
+    }
+}
+
+/// Where (if anywhere) to emit interchange artifacts after the back-end
+/// timing stage. Emission is observational: it reads the finished stage
+/// artifacts and never perturbs metrics or fingerprints (the
+/// checkpoint-compatible fingerprint normalizes this struct away, like
+/// `audit`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EmitConfig {
+    /// Write one SDF 3.0 timing file per back-end job into this
+    /// directory (`<design>-<arch>-<variant>.sdf`).
+    pub sdf_dir: Option<PathBuf>,
+    /// Write one `.vxdl` netlist/placement/routing file per back-end job
+    /// into this directory (`<design>-<arch>-<variant>.vxdl`). Forces
+    /// the router to retain per-net routes, as `--audit` does.
+    pub xdl_dir: Option<PathBuf>,
+}
+
+impl EmitConfig {
+    /// True when at least one artifact kind is requested.
+    pub fn is_active(&self) -> bool {
+        self.sdf_dir.is_some() || self.xdl_dir.is_some()
     }
 }
 
@@ -78,6 +102,10 @@ pub struct FlowConfig {
     /// exceeding it fails the job with
     /// [`crate::FlowError::DeadlineExceeded`] instead of running on.
     pub deadline: Option<Duration>,
+    /// Interchange artifact emission (SDF / `.vxdl`) after the back-end
+    /// timing stage. Observational only; excluded from the checkpoint
+    /// config fingerprint.
+    pub emit: EmitConfig,
 }
 
 impl Default for FlowConfig {
@@ -95,6 +123,7 @@ impl Default for FlowConfig {
             audit: cfg!(debug_assertions),
             retries: 0,
             deadline: None,
+            emit: EmitConfig::default(),
         }
     }
 }

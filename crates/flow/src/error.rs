@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use vpga_netlist::NetlistError;
@@ -66,6 +67,18 @@ pub enum FlowError {
         /// The configured budget.
         budget: Duration,
     },
+    /// A checkpoint or interchange artifact on disk could not be read,
+    /// decoded, or verified. Carries the offending file and the byte
+    /// offset where decoding first failed, so a corrupt artifact is
+    /// diagnosable instead of a bare "resume ignored".
+    Checkpoint {
+        /// The file that failed.
+        path: PathBuf,
+        /// Byte offset of the first undecodable byte (file-relative).
+        offset: usize,
+        /// What went wrong.
+        detail: String,
+    },
     /// A stage error with job context attached.
     Stage {
         /// The stage that failed.
@@ -86,7 +99,8 @@ impl FlowError {
             FlowError::Stage { .. }
             | FlowError::StagePanic { .. }
             | FlowError::Skipped { .. }
-            | FlowError::DeadlineExceeded { .. } => self,
+            | FlowError::DeadlineExceeded { .. }
+            | FlowError::Checkpoint { .. } => self,
             other => FlowError::Stage {
                 stage,
                 design: design.to_owned(),
@@ -154,6 +168,15 @@ impl fmt::Display for FlowError {
                 elapsed.as_secs_f64(),
                 budget.as_secs_f64()
             ),
+            FlowError::Checkpoint {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "checkpoint {} unreadable at byte {offset}: {detail}",
+                path.display()
+            ),
             FlowError::Stage {
                 stage,
                 design,
@@ -176,7 +199,8 @@ impl Error for FlowError {
             FlowError::Stage { source, .. } => Some(source.as_ref()),
             FlowError::StagePanic { .. }
             | FlowError::Skipped { .. }
-            | FlowError::DeadlineExceeded { .. } => None,
+            | FlowError::DeadlineExceeded { .. }
+            | FlowError::Checkpoint { .. } => None,
         }
     }
 }

@@ -40,6 +40,7 @@ pub mod audit;
 pub mod checkpoint;
 mod clock;
 mod config;
+mod emit;
 mod error;
 pub mod exec;
 pub mod faultpoint;
@@ -51,7 +52,7 @@ pub mod stats;
 pub use audit::AuditError;
 pub use checkpoint::CheckpointStore;
 pub use clock::derive_seed;
-pub use config::{FlowConfig, FlowVariant};
+pub use config::{EmitConfig, FlowConfig, FlowVariant};
 pub use error::FlowError;
 pub use exec::{Executor, FlowJob, FlowMatrix, JobResult};
 pub use faultpoint::FaultKind;

@@ -224,11 +224,13 @@ impl Stage<BackArtifacts<'_>> for RouteStage {
         let front = store.front;
         let netlist = &front.netlist;
         let lib = env.arch.library();
-        // Auditing the router needs the per-net tile paths retained; the
-        // routes themselves never enter a fingerprint, so this cannot
-        // perturb determinism checks.
+        // Auditing the router and `.vxdl` emission both need the per-net
+        // tile paths retained; the routes themselves never enter a
+        // fingerprint, so this cannot perturb determinism checks.
         let base = RouteConfig {
-            keep_routes: env.config.route.keep_routes || env.config.audit,
+            keep_routes: env.config.route.keep_routes
+                || env.config.audit
+                || env.config.emit.xdl_dir.is_some(),
             tile_size: match self.variant {
                 FlowVariant::A => env.config.route.tile_size,
                 FlowVariant::B => Some(store.array.as_ref().expect("flow b packed").plb_pitch()),
@@ -314,6 +316,17 @@ impl Stage<BackArtifacts<'_>> for TimingStage {
         );
         let stats = StageStats::new(StageId::Timing, Duration::ZERO, front.cells, nets(netlist))
             .with_sta(1, 0, 0);
+        if env.config.emit.is_active() {
+            crate::emit::emit_back_artifacts(
+                &env.config.emit,
+                env.job,
+                netlist,
+                lib,
+                placement,
+                Some(routing),
+                front.sta.graph(),
+            );
+        }
         store.power_mw = Some(power.total() * 1e3);
         store.sta_report = Some(sta);
         Ok(stats)

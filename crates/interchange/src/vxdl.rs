@@ -1,0 +1,871 @@
+//! The `.vxdl` codec: an XDL-style, line-oriented text serialization of
+//! netlist + placement + routing.
+//!
+//! Like Xilinx XDL, the format is one record per line (`inst`, `net`,
+//! `site`, `pip`, ...) and human-diffable; unlike XDL it is a *lossless*
+//! complement to the binary [`vpga_netlist::wire`] snapshot codec: the
+//! text carries the complete snapshot state — the name intern table in
+//! order, dead slots (`gone` records), id assignments, the group
+//! counter, constant-net bindings, and every `f64` via Rust's
+//! shortest-round-trip formatting — so [`parse`] reconstructs
+//! [`Netlist`] and [`Placement`] values whose re-encoded snapshots are
+//! byte-identical to the originals, and `encode → parse → encode` is a
+//! fixpoint on the emitted text.
+//!
+//! Internally both directions transcode the binary snapshot schema: the
+//! writer walks [`Netlist::encode_snapshot`] bytes and prints records;
+//! the parser prints records back into snapshot bytes and hands them to
+//! [`Netlist::decode_snapshot`] / [`Placement::decode_snapshot`]. There
+//! is exactly one schema, shared with the checkpoint store.
+//!
+//! Routing rides along as `route`/`pip` records (the router's tile-graph
+//! segments, present when the flow retained routes); routes are carried
+//! as plain data, not reconstructed into a router state, and are not part
+//! of a snapshot fingerprint.
+
+use std::fmt::Write as _;
+
+use vpga_netlist::wire::{Reader, Writer};
+use vpga_netlist::Netlist;
+use vpga_place::Placement;
+
+use crate::InterchangeError;
+
+/// One routed tile-graph segment, `((x0, y0), (x1, y1))` — the same
+/// shape as `vpga_route::RouteSegment`.
+pub type Seg = ((usize, usize), (usize, usize));
+
+/// A parsed `.vxdl` document.
+#[derive(Debug)]
+pub struct VxdlDoc {
+    /// The reconstructed netlist (bit-identical snapshot).
+    pub netlist: Netlist,
+    /// The reconstructed placement (bit-identical snapshot).
+    pub placement: Placement,
+    /// Per-net routed segments, by net slot index, ascending.
+    pub routes: Vec<(u32, Vec<Seg>)>,
+}
+
+// ----------------------------------------------------------------------
+// Writer
+// ----------------------------------------------------------------------
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if c.is_control() => {
+                let _ = write!(out, "\\u{{{:x}}}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "-".to_owned(),
+    }
+}
+
+/// Serializes `netlist` + `placement` (+ optional per-net `routes`,
+/// ascending by net slot) as `.vxdl` text.
+pub fn encode(netlist: &Netlist, placement: &Placement, routes: &[(u32, Vec<Seg>)]) -> String {
+    let mut nw = Writer::new();
+    netlist.encode_snapshot(&mut nw);
+    let mut pw = Writer::new();
+    placement.encode_snapshot(&mut pw);
+    transcode(&nw.into_bytes(), &pw.into_bytes(), routes)
+        .expect("encode_snapshot bytes are well-formed by construction")
+}
+
+/// Walks the two binary snapshots and prints the text records. `None`
+/// only on malformed snapshot bytes (unreachable from [`encode`]).
+fn transcode(nbytes: &[u8], pbytes: &[u8], routes: &[(u32, Vec<Seg>)]) -> Option<String> {
+    let mut out = String::new();
+    let o = &mut out;
+    let mut r = Reader::new(nbytes);
+    let _ = writeln!(o, "vxdl 1");
+    let _ = writeln!(o, "design {}", escape(&r.str()?));
+    let n_names = r.usize()?;
+    let _ = writeln!(o, "names {n_names}");
+    for _ in 0..n_names {
+        let _ = writeln!(o, "name {}", escape(&r.str()?));
+    }
+    let n_cells = r.usize()?;
+    let _ = writeln!(o, "cells {n_cells}");
+    for slot in 0..n_cells {
+        if !r.bool()? {
+            let _ = writeln!(o, "gone {slot}");
+            continue;
+        }
+        let name = r.u32()?;
+        let kind = match r.u8()? {
+            0 => "pi".to_owned(),
+            1 => "po".to_owned(),
+            2 => "c0".to_owned(),
+            3 => "c1".to_owned(),
+            4 => format!("lib{}", r.u32()?),
+            _ => return None,
+        };
+        let n_pins = r.usize()?;
+        let mut pins = String::new();
+        for _ in 0..n_pins {
+            let _ = write!(pins, " {}", r.u32()?);
+        }
+        let output = r.opt(Reader::u32)?.map(u64::from);
+        let group = r.opt(Reader::u32)?.map(u64::from);
+        let config = r.opt(Reader::u8)?.map(u64::from);
+        let _ = writeln!(
+            o,
+            "inst {slot} n{name} {kind} pins {n_pins}{pins} out {} grp {} cfg {}",
+            fmt_opt_u64(output),
+            fmt_opt_u64(group),
+            fmt_opt_u64(config),
+        );
+    }
+    let n_nets = r.usize()?;
+    let _ = writeln!(o, "nets {n_nets}");
+    for slot in 0..n_nets {
+        if !r.bool()? {
+            let _ = writeln!(o, "gone {slot}");
+            continue;
+        }
+        let name = r.u32()?;
+        let driver = r.opt(Reader::u32)?.map(u64::from);
+        let n_sinks = r.usize()?;
+        let mut sinks = String::new();
+        for _ in 0..n_sinks {
+            let cell = r.u32()?;
+            let pin = r.usize()?;
+            let _ = write!(sinks, " {cell}:{pin}");
+        }
+        let _ = writeln!(
+            o,
+            "net {slot} n{name} drv {} sinks {n_sinks}{sinks}",
+            fmt_opt_u64(driver)
+        );
+    }
+    for kw in ["ports_in", "ports_out"] {
+        let n = r.usize()?;
+        let _ = write!(o, "{kw} {n}");
+        for _ in 0..n {
+            let _ = write!(o, " {}", r.u32()?);
+        }
+        let _ = writeln!(o);
+    }
+    let _ = writeln!(o, "nextgroup {}", r.u32()?);
+    let c0 = r.opt(Reader::u32)?.map(u64::from);
+    let c1 = r.opt(Reader::u32)?.map(u64::from);
+    let _ = writeln!(o, "consts {} {}", fmt_opt_u64(c0), fmt_opt_u64(c1));
+    if !r.done() {
+        return None;
+    }
+    // Placement: the binary layout is columnar; the text is per-site.
+    let mut r = Reader::new(pbytes);
+    let n_sites = r.usize()?;
+    let mut positions = Vec::with_capacity(n_sites.min(1 << 24));
+    for _ in 0..n_sites {
+        positions.push(r.opt(|r| Some((r.f64()?, r.f64()?)))?);
+    }
+    let mut fixed = Vec::with_capacity(n_sites.min(1 << 24));
+    for _ in 0..n_sites {
+        fixed.push(r.bool()?);
+    }
+    let mut regions = Vec::with_capacity(n_sites.min(1 << 24));
+    for _ in 0..n_sites {
+        regions.push(r.opt(|r| Some((r.f64()?, r.f64()?, r.f64()?, r.f64()?)))?);
+    }
+    let _ = writeln!(o, "sites {n_sites}");
+    for slot in 0..n_sites {
+        let _ = write!(o, "site {slot}");
+        match positions[slot] {
+            Some((x, y)) => {
+                let _ = write!(o, " {x} {y}");
+            }
+            None => {
+                let _ = write!(o, " -");
+            }
+        }
+        let _ = write!(o, " {}", if fixed[slot] { "f" } else { "m" });
+        match regions[slot] {
+            Some((x0, y0, x1, y1)) => {
+                let _ = writeln!(o, " {x0} {y0} {x1} {y1}");
+            }
+            None => {
+                let _ = writeln!(o, " -");
+            }
+        }
+    }
+    let (dx0, dy0, dx1, dy1) = (r.f64()?, r.f64()?, r.f64()?, r.f64()?);
+    let pitch = r.f64()?;
+    let _ = writeln!(o, "die {dx0} {dy0} {dx1} {dy1} pitch {pitch}");
+    if !r.done() {
+        return None;
+    }
+    let _ = writeln!(o, "routes {}", routes.len());
+    for (net, segs) in routes {
+        let _ = writeln!(o, "route {net} {}", segs.len());
+        for &((x0, y0), (x1, y1)) in segs {
+            let _ = writeln!(o, "pip {x0} {y0} {x1} {y1}");
+        }
+    }
+    let _ = writeln!(o, "end");
+    Some(out)
+}
+
+// ----------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------
+
+fn err(line: usize, col: usize, msg: impl Into<String>) -> InterchangeError {
+    InterchangeError::Parse {
+        line,
+        col,
+        msg: msg.into(),
+    }
+}
+
+#[derive(Debug)]
+enum Tok<'a> {
+    Word(&'a str),
+    Quoted(String),
+}
+
+/// Lexes one line into `(column, token)` pairs. Quoted tokens may
+/// contain spaces and the documented escapes.
+fn lex_line(line_no: usize, line: &str) -> Result<Vec<(usize, Tok<'_>)>, InterchangeError> {
+    let mut toks = Vec::new();
+    let bytes = line.char_indices().collect::<Vec<_>>();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let (off, c) = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let col = off + 1;
+        if c == '"' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                let Some(&(esc_off, c)) = bytes.get(i) else {
+                    return Err(err(line_no, col, "unterminated string"));
+                };
+                i += 1;
+                match c {
+                    '"' => break,
+                    '\\' => {
+                        let Some(&(_, e)) = bytes.get(i) else {
+                            return Err(err(line_no, esc_off + 1, "dangling escape"));
+                        };
+                        i += 1;
+                        match e {
+                            '"' => s.push('"'),
+                            '\\' => s.push('\\'),
+                            'n' => s.push('\n'),
+                            't' => s.push('\t'),
+                            'r' => s.push('\r'),
+                            'u' => {
+                                // \u{hex}
+                                let Some(&(_, '{')) = bytes.get(i) else {
+                                    return Err(err(line_no, esc_off + 1, "bad \\u escape"));
+                                };
+                                i += 1;
+                                let mut hex = String::new();
+                                loop {
+                                    let Some(&(_, h)) = bytes.get(i) else {
+                                        return Err(err(line_no, esc_off + 1, "bad \\u escape"));
+                                    };
+                                    i += 1;
+                                    if h == '}' {
+                                        break;
+                                    }
+                                    hex.push(h);
+                                }
+                                let v = u32::from_str_radix(&hex, 16)
+                                    .ok()
+                                    .and_then(char::from_u32)
+                                    .ok_or_else(|| err(line_no, esc_off + 1, "bad \\u escape"))?;
+                                s.push(v);
+                            }
+                            other => {
+                                return Err(err(
+                                    line_no,
+                                    esc_off + 1,
+                                    format!("bad escape \\{other}"),
+                                ))
+                            }
+                        }
+                    }
+                    c => s.push(c),
+                }
+            }
+            toks.push((col, Tok::Quoted(s)));
+        } else {
+            let start = i;
+            while i < bytes.len() && !bytes[i].1.is_whitespace() && bytes[i].1 != '"' {
+                i += 1;
+            }
+            let end_off = bytes.get(i).map_or(line.len(), |&(o, _)| o);
+            toks.push((col, Tok::Word(&line[off..end_off])));
+            let _ = start;
+        }
+    }
+    Ok(toks)
+}
+
+/// A cursor over one line's tokens.
+struct Rec<'a> {
+    line_no: usize,
+    line_len: usize,
+    toks: Vec<(usize, Tok<'a>)>,
+    at: usize,
+}
+
+impl<'a> Rec<'a> {
+    fn here(&self) -> (usize, usize) {
+        let col = self
+            .toks
+            .get(self.at)
+            .map_or(self.line_len + 1, |&(c, _)| c);
+        (self.line_no, col)
+    }
+
+    fn word(&mut self, what: &str) -> Result<&'a str, InterchangeError> {
+        let (line, col) = self.here();
+        match self.toks.get(self.at) {
+            Some(&(_, Tok::Word(w))) => {
+                self.at += 1;
+                Ok(w)
+            }
+            Some((_, Tok::Quoted(_))) => {
+                Err(err(line, col, format!("expected {what}, found a string")))
+            }
+            None => Err(err(
+                line,
+                col,
+                format!("expected {what}, found end of line"),
+            )),
+        }
+    }
+
+    fn quoted(&mut self, what: &str) -> Result<String, InterchangeError> {
+        let (line, col) = self.here();
+        match self.toks.get(self.at) {
+            Some((_, Tok::Quoted(s))) => {
+                let s = s.clone();
+                self.at += 1;
+                Ok(s)
+            }
+            Some(_) => Err(err(line, col, format!("expected quoted {what}"))),
+            None => Err(err(
+                line,
+                col,
+                format!("expected quoted {what}, found end of line"),
+            )),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), InterchangeError> {
+        let (line, col) = self.here();
+        let w = self.word(kw)?;
+        if w == kw {
+            Ok(())
+        } else {
+            Err(err(line, col, format!("expected {kw:?}, found {w:?}")))
+        }
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, InterchangeError> {
+        let (line, col) = self.here();
+        let w = self.word(what)?;
+        w.parse::<u64>()
+            .map_err(|_| err(line, col, format!("bad {what} {w:?}")))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, InterchangeError> {
+        let (line, col) = self.here();
+        let v = self.u64(what)?;
+        u32::try_from(v).map_err(|_| err(line, col, format!("{what} {v} out of range")))
+    }
+
+    fn usize(&mut self, what: &str) -> Result<usize, InterchangeError> {
+        let (line, col) = self.here();
+        let v = self.u64(what)?;
+        usize::try_from(v).map_err(|_| err(line, col, format!("{what} {v} out of range")))
+    }
+
+    fn opt_u32(&mut self, what: &str) -> Result<Option<u32>, InterchangeError> {
+        if matches!(self.toks.get(self.at), Some(&(_, Tok::Word("-")))) {
+            self.at += 1;
+            return Ok(None);
+        }
+        Ok(Some(self.u32(what)?))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, InterchangeError> {
+        let (line, col) = self.here();
+        let w = self.word(what)?;
+        w.parse::<f64>()
+            .map_err(|_| err(line, col, format!("bad {what} {w:?}")))
+    }
+
+    fn dash(&mut self) -> bool {
+        if matches!(self.toks.get(self.at), Some(&(_, Tok::Word("-")))) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn finish(self) -> Result<(), InterchangeError> {
+        let (line, col) = self.here();
+        if self.at == self.toks.len() {
+            Ok(())
+        } else {
+            Err(err(line, col, "trailing tokens on line"))
+        }
+    }
+}
+
+/// A cursor over the document's non-blank lines.
+struct Doc<'a> {
+    lines: Vec<(usize, &'a str)>,
+    at: usize,
+    last_line: usize,
+}
+
+impl<'a> Doc<'a> {
+    fn new(text: &'a str) -> Doc<'a> {
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l))
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        let last_line = text.lines().count().max(1);
+        Doc {
+            lines,
+            at: 0,
+            last_line,
+        }
+    }
+
+    fn next(&mut self, what: &str) -> Result<Rec<'a>, InterchangeError> {
+        match self.lines.get(self.at) {
+            Some(&(line_no, line)) => {
+                self.at += 1;
+                Ok(Rec {
+                    line_no,
+                    line_len: line.len(),
+                    toks: lex_line(line_no, line)?,
+                    at: 0,
+                })
+            }
+            None => Err(err(
+                self.last_line,
+                1,
+                format!("expected {what}, found end of file"),
+            )),
+        }
+    }
+
+    /// Opens the next record, requiring keyword `kw` first.
+    fn record(&mut self, kw: &str) -> Result<Rec<'a>, InterchangeError> {
+        let mut rec = self.next(kw)?;
+        rec.keyword(kw)?;
+        Ok(rec)
+    }
+}
+
+/// Parses `.vxdl` text, reconstructing the netlist and placement
+/// snapshots bit-identically.
+///
+/// # Errors
+///
+/// A positioned [`InterchangeError::Parse`] on malformed text, or
+/// [`InterchangeError::Invalid`] when the records are well-formed but do
+/// not decode to a consistent snapshot (for example a name id past the
+/// intern table). Never panics, whatever the input.
+pub fn parse(text: &str) -> Result<VxdlDoc, InterchangeError> {
+    let mut doc = Doc::new(text);
+    let mut rec = doc.record("vxdl")?;
+    let (vline, vcol) = rec.here();
+    let version = rec.u64("format version")?;
+    if version != 1 {
+        return Err(err(vline, vcol, format!("unsupported version {version}")));
+    }
+    rec.finish()?;
+
+    let mut w = Writer::new();
+    let mut rec = doc.record("design")?;
+    w.str(&rec.quoted("design name")?);
+    rec.finish()?;
+
+    let mut rec = doc.record("names")?;
+    let n_names = rec.usize("name count")?;
+    rec.finish()?;
+    w.usize(n_names);
+    for _ in 0..n_names {
+        let mut rec = doc.record("name")?;
+        w.str(&rec.quoted("name text")?);
+        rec.finish()?;
+    }
+
+    let mut rec = doc.record("cells")?;
+    let n_cells = rec.usize("cell count")?;
+    rec.finish()?;
+    w.usize(n_cells);
+    for slot in 0..n_cells {
+        let mut rec = doc.next("inst or gone record")?;
+        let (line, col) = rec.here();
+        let kw = rec.word("inst or gone")?;
+        let (sline, scol) = rec.here();
+        let got = rec.usize("slot")?;
+        if got != slot {
+            return Err(err(
+                sline,
+                scol,
+                format!("expected slot {slot}, found {got}"),
+            ));
+        }
+        match kw {
+            "gone" => {
+                w.bool(false);
+                rec.finish()?;
+                continue;
+            }
+            "inst" => w.bool(true),
+            other => {
+                return Err(err(
+                    line,
+                    col,
+                    format!("expected inst or gone, found {other:?}"),
+                ))
+            }
+        }
+        let (nline, ncol) = rec.here();
+        let name = rec.word("name id")?;
+        let name: u32 = name
+            .strip_prefix('n')
+            .and_then(|d| d.parse().ok())
+            .ok_or_else(|| err(nline, ncol, format!("bad name id {name:?}")))?;
+        w.u32(name);
+        let (kline, kcol) = rec.here();
+        let kind = rec.word("cell kind")?;
+        match kind {
+            "pi" => w.u8(0),
+            "po" => w.u8(1),
+            "c0" => w.u8(2),
+            "c1" => w.u8(3),
+            k => match k.strip_prefix("lib").and_then(|d| d.parse::<u32>().ok()) {
+                Some(lid) => {
+                    w.u8(4);
+                    w.u32(lid);
+                }
+                None => return Err(err(kline, kcol, format!("bad cell kind {k:?}"))),
+            },
+        }
+        rec.keyword("pins")?;
+        let n_pins = rec.usize("pin count")?;
+        w.usize(n_pins);
+        for _ in 0..n_pins {
+            w.u32(rec.u32("pin net")?);
+        }
+        rec.keyword("out")?;
+        match rec.opt_u32("output net")? {
+            Some(n) => w.opt(Some(n), Writer::u32),
+            None => w.opt(None::<u32>, Writer::u32),
+        }
+        rec.keyword("grp")?;
+        match rec.opt_u32("group")? {
+            Some(g) => w.opt(Some(g), Writer::u32),
+            None => w.opt(None::<u32>, Writer::u32),
+        }
+        rec.keyword("cfg")?;
+        let (cline, ccol) = rec.here();
+        match rec.opt_u32("config")? {
+            Some(c) => {
+                let bits = u8::try_from(c)
+                    .map_err(|_| err(cline, ccol, format!("config {c} not a byte")))?;
+                w.opt(Some(bits), Writer::u8);
+            }
+            None => w.opt(None::<u8>, Writer::u8),
+        }
+        rec.finish()?;
+    }
+
+    let mut rec = doc.record("nets")?;
+    let n_nets = rec.usize("net count")?;
+    rec.finish()?;
+    w.usize(n_nets);
+    for slot in 0..n_nets {
+        let mut rec = doc.next("net or gone record")?;
+        let (line, col) = rec.here();
+        let kw = rec.word("net or gone")?;
+        let (sline, scol) = rec.here();
+        let got = rec.usize("slot")?;
+        if got != slot {
+            return Err(err(
+                sline,
+                scol,
+                format!("expected slot {slot}, found {got}"),
+            ));
+        }
+        match kw {
+            "gone" => {
+                w.bool(false);
+                rec.finish()?;
+                continue;
+            }
+            "net" => w.bool(true),
+            other => {
+                return Err(err(
+                    line,
+                    col,
+                    format!("expected net or gone, found {other:?}"),
+                ))
+            }
+        }
+        let (nline, ncol) = rec.here();
+        let name = rec.word("name id")?;
+        let name: u32 = name
+            .strip_prefix('n')
+            .and_then(|d| d.parse().ok())
+            .ok_or_else(|| err(nline, ncol, format!("bad name id {name:?}")))?;
+        w.u32(name);
+        rec.keyword("drv")?;
+        match rec.opt_u32("driver cell")? {
+            Some(d) => w.opt(Some(d), Writer::u32),
+            None => w.opt(None::<u32>, Writer::u32),
+        }
+        rec.keyword("sinks")?;
+        let n_sinks = rec.usize("sink count")?;
+        w.usize(n_sinks);
+        for _ in 0..n_sinks {
+            let (pline, pcol) = rec.here();
+            let pair = rec.word("sink cell:pin")?;
+            let (cell, pin) = pair
+                .split_once(':')
+                .and_then(|(c, p)| Some((c.parse::<u32>().ok()?, p.parse::<u64>().ok()?)))
+                .ok_or_else(|| err(pline, pcol, format!("bad sink {pair:?}")))?;
+            w.u32(cell);
+            w.u64(pin);
+        }
+        rec.finish()?;
+    }
+
+    for kw in ["ports_in", "ports_out"] {
+        let mut rec = doc.record(kw)?;
+        let n = rec.usize("port count")?;
+        w.usize(n);
+        for _ in 0..n {
+            w.u32(rec.u32("port cell")?);
+        }
+        rec.finish()?;
+    }
+
+    let mut rec = doc.record("nextgroup")?;
+    w.u32(rec.u32("group counter")?);
+    rec.finish()?;
+
+    let mut rec = doc.record("consts")?;
+    for _ in 0..2 {
+        match rec.opt_u32("constant net")? {
+            Some(n) => w.opt(Some(n), Writer::u32),
+            None => w.opt(None::<u32>, Writer::u32),
+        }
+    }
+    rec.finish()?;
+    let netlist_bytes = w.into_bytes();
+
+    // Placement records (per-site) transcode back to the columnar layout.
+    let mut rec = doc.record("sites")?;
+    let n_sites = rec.usize("site count")?;
+    rec.finish()?;
+    let mut positions: Vec<Option<(f64, f64)>> = Vec::new();
+    let mut fixed: Vec<bool> = Vec::new();
+    let mut regions: Vec<Option<(f64, f64, f64, f64)>> = Vec::new();
+    for slot in 0..n_sites {
+        let mut rec = doc.record("site")?;
+        let (sline, scol) = rec.here();
+        let got = rec.usize("slot")?;
+        if got != slot {
+            return Err(err(
+                sline,
+                scol,
+                format!("expected site {slot}, found {got}"),
+            ));
+        }
+        if rec.dash() {
+            positions.push(None);
+        } else {
+            let x = rec.f64("x coordinate")?;
+            let y = rec.f64("y coordinate")?;
+            positions.push(Some((x, y)));
+        }
+        let (fline, fcol) = rec.here();
+        match rec.word("f or m")? {
+            "f" => fixed.push(true),
+            "m" => fixed.push(false),
+            other => {
+                return Err(err(
+                    fline,
+                    fcol,
+                    format!("expected f or m, found {other:?}"),
+                ))
+            }
+        }
+        if rec.dash() {
+            regions.push(None);
+        } else {
+            let x0 = rec.f64("region x0")?;
+            let y0 = rec.f64("region y0")?;
+            let x1 = rec.f64("region x1")?;
+            let y1 = rec.f64("region y1")?;
+            regions.push(Some((x0, y0, x1, y1)));
+        }
+        rec.finish()?;
+    }
+    let mut w = Writer::new();
+    w.usize(n_sites);
+    for p in &positions {
+        w.opt(*p, |w, (x, y)| {
+            w.f64(x);
+            w.f64(y);
+        });
+    }
+    for &f in &fixed {
+        w.bool(f);
+    }
+    for r in &regions {
+        w.opt(*r, |w, (x0, y0, x1, y1)| {
+            w.f64(x0);
+            w.f64(y0);
+            w.f64(x1);
+            w.f64(y1);
+        });
+    }
+    let mut rec = doc.record("die")?;
+    for what in ["die x0", "die y0", "die x1", "die y1"] {
+        w.f64(rec.f64(what)?);
+    }
+    rec.keyword("pitch")?;
+    w.f64(rec.f64("site pitch")?);
+    rec.finish()?;
+    let placement_bytes = w.into_bytes();
+
+    let mut rec = doc.record("routes")?;
+    let n_routes = rec.usize("route count")?;
+    rec.finish()?;
+    let mut routes = Vec::new();
+    let mut prev_net: Option<u32> = None;
+    for _ in 0..n_routes {
+        let mut rec = doc.record("route")?;
+        let (nline, ncol) = rec.here();
+        let net = rec.u32("net")?;
+        if prev_net.is_some_and(|p| p >= net) {
+            return Err(err(nline, ncol, "route records must ascend by net"));
+        }
+        prev_net = Some(net);
+        let n_segs = rec.usize("segment count")?;
+        rec.finish()?;
+        let mut segs = Vec::new();
+        for _ in 0..n_segs {
+            let mut rec = doc.record("pip")?;
+            let x0 = rec.usize("pip x0")?;
+            let y0 = rec.usize("pip y0")?;
+            let x1 = rec.usize("pip x1")?;
+            let y1 = rec.usize("pip y1")?;
+            rec.finish()?;
+            segs.push(((x0, y0), (x1, y1)));
+        }
+        routes.push((net, segs));
+    }
+
+    let rec = doc.record("end")?;
+    rec.finish()?;
+    if let Some(&(line_no, _)) = doc.lines.get(doc.at) {
+        return Err(err(line_no, 1, "trailing input after end record"));
+    }
+
+    let mut r = Reader::new(&netlist_bytes);
+    let netlist = Netlist::decode_snapshot(&mut r)
+        .filter(|_| r.done())
+        .ok_or(InterchangeError::Invalid {
+            section: "netlist",
+            msg: "records do not form a consistent netlist snapshot".to_owned(),
+        })?;
+    let mut r = Reader::new(&placement_bytes);
+    let placement = Placement::decode_snapshot(&mut r)
+        .filter(|_| r.done())
+        .ok_or(InterchangeError::Invalid {
+            section: "placement",
+            msg: "records do not form a consistent placement snapshot".to_owned(),
+        })?;
+    Ok(VxdlDoc {
+        netlist,
+        placement,
+        routes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpga_netlist::library::generic;
+
+    fn sample() -> (Netlist, Placement) {
+        let lib = generic::library();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_lib_cell("g", &lib, "AND2", &[a, b]).unwrap();
+        n.add_output("y", g);
+        let p = Placement::initial(&n, &lib, 0.5);
+        (n, p)
+    }
+
+    #[test]
+    fn encode_parse_encode_is_a_fixpoint() {
+        let (n, p) = sample();
+        let routes = vec![(0u32, vec![((0, 0), (0, 1)), ((0, 1), (1, 1))])];
+        let text = encode(&n, &p, &routes);
+        let doc = parse(&text).unwrap();
+        assert_eq!(doc.routes, routes);
+        let again = encode(&doc.netlist, &doc.placement, &doc.routes);
+        assert_eq!(text, again);
+        assert_eq!(
+            crate::snapshot_fingerprint(&n, &p),
+            crate::snapshot_fingerprint(&doc.netlist, &doc.placement)
+        );
+    }
+
+    #[test]
+    fn corrupt_inputs_are_positioned_errors() {
+        let (n, p) = sample();
+        let text = encode(&n, &p, &[]);
+        assert!(parse("").is_err());
+        assert!(parse("vxdl 2\n").is_err());
+        let truncated = &text[..text.len() / 2];
+        match parse(truncated) {
+            Err(InterchangeError::Parse { line, .. }) => assert!(line >= 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match parse(&format!("{text}net 9 n0 drv - sinks 0\n")) {
+            Err(InterchangeError::Parse { .. }) => {}
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -103,6 +103,12 @@ impl<'a> Reader<'a> {
         self.pos == self.buf.len()
     }
 
+    /// The current byte offset — after a failed read, the position of the
+    /// first byte that could not be decoded (error reporting).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
     fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(n)?;
         let slice = self.buf.get(self.pos..end)?;

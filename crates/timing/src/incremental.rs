@@ -443,6 +443,73 @@ impl TimingGraph {
             config: *config,
         }
     }
+
+    /// Exports the per-arc delay values an interchange writer (SDF)
+    /// annotates: the cell (IOPATH) and net (INTERCONNECT) delays, by
+    /// cell and net slot. The expressions are the very ones
+    /// [`TimingGraph::analyze`] folds into arrival times on the same
+    /// inputs, so an exported value is bit-identical to what the STA
+    /// used — re-parsing an export and comparing against this method is
+    /// an exact check, not an approximate one.
+    ///
+    /// `cell[i]` is `Some` for cells that drive a net through a modeled
+    /// delay arc (combinational library cells and sequential launches);
+    /// ports and constants stay `None`. `net[i]` is `Some` for every net
+    /// some live cell drives.
+    pub fn arc_delays(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        routing: Option<&RoutingResult>,
+    ) -> ArcDelays {
+        let wire_len = |net: NetId| -> f64 {
+            match routing {
+                Some(r) => r.net_length(net),
+                None => placement.net_hpwl(netlist, net),
+            }
+        };
+        let sink_cap = |net: NetId| -> f64 {
+            netlist
+                .sinks(net)
+                .iter()
+                .filter(|&&(cell, _)| self.input_cap[cell.index()] != 0.0)
+                .map(|&(cell, _)| self.input_cap[cell.index()])
+                .sum()
+        };
+        let net_wire_delay = |net: NetId| -> f64 {
+            let len = wire_len(net);
+            let wire_cap = len * params::WIRE_CAP_PER_UM;
+            len * params::WIRE_RES_PER_UM * (wire_cap / 2.0 + sink_cap(net))
+        };
+        let net_load =
+            |net: NetId| -> f64 { wire_len(net) * params::WIRE_CAP_PER_UM + sink_cap(net) };
+        let mut arcs = ArcDelays {
+            cell: vec![None; netlist.cell_capacity()],
+            net: vec![None; netlist.net_capacity()],
+        };
+        for (id, cell) in netlist.cells() {
+            let Some(out) = cell.output() else { continue };
+            arcs.net[out.index()] = Some(net_wire_delay(out));
+            let drives = matches!(self.launch[id.index()], Launch::Sequential)
+                || self.pos.get(id.index()).is_some_and(|&p| p != u32::MAX);
+            if drives {
+                arcs.cell[id.index()] = Some(self.cell_delay(id, net_load(out)));
+            }
+        }
+        arcs
+    }
+}
+
+/// Per-arc delay export of [`TimingGraph::arc_delays`], indexed by cell
+/// and net slot (`None` for dead slots and cells with no delay arc).
+#[derive(Clone, Debug, Default)]
+pub struct ArcDelays {
+    /// IOPATH delay per cell slot: the cell's `delay(load)` at its
+    /// output net's current load.
+    pub cell: Vec<Option<f64>>,
+    /// INTERCONNECT delay per net slot: the lumped wire delay every sink
+    /// of the net sees after its driver.
+    pub net: Vec<Option<f64>>,
 }
 
 /// The incremental STA handle: a [`TimingGraph`] plus the current

@@ -23,7 +23,7 @@
 pub mod incremental;
 pub mod power;
 
-pub use incremental::{IncrementalSta, StaCounters, TimingGraph};
+pub use incremental::{ArcDelays, IncrementalSta, StaCounters, TimingGraph};
 
 use vpga_core::params;
 use vpga_netlist::{CellId, CellKind, Library, NetId, Netlist};

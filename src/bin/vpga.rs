@@ -7,8 +7,11 @@
 //! vpga matrix [--size tiny|small|medium|paper] [--jobs N] [--stats]
 //!           [--audit] [--retries N] [--deadline SECS]
 //!           [--checkpoint-dir DIR] [--resume]
+//!           [--emit-sdf DIR] [--emit-xdl DIR]
 //! vpga program <design.v> [--arch granular|lut] [-o design.fabric]
 //! vpga arch [granular|lut|homogeneous]
+//! vpga verify-interchange <DIR>
+//! vpga migrate-checkpoints <DIR> [--size S] [--no-compaction]
 //! ```
 //!
 //! `gen` writes a generated benchmark as structural Verilog over the
@@ -20,6 +23,13 @@
 //! additionally emits the via program of the packed array; `arch` prints an
 //! architecture summary. `--stats` adds the per-stage instrumentation
 //! (wall time, netlist sizes, cost movement, mover/acceptance counters).
+//!
+//! `--emit-sdf` / `--emit-xdl` write one SDF 3.0 timing file and/or one
+//! `.vxdl` netlist/placement/routing file per back-end job after its
+//! post-route STA; `verify-interchange` re-parses every artifact in a
+//! directory and checks the round-trip fixpoints; `migrate-checkpoints`
+//! exports each binary front-end checkpoint to its `.vxdl` text twin and
+//! verifies the re-parsed snapshot fingerprint matches the binary's.
 
 use std::error::Error;
 use std::fs;
@@ -78,6 +88,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "matrix" => cmd_matrix(rest),
         "program" => cmd_program(rest),
         "arch" => cmd_arch(rest),
+        "verify-interchange" => cmd_verify_interchange(rest),
+        "migrate-checkpoints" => cmd_migrate_checkpoints(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -108,7 +120,14 @@ fn print_usage() {
          checkpointing (matrix only):\n\
          --checkpoint-dir DIR: persist per-stage artifacts to DIR as stages complete\n\
          --resume            : skip stages whose valid checkpoints are already in DIR;\n\
-         \x20                    an interrupted-then-resumed matrix is bit-identical"
+         \x20                    an interrupted-then-resumed matrix is bit-identical\n\n\
+         interchange:\n\
+         --emit-sdf DIR: write per-job SDF 3.0 timing files after post-route STA (matrix)\n\
+         --emit-xdl DIR: write per-job .vxdl netlist/placement/routing files (matrix)\n\
+         \x20 vpga verify-interchange <DIR>                     re-parse every .sdf/.vxdl in DIR,\n\
+         \x20                                                   check round-trip fixpoints\n\
+         \x20 vpga migrate-checkpoints <DIR> [--size S]         export front-end checkpoints to\n\
+         \x20                                                   .vxdl and verify fingerprints"
     );
 }
 
@@ -285,13 +304,25 @@ fn cmd_matrix(args: &[String]) -> Result<(), Box<dyn Error>> {
         None if args.iter().any(|a| a == "--jobs") => return Err("--jobs needs a value".into()),
         None => 1,
     };
-    let config = apply_robustness_flags(
+    let mut config = apply_robustness_flags(
         FlowConfig {
             compaction: !args.iter().any(|a| a == "--no-compaction"),
             ..FlowConfig::default()
         },
         args,
     )?;
+    for (flag, slot) in [
+        ("--emit-sdf", &mut config.emit.sdf_dir),
+        ("--emit-xdl", &mut config.emit.xdl_dir),
+    ] {
+        match flag_value(args, flag) {
+            Some(dir) => *slot = Some(dir.into()),
+            None if args.iter().any(|a| a == flag) => {
+                return Err(format!("{flag} needs a directory").into())
+            }
+            None => {}
+        }
+    }
     let resume = args.iter().any(|a| a == "--resume");
     let checkpoints = match flag_value(args, "--checkpoint-dir") {
         Some(dir) => Some(vpga::flow::CheckpointStore::new(dir, resume)?),
@@ -376,6 +407,112 @@ fn cmd_program(args: &[String]) -> Result<(), Box<dyn Error>> {
         None => print!("{text}"),
     }
     eprintln!("{program}");
+    Ok(())
+}
+
+/// Re-parses every `.sdf` / `.vxdl` artifact in a directory and checks
+/// the round-trip fixpoints: a re-emitted artifact must be byte-identical
+/// to the file on disk, and `.vxdl` parse-backs print their snapshot
+/// fingerprints so they can be compared across runs.
+fn cmd_verify_interchange(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use vpga::interchange::{sdf, snapshot_fingerprint, vxdl};
+    let dir = args
+        .first()
+        .ok_or("verify-interchange requires a directory")?;
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| matches!(p.extension().and_then(|e| e.to_str()), Some("sdf" | "vxdl")))
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        return Err(format!("no .sdf or .vxdl artifacts in {dir}").into());
+    }
+    let mut failures = 0usize;
+    for path in &entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let text = fs::read_to_string(path)?;
+        let outcome: Result<String, String> = match path.extension().and_then(|e| e.to_str()) {
+            Some("sdf") => sdf::parse(&text)
+                .map_err(|e| e.to_string())
+                .and_then(|file| {
+                    if file.to_text() == text {
+                        Ok(format!("{} cells", file.cells.len()))
+                    } else {
+                        Err("re-emitted text differs from file".to_owned())
+                    }
+                }),
+            Some("vxdl") => vxdl::parse(&text)
+                .map_err(|e| e.to_string())
+                .and_then(|doc| {
+                    if vxdl::encode(&doc.netlist, &doc.placement, &doc.routes) == text {
+                        Ok(format!(
+                            "fingerprint {:#018x}",
+                            snapshot_fingerprint(&doc.netlist, &doc.placement)
+                        ))
+                    } else {
+                        Err("re-emitted text differs from file".to_owned())
+                    }
+                }),
+            _ => unreachable!("filtered above"),
+        };
+        match outcome {
+            Ok(detail) => println!("ok   {name}: round-trip fixpoint, {detail}"),
+            Err(e) => {
+                println!("FAIL {name}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        eprintln!("{} artifact(s) verified", entries.len());
+        Ok(())
+    } else {
+        Err(format!("{failures} artifact(s) failed verification").into())
+    }
+}
+
+/// Exports each binary front-end checkpoint in a directory to its `.vxdl`
+/// text twin and verifies the text parses back to the same snapshot
+/// fingerprint — the migration path from the binary checkpoint format to
+/// the interchange text format.
+fn cmd_migrate_checkpoints(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let dir = args
+        .first()
+        .ok_or("migrate-checkpoints requires a checkpoint directory")?;
+    let params = parse_size(args)?;
+    let config = FlowConfig {
+        compaction: !args.iter().any(|a| a == "--no-compaction"),
+        ..FlowConfig::default()
+    };
+    let store = vpga::flow::CheckpointStore::new(dir, true)?;
+    let mut migrated = 0usize;
+    for design in ["alu", "firewire", "fpu", "network_switch"] {
+        for arch in ["granular", "lut"] {
+            if !store
+                .dir()
+                .join(format!("front-{design}-{arch}.ckpt"))
+                .exists()
+            {
+                continue;
+            }
+            let (path, fp) = store.export_front_text(design, arch, &config, &params)?;
+            let verified = store.verify_front_text(design, arch, &config, &params)?;
+            assert_eq!(fp, verified, "export and verify disagree");
+            println!(
+                "migrated {design}/{arch} -> {} (fingerprint {fp:#018x})",
+                path.display()
+            );
+            migrated += 1;
+        }
+    }
+    if migrated == 0 {
+        return Err(format!(
+            "no front-end checkpoints in {dir} match --size/--no-compaction (run \
+             `vpga matrix --checkpoint-dir {dir}` first)"
+        )
+        .into());
+    }
+    eprintln!("{migrated} checkpoint(s) migrated and verified");
     Ok(())
 }
 

@@ -26,6 +26,7 @@
 //! | [`timing`] | `vpga-timing` | post-layout static timing analysis |
 //! | [`flow`] | `vpga-flow` | flows a/b, Table 1/2 assembly, §3.2 claims |
 //! | [`fabric`] | `vpga-fabric` | via-pattern generation and reconstruction |
+//! | [`interchange`] | `vpga-interchange` | SDF timing export, `.vxdl` text codec |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use vpga_designs as designs;
 pub use vpga_fabric as fabric;
 pub use vpga_flow as flow;
 pub use vpga_flowmap as flowmap;
+pub use vpga_interchange as interchange;
 pub use vpga_logic as logic;
 pub use vpga_netlist as netlist;
 pub use vpga_pack as pack;
