@@ -11,7 +11,9 @@
 #   7. audited tiny matrix        (debug assertions + inter-stage auditors)
 #   8. kill-and-resume smoke      (interrupted checkpointed matrix resumes bit-identical)
 #   9. interchange round-trip     (SDF/.vxdl emission verifies + checkpoints migrate)
-#  10. cargo bench, smoke mode    (one sample per bench, catches bit-rot)
+#  10. parallel determinism smoke (--stage-threads 2 fingerprint == serial;
+#      a paper-scale variant runs when VPGA_PAPER_SMOKE=1)
+#  11. cargo bench, smoke mode    (one sample per bench, catches bit-rot)
 #
 # The workspace has no network dependencies: rand/proptest/criterion are
 # vendored as path crates under vendor/, so every step works offline.
@@ -86,6 +88,34 @@ cargo run -q --bin vpga -- matrix --size tiny --jobs 2 \
 cargo run -q --bin vpga -- verify-interchange "$IVK/sdf" >/dev/null
 cargo run -q --bin vpga -- verify-interchange "$IVK/xdl" >/dev/null
 cargo run -q --bin vpga -- migrate-checkpoints "$IVK/ckpt" --size tiny >/dev/null
+
+step "parallel determinism smoke (tiny matrix, --stage-threads 2 vs 1)"
+serial=$(cargo run -q --bin vpga -- matrix --size tiny --jobs 2 --stage-threads 1 \
+    | grep '^matrix fingerprint:')
+par=$(cargo run -q --bin vpga -- matrix --size tiny --jobs 2 --stage-threads 2 \
+    | grep '^matrix fingerprint:')
+if [ "$serial" != "$par" ]; then
+    echo "error: --stage-threads 2 diverged from serial: '$par' != '$serial'" >&2
+    exit 1
+fi
+
+# Paper-scale smoke: one granular network-switch cell through the full
+# flow at 2 worker threads, asserted bit-identical to the serial run.
+# Minutes of wall time, so it only runs when a nightly opts in with
+# VPGA_PAPER_SMOKE=1.
+if [ "${VPGA_PAPER_SMOKE:-0}" = "1" ]; then
+    step "paper-scale parallel smoke (network_switch/granular, threads 2 vs 1)"
+    p1=$(cargo run -q --release --bin vpga -- matrix --size paper \
+        --only network_switch/granular --stage-threads 1 \
+        | grep '^matrix fingerprint:')
+    p2=$(cargo run -q --release --bin vpga -- matrix --size paper \
+        --only network_switch/granular --stage-threads 2 \
+        | grep '^matrix fingerprint:')
+    if [ "$p1" != "$p2" ]; then
+        echo "error: paper-scale --stage-threads 2 diverged: '$p2' != '$p1'" >&2
+        exit 1
+    fi
+fi
 
 step "cargo bench (smoke mode, 1 sample per bench)"
 # --workspace picks up every [[bench]] target in crates/bench, including

@@ -65,8 +65,19 @@ fn config_fingerprint(config: &FlowConfig, params: &DesignParams) -> u64 {
         audit: false,
         deadline: None,
         emit: EmitConfig::default(),
+        // Worker counts and fault hooks never change artifact bits (the
+        // parallel kernels are bit-identical to serial), so a serial
+        // checkpoint resumes under `--stage-threads N` and vice versa.
+        stage_threads: 1,
+        place: PlaceConfig {
+            threads: 1,
+            worker_hook: None,
+            ..config.place.clone()
+        },
         route: vpga_route::RouteConfig {
             keep_routes: false,
+            threads: 1,
+            worker_hook: None,
             ..config.route.clone()
         },
         ..config.clone()
@@ -97,6 +108,10 @@ fn encode_stats(w: &mut Writer, s: &StageStats) {
     w.opt(s.sta_full, Writer::u64);
     w.opt(s.sta_incremental, Writer::u64);
     w.opt(s.sta_nodes_touched, Writer::u64);
+    w.opt(s.spec_moves_attempted, Writer::u64);
+    w.opt(s.spec_moves_committed, Writer::u64);
+    w.opt(s.spec_moves_aborted, Writer::u64);
+    w.opt(s.par_net_batches, Writer::u64);
 }
 
 fn decode_stats(r: &mut Reader<'_>) -> Option<StageStats> {
@@ -117,6 +132,10 @@ fn decode_stats(r: &mut Reader<'_>) -> Option<StageStats> {
     s.sta_full = r.opt(Reader::u64)?;
     s.sta_incremental = r.opt(Reader::u64)?;
     s.sta_nodes_touched = r.opt(Reader::u64)?;
+    s.spec_moves_attempted = r.opt(Reader::u64)?;
+    s.spec_moves_committed = r.opt(Reader::u64)?;
+    s.spec_moves_aborted = r.opt(Reader::u64)?;
+    s.par_net_batches = r.opt(Reader::u64)?;
     Some(s)
 }
 
@@ -222,6 +241,8 @@ fn decode_front(r: &mut Reader<'_>) -> Option<(FrontArtifacts, Vec<StageStats>)>
             seed,
             moves_per_cell,
             net_weights,
+            threads: 1,
+            worker_hook: None,
         })
     })?;
     store.buffer_trace = r.opt(|r| {
@@ -641,7 +662,9 @@ mod tests {
             .with_cost(3.5, 1.25)
             .with_moves(100, 40)
             .with_retries(2)
-            .with_sta(1, 9, 123);
+            .with_sta(1, 9, 123)
+            .with_speculation(512, 480, 32)
+            .with_par_batches(6);
         let mut w = Writer::new();
         encode_stats(&mut w, &s);
         let bytes = w.into_bytes();

@@ -106,6 +106,12 @@ pub struct FlowConfig {
     /// timing stage. Observational only; excluded from the checkpoint
     /// config fingerprint.
     pub emit: EmitConfig,
+    /// Worker threads for the intra-stage parallel kernels (speculative
+    /// annealing in place/physsynth/pack, batched negotiation in route).
+    /// Results are bit-identical for every value; excluded from the
+    /// checkpoint config fingerprint. `1` (the default) runs the serial
+    /// kernels unchanged.
+    pub stage_threads: usize,
 }
 
 impl Default for FlowConfig {
@@ -124,6 +130,7 @@ impl Default for FlowConfig {
             retries: 0,
             deadline: None,
             emit: EmitConfig::default(),
+            stage_threads: 1,
         }
     }
 }

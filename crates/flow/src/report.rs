@@ -31,6 +31,17 @@ impl std::fmt::Display for CellFailure {
     }
 }
 
+/// The generated-netlist name a design's outcomes are keyed by (also the
+/// first path component of job context strings).
+fn design_key(design: NamedDesign) -> &'static str {
+    match design {
+        NamedDesign::Alu => "alu",
+        NamedDesign::Firewire => "firewire",
+        NamedDesign::Fpu => "fpu",
+        NamedDesign::NetworkSwitch => "network_switch",
+    }
+}
+
 /// All outcomes for the 4 designs × 2 architectures evaluation matrix,
 /// plus any cells that failed (a [`Matrix::run_resilient`] matrix keeps
 /// running when a cell panics or errors; the strict constructors return
@@ -113,8 +124,35 @@ impl Matrix {
         jobs: usize,
         checkpoints: Option<&crate::CheckpointStore>,
     ) -> Matrix {
+        Matrix::run_resilient_filtered(params, config, jobs, checkpoints, None)
+    }
+
+    /// [`Matrix::run_resilient_checkpointed`] restricted to the cells
+    /// whose `design/arch` context contains the `only` substring (both
+    /// flow variants of a matching pair run, so outcomes stay pairable).
+    /// `None` runs the full matrix. A filtered matrix fingerprints over
+    /// its own outcomes only, so compare like against like.
+    pub fn run_resilient_filtered(
+        params: &DesignParams,
+        config: &FlowConfig,
+        jobs: usize,
+        checkpoints: Option<&crate::CheckpointStore>,
+        only: Option<&str>,
+    ) -> Matrix {
         let executor = Executor::new(jobs);
-        let flow_matrix = FlowMatrix::full();
+        let flow_matrix = match only {
+            Some(filter) => FlowMatrix::from_jobs(
+                FlowMatrix::full()
+                    .jobs()
+                    .iter()
+                    .filter(|j| {
+                        format!("{}/{}", design_key(j.design), j.arch.name()).contains(filter)
+                    })
+                    .cloned()
+                    .collect(),
+            ),
+            None => FlowMatrix::full(),
+        };
         let cells = flow_matrix.run_cells_checkpointed(params, config, &executor, checkpoints);
         let mut outcomes = Vec::new();
         let mut failures = Vec::new();
@@ -182,12 +220,7 @@ impl Matrix {
 
     /// The outcome for a design/architecture pair.
     pub fn get(&self, design: NamedDesign, arch: &str) -> Option<&DesignOutcome> {
-        let name = match design {
-            NamedDesign::Alu => "alu",
-            NamedDesign::Firewire => "firewire",
-            NamedDesign::Fpu => "fpu",
-            NamedDesign::NetworkSwitch => "network_switch",
-        };
+        let name = design_key(design);
         self.outcomes
             .iter()
             .find(|o| o.design == name && o.arch == arch)

@@ -115,7 +115,7 @@ impl SdfFile {
             ..SdfCell::default()
         };
         for net in netlist.nets() {
-            let (Some(driver), Some(delay)) = (netlist.driver(net), arcs.net[net.index()]) else {
+            let (Some(driver), Some(delay)) = (netlist.driver(net), arcs.net(net.index())) else {
                 continue;
             };
             let from = driver_path(driver);
@@ -129,7 +129,7 @@ impl SdfFile {
         }
         let mut cells = vec![top];
         for (id, cell) in netlist.cells() {
-            let (CellKind::Lib(lid), Some(delay)) = (cell.kind(), arcs.cell[id.index()]) else {
+            let (CellKind::Lib(lid), Some(delay)) = (cell.kind(), arcs.cell(id.index())) else {
                 continue;
             };
             let celltype = lib.cell(lid).map_or("?", |c| c.name()).to_owned();

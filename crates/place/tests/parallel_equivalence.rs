@@ -1,0 +1,108 @@
+//! Property-based determinism: the speculative parallel annealer must be
+//! **bit-identical** to the serial annealer — final positions, cost bits,
+//! and every fingerprinted counter — on random netlists, seeds, and move
+//! budgets, for any worker count. The speculation counters themselves
+//! must not depend on the worker count either: the window/round structure
+//! is a function of the move schedule alone.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vpga_netlist::library::generic;
+use vpga_netlist::{Library, NetId, Netlist};
+use vpga_place::PlaceConfig;
+
+/// Combinational/sequential cell menu with pin arities.
+const MENU: &[(&str, usize)] = &[
+    ("INV", 1),
+    ("BUF", 1),
+    ("NAND2", 2),
+    ("XOR2", 2),
+    ("AND3", 3),
+    ("MAJ3", 3),
+    ("DFF", 1),
+];
+
+/// Builds a random layered DAG netlist (always acyclic).
+fn random_netlist(rng: &mut SmallRng, lib: &Library) -> Netlist {
+    let mut n = Netlist::new("rand");
+    let n_inputs = rng.gen_range(2usize..6);
+    let n_cells = rng.gen_range(5usize..60);
+    let n_outputs = rng.gen_range(1usize..5);
+    let mut nets: Vec<NetId> = (0..n_inputs)
+        .map(|i| n.add_input(format!("i{i}")))
+        .collect();
+    for c in 0..n_cells {
+        let (name, arity) = MENU[rng.gen_range(0usize..MENU.len())];
+        let ins: Vec<NetId> = (0..arity)
+            .map(|_| nets[rng.gen_range(0usize..nets.len())])
+            .collect();
+        let out = n
+            .add_lib_cell(format!("c{c}"), lib, name, &ins)
+            .expect("menu cells exist");
+        nets.push(out);
+    }
+    for o in 0..n_outputs {
+        let net = nets[rng.gen_range(0usize..nets.len())];
+        n.add_output(format!("y{o}"), net);
+    }
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random netlist + random (seed, move budget): replaying the same
+    /// move sequence through the speculative annealer at 2 and 4 threads
+    /// reproduces the serial placement and cost bits exactly.
+    #[test]
+    fn parallel_annealer_matches_serial(
+        netlist_seed in 0u64..1_000_000,
+        place_seed in 0u64..1_000_000,
+        moves_per_cell in 1usize..24,
+    ) {
+        let lib = generic::library();
+        let mut rng = SmallRng::seed_from_u64(netlist_seed);
+        let netlist = random_netlist(&mut rng, &lib);
+        let serial_cfg = PlaceConfig {
+            seed: place_seed,
+            moves_per_cell,
+            ..PlaceConfig::default()
+        };
+        let (serial_p, serial_s) = vpga_place::place_with_stats(&netlist, &lib, &serial_cfg);
+        prop_assert_eq!(serial_s.spec_moves_attempted, 0);
+        let mut spec_counters = Vec::new();
+        for threads in [2usize, 4] {
+            let cfg = PlaceConfig {
+                threads,
+                ..serial_cfg.clone()
+            };
+            let (par_p, par_s) = vpga_place::place_with_stats(&netlist, &lib, &cfg);
+            for (id, _) in netlist.cells() {
+                prop_assert_eq!(par_p.position(id), serial_p.position(id), "cell {}", id);
+            }
+            prop_assert_eq!(par_s.cost_initial.to_bits(), serial_s.cost_initial.to_bits());
+            prop_assert_eq!(par_s.cost_final.to_bits(), serial_s.cost_final.to_bits());
+            prop_assert_eq!(par_s.moves_attempted, serial_s.moves_attempted);
+            prop_assert_eq!(par_s.moves_accepted, serial_s.moves_accepted);
+            prop_assert_eq!(par_s.bbox_incremental, serial_s.bbox_incremental);
+            prop_assert_eq!(par_s.bbox_full, serial_s.bbox_full);
+            // Attempts count every speculative evaluation, including
+            // fixpoint-round re-evaluations; commits + aborts account for
+            // exactly the moves that went through the windows.
+            prop_assert!(par_s.spec_moves_attempted > 0);
+            prop_assert!(
+                par_s.spec_moves_committed + par_s.spec_moves_aborted
+                    <= par_s.spec_moves_attempted
+            );
+            spec_counters.push((
+                par_s.spec_moves_attempted,
+                par_s.spec_moves_committed,
+                par_s.spec_moves_aborted,
+            ));
+        }
+        // The speculation counters are deterministic in the schedule, not
+        // the worker count.
+        prop_assert_eq!(spec_counters[0], spec_counters[1]);
+    }
+}

@@ -483,17 +483,14 @@ impl TimingGraph {
         };
         let net_load =
             |net: NetId| -> f64 { wire_len(net) * params::WIRE_CAP_PER_UM + sink_cap(net) };
-        let mut arcs = ArcDelays {
-            cell: vec![None; netlist.cell_capacity()],
-            net: vec![None; netlist.net_capacity()],
-        };
+        let mut arcs = ArcDelays::with_capacity(netlist.cell_capacity(), netlist.net_capacity());
         for (id, cell) in netlist.cells() {
             let Some(out) = cell.output() else { continue };
-            arcs.net[out.index()] = Some(net_wire_delay(out));
+            arcs.set_net(out.index(), net_wire_delay(out));
             let drives = matches!(self.launch[id.index()], Launch::Sequential)
                 || self.pos.get(id.index()).is_some_and(|&p| p != u32::MAX);
             if drives {
-                arcs.cell[id.index()] = Some(self.cell_delay(id, net_load(out)));
+                arcs.set_cell(id.index(), self.cell_delay(id, net_load(out)));
             }
         }
         arcs
@@ -501,15 +498,53 @@ impl TimingGraph {
 }
 
 /// Per-arc delay export of [`TimingGraph::arc_delays`], indexed by cell
-/// and net slot (`None` for dead slots and cells with no delay arc).
+/// and net slot. Stored SoA: dense `f64` value arrays plus validity
+/// bitmaps, instead of `Vec<Option<f64>>` — half the footprint (a tagged
+/// `Option<f64>` is 16 bytes) and the values pack contiguously for the
+/// interchange writers that stream every slot.
 #[derive(Clone, Debug, Default)]
 pub struct ArcDelays {
-    /// IOPATH delay per cell slot: the cell's `delay(load)` at its
-    /// output net's current load.
-    pub cell: Vec<Option<f64>>,
-    /// INTERCONNECT delay per net slot: the lumped wire delay every sink
-    /// of the net sees after its driver.
-    pub net: Vec<Option<f64>>,
+    cell_val: Vec<f64>,
+    cell_set: Vec<u64>,
+    net_val: Vec<f64>,
+    net_set: Vec<u64>,
+}
+
+impl ArcDelays {
+    fn with_capacity(cells: usize, nets: usize) -> ArcDelays {
+        ArcDelays {
+            cell_val: vec![0.0; cells],
+            cell_set: vec![0; cells.div_ceil(64)],
+            net_val: vec![0.0; nets],
+            net_set: vec![0; nets.div_ceil(64)],
+        }
+    }
+
+    fn set_cell(&mut self, i: usize, v: f64) {
+        self.cell_val[i] = v;
+        self.cell_set[i / 64] |= 1 << (i % 64);
+    }
+
+    fn set_net(&mut self, i: usize, v: f64) {
+        self.net_val[i] = v;
+        self.net_set[i / 64] |= 1 << (i % 64);
+    }
+
+    /// IOPATH delay of cell slot `i`: the cell's `delay(load)` at its
+    /// output net's current load. `None` for dead slots, ports, and
+    /// constants (no modeled delay arc).
+    pub fn cell(&self, i: usize) -> Option<f64> {
+        (self.cell_set.get(i / 64).copied().unwrap_or(0) >> (i % 64) & 1 == 1)
+            .then(|| self.cell_val[i])
+    }
+
+    /// INTERCONNECT delay of net slot `i`: the lumped wire delay every
+    /// sink of the net sees after its driver. `None` for dead and
+    /// undriven slots.
+    pub fn net(&self, i: usize) -> Option<f64> {
+        (self.net_set.get(i / 64).copied().unwrap_or(0) >> (i % 64) & 1 == 1)
+            .then(|| self.net_val[i])
+    }
 }
 
 /// The incremental STA handle: a [`TimingGraph`] plus the current

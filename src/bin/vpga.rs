@@ -5,6 +5,7 @@
 //! vpga flow <design.v> [--arch granular|lut|homogeneous] [--no-compaction] [--stats]
 //!           [--audit] [--retries N] [--deadline SECS]
 //! vpga matrix [--size tiny|small|medium|paper] [--jobs N] [--stats]
+//!           [--stage-threads N] [--only DESIGN/ARCH]
 //!           [--audit] [--retries N] [--deadline SECS]
 //!           [--checkpoint-dir DIR] [--resume]
 //!           [--emit-sdf DIR] [--emit-xdl DIR]
@@ -112,6 +113,9 @@ fn print_usage() {
          architectures A: granular | lut | homogeneous (default granular)\n\
          --jobs N: worker threads (0 = one per CPU; default 1) — results are\n\
          \x20         bit-identical for any N\n\
+         --stage-threads N: worker threads *inside* the place/route kernels\n\
+         \x20         (0 = one per CPU; default 1) — results are bit-identical for any N\n\
+         --only F: (matrix) run only the cells whose design/arch contains F\n\
          --stats : print per-stage wall time, sizes, cost and move counters\n\n\
          robustness (flow and matrix):\n\
          --audit        : run the inter-stage invariant auditors (always on in debug builds)\n\
@@ -164,6 +168,19 @@ fn apply_robustness_flags(
         config.deadline = Some(std::time::Duration::from_secs_f64(secs));
     } else if args.iter().any(|a| a == "--deadline") {
         return Err("--deadline needs a value".into());
+    }
+    if let Some(v) = flag_value(args, "--stage-threads") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| format!("bad --stage-threads value {v:?}"))?;
+        // 0 = one worker per CPU, like --jobs.
+        config.stage_threads = if n == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            n
+        };
+    } else if args.iter().any(|a| a == "--stage-threads") {
+        return Err("--stage-threads needs a value".into());
     }
     Ok(config)
 }
@@ -323,6 +340,13 @@ fn cmd_matrix(args: &[String]) -> Result<(), Box<dyn Error>> {
             None => {}
         }
     }
+    let only = match flag_value(args, "--only") {
+        Some(f) => Some(f),
+        None if args.iter().any(|a| a == "--only") => {
+            return Err("--only needs a design/arch substring".into())
+        }
+        None => None,
+    };
     let resume = args.iter().any(|a| a == "--resume");
     let checkpoints = match flag_value(args, "--checkpoint-dir") {
         Some(dir) => Some(vpga::flow::CheckpointStore::new(dir, resume)?),
@@ -338,7 +362,7 @@ fn cmd_matrix(args: &[String]) -> Result<(), Box<dyn Error>> {
     );
     // Resilient by default: a failed cell is reported (and drops its pair
     // from the tables) while every other cell completes bit-identically.
-    let matrix = Matrix::run_resilient_checkpointed(&params, &config, jobs, checkpoints.as_ref());
+    let matrix = Matrix::run_resilient_filtered(&params, &config, jobs, checkpoints.as_ref(), only);
     println!("matrix fingerprint: {:#018x}", matrix.fingerprint());
     println!();
     print!("{}", matrix.table1());
