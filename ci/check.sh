@@ -35,10 +35,11 @@ cargo fmt --all --check
 if cargo clippy --version >/dev/null 2>&1; then
     step "cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets --release -- -D warnings
-    # The stage graph (flow/src/stages/) and checkpoint code gate extra
-    # paths behind fault-inject; lint them with the feature on too.
-    step "cargo clippy -p vpga -p vpga-flow --features fault-inject -- -D warnings"
-    cargo clippy -p vpga -p vpga-flow --all-targets --features fault-inject --release -- -D warnings
+    # The stage graph (flow/src/stages/), checkpoint code, and the serve
+    # daemon gate extra paths behind fault-inject; lint them with the
+    # feature on too.
+    step "cargo clippy -p vpga -p vpga-flow -p vpga-serve --features fault-inject -- -D warnings"
+    cargo clippy -p vpga -p vpga-flow -p vpga-serve --all-targets --features fault-inject --release -- -D warnings
 else
     step "clippy not installed; skipping lint step"
 fi
@@ -116,6 +117,60 @@ if [ "${VPGA_PAPER_SMOKE:-0}" = "1" ]; then
         exit 1
     fi
 fi
+
+step "serve smoke (cold/warm daemon matrix, golden fingerprint, SIGTERM drain)"
+# The release binary is invoked directly (not through `cargo run`) so the
+# SIGTERM below reaches the daemon itself, not a cargo wrapper.
+VPGA_BIN=target/release/vpga
+SRV=$(mktemp -d)
+trap 'rm -rf "$CKPT" "$IVK" "$SRV"' EXIT
+PORT=$((20000 + RANDOM % 20000))
+"$VPGA_BIN" serve --listen "127.0.0.1:$PORT" --workers 2 \
+    >"$SRV/summary.txt" 2>"$SRV/log.txt" &
+SRVPID=$!
+ready=0
+for _ in $(seq 1 100); do
+    if "$VPGA_BIN" submit "127.0.0.1:$PORT" /healthz >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$ready" != 1 ]; then
+    echo "error: daemon never became ready on port $PORT" >&2
+    cat "$SRV/log.txt" >&2
+    exit 1
+fi
+golden="matrix fingerprint: 0xd516b48daf413258"
+cold=$("$VPGA_BIN" submit "127.0.0.1:$PORT" "/matrix?params=tiny")
+warm=$("$VPGA_BIN" submit "127.0.0.1:$PORT" "/matrix?params=tiny")
+for run in cold warm; do
+    fp=$(eval "printf '%s\n' \"\$$run\"" | grep '^matrix fingerprint:')
+    if [ "$fp" != "$golden" ]; then
+        echo "error: $run daemon matrix diverged: '$fp' != '$golden'" >&2
+        exit 1
+    fi
+done
+# The warm run must be served entirely from the artifact cache.
+if ! printf '%s\n' "$warm" | grep -q '^cache hits=32/32$'; then
+    echo "error: warm daemon matrix was not fully cache-hit:" >&2
+    printf '%s\n' "$warm" | grep '^cache hits=' >&2
+    exit 1
+fi
+kill -TERM "$SRVPID"
+if ! wait "$SRVPID"; then
+    echo "error: daemon did not drain cleanly on SIGTERM" >&2
+    cat "$SRV/summary.txt" "$SRV/log.txt" >&2
+    exit 1
+fi
+if ! grep -q '^drained: .*cache_valid=true' "$SRV/summary.txt"; then
+    echo "error: drain summary missing or cache invalid:" >&2
+    cat "$SRV/summary.txt" >&2
+    exit 1
+fi
+
+step "serve load harness (release, 1000 mixed chaos jobs vs batch reference)"
+"$VPGA_BIN" serve-bench --jobs 1000 --clients 8
 
 step "cargo bench (smoke mode, 1 sample per bench)"
 # --workspace picks up every [[bench]] target in crates/bench, including

@@ -119,6 +119,19 @@ impl NamedDesign {
         self != NamedDesign::Firewire
     }
 
+    /// The generated netlist's name (`Netlist::name()` of
+    /// [`NamedDesign::generate`]) — the key checkpoints, artifact caches,
+    /// and job context strings identify the design by, known without
+    /// generating it.
+    pub fn key(self) -> &'static str {
+        match self {
+            NamedDesign::Alu => "alu",
+            NamedDesign::Firewire => "firewire",
+            NamedDesign::Fpu => "fpu",
+            NamedDesign::NetworkSwitch => "network_switch",
+        }
+    }
+
     /// Generates the design at the given size.
     pub fn generate(self, params: &DesignParams) -> Netlist {
         match self {

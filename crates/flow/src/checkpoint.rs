@@ -34,6 +34,7 @@ use vpga_timing::IncrementalSta;
 
 use crate::config::{EmitConfig, FlowConfig, FlowVariant};
 use crate::error::FlowError;
+use crate::faultpoint;
 use crate::pipeline::FlowResult;
 use crate::stages::FrontArtifacts;
 use crate::stats::{StageId, StageStats};
@@ -46,7 +47,7 @@ const MAGIC: &[u8; 8] = b"VPGACKP1";
 const KIND_FRONT: u8 = 0;
 const KIND_RESULT: u8 = 1;
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -60,7 +61,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// interchange emission change no artifact bits) and the design
 /// parameters. A checkpoint recorded under a different fingerprint never
 /// restores.
-fn config_fingerprint(config: &FlowConfig, params: &DesignParams) -> u64 {
+pub(crate) fn config_fingerprint(config: &FlowConfig, params: &DesignParams) -> u64 {
     let normalized = FlowConfig {
         audit: false,
         deadline: None,
@@ -85,6 +86,25 @@ fn config_fingerprint(config: &FlowConfig, params: &DesignParams) -> u64 {
     let mut h = fnv1a(format!("{normalized:?}").as_bytes());
     h ^= fnv1a(format!("{params:?}").as_bytes());
     h
+}
+
+/// The fingerprint keying a *front-end* artifact: [`config_fingerprint`]
+/// with every back-end-only knob (packing, the packer's criticality
+/// weighting, routing) normalized to its default, so jobs that differ
+/// only in back-end parameters share one front-end cache entry. The
+/// front-end stages read none of those fields — synthesis, compaction,
+/// placement, and physical synthesis consume `cut_based_mapper`,
+/// `compaction`, `place`, `timing`, and the buffer bounds only.
+pub(crate) fn front_config_fingerprint(config: &FlowConfig, params: &DesignParams) -> u64 {
+    config_fingerprint(
+        &FlowConfig {
+            pack: vpga_pack::PackConfig::default(),
+            pack_criticality: true,
+            route: vpga_route::RouteConfig::default(),
+            ..config.clone()
+        },
+        params,
+    )
 }
 
 fn encode_stats(w: &mut Writer, s: &StageStats) {
@@ -112,6 +132,9 @@ fn encode_stats(w: &mut Writer, s: &StageStats) {
     w.opt(s.spec_moves_committed, Writer::u64);
     w.opt(s.spec_moves_aborted, Writer::u64);
     w.opt(s.par_net_batches, Writer::u64);
+    w.opt(s.cache_hits, Writer::u64);
+    w.opt(s.cache_misses, Writer::u64);
+    w.opt(s.cache_evicted, Writer::u64);
 }
 
 fn decode_stats(r: &mut Reader<'_>) -> Option<StageStats> {
@@ -136,6 +159,9 @@ fn decode_stats(r: &mut Reader<'_>) -> Option<StageStats> {
     s.spec_moves_committed = r.opt(Reader::u64)?;
     s.spec_moves_aborted = r.opt(Reader::u64)?;
     s.par_net_batches = r.opt(Reader::u64)?;
+    s.cache_hits = r.opt(Reader::u64)?;
+    s.cache_misses = r.opt(Reader::u64)?;
+    s.cache_evicted = r.opt(Reader::u64)?;
     Some(s)
 }
 
@@ -155,7 +181,7 @@ fn decode_stats_list(r: &mut Reader<'_>) -> Option<Vec<StageStats>> {
     Some(out)
 }
 
-fn encode_front(w: &mut Writer, store: &FrontArtifacts, stages: &[StageStats]) {
+pub(crate) fn encode_front(w: &mut Writer, store: &FrontArtifacts, stages: &[StageStats]) {
     w.str(&store.design);
     w.f64(store.gates_nand2);
     w.opt(store.compaction.as_ref(), |w, c| {
@@ -198,7 +224,7 @@ fn encode_front(w: &mut Writer, store: &FrontArtifacts, stages: &[StageStats]) {
     encode_stats_list(w, stages);
 }
 
-fn decode_front(r: &mut Reader<'_>) -> Option<(FrontArtifacts, Vec<StageStats>)> {
+pub(crate) fn decode_front(r: &mut Reader<'_>) -> Option<(FrontArtifacts, Vec<StageStats>)> {
     let design = r.str()?;
     let mut store = FrontArtifacts::new(&design);
     store.gates_nand2 = r.f64()?;
@@ -272,7 +298,7 @@ fn decode_front(r: &mut Reader<'_>) -> Option<(FrontArtifacts, Vec<StageStats>)>
     Some((store, stages))
 }
 
-fn encode_result(w: &mut Writer, result: &FlowResult) {
+pub(crate) fn encode_result(w: &mut Writer, result: &FlowResult) {
     w.u8(match result.variant {
         FlowVariant::A => 0,
         FlowVariant::B => 1,
@@ -293,7 +319,7 @@ fn encode_result(w: &mut Writer, result: &FlowResult) {
     encode_stats_list(w, &result.stages);
 }
 
-fn decode_result(r: &mut Reader<'_>) -> Option<FlowResult> {
+pub(crate) fn decode_result(r: &mut Reader<'_>) -> Option<FlowResult> {
     let variant = match r.u8()? {
         0 => FlowVariant::A,
         1 => FlowVariant::B,
@@ -354,9 +380,13 @@ impl CheckpointStore {
     }
 
     /// Frames `payload` with the magic, kind, completed count, config
-    /// fingerprint, and payload digest, then writes it atomically
-    /// (temp file + rename). Best-effort: IO failures warn and continue —
-    /// a run must never die because its checkpoint disk filled up.
+    /// fingerprint, and payload digest, then writes it atomically and
+    /// durably: the temp file is fsynced before the rename and the
+    /// directory is fsynced after it, so a kill at any instant leaves
+    /// either the previous checkpoint or the complete new one — never a
+    /// torn, readable-but-wrong artifact. Best-effort: IO failures warn
+    /// and continue — a run must never die because its checkpoint disk
+    /// filled up.
     fn write_file(&self, path: &Path, kind: u8, completed: u8, config_fp: u64, payload: &[u8]) {
         let mut framed = Vec::with_capacity(payload.len() + 34);
         framed.extend_from_slice(MAGIC);
@@ -366,14 +396,32 @@ impl CheckpointStore {
         framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         framed.extend_from_slice(payload);
         framed.extend_from_slice(&fnv1a(payload).to_le_bytes());
-        let tmp = path.with_extension("ckpt.tmp");
-        let outcome = std::fs::write(&tmp, &framed).and_then(|()| std::fs::rename(&tmp, path));
-        if let Err(e) = outcome {
+        if let Err(e) = self.write_durable(path, &framed) {
             eprintln!(
                 "warning: failed to write checkpoint {}: {e}",
                 path.display()
             );
         }
+    }
+
+    /// The durable half of [`Self::write_file`]: temp write, file fsync,
+    /// rename, directory fsync. The `checkpoint_rename` fault point sits
+    /// in the kill window between the durable temp write and the rename —
+    /// an injected fault there simulates a crash that must lose the
+    /// update, never tear it.
+    fn write_durable(&self, path: &Path, framed: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let tmp = path.with_extension("ckpt.tmp");
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(framed)?;
+        file.sync_all()?;
+        drop(file);
+        faultpoint::fire("checkpoint_rename", &path.display().to_string())
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        std::fs::rename(&tmp, path)?;
+        // The rename itself is only durable once the directory entry is:
+        // fsync the directory too.
+        std::fs::File::open(&self.dir)?.sync_all()
     }
 
     /// Reads and validates a framed checkpoint, returning the completed

@@ -1,5 +1,9 @@
-//! Deterministic reseeding and per-job wall-clock budgets.
+//! Deterministic reseeding, per-job wall-clock budgets, and cooperative
+//! cancellation.
 
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::FlowError;
@@ -14,29 +18,78 @@ pub fn derive_seed(seed: u64, attempt: usize) -> u64 {
     seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// A shared cooperative-cancellation flag, checked by the stage runner at
+/// every stage boundary (alongside the deadline). Cancelling never
+/// interrupts a stage mid-flight: the running stage finishes (and
+/// checkpoints), then the job fails cleanly with
+/// [`FlowError::Cancelled`] before the next stage starts. Clones share
+/// one flag, so a daemon can fan a single drain token out to every
+/// in-flight job.
+#[derive(Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag; every clone observes it at its next check.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    /// Renders as a constant: the checkpoint config fingerprint is an FNV
+    /// over `FlowConfig`'s Debug output, and neither a token's identity
+    /// nor its state may change which artifacts a config produces.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CancelToken")
+    }
+}
+
 /// Wall-clock budget tracker for one pipeline invocation. The stage
 /// runner checks it before every stage and between retry attempts, so
 /// enforcement is uniform across all eight stages.
 pub(crate) struct JobClock {
     start: Instant,
     budget: Option<Duration>,
+    cancel: CancelToken,
 }
 
 impl JobClock {
-    pub(crate) fn new(budget: Option<Duration>) -> JobClock {
+    pub(crate) fn new(budget: Option<Duration>, cancel: CancelToken) -> JobClock {
         JobClock {
             start: Instant::now(),
             budget,
+            cancel,
         }
     }
 
-    /// Fails the job cleanly once the budget is spent.
+    /// Fails the job cleanly once the budget is spent or the job's cancel
+    /// token has been raised.
     pub(crate) fn check(&self, stage: StageId, design: &str) -> Result<(), FlowError> {
+        if self.cancel.is_cancelled() {
+            return Err(FlowError::Cancelled {
+                stage,
+                design: design.to_owned(),
+            });
+        }
         let Some(budget) = self.budget else {
             return Ok(());
         };
         let elapsed = self.start.elapsed();
-        if elapsed > budget {
+        // `>=`, not `>`: a zero (or already-spent) budget must fail before
+        // the first stage runs, even when the clock has not measurably
+        // advanced — `elapsed > ZERO` would hand the job one free stage
+        // whenever the check lands inside the timer's resolution.
+        if elapsed >= budget {
             return Err(FlowError::DeadlineExceeded {
                 stage,
                 design: design.to_owned(),
@@ -54,23 +107,82 @@ mod tests {
 
     #[test]
     fn unbudgeted_clock_never_fires() {
-        let clock = JobClock::new(None);
+        let clock = JobClock::new(None, CancelToken::new());
         assert!(clock.check(StageId::Synth, "alu/granular").is_ok());
     }
 
     #[test]
-    fn zero_budget_fires_at_the_first_check() {
-        let clock = JobClock::new(Some(Duration::ZERO));
+    fn zero_budget_fires_before_any_stage_even_at_zero_elapsed() {
+        // Construct directly so `elapsed` is as close to zero as the
+        // timer allows: the check must still fire (regression for the
+        // `elapsed > budget` comparison, which passed a zero budget when
+        // the clock had not yet ticked and ran one free stage).
+        let clock = JobClock {
+            start: Instant::now(),
+            budget: Some(Duration::ZERO),
+            cancel: CancelToken::new(),
+        };
         let err = clock
-            .check(StageId::Route, "alu/granular/a")
+            .check(StageId::Synth, "alu/granular/a")
             .expect_err("a zero budget is always exceeded");
         match err {
             FlowError::DeadlineExceeded { stage, design, .. } => {
-                assert_eq!(stage, StageId::Route);
+                assert_eq!(stage, StageId::Synth);
                 assert_eq!(design, "alu/granular/a");
             }
             other => panic!("wrong error: {other:?}"),
         }
+    }
+
+    #[test]
+    fn already_expired_budget_fails_fast() {
+        let clock = JobClock::new(Some(Duration::from_nanos(1)), CancelToken::new());
+        std::thread::sleep(Duration::from_millis(2));
+        let err = clock
+            .check(StageId::Route, "alu/granular/a")
+            .expect_err("an expired budget fails the next check");
+        match err {
+            FlowError::DeadlineExceeded {
+                stage,
+                elapsed,
+                budget,
+                ..
+            } => {
+                assert_eq!(stage, StageId::Route);
+                assert!(elapsed >= budget, "no underflow: {elapsed:?} vs {budget:?}");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_fails_with_cancelled_before_the_deadline() {
+        let cancel = CancelToken::new();
+        let clock = JobClock::new(None, cancel.clone());
+        assert!(clock.check(StageId::Pack, "fpu/lut/b").is_ok());
+        cancel.cancel();
+        let err = clock
+            .check(StageId::Pack, "fpu/lut/b")
+            .expect_err("a raised token cancels the job");
+        match err {
+            FlowError::Cancelled { stage, design } => {
+                assert_eq!(stage, StageId::Pack);
+                assert_eq!(design, "fpu/lut/b");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        // Debug is a constant, so tokens never perturb config
+        // fingerprints (which format `FlowConfig` via Debug).
+        assert_eq!(format!("{a:?}"), format!("{:?}", CancelToken::new()));
     }
 
     #[test]

@@ -9,6 +9,8 @@ use vpga_place::PlaceConfig;
 use vpga_route::RouteConfig;
 use vpga_timing::TimingConfig;
 
+use crate::clock::CancelToken;
+
 /// Which flow of §3.2 to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FlowVariant {
@@ -112,6 +114,14 @@ pub struct FlowConfig {
     /// checkpoint config fingerprint. `1` (the default) runs the serial
     /// kernels unchanged.
     pub stage_threads: usize,
+    /// Cooperative cancellation flag, checked by the stage runner at
+    /// every stage boundary alongside the deadline. Raising it fails the
+    /// job with [`crate::FlowError::Cancelled`] before the next stage
+    /// starts; the running stage always finishes (and checkpoints). The
+    /// daemon's graceful drain clones one token into every in-flight
+    /// job's config. Debug-renders as a constant, so it is invisible to
+    /// the checkpoint config fingerprint.
+    pub cancel: CancelToken,
 }
 
 impl Default for FlowConfig {
@@ -131,6 +141,7 @@ impl Default for FlowConfig {
             deadline: None,
             emit: EmitConfig::default(),
             stage_threads: 1,
+            cancel: CancelToken::new(),
         }
     }
 }

@@ -56,6 +56,15 @@ pub enum FlowError {
         /// The front-end failure, rendered.
         cause: String,
     },
+    /// The job was cancelled cooperatively (daemon drain or client
+    /// abort) at a stage boundary: the stage that was running finished
+    /// and checkpointed, and nothing partial was published.
+    Cancelled {
+        /// The stage about to run when the cancellation was observed.
+        stage: StageId,
+        /// The job context.
+        design: String,
+    },
     /// The job ran past its `--deadline` wall-clock budget.
     DeadlineExceeded {
         /// The stage about to run when the budget check failed.
@@ -99,6 +108,7 @@ impl FlowError {
             FlowError::Stage { .. }
             | FlowError::StagePanic { .. }
             | FlowError::Skipped { .. }
+            | FlowError::Cancelled { .. }
             | FlowError::DeadlineExceeded { .. }
             | FlowError::Checkpoint { .. } => self,
             other => FlowError::Stage {
@@ -112,9 +122,9 @@ impl FlowError {
     /// The stage this error is attributed to, when known.
     pub fn stage(&self) -> Option<StageId> {
         match self {
-            FlowError::Stage { stage, .. } | FlowError::DeadlineExceeded { stage, .. } => {
-                Some(*stage)
-            }
+            FlowError::Stage { stage, .. }
+            | FlowError::DeadlineExceeded { stage, .. }
+            | FlowError::Cancelled { stage, .. } => Some(*stage),
             FlowError::StagePanic { stage, .. } => *stage,
             _ => None,
         }
@@ -130,10 +140,13 @@ impl FlowError {
 }
 
 /// True if the error should consume a retry rather than fail the job: a
-/// blown deadline is terminal, everything else from a stochastic stage is
-/// worth another (reseeded) attempt.
+/// blown deadline or a cancellation is terminal, everything else from a
+/// stochastic stage is worth another (reseeded) attempt.
 pub(crate) fn retryable(e: &FlowError) -> bool {
-    !matches!(e, FlowError::DeadlineExceeded { .. })
+    !matches!(
+        e,
+        FlowError::DeadlineExceeded { .. } | FlowError::Cancelled { .. }
+    )
 }
 
 impl fmt::Display for FlowError {
@@ -156,6 +169,12 @@ impl fmt::Display for FlowError {
             },
             FlowError::Skipped { design, cause } => {
                 write!(f, "{design} skipped: front-end failed ({cause})")
+            }
+            FlowError::Cancelled { stage, design } => {
+                write!(
+                    f,
+                    "{design} cancelled before {stage} (cooperative shutdown)"
+                )
             }
             FlowError::DeadlineExceeded {
                 stage,
@@ -199,6 +218,7 @@ impl Error for FlowError {
             FlowError::Stage { source, .. } => Some(source.as_ref()),
             FlowError::StagePanic { .. }
             | FlowError::Skipped { .. }
+            | FlowError::Cancelled { .. }
             | FlowError::DeadlineExceeded { .. }
             | FlowError::Checkpoint { .. } => None,
         }

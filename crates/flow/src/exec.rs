@@ -53,7 +53,7 @@ use crate::{FlowConfig, FlowError, FlowResult, FlowVariant};
 
 /// Renders a trapped panic payload (almost always a `String` or `&str`
 /// from `panic!`/`assert!`) for [`FlowError::StagePanic`].
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     match payload.downcast::<String>() {
         Ok(s) => *s,
         Err(payload) => match payload.downcast::<&'static str>() {
@@ -440,7 +440,7 @@ impl FlowMatrix {
             clear_stage();
             let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), FlowError> {
                 if s == 0 {
-                    st.clock = Some(JobClock::new(config.deadline));
+                    st.clock = Some(JobClock::new(config.deadline, config.cancel.clone()));
                     let source = named.generate(params);
                     st.store = FrontArtifacts::new(source.name());
                     if let Some(ck) = checkpoints {
@@ -511,7 +511,7 @@ impl FlowMatrix {
                     // Front-end failed; the collection pass attributes it.
                     return;
                 };
-                st.clock = Some(JobClock::new(config.deadline));
+                st.clock = Some(JobClock::new(config.deadline, config.cancel.clone()));
                 if let Some(ck) = checkpoints {
                     if let Some(result) =
                         ck.load_result(&front.design, job.arch.name(), job.variant, config, params)

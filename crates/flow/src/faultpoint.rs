@@ -17,6 +17,14 @@
 //! Faults are one-shot: a point disarms itself when it fires, so a retry
 //! (or a rerun) of the same stage succeeds.
 //!
+//! Beyond the stage points, the robustness surfaces added for the serve
+//! daemon carry their own points: `"checkpoint_rename"` in the kill
+//! window between a checkpoint's durable temp write and its rename,
+//! `"cache_read"` / `"cache_write"` / `"cache_evict"` around the shared
+//! artifact cache of [`crate::cache`], and `"serve_accept"` /
+//! `"serve_drain"` in the daemon's accept loop and drain path (fired by
+//! the serve crate through the public [`fire`]).
+//!
 //! Two further points live *inside worker threads* of the intra-stage
 //! parallel kernels (`--stage-threads` > 1): `"place_worker"` fires at the
 //! start of every speculative-annealing worker, `"route_worker"` at the
@@ -133,6 +141,14 @@ fn representative_error(point: &str, ctx: &str) -> FlowError {
         "sta" | "sta_incremental" => FlowError::Timing(vpga_timing::TimingError::Cyclic(
             vpga_netlist::NetlistError::CombinationalCycle(vpga_netlist::CellId::from_index(0)),
         )),
+        // The artifact/service surfaces all fail as unreadable-artifact
+        // errors: fail closed, recompute, never trust the bytes.
+        "checkpoint_rename" | "cache_read" | "cache_write" | "cache_evict" | "serve_accept"
+        | "serve_drain" => FlowError::Checkpoint {
+            path: ctx.into(),
+            offset: 0,
+            detail: format!("injected {point} fault"),
+        },
         other => FlowError::StagePanic {
             stage: StageId::ALL.iter().copied().find(|s| s.name() == other),
             design: ctx.to_owned(),
@@ -141,15 +157,17 @@ fn representative_error(point: &str, ctx: &str) -> FlowError {
     }
 }
 
-/// A stage's fault point. No-op unless the `fault-inject` feature is on
-/// and a matching fault is armed; then it panics, returns the stage's
-/// representative error, or reports a deadline timeout — once.
+/// A fault point. No-op unless the `fault-inject` feature is on and a
+/// matching fault is armed; then it panics, returns the point's
+/// representative error, or reports a deadline timeout — once. Public so
+/// the serve daemon can cover its own surfaces (accept, drain) with the
+/// same harness.
 ///
 /// # Errors
 ///
 /// The armed fault's error, when one fires.
 #[cfg(feature = "fault-inject")]
-pub(crate) fn fire(point: &str, ctx: &str) -> Result<(), FlowError> {
+pub fn fire(point: &str, ctx: &str) -> Result<(), FlowError> {
     use crate::StageId;
     match take(point, ctx) {
         None => Ok(()),
@@ -168,14 +186,14 @@ pub(crate) fn fire(point: &str, ctx: &str) -> Result<(), FlowError> {
     }
 }
 
-/// A stage's fault point (no-op build: the `fault-inject` feature is off).
+/// A fault point (no-op build: the `fault-inject` feature is off).
 ///
 /// # Errors
 ///
 /// Never errors in this configuration.
 #[cfg(not(feature = "fault-inject"))]
 #[inline(always)]
-pub(crate) fn fire(_point: &str, _ctx: &str) -> Result<(), FlowError> {
+pub fn fire(_point: &str, _ctx: &str) -> Result<(), FlowError> {
     Ok(())
 }
 

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod cache;
 pub mod checkpoint;
 mod clock;
 mod config;
@@ -46,18 +47,21 @@ pub mod exec;
 pub mod faultpoint;
 mod pipeline;
 pub mod report;
+pub mod service;
 pub mod stages;
 pub mod stats;
 
 pub use audit::AuditError;
+pub use cache::{ArtifactCache, CacheOutcome, CacheStats};
 pub use checkpoint::CheckpointStore;
-pub use clock::derive_seed;
+pub use clock::{derive_seed, CancelToken};
 pub use config::{EmitConfig, FlowConfig, FlowVariant};
 pub use error::FlowError;
 pub use exec::{Executor, FlowJob, FlowMatrix, JobResult};
 pub use faultpoint::FaultKind;
 pub use pipeline::{run_design, DesignOutcome, FlowResult};
 pub use report::{CellFailure, Claims, Matrix};
+pub use service::{CachedFlow, JobEvent, JobOutcome, ServiceJob};
 pub use stats::{StageId, StageStats};
 
 /// Backwards-compatible alias: the stage enum was renamed to

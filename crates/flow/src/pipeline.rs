@@ -171,7 +171,7 @@ pub(crate) fn front_end(
     config: &FlowConfig,
 ) -> Result<FrontEnd, FlowError> {
     let ctx = front_ctx(design.name(), arch);
-    let clock = JobClock::new(config.deadline);
+    let clock = JobClock::new(config.deadline, config.cancel.clone());
     let env = StageEnv {
         config,
         arch,
@@ -194,7 +194,7 @@ pub(crate) fn run_variant(
     variant: FlowVariant,
 ) -> Result<FlowResult, FlowError> {
     let ctx = job_ctx(&front.design, arch, variant);
-    let clock = JobClock::new(config.deadline);
+    let clock = JobClock::new(config.deadline, config.cancel.clone());
     let env = StageEnv {
         config,
         arch,

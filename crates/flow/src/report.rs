@@ -34,12 +34,7 @@ impl std::fmt::Display for CellFailure {
 /// The generated-netlist name a design's outcomes are keyed by (also the
 /// first path component of job context strings).
 fn design_key(design: NamedDesign) -> &'static str {
-    match design {
-        NamedDesign::Alu => "alu",
-        NamedDesign::Firewire => "firewire",
-        NamedDesign::Fpu => "fpu",
-        NamedDesign::NetworkSwitch => "network_switch",
-    }
+    design.key()
 }
 
 /// All outcomes for the 4 designs × 2 architectures evaluation matrix,

@@ -142,6 +142,15 @@ pub struct StageStats {
     /// Negotiation iterations whose dirty nets were routed as a parallel
     /// batch against a frozen congestion snapshot.
     pub par_net_batches: Option<u64>,
+    /// Stage results served from the shared artifact cache instead of
+    /// recomputed (daemon mode; unset in batch runs).
+    pub cache_hits: Option<u64>,
+    /// Stage results the cache had to compute (or recompute after an
+    /// eviction).
+    pub cache_misses: Option<u64>,
+    /// Cache entries evicted under byte pressure while this job
+    /// published its artifacts.
+    pub cache_evicted: Option<u64>,
 }
 
 impl StageStats {
@@ -168,6 +177,9 @@ impl StageStats {
             spec_moves_committed: None,
             spec_moves_aborted: None,
             par_net_batches: None,
+            cache_hits: None,
+            cache_misses: None,
+            cache_evicted: None,
         }
     }
 
@@ -246,6 +258,21 @@ impl StageStats {
         self
     }
 
+    /// Attaches the shared-artifact-cache counters of a daemon-served
+    /// stage (only recorded when the cache was actually consulted, so
+    /// batch runs keep their records unchanged). Excluded from
+    /// [`StageStats::fold_fingerprint`]: a cache hit must fingerprint
+    /// identically to the recompute it replaced.
+    #[must_use]
+    pub fn with_cache(mut self, hits: u64, misses: u64, evicted: u64) -> StageStats {
+        if hits + misses + evicted > 0 {
+            self.cache_hits = Some(hits);
+            self.cache_misses = Some(misses);
+            self.cache_evicted = Some(evicted);
+        }
+        self
+    }
+
     /// Folds every deterministic field (everything but `wall`) into `h`
     /// with an FNV-1a step, so result fingerprints also pin the
     /// instrumentation.
@@ -278,6 +305,11 @@ impl StageStats {
         // out for the same reason: `--stage-threads N` must fingerprint
         // identically to a serial run, and the moves/bbox/reroute counters
         // above already pin every result the workers could have perturbed.
+        //
+        // The cache counters (cache_hits/cache_misses/cache_evicted) stay
+        // out too: a daemon job served from the artifact cache must
+        // fingerprint bit-identically to the batch run that computed the
+        // entry, whatever mix of hits, misses, and evictions it saw.
     }
 }
 
@@ -318,6 +350,11 @@ impl fmt::Display for StageStats {
         }
         if let Some(b) = self.par_net_batches {
             write!(f, "  par {b} batches")?;
+        }
+        if let (Some(h), Some(m), Some(e)) =
+            (self.cache_hits, self.cache_misses, self.cache_evicted)
+        {
+            write!(f, "  cache {h}h/{m}m/{e}e")?;
         }
         if let Some(r) = self.retries {
             write!(f, "  retries {r}")?;
@@ -429,6 +466,21 @@ mod tests {
         // Zero-count attachment leaves the record untouched (serial runs).
         assert_eq!(place.clone().with_speculation(0, 0, 0), place);
         assert_eq!(route.clone().with_par_batches(0), route);
+    }
+
+    #[test]
+    fn cache_counters_show_but_do_not_refingerprint() {
+        let base = StageStats::new(StageId::Synth, Duration::ZERO, 10, 20).with_cost(9.0, 7.0);
+        let served = base.clone().with_cache(4, 1, 2);
+        assert!(served.to_string().contains("cache 4h/1m/2e"));
+        // A cache-served job must fingerprint bit-identically to the
+        // batch run that computed the entry.
+        let (mut ha, mut hb) = (0u64, 0u64);
+        base.fold_fingerprint(&mut ha);
+        served.fold_fingerprint(&mut hb);
+        assert_eq!(ha, hb);
+        // Zero-count attachment leaves the record untouched (batch runs).
+        assert_eq!(base.clone().with_cache(0, 0, 0), base);
     }
 
     #[test]

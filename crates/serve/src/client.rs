@@ -1,0 +1,33 @@
+//! A minimal blocking HTTP client for the daemon's close-delimited
+//! responses — used by `vpga submit`, the bench harness, and tests.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Issues `GET path` against `addr` and returns `(status, body)` once
+/// the server closes the connection.
+///
+/// # Errors
+///
+/// Any socket error, or a malformed status line.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: vpga\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::other("response without header terminator"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::other("malformed status line"))?;
+    Ok((status, body.to_owned()))
+}

@@ -1,0 +1,125 @@
+//! A deliberately tiny HTTP/1.1 surface: enough to parse `GET` request
+//! lines and write close-delimited plain-text responses. The daemon
+//! streams job progress, so responses carry `Connection: close` and no
+//! `Content-Length` — the body ends when the socket does.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// A parsed request line: method is always `GET` (anything else is
+/// rejected at read time), `path` is the part before `?`, `query` after.
+pub(crate) struct Request {
+    pub(crate) path: String,
+    pub(crate) query: String,
+}
+
+impl Request {
+    /// Reads and parses the request head (up to 8 KiB, bounded by the
+    /// caller's read timeout).
+    pub(crate) fn read(stream: &mut TcpStream) -> io::Result<Request> {
+        let mut buf = Vec::with_capacity(512);
+        let mut chunk = [0u8; 512];
+        loop {
+            if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                break;
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let head = String::from_utf8_lossy(&buf);
+        let line = head
+            .lines()
+            .next()
+            .ok_or_else(|| io::Error::other("empty request"))?;
+        let mut parts = line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let target = parts
+            .next()
+            .ok_or_else(|| io::Error::other("no request target"))?;
+        if method != "GET" {
+            return Err(io::Error::other(format!("unsupported method {method}")));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        Ok(Request {
+            path: path.to_owned(),
+            query: query.to_owned(),
+        })
+    }
+}
+
+/// Parsed `k=v&k2=v2` query parameters (no percent-decoding; the job
+/// vocabulary is plain identifiers).
+pub(crate) struct Query {
+    pairs: Vec<(String, String)>,
+}
+
+impl Query {
+    pub(crate) fn parse(query: &str) -> Query {
+        Query {
+            pairs: query
+                .split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => (k.to_owned(), v.to_owned()),
+                    None => (kv.to_owned(), String::new()),
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn head(stream: &mut TcpStream, status: &str, extra: &str) {
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain\r\nConnection: close\r\n{extra}\r\n"
+    );
+    let _ = stream.flush();
+}
+
+/// Writes a `200 OK` head; the caller streams the body.
+pub(crate) fn head_200(stream: &mut TcpStream) {
+    head(stream, "200 OK", "");
+}
+
+pub(crate) fn respond_200(stream: &mut TcpStream, body: &str) {
+    head_200(stream);
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+pub(crate) fn respond_400(stream: &mut TcpStream, body: &str) {
+    head(stream, "400 Bad Request", "");
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+pub(crate) fn respond_404(stream: &mut TcpStream, body: &str) {
+    head(stream, "404 Not Found", "");
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// `503` with an optional `Retry-After` — the admission-control and
+/// draining answer. Never buffers the connection.
+pub(crate) fn respond_503(stream: &mut TcpStream, body: &str, retry_after: Option<u64>) {
+    let extra = match retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
+    head(stream, "503 Service Unavailable", &extra);
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}

@@ -1,0 +1,581 @@
+//! A long-running flow daemon over the shared artifact cache.
+//!
+//! `vpga serve --listen ADDR` starts an HTTP/1.1 daemon that accepts flow
+//! jobs — (design, arch, variant, params) plus per-job deadline — runs
+//! them on [`vpga_flow::CachedFlow`], and streams per-stage progress back
+//! as plain-text lines. The robustness envelope:
+//!
+//! - **Admission control.** Accepted connections enter a bounded queue; a
+//!   full queue answers `503` with `Retry-After` instead of growing
+//!   without bound. A fixed worker pool drains the queue.
+//! - **Stage-granular dedup.** Jobs share front-ends and results through
+//!   one content-addressed [`vpga_flow::ArtifactCache`] keyed by the
+//!   normalized config⊕params fingerprint — including in-flight work.
+//! - **Per-job deadlines and isolation.** `deadline_ms=0` fails before
+//!   stage 1; worker panics are trapped per job; a poisoned job abandons
+//!   its cache claim and never corrupts published artifacts.
+//! - **Graceful drain.** `SIGTERM` (or `/shutdown`) stops accepting,
+//!   answers queued-but-unstarted connections `503 draining`, cancels
+//!   running jobs cooperatively at their next stage boundary (completed
+//!   stages are already checkpointed when a disk tier is configured),
+//!   then validates every cached artifact before reporting a
+//!   [`DrainSummary`].
+//!
+//! Endpoints (all `GET`, `Connection: close`, close-delimited bodies):
+//!
+//! | path | effect |
+//! |---|---|
+//! | `/healthz` | liveness probe |
+//! | `/stats` | job counters + cache counters |
+//! | `/job?design=alu&arch=granular&variant=a&params=tiny` | run one job, stream progress |
+//! | `/matrix?params=tiny` | run the full 16-cell matrix, print its fingerprint |
+//! | `/shutdown` | begin graceful drain |
+//!
+//! `/job` also honours `deadline_ms=N`, and — only when the daemon runs
+//! with chaos enabled (`--chaos`) — `poison=STAGE|result` (panic when the
+//! named event arrives) and `stall_ms=N` (sleep in the first stage event;
+//! lets tests land a drain mid-job).
+
+#![warn(missing_docs)]
+
+mod bench;
+mod client;
+mod http;
+mod signal;
+
+pub use bench::{run_bench, BenchConfig, BenchReport};
+pub use client::get;
+pub use signal::{install_sigterm_handler, raise_sigterm_flag, sigterm_seen};
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use vpga_designs::{DesignParams, NamedDesign};
+use vpga_flow::service::{arch_by_name, pair_outcomes};
+use vpga_flow::{
+    faultpoint, ArtifactCache, CacheStats, CachedFlow, CancelToken, CheckpointStore, FlowConfig,
+    FlowMatrix, FlowVariant, JobEvent, Matrix, ServiceJob,
+};
+
+use http::{Query, Request};
+
+/// How to run a daemon.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Listen address (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Worker threads handling queued connections.
+    pub workers: usize,
+    /// Bounded connection-queue depth; beyond it, `503 Retry-After`.
+    pub queue_depth: usize,
+    /// Artifact-cache byte budget.
+    pub cache_budget: usize,
+    /// Optional disk checkpoint tier (survives daemon restarts).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Honour the `poison` / `stall_ms` chaos parameters.
+    pub chaos: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            cache_budget: 64 << 20,
+            checkpoint_dir: None,
+            chaos: false,
+        }
+    }
+}
+
+/// What the daemon reports after a graceful drain.
+#[derive(Clone, Copy, Debug)]
+pub struct DrainSummary {
+    /// Connections admitted to the queue.
+    pub accepted: u64,
+    /// Jobs that completed with a result.
+    pub completed: u64,
+    /// Jobs that ended in an error (deadline, cancellation, panic, …).
+    pub failed: u64,
+    /// Connections rejected by admission control (`503 Retry-After`).
+    pub rejected: u64,
+    /// Queued connections refused with `503 draining` at drain time.
+    pub refused_draining: u64,
+    /// Final cache counters.
+    pub cache: CacheStats,
+    /// Every cached artifact re-validated against its digest post-drain.
+    pub cache_valid: bool,
+}
+
+impl std::fmt::Display for DrainSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "drained: accepted={} completed={} failed={} rejected={} refused_draining={} \
+             cache_valid={} cache[{}]",
+            self.accepted,
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.refused_draining,
+            self.cache_valid,
+            self.cache
+        )
+    }
+}
+
+struct Counters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    refused_draining: AtomicU64,
+}
+
+struct Shared {
+    flow: CachedFlow,
+    cache: Arc<ArtifactCache>,
+    /// Cloned into every job's `FlowConfig.cancel`: drain cancels all
+    /// running jobs cooperatively at their next stage boundary.
+    drain: CancelToken,
+    /// Set by `/shutdown`, [`DaemonHandle::shutdown`], or SIGTERM.
+    stop: AtomicBool,
+    /// Set once the accept loop exits; queued connections are refused.
+    draining: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    queue_depth: usize,
+    counters: Counters,
+    chaos: bool,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || sigterm_seen()
+    }
+}
+
+/// A running daemon: its bound address plus shutdown/join controls.
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<DrainSummary>,
+}
+
+impl DaemonHandle {
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared artifact cache (inspection and validation in tests).
+    pub fn cache(&self) -> Arc<ArtifactCache> {
+        Arc::clone(&self.shared.cache)
+    }
+
+    /// Begins a graceful drain, exactly like SIGTERM.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Waits for the drain to finish.
+    pub fn join(self) -> DrainSummary {
+        self.thread.join().unwrap_or(DrainSummary {
+            accepted: 0,
+            completed: 0,
+            failed: 0,
+            rejected: 0,
+            refused_draining: 0,
+            cache: CacheStats::default(),
+            cache_valid: false,
+        })
+    }
+}
+
+/// Binds the listen address and starts the daemon (accept loop + worker
+/// pool) on background threads.
+///
+/// # Errors
+///
+/// An [`io::Error`] if the address cannot be bound or threads cannot
+/// spawn.
+pub fn spawn(config: DaemonConfig) -> io::Result<DaemonHandle> {
+    let listener = TcpListener::bind(&config.listen)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let cache = Arc::new(ArtifactCache::new(config.cache_budget));
+    let mut flow = CachedFlow::with_cache(Arc::clone(&cache));
+    if let Some(dir) = &config.checkpoint_dir {
+        flow = flow.with_checkpoints(CheckpointStore::new(dir, true)?);
+    }
+    let shared = Arc::new(Shared {
+        flow,
+        cache,
+        drain: CancelToken::new(),
+        stop: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        queue_depth: config.queue_depth,
+        counters: Counters {
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            refused_draining: AtomicU64::new(0),
+        },
+        chaos: config.chaos,
+    });
+    let workers = config.workers.max(1);
+    let main = Arc::clone(&shared);
+    let thread = std::thread::Builder::new()
+        .name("vpga-serve".to_owned())
+        .spawn(move || daemon_main(&listener, &main, workers))?;
+    Ok(DaemonHandle {
+        addr,
+        shared,
+        thread,
+    })
+}
+
+/// Accept loop + drain sequence. Runs on the daemon thread.
+fn daemon_main(listener: &TcpListener, shared: &Arc<Shared>, workers: usize) -> DrainSummary {
+    let pool: Vec<_> = (0..workers)
+        .map(|i| {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("vpga-serve-worker-{i}"))
+                .spawn(move || worker_main(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The serve_accept fault point models a transient accept
+                // failure: the connection is dropped, nothing is queued.
+                if faultpoint::fire("serve_accept", "accept").is_err() {
+                    shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if q.len() >= shared.queue_depth {
+                    drop(q);
+                    shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    let mut stream = stream;
+                    // Read the request head first (bounded): closing with
+                    // the request still unread would RST the connection
+                    // and eat the 503 before the client can see it.
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                    let _ = http::Request::read(&mut stream);
+                    http::respond_503(&mut stream, "queue full, retry later\n", Some(1));
+                } else {
+                    q.push_back(stream);
+                    drop(q);
+                    shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    shared.queue_cv.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                eprintln!("serve: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    // Drain: refuse new work, cancel running jobs at their next stage
+    // boundary, let workers finish writing responses. An injected
+    // serve_drain fault must never prevent the drain itself.
+    if let Err(e) = faultpoint::fire("serve_drain", "drain") {
+        eprintln!("serve: drain fault injected (continuing drain): {e}");
+    }
+    shared.draining.store(true, Ordering::SeqCst);
+    shared.drain.cancel();
+    shared.queue_cv.notify_all();
+    for w in pool {
+        let _ = w.join();
+    }
+    let cache_valid = shared.cache.validate_all().is_ok();
+    DrainSummary {
+        accepted: shared.counters.accepted.load(Ordering::Relaxed),
+        completed: shared.counters.completed.load(Ordering::Relaxed),
+        failed: shared.counters.failed.load(Ordering::Relaxed),
+        rejected: shared.counters.rejected.load(Ordering::Relaxed),
+        refused_draining: shared.counters.refused_draining.load(Ordering::Relaxed),
+        cache: shared.cache.stats(),
+        cache_valid,
+    }
+}
+
+/// One worker: pops queued connections and serves them until drained.
+fn worker_main(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        if shared.draining.load(Ordering::SeqCst) {
+            shared
+                .counters
+                .refused_draining
+                .fetch_add(1, Ordering::Relaxed);
+            http::respond_503(&mut stream, "draining\n", None);
+            continue;
+        }
+        // Per-connection panic isolation: a panic (chaos poison escaping
+        // past the flow's own catch_unwind, or a daemon bug) kills this
+        // job only — the connection drops, the worker lives on.
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_conn(shared, &mut stream)));
+        match outcome {
+            Ok(Fate::Completed) => {
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Fate::Failed) | Err(_) => {
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Fate::Control) => {}
+        }
+    }
+}
+
+/// How a connection ended, for the daemon's counters.
+enum Fate {
+    /// A job ran to a result.
+    Completed,
+    /// A job errored (deadline, cancellation, panic, bad request).
+    Failed,
+    /// A non-job endpoint (health, stats, shutdown, 404).
+    Control,
+}
+
+fn handle_conn(shared: &Shared, stream: &mut TcpStream) -> Fate {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let req = match Request::read(stream) {
+        Ok(req) => req,
+        Err(e) => {
+            http::respond_400(stream, &format!("bad request: {e}\n"));
+            return Fate::Failed;
+        }
+    };
+    match req.path.as_str() {
+        "/healthz" => {
+            http::respond_200(stream, "ok\n");
+            Fate::Control
+        }
+        "/stats" => {
+            let c = &shared.counters;
+            let body = format!(
+                "accepted={} completed={} failed={} rejected={} refused_draining={}\ncache {}\n",
+                c.accepted.load(Ordering::Relaxed),
+                c.completed.load(Ordering::Relaxed),
+                c.failed.load(Ordering::Relaxed),
+                c.rejected.load(Ordering::Relaxed),
+                c.refused_draining.load(Ordering::Relaxed),
+                shared.cache.stats(),
+            );
+            http::respond_200(stream, &body);
+            Fate::Control
+        }
+        "/shutdown" => {
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            http::respond_200(stream, "draining\n");
+            Fate::Control
+        }
+        "/job" => handle_job(shared, stream, &req.query),
+        "/matrix" => handle_matrix(shared, stream, &req.query),
+        other => {
+            http::respond_404(stream, &format!("no such endpoint {other}\n"));
+            Fate::Control
+        }
+    }
+}
+
+fn parse_params(q: &Query) -> Result<DesignParams, String> {
+    match q.get("params").unwrap_or("tiny") {
+        "tiny" => Ok(DesignParams::tiny()),
+        "small" => Ok(DesignParams::small()),
+        "paper" => Ok(DesignParams::paper()),
+        other => Err(format!("unknown params {other:?} (tiny|small|paper)")),
+    }
+}
+
+fn parse_job(shared: &Shared, q: &Query) -> Result<ServiceJob, String> {
+    let design_key = q.get("design").ok_or("missing design")?;
+    let design = *NamedDesign::ALL
+        .iter()
+        .find(|d| d.key() == design_key)
+        .ok_or_else(|| format!("unknown design {design_key:?}"))?;
+    let arch_name = q.get("arch").ok_or("missing arch")?;
+    let arch = arch_by_name(arch_name).ok_or_else(|| format!("unknown arch {arch_name:?}"))?;
+    let variant = match q.get("variant").ok_or("missing variant")? {
+        "a" => FlowVariant::A,
+        "b" => FlowVariant::B,
+        other => return Err(format!("unknown variant {other:?} (a|b)")),
+    };
+    let params = parse_params(q)?;
+    let mut config = FlowConfig {
+        cancel: shared.drain.clone(),
+        ..FlowConfig::default()
+    };
+    if let Some(ms) = q.get("deadline_ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad deadline_ms {ms:?}"))?;
+        config.deadline = Some(Duration::from_millis(ms));
+    }
+    Ok(ServiceJob {
+        design,
+        arch,
+        variant,
+        params,
+        config,
+    })
+}
+
+fn handle_job(shared: &Shared, stream: &mut TcpStream, query: &str) -> Fate {
+    let q = Query::parse(query);
+    let job = match parse_job(shared, &q) {
+        Ok(job) => job,
+        Err(e) => {
+            http::respond_400(stream, &format!("{e}\n"));
+            return Fate::Failed;
+        }
+    };
+    let poison = if shared.chaos { q.get("poison") } else { None };
+    let stall = if shared.chaos {
+        q.get("stall_ms").and_then(|s| s.parse::<u64>().ok())
+    } else {
+        None
+    };
+    http::head_200(stream);
+    let mut stalled = false;
+    let outcome = shared.flow.run_job(&job, &mut |e| match e {
+        JobEvent::Stage {
+            stage,
+            wall,
+            cells,
+            nets,
+        } => {
+            let _ = writeln!(
+                stream,
+                "stage {stage} wall_ms={} cells={cells} nets={nets}",
+                wall.as_millis()
+            );
+            let _ = stream.flush();
+            if let Some(ms) = stall {
+                if !stalled {
+                    stalled = true;
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+            }
+            if poison == Some(stage.name()) {
+                panic!("chaos poison at {stage}");
+            }
+        }
+        JobEvent::Front { hit } => {
+            let _ = writeln!(stream, "front hit={hit}");
+            let _ = stream.flush();
+        }
+        JobEvent::Result { hit } => {
+            let _ = writeln!(stream, "result hit={hit}");
+            let _ = stream.flush();
+            if poison == Some("result") {
+                panic!("chaos poison at result");
+            }
+        }
+    });
+    match outcome {
+        Ok(out) => {
+            let _ = writeln!(stream, "fingerprint {:#018x}", out.fingerprint());
+            let _ = writeln!(
+                stream,
+                "done design={} arch={} variant={} front_hit={} result_hit={}",
+                out.design_key,
+                out.arch,
+                job.variant.key(),
+                out.front_cache_hit,
+                out.result_cache_hit
+            );
+            Fate::Completed
+        }
+        Err(e) => {
+            let _ = writeln!(stream, "error {e}");
+            Fate::Failed
+        }
+    }
+}
+
+fn handle_matrix(shared: &Shared, stream: &mut TcpStream, query: &str) -> Fate {
+    let q = Query::parse(query);
+    let params = match parse_params(&q) {
+        Ok(p) => p,
+        Err(e) => {
+            http::respond_400(stream, &format!("{e}\n"));
+            return Fate::Failed;
+        }
+    };
+    http::head_200(stream);
+    let mut outcomes = Vec::new();
+    let mut hits = 0usize;
+    let jobs = FlowMatrix::full();
+    let total = jobs.jobs().len() * 2;
+    for job in jobs.jobs() {
+        let job = ServiceJob {
+            design: job.design,
+            arch: job.arch.clone(),
+            variant: job.variant,
+            params: params.clone(),
+            config: FlowConfig {
+                cancel: shared.drain.clone(),
+                ..FlowConfig::default()
+            },
+        };
+        match shared.flow.run_job(&job, &mut |_| {}) {
+            Ok(out) => {
+                hits += usize::from(out.front_cache_hit) + usize::from(out.result_cache_hit);
+                let _ = writeln!(
+                    stream,
+                    "cell {}/{}/{} fingerprint={:#018x} front_hit={} result_hit={}",
+                    out.design_key,
+                    out.arch,
+                    job.variant.key(),
+                    out.fingerprint(),
+                    out.front_cache_hit,
+                    out.result_cache_hit
+                );
+                let _ = stream.flush();
+                outcomes.push(out);
+            }
+            Err(e) => {
+                let _ = writeln!(stream, "error {} {e}", job.ctx());
+                return Fate::Failed;
+            }
+        }
+    }
+    let matrix = Matrix::from_outcomes(pair_outcomes(&outcomes));
+    let _ = writeln!(stream, "cache hits={hits}/{total}");
+    let _ = writeln!(stream, "matrix fingerprint: {:#018x}", matrix.fingerprint());
+    Fate::Completed
+}

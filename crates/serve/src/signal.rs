@@ -1,0 +1,45 @@
+//! SIGTERM → graceful drain, with no external crates: the handler is
+//! registered through the libc `signal` symbol (already linked by std)
+//! and does nothing but set an atomic flag, which is async-signal-safe.
+//! The daemon's accept loop polls [`sigterm_seen`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGTERM has been delivered (after
+/// [`install_sigterm_handler`]) or [`raise_sigterm_flag`] was called.
+pub fn sigterm_seen() -> bool {
+    SIGTERM.load(Ordering::SeqCst)
+}
+
+/// Sets the flag the handler would set — lets tests (and in-process
+/// embedders) trigger the SIGTERM drain path without signalling the
+/// whole process.
+pub fn raise_sigterm_flag() {
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" fn on_sigterm(_sig: i32) {
+    // Only an atomic store: async-signal-safe.
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM handler. Idempotent; call once at daemon start.
+#[cfg(unix)]
+pub fn install_sigterm_handler() {
+    const SIGTERM_NO: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SAFETY: registering an async-signal-safe handler (a single atomic
+    // store) for SIGTERM via the C `signal` entry point.
+    unsafe {
+        signal(SIGTERM_NO, on_sigterm);
+    }
+}
+
+/// Installs the SIGTERM handler (no-op off unix).
+#[cfg(not(unix))]
+pub fn install_sigterm_handler() {}

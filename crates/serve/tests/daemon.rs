@@ -1,0 +1,210 @@
+//! End-to-end daemon tests over real sockets: admission control, job
+//! execution with fingerprint parity, deadline fast-fail, chaos
+//! poisoning, and graceful drain.
+
+use std::time::Duration;
+
+use vpga_core::PlbArchitecture;
+use vpga_designs::{DesignParams, NamedDesign};
+use vpga_flow::{run_design, FlowConfig};
+use vpga_serve::{get, spawn, DaemonConfig};
+
+fn test_daemon(chaos: bool) -> vpga_serve::DaemonHandle {
+    spawn(DaemonConfig {
+        listen: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 16,
+        cache_budget: 64 << 20,
+        checkpoint_dir: None,
+        chaos,
+    })
+    .expect("daemon spawn")
+}
+
+fn fingerprint(body: &str) -> Option<u64> {
+    body.lines()
+        .find_map(|l| l.strip_prefix("fingerprint 0x"))
+        .and_then(|hex| u64::from_str_radix(hex.trim(), 16).ok())
+}
+
+#[test]
+fn healthz_stats_and_404() {
+    let daemon = test_daemon(false);
+    let (status, body) = get(daemon.addr(), "/healthz").unwrap();
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, body) = get(daemon.addr(), "/stats").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("completed=0"), "fresh daemon stats: {body}");
+    assert!(body.contains("cache entries=0"), "stats: {body}");
+    let (status, _) = get(daemon.addr(), "/nope").unwrap();
+    assert_eq!(status, 404);
+    daemon.shutdown();
+    let summary = daemon.join();
+    assert!(summary.cache_valid);
+}
+
+#[test]
+fn bad_requests_are_rejected_not_crashed() {
+    let daemon = test_daemon(false);
+    for path in [
+        "/job",
+        "/job?design=nope&arch=granular&variant=a",
+        "/job?design=alu&arch=asic&variant=a",
+        "/job?design=alu&arch=granular&variant=c",
+        "/job?design=alu&arch=granular&variant=a&params=huge",
+        "/job?design=alu&arch=granular&variant=a&deadline_ms=soon",
+    ] {
+        let (status, _) = get(daemon.addr(), path).unwrap();
+        assert_eq!(status, 400, "{path} should be a 400");
+    }
+    let (status, _) = get(daemon.addr(), "/healthz").unwrap();
+    assert_eq!(status, 200, "daemon must survive bad requests");
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
+fn job_fingerprint_matches_batch_and_warm_run_hits() {
+    let daemon = test_daemon(false);
+    let path = "/job?design=alu&arch=granular&variant=a&params=tiny";
+    let (status, cold) = get(daemon.addr(), path).unwrap();
+    assert_eq!(status, 200);
+    assert!(cold.contains("front hit=false"), "cold run: {cold}");
+    assert!(
+        cold.contains("stage synth"),
+        "cold run streams stages: {cold}"
+    );
+    let (_, warm) = get(daemon.addr(), path).unwrap();
+    assert!(warm.contains("front hit=true"), "warm run: {warm}");
+    assert!(warm.contains("result hit=true"), "warm run: {warm}");
+    let batch = run_design(
+        &NamedDesign::Alu.generate(&DesignParams::tiny()),
+        &PlbArchitecture::granular(),
+        &FlowConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(fingerprint(&cold), Some(batch.flow_a.fingerprint()));
+    assert_eq!(fingerprint(&warm), Some(batch.flow_a.fingerprint()));
+    daemon.shutdown();
+    let summary = daemon.join();
+    assert_eq!(summary.completed, 2);
+    assert!(summary.cache_valid);
+}
+
+#[test]
+fn zero_queue_depth_rejects_with_retry_after() {
+    let daemon = spawn(DaemonConfig {
+        listen: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 0,
+        cache_budget: 1 << 20,
+        checkpoint_dir: None,
+        chaos: false,
+    })
+    .unwrap();
+    // With a zero-depth queue every connection is turned away at the
+    // door — bounded admission, never unbounded buffering.
+    let (status, body) = get(daemon.addr(), "/healthz").unwrap();
+    assert_eq!(status, 503);
+    assert!(body.contains("retry"), "admission body: {body}");
+    daemon.shutdown();
+    let summary = daemon.join();
+    assert_eq!(summary.rejected, 1);
+    assert_eq!(summary.accepted, 0);
+}
+
+#[test]
+fn zero_deadline_fails_fast_without_running_stages() {
+    let daemon = test_daemon(false);
+    let (status, body) = get(
+        daemon.addr(),
+        "/job?design=fpu&arch=lut&variant=b&params=tiny&deadline_ms=0",
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("error "), "zero deadline must error: {body}");
+    assert!(!body.contains("stage "), "no stage may run: {body}");
+    assert!(fingerprint(&body).is_none());
+    daemon.shutdown();
+    let summary = daemon.join();
+    assert_eq!(summary.failed, 1);
+    assert_eq!(summary.cache.misses, 0, "cache untouched by rejected job");
+}
+
+#[test]
+fn poisoned_job_fails_isolated_and_next_job_is_clean() {
+    let daemon = test_daemon(true);
+    let poisoned = get(
+        daemon.addr(),
+        "/job?design=alu&arch=granular&variant=a&params=tiny&poison=place",
+    )
+    .unwrap();
+    assert_eq!(poisoned.0, 200);
+    assert!(
+        poisoned.1.contains("error ") && poisoned.1.contains("panic"),
+        "poison must surface as a trapped panic: {}",
+        poisoned.1
+    );
+    // The abandoned claim must not wedge the key: the same job now runs
+    // clean and matches batch.
+    let (_, clean) = get(
+        daemon.addr(),
+        "/job?design=alu&arch=granular&variant=a&params=tiny",
+    )
+    .unwrap();
+    let batch = run_design(
+        &NamedDesign::Alu.generate(&DesignParams::tiny()),
+        &PlbArchitecture::granular(),
+        &FlowConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(fingerprint(&clean), Some(batch.flow_a.fingerprint()));
+    daemon.cache().validate_all().unwrap();
+    daemon.shutdown();
+    let summary = daemon.join();
+    assert_eq!(summary.failed, 1);
+    assert_eq!(summary.completed, 1);
+    assert!(summary.cache_valid);
+}
+
+#[test]
+fn chaos_params_are_ignored_without_chaos_mode() {
+    let daemon = test_daemon(false);
+    let (status, body) = get(
+        daemon.addr(),
+        "/job?design=alu&arch=granular&variant=a&params=tiny&poison=place",
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert!(fingerprint(&body).is_some(), "poison ignored: {body}");
+    daemon.shutdown();
+    daemon.join();
+}
+
+#[test]
+fn drain_mid_job_cancels_cooperatively_and_leaves_cache_valid() {
+    let daemon = test_daemon(true);
+    let addr = daemon.addr();
+    // A stalled job: sleeps 400ms inside its first stage event, so the
+    // drain lands while the job is mid-flight.
+    let stalled = std::thread::spawn(move || {
+        get(
+            addr,
+            "/job?design=firewire&arch=granular&variant=b&params=tiny&stall_ms=400",
+        )
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    daemon.shutdown();
+    let summary = daemon.join();
+    // The stalled connection got a response: either it finished its
+    // stages before the cancel check, or it reports the cancellation.
+    let (status, body) = stalled.join().unwrap().unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        fingerprint(&body).is_some() || body.contains("cancelled"),
+        "drained job response: {body}"
+    );
+    assert!(summary.cache_valid, "cache must validate after drain");
+    // And the daemon is gone: new connections are refused.
+    assert!(get(addr, "/healthz").is_err());
+}

@@ -13,6 +13,10 @@
 //! vpga arch [granular|lut|homogeneous]
 //! vpga verify-interchange <DIR>
 //! vpga migrate-checkpoints <DIR> [--size S] [--no-compaction]
+//! vpga serve [--listen ADDR] [--workers N] [--queue N] [--cache-mb N]
+//!           [--checkpoint-dir DIR] [--chaos]
+//! vpga submit <HOST:PORT> <PATH>
+//! vpga serve-bench [--jobs N] [--clients N] [--cache-kb N] [--designs N]
 //! ```
 //!
 //! `gen` writes a generated benchmark as structural Verilog over the
@@ -91,6 +95,9 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "arch" => cmd_arch(rest),
         "verify-interchange" => cmd_verify_interchange(rest),
         "migrate-checkpoints" => cmd_migrate_checkpoints(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "serve-bench" => cmd_serve_bench(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -131,7 +138,16 @@ fn print_usage() {
          \x20 vpga verify-interchange <DIR>                     re-parse every .sdf/.vxdl in DIR,\n\
          \x20                                                   check round-trip fixpoints\n\
          \x20 vpga migrate-checkpoints <DIR> [--size S]         export front-end checkpoints to\n\
-         \x20                                                   .vxdl and verify fingerprints"
+         \x20                                                   .vxdl and verify fingerprints\n\n\
+         service:\n\
+         \x20 vpga serve [--listen ADDR] [--workers N] [--queue N] [--cache-mb N]\n\
+         \x20            [--checkpoint-dir DIR] [--chaos]        run the flow daemon (SIGTERM or\n\
+         \x20                                                   /shutdown drains gracefully)\n\
+         \x20 vpga submit <HOST:PORT> <PATH>                    GET a daemon endpoint, print the body\n\
+         \x20                                                   (e.g. \"/job?design=alu&arch=granular&variant=a&params=tiny\")\n\
+         \x20 vpga serve-bench [--jobs N] [--clients N] [--cache-kb N] [--designs N]\n\
+         \x20                                                   load-test an in-process daemon against\n\
+         \x20                                                   batch-mode reference fingerprints"
     );
 }
 
@@ -162,8 +178,10 @@ fn apply_robustness_flags(
         let secs: f64 = v
             .parse()
             .map_err(|_| format!("bad --deadline value {v:?}"))?;
-        if !secs.is_finite() || secs <= 0.0 {
-            return Err(format!("--deadline must be positive, got {v}").into());
+        // 0 is legal and fails jobs fast before their first stage — the
+        // admission-style "reject everything" budget.
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!("--deadline must be non-negative, got {v}").into());
         }
         config.deadline = Some(std::time::Duration::from_secs_f64(secs));
     } else if args.iter().any(|a| a == "--deadline") {
@@ -537,6 +555,100 @@ fn cmd_migrate_checkpoints(args: &[String]) -> Result<(), Box<dyn Error>> {
         .into());
     }
     eprintln!("{migrated} checkpoint(s) migrated and verified");
+    Ok(())
+}
+
+/// Parses `--flag N` as a number, with a default when the flag is absent.
+fn numeric_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, Box<dyn Error>> {
+    match flag_value(args, flag) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad {flag} value {v:?}").into()),
+        None if args.iter().any(|a| a == flag) => Err(format!("{flag} needs a value").into()),
+        None => Ok(default),
+    }
+}
+
+/// `vpga serve` — run the flow daemon until SIGTERM or `/shutdown`, then
+/// drain gracefully and report.
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let config = vpga::serve::DaemonConfig {
+        listen: flag_value(args, "--listen")
+            .unwrap_or("127.0.0.1:8787")
+            .to_owned(),
+        workers: numeric_flag(args, "--workers", 4usize)?,
+        queue_depth: numeric_flag(args, "--queue", 64usize)?,
+        cache_budget: numeric_flag(args, "--cache-mb", 64usize)? << 20,
+        checkpoint_dir: flag_value(args, "--checkpoint-dir").map(Into::into),
+        chaos: args.iter().any(|a| a == "--chaos"),
+    };
+    vpga::serve::install_sigterm_handler();
+    let handle = vpga::serve::spawn(config.clone())?;
+    eprintln!(
+        "vpga serve: listening on {} ({} workers, queue depth {}, cache {} MiB{}{})",
+        handle.addr(),
+        config.workers.max(1),
+        config.queue_depth,
+        config.cache_budget >> 20,
+        match &config.checkpoint_dir {
+            Some(dir) => format!(", checkpoints in {}", dir.display()),
+            None => String::new(),
+        },
+        if config.chaos { ", chaos enabled" } else { "" },
+    );
+    let summary = handle.join();
+    println!("{summary}");
+    if summary.cache_valid {
+        Ok(())
+    } else {
+        Err("artifact cache failed post-drain validation".into())
+    }
+}
+
+/// `vpga submit` — one GET against a running daemon, body to stdout.
+fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use std::net::ToSocketAddrs as _;
+    let host = args.first().ok_or("submit requires HOST:PORT")?;
+    let path = args.get(1).ok_or(
+        "submit requires a request path, e.g. \"/job?design=alu&arch=granular&variant=a&params=tiny\"",
+    )?;
+    let addr = host
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| format!("cannot resolve {host}"))?;
+    let (status, body) = vpga::serve::get(addr, path)?;
+    print!("{body}");
+    if status == 200 {
+        Ok(())
+    } else {
+        Err(format!("daemon answered {status}").into())
+    }
+}
+
+/// `vpga serve-bench` — the load harness: an in-process daemon hammered
+/// with mixed hit/miss/zero-deadline/poisoned jobs, every published
+/// fingerprint checked against the batch-mode reference.
+fn cmd_serve_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let config = vpga::serve::BenchConfig {
+        jobs: numeric_flag(args, "--jobs", 1000usize)?,
+        clients: numeric_flag(args, "--clients", 8usize)?,
+        cache_budget: numeric_flag(args, "--cache-kb", 512usize)? << 10,
+        designs: numeric_flag(args, "--designs", 4usize)?,
+    };
+    eprintln!(
+        "serve-bench: {} jobs across {} clients, cache budget {} KiB ...",
+        config.jobs,
+        config.clients,
+        config.cache_budget >> 10
+    );
+    let report = vpga::serve::run_bench(&config)?;
+    println!("{report}");
+    report.verify(config.cache_budget)?;
+    eprintln!("serve-bench: all invariants held");
     Ok(())
 }
 

@@ -27,6 +27,7 @@
 //! | [`flow`] | `vpga-flow` | flows a/b, Table 1/2 assembly, §3.2 claims |
 //! | [`fabric`] | `vpga-fabric` | via-pattern generation and reconstruction |
 //! | [`interchange`] | `vpga-interchange` | SDF timing export, `.vxdl` text codec |
+//! | [`serve`] | `vpga-serve` | flow daemon: HTTP jobs, artifact cache, drain |
 //!
 //! # Quickstart
 //!
@@ -57,5 +58,6 @@ pub use vpga_netlist as netlist;
 pub use vpga_pack as pack;
 pub use vpga_place as place;
 pub use vpga_route as route;
+pub use vpga_serve as serve;
 pub use vpga_synth as synth;
 pub use vpga_timing as timing;

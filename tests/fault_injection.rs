@@ -18,7 +18,11 @@ use std::sync::Mutex;
 use vpga::core::PlbArchitecture;
 use vpga::designs::{DesignParams, NamedDesign};
 use vpga::flow::faultpoint::{self, FaultKind};
-use vpga::flow::{run_design, Executor, FlowConfig, FlowError, FlowMatrix, FlowVariant, Stage};
+use vpga::flow::{
+    run_design, CachedFlow, CheckpointStore, Executor, FlowConfig, FlowError, FlowMatrix,
+    FlowVariant, JobEvent, ServiceJob, Stage,
+};
+use vpga::serve::{get, spawn, DaemonConfig};
 
 static LOCK: Mutex<()> = Mutex::new(());
 
@@ -334,6 +338,224 @@ fn worker_thread_panic_fails_the_owning_stage_closed() {
             golden_prints[i]
         );
     }
+}
+
+fn tiny_service_job(variant: FlowVariant) -> ServiceJob {
+    ServiceJob {
+        design: NamedDesign::Alu,
+        arch: PlbArchitecture::granular(),
+        variant,
+        params: DesignParams::tiny(),
+        config: FlowConfig::default(),
+    }
+}
+
+fn golden_fingerprint(variant: FlowVariant) -> u64 {
+    let out = run_design(
+        &tiny_alu(),
+        &PlbArchitecture::granular(),
+        &FlowConfig::default(),
+    )
+    .expect("golden run");
+    match variant {
+        FlowVariant::A => out.flow_a.fingerprint(),
+        FlowVariant::B => out.flow_b.fingerprint(),
+    }
+}
+
+#[test]
+fn checkpoint_rename_fault_loses_the_update_never_a_torn_artifact() {
+    let _guard = locked();
+    let dir = std::env::temp_dir().join(format!("vpga-rename-fault-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let golden = golden_fingerprint(FlowVariant::A);
+
+    // Kill the job in the checkpoint_rename window: the synth checkpoint's
+    // durable temp write lands, the rename is lost, and the compact fault
+    // then ends the job — exactly the disk state a crash leaves behind.
+    faultpoint::arm("checkpoint_rename", None, FaultKind::Error);
+    faultpoint::arm("compact", None, FaultKind::Error);
+    let flow =
+        CachedFlow::new(64 << 20).with_checkpoints(CheckpointStore::new(&dir, true).unwrap());
+    let err = flow
+        .run_job(&tiny_service_job(FlowVariant::A), &mut |_| {})
+        .unwrap_err();
+    assert_eq!(err.stage(), Some(Stage::Compact), "{err}");
+    assert!(!faultpoint::any_armed(), "both faults must have fired");
+    drop(flow);
+
+    // The interrupted write left its temp file (the durable half ran)...
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        leftovers.iter().any(|n| n.ends_with(".tmp")),
+        "expected an orphaned temp file: {leftovers:?}"
+    );
+    // ...but never a readable half-artifact: a resuming run finds nothing
+    // to restore, recomputes every stage, and matches the golden run.
+    let flow =
+        CachedFlow::new(64 << 20).with_checkpoints(CheckpointStore::new(&dir, true).unwrap());
+    let mut computed = 0usize;
+    let out = flow
+        .run_job(&tiny_service_job(FlowVariant::A), &mut |e| {
+            if matches!(e, JobEvent::Stage { .. }) {
+                computed += 1;
+            }
+        })
+        .unwrap();
+    assert_eq!(computed, 6, "the lost checkpoint must restore nothing");
+    assert_eq!(out.fingerprint(), golden);
+    drop(flow);
+
+    // And the orphaned temp file never confuses later durable writes: a
+    // third run (fresh memory cache) resumes wholly from the checkpoints
+    // the second run wrote.
+    let flow =
+        CachedFlow::new(64 << 20).with_checkpoints(CheckpointStore::new(&dir, true).unwrap());
+    let mut computed = 0usize;
+    let out = flow
+        .run_job(&tiny_service_job(FlowVariant::A), &mut |e| {
+            if matches!(e, JobEvent::Stage { .. }) {
+                computed += 1;
+            }
+        })
+        .unwrap();
+    assert_eq!(computed, 0, "resume must restore every stage from disk");
+    assert_eq!(out.fingerprint(), golden);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_write_fault_abandons_the_publish_but_the_job_completes() {
+    let _guard = locked();
+    let golden = golden_fingerprint(FlowVariant::A);
+    let flow = CachedFlow::new(64 << 20);
+    // The one-shot fault eats the front-end publish; the job proceeds on
+    // its in-memory artifacts and the result publish succeeds.
+    faultpoint::arm("cache_write", None, FaultKind::Error);
+    let out = flow
+        .run_job(&tiny_service_job(FlowVariant::A), &mut |_| {})
+        .unwrap();
+    assert_eq!(out.fingerprint(), golden);
+    assert!(!out.front_cache_hit && !out.result_cache_hit);
+    let stats = flow.cache().stats();
+    assert_eq!(stats.entries, 1, "only the result entry landed: {stats}");
+    assert_eq!(stats.in_flight, 0, "abandoned claim must be cleared");
+    // The next run recomputes the unpublished front-end (and republishes
+    // it) but serves the result from cache.
+    let warm = flow
+        .run_job(&tiny_service_job(FlowVariant::A), &mut |_| {})
+        .unwrap();
+    assert!(!warm.front_cache_hit && warm.result_cache_hit);
+    assert_eq!(warm.fingerprint(), golden);
+    assert_eq!(flow.cache().stats().entries, 2);
+    flow.cache().validate_all().unwrap();
+}
+
+#[test]
+fn cache_read_fault_fails_closed_into_a_clean_recompute() {
+    let _guard = locked();
+    let golden = golden_fingerprint(FlowVariant::A);
+    let flow = CachedFlow::new(64 << 20);
+    flow.run_job(&tiny_service_job(FlowVariant::A), &mut |_| {})
+        .unwrap();
+    // An injected read fault is treated as failed validation: the entry
+    // is dropped and recomputed, never served.
+    faultpoint::arm("cache_read", None, FaultKind::Error);
+    let warm = flow
+        .run_job(&tiny_service_job(FlowVariant::A), &mut |_| {})
+        .unwrap();
+    assert!(!warm.front_cache_hit, "suspect front entry must not serve");
+    assert!(warm.result_cache_hit, "untainted result entry still serves");
+    assert_eq!(warm.fingerprint(), golden);
+    let stats = flow.cache().stats();
+    assert_eq!(stats.invalid, 1, "{stats}");
+    assert_eq!(stats.entries, 2, "recompute republishes: {stats}");
+    flow.cache().validate_all().unwrap();
+}
+
+#[test]
+fn cache_evict_fault_aborts_the_sweep_and_the_next_publish_recovers() {
+    let _guard = locked();
+    // A zero budget makes every publish sweep everything but itself.
+    let flow = CachedFlow::new(0);
+    faultpoint::arm("cache_evict", None, FaultKind::Error);
+    let a = flow
+        .run_job(&tiny_service_job(FlowVariant::A), &mut |_| {})
+        .unwrap();
+    assert_eq!(a.fingerprint(), golden_fingerprint(FlowVariant::A));
+    // The result publish picked the front entry as its victim, the
+    // injected fault aborted the sweep, and the cache runs transiently
+    // over budget rather than pretend the removal happened.
+    assert!(!faultpoint::any_armed(), "evict fault must have fired");
+    assert_eq!(flow.cache().stats().entries, 2);
+    // The next publish sweeps clean again: B reuses the surviving front
+    // entry, then its result publish evicts everything else.
+    let b = flow
+        .run_job(&tiny_service_job(FlowVariant::B), &mut |_| {})
+        .unwrap();
+    assert!(b.front_cache_hit, "front shared despite the aborted sweep");
+    assert_eq!(b.fingerprint(), golden_fingerprint(FlowVariant::B));
+    let stats = flow.cache().stats();
+    assert_eq!(stats.entries, 1, "recovered sweep: {stats}");
+    flow.cache().validate_all().unwrap();
+}
+
+#[test]
+fn serve_accept_fault_drops_one_connection_and_the_daemon_recovers() {
+    let _guard = locked();
+    let daemon = spawn(DaemonConfig {
+        listen: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 4,
+        cache_budget: 1 << 20,
+        checkpoint_dir: None,
+        chaos: false,
+    })
+    .unwrap();
+    faultpoint::arm("serve_accept", None, FaultKind::Error);
+    // The faulted accept drops the connection unqueued: the client sees
+    // a close with no response, never a hang or a crash.
+    assert!(get(daemon.addr(), "/healthz").is_err());
+    assert!(!faultpoint::any_armed(), "accept fault must have fired");
+    let (status, body) = get(daemon.addr(), "/healthz").unwrap();
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    daemon.shutdown();
+    let summary = daemon.join();
+    assert_eq!(summary.rejected, 1, "{summary}");
+    assert!(summary.cache_valid);
+}
+
+#[test]
+fn serve_drain_fault_never_prevents_a_clean_drain() {
+    let _guard = locked();
+    let daemon = spawn(DaemonConfig {
+        listen: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 4,
+        cache_budget: 64 << 20,
+        checkpoint_dir: None,
+        chaos: false,
+    })
+    .unwrap();
+    let (status, body) = get(
+        daemon.addr(),
+        "/job?design=alu&arch=granular&variant=a&params=tiny",
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("fingerprint 0x"), "{body}");
+    // A fault injected into the drain path is logged and the drain
+    // completes anyway: workers join, the cache validates.
+    faultpoint::arm("serve_drain", None, FaultKind::Error);
+    daemon.shutdown();
+    let summary = daemon.join();
+    assert!(!faultpoint::any_armed(), "drain fault must have fired");
+    assert_eq!(summary.completed, 1, "{summary}");
+    assert!(summary.cache_valid, "{summary}");
 }
 
 #[test]

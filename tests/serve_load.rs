@@ -1,0 +1,36 @@
+//! Tier-1 load test for the serve daemon: a scaled-down run of the
+//! `vpga serve-bench` harness (the CI release build runs the full
+//! thousand-job sweep). Mixed cache-hit / cache-miss / zero-deadline /
+//! chaos-poisoned jobs hammer an in-process daemon over real sockets,
+//! and every published fingerprint must be bit-identical to the
+//! batch-mode reference.
+
+use vpga::serve::{run_bench, BenchConfig};
+
+#[test]
+fn mixed_load_produces_bit_identical_fingerprints_and_bounded_memory() {
+    let config = BenchConfig {
+        jobs: 154,
+        clients: 4,
+        // Small enough to force eviction churn under tiny artifacts.
+        cache_budget: 256 << 10,
+        // Two designs keep the debug-mode batch reference cheap.
+        designs: 2,
+    };
+    let report = run_bench(&config).expect("bench infrastructure");
+    report
+        .verify(config.cache_budget)
+        .unwrap_or_else(|violation| panic!("{violation}\n{report}"));
+    // The stream really was mixed: every job kind occurred, and the
+    // cache-parity majority dominated.
+    assert!(report.completed > 0, "{report}");
+    assert!(report.deadline_failed > 0, "{report}");
+    assert!(
+        report.poison_failed + report.poison_survived > 0,
+        "{report}"
+    );
+    assert_eq!(report.mismatched, 0, "{report}");
+    assert_eq!(report.unexpected, 0, "{report}");
+    // Drain accounting: the daemon saw every job that got a response.
+    assert!(report.drain.cache_valid, "{report}");
+}
