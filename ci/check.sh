@@ -54,7 +54,16 @@ step "cargo test --features fault-inject (fault-injection harness)"
 cargo test --features fault-inject -q
 
 step "audited matrix run (debug assertions + inter-stage auditors)"
-cargo run -q --bin vpga -- matrix --size tiny --jobs 2 --audit >/dev/null
+# The fingerprint folds the pack/swap mover counters, so this also pins
+# the incremental back-end (dirty-region repack, delta-cost swap) to the
+# published golden bit-for-bit.
+golden="matrix fingerprint: 0xd516b48daf413258"
+audited=$(cargo run -q --bin vpga -- matrix --size tiny --jobs 2 --audit \
+    | grep '^matrix fingerprint:')
+if [ "$audited" != "$golden" ]; then
+    echo "error: audited matrix diverged from the golden: '$audited' != '$golden'" >&2
+    exit 1
+fi
 
 step "kill-and-resume smoke (interrupted checkpointed matrix resumes bit-identical)"
 CKPT=$(mktemp -d)

@@ -135,6 +135,10 @@ fn encode_stats(w: &mut Writer, s: &StageStats) {
     w.opt(s.cache_hits, Writer::u64);
     w.opt(s.cache_misses, Writer::u64);
     w.opt(s.cache_evicted, Writer::u64);
+    w.opt(s.repack_regions_reused, Writer::u64);
+    w.opt(s.repack_subtrees_dirty, Writer::u64);
+    w.opt(s.swap_delta_evals, Writer::u64);
+    w.opt(s.swap_bbox_rescans, Writer::u64);
 }
 
 fn decode_stats(r: &mut Reader<'_>) -> Option<StageStats> {
@@ -162,6 +166,10 @@ fn decode_stats(r: &mut Reader<'_>) -> Option<StageStats> {
     s.cache_hits = r.opt(Reader::u64)?;
     s.cache_misses = r.opt(Reader::u64)?;
     s.cache_evicted = r.opt(Reader::u64)?;
+    s.repack_regions_reused = r.opt(Reader::u64)?;
+    s.repack_subtrees_dirty = r.opt(Reader::u64)?;
+    s.swap_delta_evals = r.opt(Reader::u64)?;
+    s.swap_bbox_rescans = r.opt(Reader::u64)?;
     Some(s)
 }
 

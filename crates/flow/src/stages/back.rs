@@ -113,6 +113,7 @@ impl Stage<BackArtifacts<'_>> for PackStage {
                 pack_stats.relocations + pack_stats.spilled,
                 pack_stats.relocations,
             )
+            .with_repack(pack_stats.regions_reused, pack_stats.subtrees_repartitioned)
             .with_sta(0, 1, 0);
         store.b_placement = Some(b_placement);
         store.array = Some(array);
@@ -183,7 +184,8 @@ impl Stage<BackArtifacts<'_>> for SwapStage {
         Ok(
             StageStats::new(StageId::Swap, Duration::ZERO, front.cells, nets(netlist))
                 .with_cost(swap_stats.cost_initial, swap_stats.cost_final)
-                .with_moves(swap_stats.moves_attempted, swap_stats.moves_accepted),
+                .with_moves(swap_stats.moves_attempted, swap_stats.moves_accepted)
+                .with_swap_evals(swap_stats.delta_evals, swap_stats.bbox_rescans),
         )
     }
 

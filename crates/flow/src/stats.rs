@@ -151,6 +151,17 @@ pub struct StageStats {
     /// Cache entries evicted under byte pressure while this job
     /// published its artifacts.
     pub cache_evicted: Option<u64>,
+    /// Leaf regions whose previous-pass seating the §3.1 repack loop
+    /// replayed verbatim (packing stages; unset for single-pass packs).
+    pub repack_regions_reused: Option<u64>,
+    /// Leaf regions the repack loop re-seated because their item
+    /// membership changed.
+    pub repack_subtrees_dirty: Option<u64>,
+    /// Swap evaluations answered by an incremental bounding-box update
+    /// (swap stages; unset when the direct engine ran).
+    pub swap_delta_evals: Option<u64>,
+    /// Swap evaluations that fell back to a full net-pin rescan.
+    pub swap_bbox_rescans: Option<u64>,
 }
 
 impl StageStats {
@@ -180,6 +191,10 @@ impl StageStats {
             cache_hits: None,
             cache_misses: None,
             cache_evicted: None,
+            repack_regions_reused: None,
+            repack_subtrees_dirty: None,
+            swap_delta_evals: None,
+            swap_bbox_rescans: None,
         }
     }
 
@@ -273,6 +288,33 @@ impl StageStats {
         self
     }
 
+    /// Attaches the incremental-repack counters of a packing stage (only
+    /// recorded when a repack pass actually consulted the leaf memo, so
+    /// single-pass packs keep their records unchanged). Excluded from
+    /// [`StageStats::fold_fingerprint`]: a replayed region must
+    /// fingerprint identically to the re-seat it replaced.
+    #[must_use]
+    pub fn with_repack(mut self, reused: u64, dirty: u64) -> StageStats {
+        if reused + dirty > 0 {
+            self.repack_regions_reused = Some(reused);
+            self.repack_subtrees_dirty = Some(dirty);
+        }
+        self
+    }
+
+    /// Attaches the delta-evaluation counters of a swap stage (only
+    /// recorded when the delta engine ran, so the direct engine keeps its
+    /// records unchanged). Excluded from
+    /// [`StageStats::fold_fingerprint`] like the repack counters.
+    #[must_use]
+    pub fn with_swap_evals(mut self, delta: u64, rescans: u64) -> StageStats {
+        if delta + rescans > 0 {
+            self.swap_delta_evals = Some(delta);
+            self.swap_bbox_rescans = Some(rescans);
+        }
+        self
+    }
+
     /// Folds every deterministic field (everything but `wall`) into `h`
     /// with an FNV-1a step, so result fingerprints also pin the
     /// instrumentation.
@@ -310,6 +352,14 @@ impl StageStats {
         // out too: a daemon job served from the artifact cache must
         // fingerprint bit-identically to the batch run that computed the
         // entry, whatever mix of hits, misses, and evictions it saw.
+        //
+        // The incremental back-end counters (repack_regions_reused,
+        // repack_subtrees_dirty, swap_delta_evals, swap_bbox_rescans)
+        // stay out for the same reason: the dirty-region repack and the
+        // delta-cost swap are bit-identical shortcuts, and the
+        // moves/cost fields above already pin every assignment and every
+        // HPWL they could have perturbed. Disabling either engine must
+        // not change a published fingerprint.
     }
 }
 
@@ -355,6 +405,12 @@ impl fmt::Display for StageStats {
             (self.cache_hits, self.cache_misses, self.cache_evicted)
         {
             write!(f, "  cache {h}h/{m}m/{e}e")?;
+        }
+        if let (Some(re), Some(di)) = (self.repack_regions_reused, self.repack_subtrees_dirty) {
+            write!(f, "  repack {re}r/{di}d")?;
+        }
+        if let (Some(de), Some(rs)) = (self.swap_delta_evals, self.swap_bbox_rescans) {
+            write!(f, "  delta {de}i/{rs}f")?;
         }
         if let Some(r) = self.retries {
             write!(f, "  retries {r}")?;
@@ -481,6 +537,31 @@ mod tests {
         assert_eq!(ha, hb);
         // Zero-count attachment leaves the record untouched (batch runs).
         assert_eq!(base.clone().with_cache(0, 0, 0), base);
+    }
+
+    #[test]
+    fn backend_counters_show_but_do_not_refingerprint() {
+        let pack = StageStats::new(StageId::Pack, Duration::ZERO, 10, 20).with_moves(30, 24);
+        let inc = pack.clone().with_repack(553, 5767);
+        assert!(inc.to_string().contains("repack 553r/5767d"));
+        let swap = StageStats::new(StageId::Swap, Duration::ZERO, 10, 20)
+            .with_cost(9.0, 7.0)
+            .with_moves(300, 120);
+        let delta = swap.clone().with_swap_evals(26, 33);
+        assert!(delta.to_string().contains("delta 26i/33f"));
+        // The incremental engines are bit-identical shortcuts: toggling
+        // them must not change a published fingerprint.
+        let (mut ha, mut hb, mut hc, mut hd) = (0u64, 0u64, 0u64, 0u64);
+        pack.fold_fingerprint(&mut ha);
+        inc.fold_fingerprint(&mut hb);
+        swap.fold_fingerprint(&mut hc);
+        delta.fold_fingerprint(&mut hd);
+        assert_eq!(ha, hb);
+        assert_eq!(hc, hd);
+        // Zero-count attachment leaves the record untouched (single-pass
+        // packs, direct swap engine).
+        assert_eq!(pack.clone().with_repack(0, 0), pack);
+        assert_eq!(swap.clone().with_swap_evals(0, 0), swap);
     }
 
     #[test]

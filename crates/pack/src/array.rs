@@ -1,6 +1,5 @@
 //! The legalized PLB array.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -81,8 +80,13 @@ pub struct PlbArray {
     cols: usize,
     rows: usize,
     plbs: Vec<PlbInstance>,
-    assignment: HashMap<CellId, usize>,
-    slot_class: HashMap<CellId, CellClass>,
+    /// Dense maps keyed by [`CellId::index`], grown on demand.
+    /// `u32::MAX` / `0xff` mark unassigned — sentinel Vecs instead of
+    /// hash maps keep lookups in the swap hot loop cache-friendly and
+    /// iteration order a non-question.
+    assignment: Vec<u32>,
+    slot_class: Vec<u8>,
+    num_assigned: usize,
 }
 
 impl PlbArray {
@@ -94,8 +98,9 @@ impl PlbArray {
             cols,
             rows,
             plbs: (0..cols * rows).map(|_| PlbInstance::new(arch)).collect(),
-            assignment: HashMap::new(),
-            slot_class: HashMap::new(),
+            assignment: Vec::new(),
+            slot_class: Vec::new(),
+            num_assigned: 0,
         }
     }
 
@@ -167,29 +172,46 @@ impl PlbArray {
 
     /// Records that `cell` lives in PLB `index`.
     pub(crate) fn assign(&mut self, cell: CellId, index: usize) {
-        self.assignment.insert(cell, index);
+        let at = cell.index();
+        if at >= self.assignment.len() {
+            self.assignment.resize(at + 1, u32::MAX);
+        }
+        if self.assignment[at] == u32::MAX {
+            self.num_assigned += 1;
+        }
+        self.assignment[at] = index as u32;
     }
 
     /// Records the slot class `cell` occupies (set at seating time; swaps
     /// move whole PLB contents, so the class never changes afterwards).
     pub(crate) fn set_slot_class(&mut self, cell: CellId, class: CellClass) {
-        self.slot_class.insert(cell, class);
+        let at = cell.index();
+        if at >= self.slot_class.len() {
+            self.slot_class.resize(at + 1, u8::MAX);
+        }
+        self.slot_class[at] = crate::arena::class_idx(class);
     }
 
     /// The PLB a cell was packed into.
     pub fn plb_of(&self, cell: CellId) -> Option<usize> {
-        self.assignment.get(&cell).copied()
+        match self.assignment.get(cell.index()) {
+            Some(&ix) if ix != u32::MAX => Some(ix as usize),
+            _ => None,
+        }
     }
 
     /// The slot class a cell occupies (may differ from its native class
     /// when the §3.2 flexible retargeting was used).
     pub fn slot_class_of(&self, cell: CellId) -> Option<CellClass> {
-        self.slot_class.get(&cell).copied()
+        match self.slot_class.get(cell.index()) {
+            Some(&k) if k != u8::MAX => Some(CellClass::PLB_CLASSES[k as usize]),
+            _ => None,
+        }
     }
 
     /// Number of assigned cells.
     pub fn num_assigned(&self) -> usize {
-        self.assignment.len()
+        self.num_assigned
     }
 
     /// Number of PLBs with at least one occupied slot.

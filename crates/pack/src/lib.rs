@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod arena;
 mod array;
 pub(crate) mod quadrisect;
 mod swap;

@@ -1,12 +1,33 @@
 //! The recursive-quadrisection packing algorithm and the pack↔place loop.
+//!
+//! The engine is incremental and cache-friendly while staying bit-identical
+//! to the reference formulation:
+//!
+//! * Items live in a flat SoA arena ([`crate::arena::ItemArena`]) built
+//!   once per call; the recursion works on index lists over it instead of
+//!   cloning per-level buckets.
+//! * Absent balance relocations, an item's whole quadrant path is
+//!   determined by its floor grid cell (every split is at an integer
+//!   midpoint and bucketing preserves input order), so the recursion
+//!   walks *pristine* subtrees with per-class 2-D prefix sums over leaf
+//!   demands — O(1) per node — and only materializes item lists where a
+//!   quadrant actually overflows and the §3.1 balancing step must run.
+//! * Across repack passes of [`pack_iterative`], leaf regions whose item
+//!   membership is unchanged replay their previous seating verbatim
+//!   ([`crate::arena::RepackMemo`]); dirty regions are re-partitioned.
+//! * The spill pass pulls candidate PLBs from a lazy distance heap
+//!   instead of fully sorting the array per spilled item, and every seat
+//!   probe is a masked occupancy check (the `matcher::match_cell`
+//!   flexibility decisions are precomputed per `(class, function)`).
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-use vpga_core::{PlbArchitecture, SlotSet};
-use vpga_logic::Tt3;
-use vpga_netlist::{CellClass, CellId, CellKind, GroupId, Netlist};
+use vpga_core::PlbArchitecture;
+use vpga_netlist::{CellClass, CellId, CellKind, Netlist};
 use vpga_place::{PlaceConfig, Placement};
 
+use crate::arena::{ItemArena, LeafRecord, RepackMemo, NCLASS, NO_PLB};
 use crate::array::{PackError, PlbArray};
 
 /// Tunables for [`pack`] and [`pack_iterative`].
@@ -27,6 +48,11 @@ pub struct PackConfig {
     pub criticality: Option<Vec<f64>>,
     /// Retries with a grown array if packing fails.
     pub growth_retries: usize,
+    /// Reuse seated assignments for leaf regions whose item membership is
+    /// unchanged from the previous §3.1 repack pass. Results are
+    /// bit-identical either way; the switch exists for the equivalence
+    /// tests.
+    pub incremental: bool,
 }
 
 impl Default for PackConfig {
@@ -37,19 +63,9 @@ impl Default for PackConfig {
             iterations: 2,
             criticality: None,
             growth_retries: 8,
+            incremental: true,
         }
     }
-}
-
-/// One movable unit: a single component cell or a whole compaction group.
-#[derive(Clone, Debug)]
-struct Item {
-    cells: Vec<(CellId, CellClass, Option<Tt3>)>,
-    demand: SlotSet,
-    /// Position in normalized grid coordinates (0..cols, 0..rows).
-    gx: f64,
-    gy: f64,
-    criticality: f64,
 }
 
 /// Counters from one quadrisection packing run (accumulated over the
@@ -69,6 +85,12 @@ pub struct PackStats {
     pub growth_retries: u32,
     /// Full quadrisection passes run (> 1 only for the §3.1 loop).
     pub passes: u32,
+    /// Leaf regions on repack passes whose previous seating was replayed
+    /// verbatim because their item membership was unchanged.
+    pub regions_reused: u64,
+    /// Leaf regions on repack passes re-seated because their item
+    /// membership changed (or no previous record matched).
+    pub subtrees_repartitioned: u64,
 }
 
 /// Packs the placed netlist into a PLB array of `arch`. The placement is
@@ -106,81 +128,39 @@ pub fn pack_with_stats(
     if !(config.target_fill > 0.0 && config.target_fill <= 1.0) {
         return Err(PackError::InvalidTargetFill(config.target_fill));
     }
-    let lib = arch.library();
-    // Collect items: groups first, then singleton cells.
-    let mut group_items: HashMap<GroupId, Item> = HashMap::new();
-    let mut items: Vec<Item> = Vec::new();
-    let crit = |cell: CellId| -> f64 {
-        config
-            .criticality
-            .as_ref()
-            .and_then(|v| v.get(cell.index()).copied())
-            .unwrap_or(0.0)
-    };
-    for (id, cell) in netlist.cells() {
-        let CellKind::Lib(lib_id) = cell.kind() else {
-            continue;
-        };
-        let lc = lib.cell(lib_id).ok_or_else(|| PackError::ForeignCell {
-            cell: netlist.cell_name(id).to_owned(),
-        })?;
-        let class = lc.class();
-        let function = netlist.instance_function(id, lib);
-        let (x, y) = placement.position(id).unwrap_or((0.0, 0.0));
-        match cell.group() {
-            Some(g) => {
-                let item = group_items.entry(g).or_insert_with(|| Item {
-                    cells: Vec::new(),
-                    demand: SlotSet::new(),
-                    gx: 0.0,
-                    gy: 0.0,
-                    criticality: 0.0,
-                });
-                item.cells.push((id, class, function));
-                item.demand.add(class, 1);
-                item.gx += x;
-                item.gy += y;
-                item.criticality = item.criticality.max(crit(id));
-            }
-            None => {
-                let mut demand = SlotSet::new();
-                demand.add(class, 1);
-                items.push(Item {
-                    cells: vec![(id, class, function)],
-                    demand,
-                    gx: x,
-                    gy: y,
-                    criticality: crit(id),
-                });
-            }
-        }
-    }
-    // HashMap iteration order is per-process random; the item list seeds
-    // every downstream tie-break (quadrisection bucket order, swap
-    // schedule), so drain the groups in GroupId order to keep packing
-    // bit-identical across runs and worker counts.
-    let mut grouped: Vec<(GroupId, Item)> = group_items.into_iter().collect();
-    grouped.sort_unstable_by_key(|&(g, _)| g);
-    for (_, mut item) in grouped {
-        let n = item.cells.len() as f64;
-        item.gx /= n;
-        item.gy /= n;
-        if !item.demand.fits(arch.capacity()) {
-            return Err(PackError::GroupTooLarge {
-                demand: item.demand,
-            });
-        }
-        items.push(item);
-    }
+    let mut arena = ItemArena::build(
+        netlist,
+        arch,
+        config.flexible,
+        config.criticality.as_deref(),
+    )?;
+    arena.refresh_positions(placement);
     let mut stats = PackStats {
-        items: items.len(),
+        items: arena.items,
         passes: 1,
         ..PackStats::default()
     };
+    let mut memo = RepackMemo::new(config.incremental);
+    let array = pack_once(&arena, arch, placement.die(), config, &mut memo, &mut stats)?;
+    Ok((array, stats))
+}
+
+/// One full pack (sizing bound plus the grow-and-retry loop) over a
+/// prepared arena. Accumulates counters into `stats`.
+fn pack_once(
+    arena: &ItemArena,
+    arch: &PlbArchitecture,
+    die: vpga_place::Rect,
+    config: &PackConfig,
+    memo: &mut RepackMemo,
+    stats: &mut PackStats,
+) -> Result<PlbArray, PackError> {
     // Total demand per class.
-    let mut totals = SlotSet::new();
-    for item in &items {
-        totals = totals.plus(&item.demand);
+    let mut totals = [0u16; NCLASS];
+    for d in &arena.demand {
+        for (t, &v) in totals.iter_mut().zip(d) {
+            *t += v;
+        }
     }
     // Minimum PLB count. When flexible placement is on, each cell's
     // function may be hosted by several slot classes (the §3.2 flexibility
@@ -189,43 +169,20 @@ pub fn pack_with_stats(
     // whose compatible-class sets lie entirely inside S must fit within
     // S's pooled capacity. With seven classes that is 128 subsets —
     // enumerated exactly.
-    let mut n_plbs = items
-        .len()
+    let mut n_plbs = arena
+        .items
         .max(1)
         .div_ceil(arch.capacity().total() as usize);
-    let class_bit = |class: CellClass| -> u32 {
-        CellClass::PLB_CLASSES
-            .iter()
-            .position(|&c| c == class)
-            .expect("PLB class") as u32
-    };
-    let mut fit_cache: HashMap<(CellClass, Option<Tt3>), u8> = HashMap::new();
-    let mut demand_by_mask: HashMap<u8, usize> = HashMap::new();
-    for item in &items {
-        for &(_, class, function) in &item.cells {
-            let mask = if class.is_sequential() || !config.flexible {
-                1u8 << class_bit(class)
-            } else {
-                *fit_cache.entry((class, function)).or_insert_with(|| {
-                    compatible_classes(arch, class, function)
-                        .into_iter()
-                        .fold(0u8, |m, c| m | (1 << class_bit(c)))
-                })
-            };
-            *demand_by_mask.entry(mask).or_insert(0) += 1;
-        }
+    let mut demand_by_mask = [0usize; 128];
+    for &m in &arena.sizing_mask {
+        demand_by_mask[m as usize] += 1;
     }
     // Per-class hard infeasibility check (class with demand but no slots
     // anywhere and no alternative host).
-    for class in CellClass::PLB_CLASSES {
-        let total = totals.count(class) as usize;
-        if total > 0 && arch.capacity().count(class) == 0 {
-            let bit = 1u8 << class_bit(class);
-            let stuck = demand_by_mask
-                .iter()
-                .filter(|&(&m, _)| m == bit)
-                .map(|(_, &n)| n)
-                .sum::<usize>();
+    for (k, &class) in CellClass::PLB_CLASSES.iter().enumerate() {
+        let total = totals[k] as usize;
+        if total > 0 && arena.cap[k] == 0 {
+            let stuck = demand_by_mask[1usize << k];
             if stuck > 0 {
                 return Err(PackError::CapacityExceeded {
                     class,
@@ -237,15 +194,14 @@ pub fn pack_with_stats(
     }
     for subset in 1u16..128 {
         let subset = subset as u8;
-        let cap: usize = CellClass::PLB_CLASSES
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| subset & (1 << i) != 0)
-            .map(|(_, &c)| arch.capacity().count(c) as usize)
+        let cap: usize = (0..NCLASS)
+            .filter(|&i| subset & (1 << i) != 0)
+            .map(|i| arena.cap[i] as usize)
             .sum();
         let demand: usize = demand_by_mask
             .iter()
-            .filter(|&(&m, _)| m & !subset == 0)
+            .enumerate()
+            .filter(|&(m, _)| m as u8 & !subset == 0)
             .map(|(_, &n)| n)
             .sum();
         if demand == 0 {
@@ -253,11 +209,9 @@ pub fn pack_with_stats(
         }
         if cap == 0 {
             // Some cell fits only classes this architecture lacks.
-            let class = CellClass::PLB_CLASSES
-                .iter()
-                .enumerate()
-                .find(|&(i, _)| subset & (1 << i) != 0)
-                .map(|(_, &c)| c)
+            let class = (0..NCLASS)
+                .find(|&i| subset & (1 << i) != 0)
+                .map(|i| CellClass::PLB_CLASSES[i])
                 .expect("non-empty subset");
             return Err(PackError::CapacityExceeded {
                 class,
@@ -273,56 +227,47 @@ pub fn pack_with_stats(
     for retry in 0..=config.growth_retries {
         let cols = (attempt_plbs as f64).sqrt().ceil() as usize;
         let rows = attempt_plbs.div_ceil(cols);
-        let mut array = PlbArray::new(arch, cols, rows);
-        // Normalize item positions into grid coordinates.
-        let die = placement.die();
-        let mut grid_items = items.clone();
-        for item in grid_items.iter_mut() {
-            item.gx = ((item.gx - die.x0) / die.width().max(1e-9) * cols as f64)
-                .clamp(0.0, cols as f64 - 1e-6);
-            item.gy = ((item.gy - die.y0) / die.height().max(1e-9) * rows as f64)
-                .clamp(0.0, rows as f64 - 1e-6);
-        }
-        let mut spill: Vec<Item> = Vec::new();
-        quadrisect(
-            arch,
-            &mut array,
+        let mut attempt = Attempt::new(arena, config, cols, rows, die);
+        attempt.walk_pristine(
             Region {
                 c0: 0,
                 c1: cols,
                 r0: 0,
                 r1: rows,
             },
-            grid_items,
-            config,
-            &mut spill,
-            &mut stats,
+            memo,
         );
-        stats.spilled += spill.len() as u64;
+        stats.relocations += attempt.relocations;
+        stats.regions_reused += attempt.reused;
+        stats.subtrees_repartitioned += attempt.repartitioned;
+        stats.spilled += attempt.spill.len() as u64;
         // Spill pass: hardest items first (groups, then the least flexible
         // single cells), each into the nearest PLB with room.
-        spill.sort_by(|a, b| {
-            b.cells
-                .len()
-                .cmp(&a.cells.len())
-                .then_with(|| a.criticality.total_cmp(&b.criticality).reverse())
+        let mut spill = std::mem::take(&mut attempt.spill);
+        spill.sort_by(|&a, &b| {
+            let (la, lb) = (arena.cells_of(a).len(), arena.cells_of(b).len());
+            lb.cmp(&la).then_with(|| {
+                arena.crit[a as usize]
+                    .total_cmp(&arena.crit[b as usize])
+                    .reverse()
+            })
         });
         let mut leftover = 0usize;
-        for item in spill {
-            if !seat_nearest(arch, &mut array, &item, config) {
+        for it in spill {
+            if !attempt.seat_nearest(it) {
                 leftover += 1;
                 if std::env::var_os("VPGA_PACK_DEBUG").is_some() {
                     eprintln!(
                         "unseated item: {} cells, demand {}",
-                        item.cells.len(),
-                        item.demand
+                        arena.cells_of(it).len(),
+                        arena.demand_set(it)
                     );
                 }
             }
         }
         if leftover == 0 {
-            stats.growth_retries = retry as u32;
-            return Ok((array, stats));
+            stats.growth_retries += retry as u32;
+            return Ok(attempt.into_array(arch));
         }
         if retry == config.growth_retries {
             return Err(PackError::Unpackable { leftover });
@@ -371,28 +316,6 @@ pub fn apply_to_placement(array: &PlbArray, netlist: &Netlist, placement: &mut P
     }
 }
 
-/// Slot classes that can host a cell of `class` computing `function`.
-fn compatible_classes(
-    arch: &PlbArchitecture,
-    class: CellClass,
-    function: Option<Tt3>,
-) -> Vec<CellClass> {
-    let mut out = vec![class];
-    let Some(f) = function else { return out };
-    for alt in CellClass::PLB_CLASSES {
-        if alt == class || alt.is_sequential() || arch.capacity().count(alt) == 0 {
-            continue;
-        }
-        let Some(cell) = arch.slot_cell(alt) else {
-            continue;
-        };
-        if vpga_core::matcher::match_cell(cell, f, 3).is_some() {
-            out.push(alt);
-        }
-    }
-    out
-}
-
 #[derive(Clone, Copy, Debug)]
 struct Region {
     c0: usize,
@@ -412,37 +335,11 @@ impl Region {
             (self.r0 + self.r1) as f64 / 2.0,
         )
     }
-
-    fn capacity(&self, arch: &PlbArchitecture, class: CellClass) -> usize {
-        self.plbs() * arch.capacity().count(class) as usize
-    }
 }
 
-fn quadrisect(
-    arch: &PlbArchitecture,
-    array: &mut PlbArray,
-    region: Region,
-    items: Vec<Item>,
-    config: &PackConfig,
-    spill: &mut Vec<Item>,
-    stats: &mut PackStats,
-) {
-    if items.is_empty() {
-        return;
-    }
-    if region.plbs() == 1 {
-        let index = array.index_of(region.c0, region.r0);
-        // Groups first: they need several free slots at once.
-        let mut items = items;
-        items.sort_by_key(|i| std::cmp::Reverse(i.cells.len()));
-        for item in items {
-            if !seat(arch, array, index, &item, config) {
-                spill.push(item);
-            }
-        }
-        return;
-    }
-    // Split into quadrants (degenerate strips split in the long direction).
+/// Splits a region into up to four quadrants (degenerate strips split in
+/// the long direction), in the recursion's canonical order.
+fn split(region: &Region) -> ([Region; 4], usize) {
     let cm = if region.c1 - region.c0 > 1 {
         (region.c0 + region.c1) / 2
     } else {
@@ -453,7 +350,8 @@ fn quadrisect(
     } else {
         region.r1
     };
-    let mut quads: Vec<Region> = Vec::new();
+    let mut quads = [*region; 4];
+    let mut n = 0;
     for (c0, c1) in [(region.c0, cm), (cm, region.c1)] {
         if c0 >= c1 {
             continue;
@@ -462,169 +360,500 @@ fn quadrisect(
             if r0 >= r1 {
                 continue;
             }
-            quads.push(Region { c0, c1, r0, r1 });
+            quads[n] = Region { c0, c1, r0, r1 };
+            n += 1;
         }
     }
-    // Geometric assignment.
-    let mut buckets: Vec<Vec<Item>> = vec![Vec::new(); quads.len()];
-    for item in items {
-        let q = quads
+    (quads, n)
+}
+
+/// `f64` keyed for a min-heap via `total_cmp` (never NaN here, but total
+/// order keeps the heap honest regardless).
+#[derive(Clone, Copy, PartialEq)]
+struct Dist(f64);
+
+impl Eq for Dist {}
+
+impl PartialOrd for Dist {
+    fn partial_cmp(&self, other: &Dist) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dist {
+    fn cmp(&self, other: &Dist) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// One packing attempt over a fixed cols × rows array: normalized item
+/// positions, the leaf CSR and demand prefix sums for the pristine walk,
+/// per-PLB occupancy, and the resulting cell assignments.
+struct Attempt<'a> {
+    arena: &'a ItemArena,
+    config: &'a PackConfig,
+    cols: usize,
+    rows: usize,
+    /// Normalized grid coordinates (0..cols, 0..rows), mutated by balance
+    /// relocations exactly as the reference algorithm does.
+    gx: Vec<f64>,
+    gy: Vec<f64>,
+    /// Items per leaf PLB (floor grid cell), CSR, ascending item index
+    /// within each row.
+    leaf_off: Vec<u32>,
+    leaf_items: Vec<u32>,
+    /// 2-D inclusive prefix sums over leaves, (cols+1) × (rows+1): item
+    /// counts and per-class demand. Demand sums are u32 and masked to u16
+    /// at query time, matching the reference's wrapping `SlotSet`
+    /// arithmetic.
+    pcount: Vec<u32>,
+    pdem: Vec<[u32; NCLASS]>,
+    /// Per-PLB occupancy.
+    occ: Vec<[u16; NCLASS]>,
+    /// Per-arena-cell assignment (PLB index / slot-class index).
+    cell_plb: Vec<u32>,
+    cell_slot: Vec<u8>,
+    spill: Vec<u32>,
+    relocations: u64,
+    reused: u64,
+    repartitioned: u64,
+    /// Recycled backing store for the spill pass's distance heap.
+    heap_scratch: Vec<Reverse<(Dist, usize)>>,
+}
+
+impl<'a> Attempt<'a> {
+    fn new(
+        arena: &'a ItemArena,
+        config: &'a PackConfig,
+        cols: usize,
+        rows: usize,
+        die: vpga_place::Rect,
+    ) -> Attempt<'a> {
+        let n = arena.items;
+        let mut gx = Vec::with_capacity(n);
+        let mut gy = Vec::with_capacity(n);
+        for i in 0..n {
+            gx.push(
+                ((arena.gx[i] - die.x0) / die.width().max(1e-9) * cols as f64)
+                    .clamp(0.0, cols as f64 - 1e-6),
+            );
+            gy.push(
+                ((arena.gy[i] - die.y0) / die.height().max(1e-9) * rows as f64)
+                    .clamp(0.0, rows as f64 - 1e-6),
+            );
+        }
+        // Leaf CSR by counting sort (stable: ascending item index per
+        // row — the order the reference recursion preserves).
+        let leaves = cols * rows;
+        let leaf_of = |i: usize| -> usize {
+            let c = gx[i] as usize;
+            let r = gy[i] as usize;
+            r * cols + c
+        };
+        let mut leaf_off = vec![0u32; leaves + 1];
+        for i in 0..n {
+            leaf_off[leaf_of(i) + 1] += 1;
+        }
+        for l in 0..leaves {
+            leaf_off[l + 1] += leaf_off[l];
+        }
+        let mut cursor: Vec<u32> = leaf_off[..leaves].to_vec();
+        let mut leaf_items = vec![0u32; n];
+        for i in 0..n {
+            let l = leaf_of(i);
+            leaf_items[cursor[l] as usize] = i as u32;
+            cursor[l] += 1;
+        }
+        // Inclusive 2-D prefix sums over the leaf grid.
+        let w = cols + 1;
+        let mut pcount = vec![0u32; w * (rows + 1)];
+        let mut pdem = vec![[0u32; NCLASS]; w * (rows + 1)];
+        for i in 0..n {
+            let c = gx[i] as usize;
+            let r = gy[i] as usize;
+            let at = (r + 1) * w + (c + 1);
+            pcount[at] += 1;
+            for (p, &v) in pdem[at].iter_mut().zip(&arena.demand[i]) {
+                *p += u32::from(v);
+            }
+        }
+        for r in 1..=rows {
+            for c in 1..=cols {
+                let at = r * w + c;
+                pcount[at] = pcount[at] + pcount[at - w] + pcount[at - 1] - pcount[at - w - 1];
+                let (up, left, diag) = (pdem[at - w], pdem[at - 1], pdem[at - w - 1]);
+                for (k, d) in pdem[at].iter_mut().enumerate() {
+                    *d = *d + up[k] + left[k] - diag[k];
+                }
+            }
+        }
+        Attempt {
+            arena,
+            config,
+            cols,
+            rows,
+            gx,
+            gy,
+            leaf_off,
+            leaf_items,
+            pcount,
+            pdem,
+            occ: vec![[0u16; NCLASS]; leaves],
+            cell_plb: vec![NO_PLB; arena.n_cells()],
+            cell_slot: vec![0u8; arena.n_cells()],
+            spill: Vec::new(),
+            relocations: 0,
+            reused: 0,
+            repartitioned: 0,
+            heap_scratch: Vec::new(),
+        }
+    }
+
+    fn rect_count(&self, q: &Region) -> u32 {
+        let w = self.cols + 1;
+        let at = |r: usize, c: usize| self.pcount[r * w + c];
+        at(q.r1, q.c1) + at(q.r0, q.c0) - at(q.r0, q.c1) - at(q.r1, q.c0)
+    }
+
+    /// Region demand of one class, wrapped to u16 to match the
+    /// reference's `SlotSet` accumulation in release builds.
+    fn rect_demand(&self, q: &Region, k: usize) -> u16 {
+        let w = self.cols + 1;
+        let at = |r: usize, c: usize| self.pdem[r * w + c][k];
+        (at(q.r1, q.c1)
+            .wrapping_add(at(q.r0, q.c0))
+            .wrapping_sub(at(q.r0, q.c1))
+            .wrapping_sub(at(q.r1, q.c0))) as u16
+    }
+
+    fn rect_overflows(&self, q: &Region) -> bool {
+        let plbs = q.plbs();
+        (0..NCLASS).any(|k| (self.rect_demand(q, k) as usize) > plbs * self.arena.cap[k] as usize)
+    }
+
+    /// Recursion over a subtree whose items are untouched by any balance
+    /// relocation: membership is implied by the floor grid cell, demand
+    /// checks are prefix-sum queries, and no item list is materialized
+    /// until a quadrant overflows.
+    fn walk_pristine(&mut self, region: Region, memo: &mut RepackMemo) {
+        if self.rect_count(&region) == 0 {
+            return;
+        }
+        if region.plbs() == 1 {
+            let leaf = region.r0 * self.cols + region.c0;
+            let row = self.leaf_off[leaf] as usize..self.leaf_off[leaf + 1] as usize;
+            let list = self.leaf_items[row].to_vec();
+            self.seat_leaf(leaf, list, memo);
+            return;
+        }
+        let (quads, nq) = split(&region);
+        let quads = &quads[..nq];
+        if !quads.iter().any(|q| self.rect_overflows(q)) {
+            for q in quads {
+                self.walk_pristine(*q, memo);
+            }
+            return;
+        }
+        // A quadrant overflows: materialize the buckets (ascending item
+        // index — exactly the order the reference bucketing preserves)
+        // and run the §3.1 balancing step.
+        let mut buckets: Vec<Vec<u32>> = quads
             .iter()
-            .position(|q| {
-                item.gx >= q.c0 as f64
-                    && item.gx < q.c1 as f64
-                    && item.gy >= q.r0 as f64
-                    && item.gy < q.r1 as f64
+            .map(|q| {
+                let mut b = Vec::with_capacity(self.rect_count(q) as usize);
+                for r in q.r0..q.r1 {
+                    let lo = self.leaf_off[r * self.cols + q.c0] as usize;
+                    let hi = self.leaf_off[r * self.cols + q.c1] as usize;
+                    b.extend_from_slice(&self.leaf_items[lo..hi]);
+                }
+                b.sort_unstable();
+                b
             })
-            .unwrap_or(0);
-        buckets[q].push(item);
+            .collect();
+        self.relocations += self.balance(quads, &mut buckets);
+        for (q, bucket) in quads.iter().zip(buckets) {
+            self.walk_materialized(*q, bucket, memo);
+        }
     }
-    // Resource balancing: relocate overflow items to quadrants with room,
-    // cheapest (criticality-weighted displacement) first.
-    stats.relocations += balance(arch, &quads, &mut buckets, config);
-    for (q, bucket) in quads.iter().zip(buckets) {
-        quadrisect(arch, array, *q, bucket, config, spill, stats);
+
+    /// Recursion over an explicit item list (a balance relocation touched
+    /// an ancestor, so floor-cell membership no longer applies) — the
+    /// reference algorithm verbatim, over arena indices.
+    fn walk_materialized(&mut self, region: Region, items: Vec<u32>, memo: &mut RepackMemo) {
+        if items.is_empty() {
+            return;
+        }
+        if region.plbs() == 1 {
+            let leaf = region.r0 * self.cols + region.c0;
+            self.seat_leaf(leaf, items, memo);
+            return;
+        }
+        let (quads, nq) = split(&region);
+        let quads = &quads[..nq];
+        // Geometric assignment.
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nq];
+        for it in items {
+            let (x, y) = (self.gx[it as usize], self.gy[it as usize]);
+            let q = quads
+                .iter()
+                .position(|q| {
+                    x >= q.c0 as f64 && x < q.c1 as f64 && y >= q.r0 as f64 && y < q.r1 as f64
+                })
+                .unwrap_or(0);
+            buckets[q].push(it);
+        }
+        self.relocations += self.balance(quads, &mut buckets);
+        for (q, bucket) in quads.iter().zip(buckets) {
+            self.walk_materialized(*q, bucket, memo);
+        }
     }
-}
 
-fn demand_of(bucket: &[Item]) -> SlotSet {
-    let mut d = SlotSet::new();
-    for item in bucket {
-        d = d.plus(&item.demand);
-    }
-    d
-}
-
-fn overflows(arch: &PlbArchitecture, region: &Region, demand: &SlotSet) -> Option<CellClass> {
-    CellClass::PLB_CLASSES
-        .into_iter()
-        .find(|&class| (demand.count(class) as usize) > region.capacity(arch, class))
-}
-
-fn balance(
-    arch: &PlbArchitecture,
-    quads: &[Region],
-    buckets: &mut [Vec<Item>],
-    config: &PackConfig,
-) -> u64 {
-    let mut relocated = 0u64;
-    let mut demands: Vec<SlotSet> = buckets.iter().map(|b| demand_of(b)).collect();
-    // Bounded relocation loop.
-    for _ in 0..10_000 {
-        let Some((qi, class)) = quads
-            .iter()
-            .enumerate()
-            .find_map(|(i, q)| overflows(arch, q, &demands[i]).map(|c| (i, c)))
-        else {
-            return relocated; // feasible everywhere
-        };
-        // Candidate items in the overfull quadrant that use the class.
-        let mut best: Option<(usize, usize, f64)> = None; // (item ix, target quad, cost)
-        for (ix, item) in buckets[qi].iter().enumerate() {
-            if item.demand.count(class) == 0 {
-                continue;
-            }
-            for (ti, tq) in quads.iter().enumerate() {
-                if ti == qi {
-                    continue;
-                }
-                // The move must not overflow the target.
-                let after = demands[ti].plus(&item.demand);
-                if overflows(arch, tq, &after).is_some() {
-                    continue;
-                }
-                let (cx, cy) = tq.center();
-                let dist = (item.gx - cx).abs() + (item.gy - cy).abs();
-                let cost = dist * (1.0 + 4.0 * item.criticality);
-                if best.is_none_or(|(_, _, c)| cost < c) {
-                    best = Some((ix, ti, cost));
-                }
+    fn demand_of(&self, bucket: &[u32]) -> [u16; NCLASS] {
+        let mut d = [0u16; NCLASS];
+        for &it in bucket {
+            for (a, &b) in d.iter_mut().zip(&self.arena.demand[it as usize]) {
+                *a += b;
             }
         }
-        let Some((ix, ti, _)) = best else {
-            // Nothing movable: leave the overflow for the spill pass.
-            return relocated;
-        };
-        let mut item = buckets[qi].swap_remove(ix);
-        // Re-center the item inside the target quadrant so recursion
-        // buckets it correctly.
-        let (cx, cy) = quads[ti].center();
-        item.gx = cx - 0.25; // nudge off the midline
-        item.gy = cy - 0.25;
-        demands[qi] = demand_of(&buckets[qi]);
-        demands[ti] = demands[ti].plus(&item.demand);
-        buckets[ti].push(item);
-        relocated += 1;
+        d
     }
-    let _ = config;
-    relocated
-}
 
-/// Seats an item into the given PLB; returns success.
-fn seat(
-    arch: &PlbArchitecture,
-    array: &mut PlbArray,
-    index: usize,
-    item: &Item,
-    config: &PackConfig,
-) -> bool {
-    if item.cells.len() > 1 {
-        // Groups are atomic; members retarget flexibly like singles.
-        let members: Vec<(CellClass, Option<Tt3>)> =
-            item.cells.iter().map(|&(_, c, f)| (c, f)).collect();
-        let landed: Option<Vec<CellClass>> = if config.flexible {
-            array.plb_mut(index).place_group_flexible(arch, &members)
-        } else if array.plb_mut(index).place_group(&item.demand) {
-            Some(members.iter().map(|&(c, _)| c).collect())
+    /// First overflowing class of a region, in `PLB_CLASSES` order.
+    fn overflows(&self, region: &Region, demand: &[u16; NCLASS]) -> Option<usize> {
+        (0..NCLASS).find(|&k| (demand[k] as usize) > region.plbs() * self.arena.cap[k] as usize)
+    }
+
+    /// Resource balancing: relocate overflow items to quadrants with room,
+    /// cheapest (criticality-weighted displacement) first.
+    fn balance(&mut self, quads: &[Region], buckets: &mut [Vec<u32>]) -> u64 {
+        let mut relocated = 0u64;
+        let mut demands: Vec<[u16; NCLASS]> = buckets.iter().map(|b| self.demand_of(b)).collect();
+        // Bounded relocation loop.
+        for _ in 0..10_000 {
+            let Some((qi, class)) = quads
+                .iter()
+                .enumerate()
+                .find_map(|(i, q)| self.overflows(q, &demands[i]).map(|c| (i, c)))
+            else {
+                return relocated; // feasible everywhere
+            };
+            // Candidate items in the overfull quadrant that use the class.
+            let mut best: Option<(usize, usize, f64)> = None; // (item ix, target quad, cost)
+            for (ix, &it) in buckets[qi].iter().enumerate() {
+                let item_demand = &self.arena.demand[it as usize];
+                if item_demand[class] == 0 {
+                    continue;
+                }
+                for (ti, tq) in quads.iter().enumerate() {
+                    if ti == qi {
+                        continue;
+                    }
+                    // The move must not overflow the target.
+                    let mut after = demands[ti];
+                    for (a, &b) in after.iter_mut().zip(item_demand) {
+                        *a += b;
+                    }
+                    if self.overflows(tq, &after).is_some() {
+                        continue;
+                    }
+                    let (cx, cy) = tq.center();
+                    let dist =
+                        (self.gx[it as usize] - cx).abs() + (self.gy[it as usize] - cy).abs();
+                    let cost = dist * (1.0 + 4.0 * self.arena.crit[it as usize]);
+                    if best.is_none_or(|(_, _, c)| cost < c) {
+                        best = Some((ix, ti, cost));
+                    }
+                }
+            }
+            let Some((ix, ti, _)) = best else {
+                // Nothing movable: leave the overflow for the spill pass.
+                return relocated;
+            };
+            let it = buckets[qi].swap_remove(ix);
+            // Re-center the item inside the target quadrant so recursion
+            // buckets it correctly.
+            let (cx, cy) = quads[ti].center();
+            self.gx[it as usize] = cx - 0.25; // nudge off the midline
+            self.gy[it as usize] = cy - 0.25;
+            demands[qi] = self.demand_of(&buckets[qi]);
+            for (a, &b) in demands[ti].iter_mut().zip(&self.arena.demand[it as usize]) {
+                *a += b;
+            }
+            buckets[ti].push(it);
+            relocated += 1;
+        }
+        relocated
+    }
+
+    /// Seats a leaf's items (groups first — they need several free slots
+    /// at once), replaying the previous pass's outcome when the memo has
+    /// a verbatim membership match.
+    fn seat_leaf(&mut self, leaf: usize, list: Vec<u32>, memo: &mut RepackMemo) {
+        if memo.enabled {
+            if let Some(rec) = memo.lookup(self.cols, self.rows, leaf, &list) {
+                self.occ[leaf] = rec.occ;
+                let mut si = 0usize;
+                for &it in &rec.seated {
+                    for c in self.arena.cells_of(it) {
+                        self.cell_plb[c] = leaf as u32;
+                        self.cell_slot[c] = rec.slots[si];
+                        si += 1;
+                    }
+                }
+                self.spill.extend_from_slice(&rec.spilled);
+                if memo.populated {
+                    self.reused += 1;
+                }
+                return;
+            }
+            if memo.populated {
+                self.repartitioned += 1;
+            }
+        }
+        let mut order = list.clone();
+        order.sort_by_key(|&it| Reverse(self.arena.cells_of(it).len()));
+        let mut seated: Vec<u32> = Vec::new();
+        let mut slots: Vec<u8> = Vec::new();
+        let mut spilled: Vec<u32> = Vec::new();
+        for &it in &order {
+            if self.seat(leaf, it) {
+                seated.push(it);
+                slots.extend(self.arena.cells_of(it).map(|c| self.cell_slot[c]));
+            } else {
+                spilled.push(it);
+            }
+        }
+        self.spill.extend_from_slice(&spilled);
+        if memo.enabled {
+            memo.record(
+                self.cols,
+                self.rows,
+                leaf,
+                LeafRecord {
+                    items: list,
+                    seated,
+                    slots,
+                    spilled,
+                    occ: self.occ[leaf],
+                },
+            );
+        }
+    }
+
+    /// Seats an item into the given PLB; returns success. Mirrors
+    /// `PlbInstance::place`/`place_flexible`/`place_group{,_flexible}`
+    /// over the dense occupancy counters and precomputed seat masks.
+    fn seat(&mut self, plb: usize, it: u32) -> bool {
+        let range = self.arena.cells_of(it);
+        if range.len() > 1 {
+            if self.config.flexible {
+                // Groups are atomic; members retarget flexibly like
+                // singles, with snapshot rollback on failure.
+                let snapshot = self.occ[plb];
+                for c in range.clone() {
+                    if !self.place_flex(plb, c) {
+                        self.occ[plb] = snapshot;
+                        return false;
+                    }
+                }
+            } else {
+                let demand = &self.arena.demand[it as usize];
+                let occ = &mut self.occ[plb];
+                if (0..NCLASS).any(|k| occ[k] + demand[k] > self.arena.cap[k]) {
+                    return false;
+                }
+                for (o, &d) in occ.iter_mut().zip(demand) {
+                    *o += d;
+                }
+                for c in range.clone() {
+                    self.cell_slot[c] = self.arena.cell_class[c];
+                }
+            }
         } else {
-            None
-        };
-        let Some(landed) = landed else { return false };
-        for (&(cell, _, _), slot) in item.cells.iter().zip(landed) {
-            array.assign(cell, index);
-            array.set_slot_class(cell, slot);
+            let c = range.start;
+            if self.config.flexible {
+                if !self.place_flex(plb, c) {
+                    return false;
+                }
+            } else {
+                let k = self.arena.cell_class[c] as usize;
+                if self.occ[plb][k] >= self.arena.cap[k] {
+                    return false;
+                }
+                self.occ[plb][k] += 1;
+                self.cell_slot[c] = k as u8;
+            }
         }
-        return true;
-    }
-    let (cell, class, function) = item.cells[0];
-    let landed = if config.flexible {
-        array.plb_mut(index).place_flexible(arch, class, function)
-    } else if array.plb_mut(index).place(class) {
-        Some(class)
-    } else {
-        None
-    };
-    match landed {
-        Some(slot) => {
-            array.assign(cell, index);
-            array.set_slot_class(cell, slot);
-            true
+        for c in range {
+            self.cell_plb[c] = plb as u32;
         }
-        None => false,
+        true
     }
-}
 
-/// Seats an item into the nearest PLB with room.
-fn seat_nearest(
-    arch: &PlbArchitecture,
-    array: &mut PlbArray,
-    item: &Item,
-    config: &PackConfig,
-) -> bool {
-    let mut order: Vec<usize> = (0..array.len()).collect();
-    order.sort_by(|&a, &b| {
-        let (ac, ar) = array.position_of(a);
-        let (bc, br) = array.position_of(b);
-        let da = (ac as f64 + 0.5 - item.gx).abs() + (ar as f64 + 0.5 - item.gy).abs();
-        let db = (bc as f64 + 0.5 - item.gx).abs() + (br as f64 + 0.5 - item.gy).abs();
-        da.total_cmp(&db)
-    });
-    for index in order {
-        if seat(arch, array, index, item, config) {
+    /// `place_flexible` over the occupancy counters: the native class
+    /// first, then each compatible alternative in `PLB_CLASSES` order.
+    fn place_flex(&mut self, plb: usize, c: usize) -> bool {
+        let native = self.arena.cell_class[c] as usize;
+        let occ = &mut self.occ[plb];
+        if occ[native] < self.arena.cap[native] {
+            occ[native] += 1;
+            self.cell_slot[c] = native as u8;
             return true;
         }
+        let mut mask = self.arena.seat_mask[c] & !(1u8 << native);
+        while mask != 0 {
+            let k = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if occ[k] < self.arena.cap[k] {
+                occ[k] += 1;
+                self.cell_slot[c] = k as u8;
+                return true;
+            }
+        }
+        false
     }
-    false
+
+    /// Seats an item into the nearest PLB with room, pulling candidates
+    /// from a lazy min-heap — pops happen in exactly the order of the
+    /// reference's full distance sort (ties by ascending PLB index), but
+    /// only as far as the first success.
+    fn seat_nearest(&mut self, it: u32) -> bool {
+        let (x, y) = (self.gx[it as usize], self.gy[it as usize]);
+        let n = self.cols * self.rows;
+        let mut backing = std::mem::take(&mut self.heap_scratch);
+        backing.clear();
+        backing.extend((0..n).map(|i| {
+            let (c, r) = (i % self.cols, i / self.cols);
+            let d = (c as f64 + 0.5 - x).abs() + (r as f64 + 0.5 - y).abs();
+            Reverse((Dist(d), i))
+        }));
+        let mut heap = BinaryHeap::from(backing);
+        let mut done = false;
+        while let Some(Reverse((_, index))) = heap.pop() {
+            if self.seat(index, it) {
+                done = true;
+                break;
+            }
+        }
+        self.heap_scratch = heap.into_vec();
+        done
+    }
+
+    /// Materializes the seated assignments into a [`PlbArray`] (only
+    /// called once every item is seated).
+    fn into_array(self, arch: &PlbArchitecture) -> PlbArray {
+        let mut array = PlbArray::new(arch, self.cols, self.rows);
+        for c in 0..self.arena.n_cells() {
+            let plb = self.cell_plb[c];
+            debug_assert_ne!(plb, NO_PLB, "unseated cell after successful attempt");
+            let class = CellClass::PLB_CLASSES[self.cell_slot[c] as usize];
+            let seated = array.plb_mut(plb as usize).place(class);
+            debug_assert!(seated, "occupancy mismatch during materialization");
+            array.assign(self.arena.cell_id[c], plb as usize);
+            array.set_slot_class(self.arena.cell_id[c], class);
+        }
+        array
+    }
 }
 
 /// The §3.1 iterative loop: pack, pin well-seated cells, re-run physical
@@ -658,7 +887,26 @@ pub fn pack_iterative_with_stats(
     place_config: &PlaceConfig,
     config: &PackConfig,
 ) -> Result<(PlbArray, PackStats), PackError> {
-    let (mut array, mut stats) = pack_with_stats(netlist, arch, placement, config)?;
+    if !(config.target_fill > 0.0 && config.target_fill <= 1.0) {
+        return Err(PackError::InvalidTargetFill(config.target_fill));
+    }
+    let mut arena = ItemArena::build(
+        netlist,
+        arch,
+        config.flexible,
+        config.criticality.as_deref(),
+    )?;
+    arena.refresh_positions(placement);
+    let mut stats = PackStats {
+        items: arena.items,
+        passes: 1,
+        ..PackStats::default()
+    };
+    // The leaf memo persists across repack passes: pass 2+ replays the
+    // seating of every leaf whose item membership is unchanged.
+    let mut memo = RepackMemo::new(config.incremental);
+    let mut array = pack_once(&arena, arch, placement.die(), config, &mut memo, &mut stats)?;
+    memo.populated = true;
     for _ in 1..config.iterations.max(1) {
         // Measure displacement of each cell from its assigned PLB centre.
         let mut moved: Vec<(CellId, f64, (f64, f64))> = Vec::new();
@@ -706,12 +954,9 @@ pub fn pack_iterative_with_stats(
         for id in pinned {
             placement.set_fixed(id, false);
         }
-        let (repacked, pass) = pack_with_stats(netlist, arch, placement, config)?;
-        array = repacked;
-        stats.relocations += pass.relocations;
-        stats.spilled += pass.spilled;
-        stats.growth_retries += pass.growth_retries;
-        stats.passes += pass.passes;
+        arena.refresh_positions(placement);
+        stats.passes += 1;
+        array = pack_once(&arena, arch, placement.die(), config, &mut memo, &mut stats)?;
     }
     apply_to_placement(&array, netlist, placement);
     Ok((array, stats))
@@ -938,6 +1183,57 @@ mod tests {
             }
             let ix = array.plb_of(id).expect("assigned");
             assert_eq!(placement.position(id), Some(array.plb_center(ix)));
+        }
+    }
+
+    #[test]
+    fn incremental_toggle_is_bit_identical() {
+        // The leaf memo must be a pure optimization: every counter except
+        // the reuse instrumentation, every assignment, and the final
+        // placement agree bit-for-bit with the memo disabled.
+        let arch = PlbArchitecture::granular();
+        let netlist = mapped_design(vpga_designs::NamedDesign::NetworkSwitch, &arch);
+        let pc = PlaceConfig::default();
+        let p0 = vpga_place::place(&netlist, arch.library(), &pc);
+        let mut p_inc = p0.clone();
+        let mut p_full = p0;
+        let cfg = PackConfig {
+            iterations: 3,
+            ..PackConfig::default()
+        };
+        let (a_inc, s_inc) =
+            pack_iterative_with_stats(&netlist, &arch, &mut p_inc, &pc, &cfg).unwrap();
+        let (a_full, s_full) = pack_iterative_with_stats(
+            &netlist,
+            &arch,
+            &mut p_full,
+            &pc,
+            &PackConfig {
+                incremental: false,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            PackStats {
+                regions_reused: 0,
+                subtrees_repartitioned: 0,
+                ..s_inc
+            },
+            s_full
+        );
+        assert_eq!(s_full.regions_reused, 0);
+        assert_eq!(s_full.subtrees_repartitioned, 0);
+        for (id, cell) in netlist.cells() {
+            if cell.lib_id().is_none() {
+                continue;
+            }
+            assert_eq!(a_inc.plb_of(id), a_full.plb_of(id));
+            assert_eq!(a_inc.slot_class_of(id), a_full.slot_class_of(id));
+            assert_eq!(
+                p_inc.position(id).map(|(x, y)| (x.to_bits(), y.to_bits())),
+                p_full.position(id).map(|(x, y)| (x.to_bits(), y.to_bits()))
+            );
         }
     }
 }
